@@ -1,0 +1,67 @@
+//! par-pool microbenchmarks: the cost of the fork-join machinery the
+//! recursive kernels lean on (scope setup, spawn, parallel_for).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use par_pool::Pool;
+
+fn bench_scope_overhead(c: &mut Criterion) {
+    let pool = Pool::new(2);
+    c.bench_function("pool_empty_scope", |bench| {
+        bench.iter(|| pool.scope(|_| {}));
+    });
+    c.bench_function("pool_single_spawn", |bench| {
+        bench.iter(|| {
+            pool.scope(|s| {
+                s.spawn(|_| {
+                    std::hint::black_box(0u64);
+                });
+            })
+        });
+    });
+}
+
+fn bench_parallel_for(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_for_sum");
+    for &n in &[1_000usize, 100_000] {
+        group.throughput(Throughput::Elements(n as u64));
+        for &threads in &[1usize, 2] {
+            let pool = Pool::new(threads);
+            group.bench_with_input(
+                BenchmarkId::new(format!("threads{threads}"), n),
+                &n,
+                |bench, &n| {
+                    let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
+                    let acc: Vec<std::sync::atomic::AtomicU64> =
+                        (0..16).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+                    bench.iter(|| {
+                        pool.parallel_for(0, n, |i| {
+                            let v = (data[i] * 1.5) as u64;
+                            acc[i % 16].fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        });
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_join_fanout(c: &mut Criterion) {
+    let pool = Pool::new(2);
+    c.bench_function("pool_fib_12_join", |bench| {
+        fn fib(pool: &Pool, n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            if n < 8 {
+                return fib(pool, n - 1) + fib(pool, n - 2);
+            }
+            let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+            a + b
+        }
+        bench.iter(|| fib(&pool, 12));
+    });
+}
+
+criterion_group!(benches, bench_scope_overhead, bench_parallel_for, bench_join_fanout);
+criterion_main!(benches);

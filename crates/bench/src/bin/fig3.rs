@@ -1,0 +1,65 @@
+//! **E-F3 — Fig. 3**: refining the 2-way R-DP of `A_GE` by one level
+//! of inlining and re-scheduling calls to the earliest legal stage.
+//!
+//! ```text
+//! cargo run --release -p dp-bench --bin fig3
+//! ```
+//!
+//! Prints the inlined 4-way GE program with its naive (sub-program by
+//! sub-program) stage count next to the optimized schedule — the
+//! "functions in stages 5 and 6 moved to stages 2 and 3" motion.
+
+use gep_kernels::gep::gep_reference;
+use gep_kernels::staging::{
+    call_sequence, execute_schedule, inline_once, naive_stage_count, schedule, stages_of,
+};
+use gep_kernels::{GaussianElim, Matrix};
+
+fn main() {
+    // Start from the single top-level A_GE call on a 16×16 table and
+    // inline one level of 2-way recursion → a 2×2-grid program.
+    let n = 16;
+    let top = call_sequence::<GaussianElim>(1, n);
+    let inlined = inline_once::<GaussianElim>(&top, n / 2);
+    let stage = schedule(&inlined);
+    let naive = naive_stage_count(&top);
+    let optimized = *stage.iter().max().unwrap();
+
+    println!("Fig. 3 — refining 2-way R-DP of A_GE by one level of inlining\n");
+    println!("inlined calls: {}", inlined.len());
+    println!("naive in-order stages: {naive}");
+    println!("optimized stages:      {optimized}\n");
+    for (s, group) in stages_of(&inlined, &stage).iter().enumerate() {
+        print!("stage {:>2}: ", s + 1);
+        for &idx in group {
+            let c = &inlined[idx];
+            print!("{:?}{:?} ", c.kind, c.writes);
+        }
+        println!();
+    }
+
+    // Verify the optimized schedule is executable: run it against real
+    // kernels and compare bitwise with the Fig. 1 reference.
+    let mut m = Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            n as f64 + 2.0
+        } else {
+            ((i * 13 + j * 7) % 11) as f64 / 5.0 - 1.0
+        }
+    });
+    let mut reference = m.clone();
+    execute_schedule::<GaussianElim>(&mut m, &inlined, &stage, 2, 42);
+    gep_reference::<GaussianElim>(&mut reference);
+    assert_eq!(m.first_difference(&reference), None);
+    println!("\nvalidated: executing the optimized schedule reproduces the reference bitwise");
+    assert!(optimized < naive, "optimization must reduce stages");
+
+    // One more level: 4×4 grid (the full Fig. 3 refinement).
+    let l2 = inline_once::<GaussianElim>(&inlined, n / 4);
+    let stage2 = schedule(&l2);
+    println!(
+        "\nsecond refinement (4×4 grid): {} calls in {} optimized stages",
+        l2.len(),
+        stage2.iter().max().unwrap()
+    );
+}

@@ -1,0 +1,255 @@
+//! `dp-bench` — shared plumbing for the reproduction binaries (one per
+//! table/figure of the paper) and the Criterion microbenches.
+//!
+//! The repro pattern: run the **virtual** dataflow once per distinct
+//! dataflow shape (problem, strategy, block size, partition count),
+//! then *re-price* the recorded event log for each kernel choice /
+//! `executor-cores` / `OMP_NUM_THREADS` combination — the dataflow
+//! (stages, tasks, bytes) is independent of those knobs, only the cost
+//! model's inputs change. This turns the paper's hundreds of
+//! cluster-hours into seconds.
+
+use cluster_model::{ClusterSpec, CostModel, KernelType, StageRecord};
+use dp_core::{solve_virtual, DpConfig, DpProblem, KernelChoice, Strategy};
+use sparklet::{JobError, SparkConf, SparkContext};
+
+/// Run one virtual dataflow on a context shaped like `cluster` and
+/// return the recorded stages.
+pub fn run_dataflow<S: DpProblem>(
+    cluster: &ClusterSpec,
+    cfg: &DpConfig,
+) -> Result<Vec<StageRecord>, JobError> {
+    let partitions = cfg
+        .partitions
+        .unwrap_or_else(|| cluster.default_partitions());
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(cluster.nodes)
+            .with_executor_cores(cluster.node.cores)
+            .with_partitions(partitions)
+            .with_worker_threads(1)
+            .with_staging_capacity(cluster.storage.capacity),
+    );
+    solve_virtual::<S>(&sc, cfg)?;
+    Ok(sc.with_event_log(|log| log.records()))
+}
+
+/// Replace the kernel type in every recorded invocation — the dataflow
+/// is kernel-agnostic, so one recording serves every kernel choice.
+pub fn with_kernel(records: &[StageRecord], kernel: KernelType) -> Vec<StageRecord> {
+    records
+        .iter()
+        .map(|s| {
+            let mut s = s.clone();
+            for t in &mut s.tasks {
+                for inv in &mut t.kernels {
+                    inv.kernel = kernel;
+                }
+            }
+            s
+        })
+        .collect()
+}
+
+/// Price a recording on a cluster with a given `executor-cores`.
+pub fn price(records: &[StageRecord], cluster: &ClusterSpec, executor_cores: usize) -> f64 {
+    CostModel::new(cluster.clone(), executor_cores).job_seconds(records)
+}
+
+/// The paper's standard experiment dimensions (Section V-B).
+pub const PAPER_N: usize = 32 * 1024;
+pub const BLOCK_SIZES: [usize; 5] = [256, 512, 1024, 2048, 4096];
+pub const R_SHARED: [usize; 4] = [2, 4, 8, 16];
+/// Tables I–II sweep: OMP_NUM_THREADS rows, executor-cores columns.
+pub const OMP_ROWS: [usize; 5] = [2, 4, 8, 16, 32];
+pub const EC_COLS: [usize; 6] = [32, 16, 8, 4, 2, 1];
+/// The paper's 8-hour experiment timeout.
+pub const TIMEOUT_SECS: f64 = 8.0 * 3600.0;
+
+/// Named kernel variant for Fig. 6-style sweeps.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    pub name: String,
+    pub kernel: KernelChoice,
+}
+
+/// The kernel variants Fig. 6 compares per (strategy, block size):
+/// the iterative baseline plus each `r_shared`-way recursive kernel at
+/// the given thread count.
+pub fn fig6_variants(threads: usize) -> Vec<Variant> {
+    let mut v = vec![Variant {
+        name: "iter".into(),
+        kernel: KernelChoice::Iterative,
+    }];
+    for r in R_SHARED {
+        v.push(Variant {
+            name: format!("{r}-way"),
+            kernel: KernelChoice::Recursive {
+                r_shared: r,
+                base: 64,
+                threads,
+            },
+        });
+    }
+    v
+}
+
+/// Build a `DpConfig` for a paper-scale virtual run.
+pub fn paper_cfg(n: usize, block: usize, strategy: Strategy) -> DpConfig {
+    DpConfig::new(n, block)
+        .with_strategy(strategy)
+        .virtual_mode()
+}
+
+/// Pretty row printer for sweep tables (— for missing/timeout cells).
+pub fn print_row(label: &str, cells: &[f64]) {
+    print!("{label:<22}");
+    for &c in cells {
+        if c.is_finite() && c < TIMEOUT_SECS {
+            print!("{c:>9.0}");
+        } else {
+            print!("{:>9}", "—");
+        }
+    }
+    println!();
+}
+
+/// Minimum finite cell of a table with its indices.
+pub fn best(table: &[Vec<f64>]) -> (usize, usize, f64) {
+    let mut best = (0, 0, f64::INFINITY);
+    for (i, row) in table.iter().enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            if v < best.2 {
+                best = (i, j, v);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_model::{KernelInvocation, TaskRecord};
+
+    #[test]
+    fn with_kernel_rewrites_every_invocation() {
+        let records = vec![StageRecord {
+            tasks: vec![TaskRecord {
+                node: 0,
+                kernels: vec![KernelInvocation {
+                    updates: 10.0,
+                    block_side: 4,
+                    elem_bytes: 8,
+                    kernel: KernelType::Iterative,
+                }],
+                ..Default::default()
+            }],
+            ..Default::default()
+        }];
+        let out = with_kernel(
+            &records,
+            KernelType::Recursive {
+                r_shared: 4,
+                threads: 8,
+            },
+        );
+        assert_eq!(
+            out[0].tasks[0].kernels[0].kernel,
+            KernelType::Recursive {
+                r_shared: 4,
+                threads: 8
+            }
+        );
+        assert_eq!(out[0].tasks[0].kernels[0].updates, 10.0);
+    }
+
+    #[test]
+    fn best_finds_minimum() {
+        let t = vec![vec![5.0, 2.0], vec![f64::INFINITY, 3.0]];
+        assert_eq!(best(&t), (0, 1, 2.0));
+    }
+
+    #[test]
+    fn fig6_variant_names() {
+        let v = fig6_variants(8);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v[0].name, "iter");
+        assert_eq!(v[4].name, "16-way");
+    }
+}
+
+/// Write a results table as CSV (for downstream plotting): `row_label`
+/// column first, then one column per entry of `cols`.
+pub fn write_csv(
+    path: &std::path::Path,
+    corner: &str,
+    cols: &[String],
+    rows: &[(String, Vec<f64>)],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{corner},{}", cols.join(","))?;
+    for (label, cells) in rows {
+        let rendered: Vec<String> = cells
+            .iter()
+            .map(|c| {
+                if c.is_finite() && *c < TIMEOUT_SECS {
+                    format!("{c:.1}")
+                } else {
+                    String::new()
+                }
+            })
+            .collect();
+        writeln!(f, "{label},{}", rendered.join(","))?;
+    }
+    Ok(())
+}
+
+/// Directory for CSV output when the user passes `--csv`; `None` when
+/// the flag is absent.
+pub fn csv_dir_from_args() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--csv")
+        .map(|i| {
+            args.get(i + 1)
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| std::path::PathBuf::from("bench_results"))
+        })
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_writes_table_with_blank_timeouts() {
+        let dir = std::env::temp_dir().join("dp-bench-csv-test");
+        let path = dir.join("t.csv");
+        write_csv(
+            &path,
+            "k\\b",
+            &["256".into(), "512".into()],
+            &[
+                ("iter".into(), vec![1.5, f64::INFINITY]),
+                ("rec".into(), vec![2.25, 40000.0]),
+            ],
+        )
+        .unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            body,
+            "k\\b,256,512\niter,1.5,\nrec,2.2,\n"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn csv_dir_flag_absent_is_none() {
+        assert_eq!(csv_dir_from_args(), None);
+    }
+}

@@ -1,0 +1,623 @@
+//! The analytical cost model.
+//!
+//! Inputs are *records* of what a real `sparklet` execution did — which
+//! kernels each task ran (with block geometry and kernel type), and how
+//! many bytes moved where. The model converts records into simulated
+//! seconds on a [`ClusterSpec`]. Constants live in [`ModelParams`] with
+//! defaults calibrated so the paper-scale configurations land in the
+//! right few-hundred-seconds regime; the *shape* conclusions (who wins,
+//! where crossovers fall) come from the mechanisms, not the constants.
+
+use serde::{Deserialize, Serialize};
+
+use crate::spec::ClusterSpec;
+
+/// How a task executed its block kernels — the paper's two kernel types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelType {
+    /// Loop-based kernel, single-threaded per task (the Numba baseline).
+    Iterative,
+    /// r-way R-DP kernel on an OpenMP-style pool with `threads` workers
+    /// (the paper's `OMP_NUM_THREADS`).
+    Recursive {
+        /// Recursive fan-out inside the executor kernel.
+        r_shared: usize,
+        /// OpenMP-style thread-team size (`OMP_NUM_THREADS`).
+        threads: usize,
+    },
+}
+
+/// One block-kernel execution inside a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelInvocation {
+    /// Number of GEP element updates performed (≈ Σ_G ∩ block volume).
+    pub updates: f64,
+    /// Side length of the updated block.
+    pub block_side: usize,
+    /// Bytes per table element.
+    pub elem_bytes: usize,
+    /// Which kernel family executed the block.
+    pub kernel: KernelType,
+}
+
+/// One task's recorded footprint.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// Executor (node) index the task ran on.
+    /// Executor (node) index the task ran on.
+    pub node: usize,
+    /// Block kernels this task executed.
+    pub kernels: Vec<KernelInvocation>,
+    /// Shuffle bytes fetched from other nodes.
+    pub remote_read_bytes: u64,
+    /// Shuffle bytes fetched from this node's own map outputs.
+    pub local_read_bytes: u64,
+    /// Map-output bytes staged to local storage for later shuffles.
+    pub shuffle_write_bytes: u64,
+}
+
+/// One stage's recorded footprint (plus driver-side traffic for CB).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Every task of the stage (with placement).
+    pub tasks: Vec<TaskRecord>,
+    /// Bytes collected to the driver at the end of the stage (CB).
+    pub collect_bytes: u64,
+    /// Bytes each node reads back from shared storage (CB broadcast).
+    pub broadcast_bytes: u64,
+}
+
+/// A stage's simulated time decomposed into components (seconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StageCost {
+    /// End-to-end stage seconds.
+    pub total: f64,
+    /// Kernel compute on the critical node.
+    pub compute: f64,
+    /// Shuffle fetch + staging + serde on the critical node.
+    pub io: f64,
+    /// Serial driver phase (collect + broadcast writes).
+    pub driver: f64,
+    /// Fixed stage overhead.
+    pub overhead: f64,
+}
+
+/// Tunable constants. Defaults are calibrated against the paper's
+/// reported runtimes for cluster 1 (see `dp-bench` calibration notes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// GEP updates/s per core for an L2-resident iterative kernel.
+    pub base_update_rate: f64,
+    /// Working-set slack: a block "fits L2" when
+    /// `side² · elem_bytes ≤ l2_slack · l2_bytes`.
+    pub l2_slack: f64,
+    /// Rate multiplier when the working set spills to LLC.
+    pub llc_factor: f64,
+    /// Rate multiplier when the working set spills to DRAM.
+    pub dram_factor: f64,
+    /// Recursive kernels' rate relative to L2-resident iterative
+    /// (greater than 1: the paper's recursive kernels are native C +
+    /// OpenMP where the iterative baseline pays the Numba/PySpark
+    /// runtime; they are also cache-oblivious, so no L2 cliff).
+    pub recursive_factor: f64,
+    /// Efficiency loss for tiny recursion base cases: multiplier
+    /// `min(1, (base_side / ref_base)^base_exponent)`.
+    pub ref_base_side: f64,
+    /// Exponent of the base-case efficiency factor.
+    pub base_exponent: f64,
+    /// Parallel speedup of a t-thread recursive kernel: `t^parallel_exponent`.
+    pub parallel_exponent: f64,
+    /// Oversubscription soft knee: thread demand up to
+    /// `oversub_knee × cores` is near-free (the paper's best configs
+    /// oversubscribe 4-16×); beyond it the penalty ramps as
+    /// `1/(1 + (demand/cores/knee)^sharpness)`.
+    pub oversub_knee: f64,
+    /// Ramp sharpness of the oversubscription penalty.
+    pub oversub_sharpness: f64,
+    /// Fixed scheduling cost per task, seconds.
+    pub task_overhead: f64,
+    /// Fixed cost per stage (DAG bookkeeping, barrier), seconds.
+    pub stage_overhead: f64,
+    /// Serialization/deserialization rate for shuffle data, bytes/s/core.
+    pub serde_bw: f64,
+
+
+    /// Effective compression ratio of shuffle/collect traffic (Spark
+    /// enables LZ4 shuffle compression by default; DP tables of small
+    /// integer-ish distances compress well).
+    pub compression: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        ModelParams {
+            base_update_rate: 1.2e8,
+            l2_slack: 2.0,
+            llc_factor: 0.55,
+            dram_factor: 0.30,
+            recursive_factor: 2.6,
+            ref_base_side: 64.0,
+            base_exponent: 0.35,
+            parallel_exponent: 0.88,
+            oversub_knee: 20.0,
+            oversub_sharpness: 1.5,
+            task_overhead: 0.030,
+            stage_overhead: 0.20,
+            serde_bw: 8.0e8,
+            compression: 2.5,
+        }
+    }
+}
+
+/// Side length of the recursion base case actually reached by an r-way
+/// R-DP kernel on a block of side `b` (recursion stops when the side is
+/// ≤ `base` or no longer divisible by `r`).
+pub fn base_case_side(b: usize, r: usize, base: usize) -> usize {
+    let mut side = b;
+    while side > base && side >= r && side.is_multiple_of(r) {
+        side /= r;
+    }
+    side
+}
+
+/// The cost model: a cluster, the Spark-level concurrency knob
+/// (`executor-cores`), and the constants.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// The cluster being modelled.
+    pub spec: ClusterSpec,
+    /// Concurrent task slots per executor.
+    pub executor_cores: usize,
+    /// Model constants.
+    pub params: ModelParams,
+}
+
+impl CostModel {
+    /// Model for `spec` with `executor_cores` task slots per node.
+    pub fn new(spec: ClusterSpec, executor_cores: usize) -> Self {
+        assert!(executor_cores >= 1);
+        CostModel {
+            spec,
+            executor_cores,
+            params: ModelParams::default(),
+        }
+    }
+
+    /// Replace the model constants.
+    pub fn with_params(mut self, params: ModelParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Pure single-core seconds of one invocation: updates divided by
+    /// the kernel's single-thread rate (cache/base-case factors
+    /// included, no concurrency effects).
+    pub fn core_seconds(&self, inv: &KernelInvocation) -> f64 {
+        let p = &self.params;
+        let node = &self.spec.node;
+        let rate = match inv.kernel {
+            KernelType::Iterative => {
+                // Loop kernel: spatial locality is fine either way;
+                // temporal locality dies outside L2.
+                let ws = (inv.block_side * inv.block_side * inv.elem_bytes) as f64;
+                let cache_factor = if ws <= p.l2_slack * node.l2_bytes as f64 {
+                    1.0
+                } else if ws <= node.llc_bytes as f64 {
+                    p.llc_factor
+                } else {
+                    p.dram_factor
+                };
+                p.base_update_rate * cache_factor
+            }
+            KernelType::Recursive { r_shared, .. } => {
+                // Cache-oblivious: flat across block sizes; tiny base
+                // cases lose some vectorization efficiency.
+                let base_side =
+                    base_case_side(inv.block_side, r_shared.max(2), p.ref_base_side as usize);
+                let base_factor = (base_side as f64 / p.ref_base_side)
+                    .powf(p.base_exponent)
+                    .min(1.0);
+                p.base_update_rate * p.recursive_factor * base_factor
+            }
+        };
+        inv.updates / rate
+    }
+
+    /// Maximum speedup one task can reach when it has the node to
+    /// itself (the straggler bound): its thread team, nothing more.
+    fn task_max_speedup(&self, kernel: &KernelType) -> f64 {
+        match kernel {
+            KernelType::Iterative => 1.0,
+            KernelType::Recursive { threads, .. } => {
+                let t = (*threads).max(1).min(self.spec.node.cores) as f64;
+                t.powf(self.params.parallel_exponent).max(1.0)
+            }
+        }
+    }
+
+    /// Decompose a stage's simulated time into its cost components
+    /// (driver time is serial; the rest is the critical node's split).
+    pub fn stage_breakdown(&self, stage: &StageRecord) -> StageCost {
+        let total = self.stage_seconds(stage);
+        // Re-price with I/O made free to isolate compute, and with
+        // kernels removed to isolate I/O.
+        let mut no_io = self.params.clone();
+        no_io.compression = 1e18;
+        no_io.serde_bw = 1e18;
+        no_io.task_overhead = 0.0;
+        no_io.stage_overhead = 0.0;
+        let compute_model = CostModel {
+            spec: self.spec.clone(),
+            executor_cores: self.executor_cores,
+            params: no_io,
+        };
+        let mut bare = stage.clone();
+        bare.collect_bytes = 0;
+        bare.broadcast_bytes = 0;
+        let compute = compute_model.stage_seconds(&bare) - compute_model.params.stage_overhead;
+        let comp = self.params.compression.max(1.0);
+        let driver = stage.collect_bytes as f64 / comp / self.spec.network_bw
+            + stage.collect_bytes as f64 / comp / self.spec.storage.write_bw
+            + stage.broadcast_bytes as f64 / comp / self.spec.storage.write_bw;
+        let io = (total - compute - driver - self.params.stage_overhead).max(0.0);
+        StageCost {
+            total,
+            compute: compute.max(0.0),
+            io,
+            driver,
+            overhead: self.params.stage_overhead,
+        }
+    }
+
+    /// Simulated seconds of one stage.
+    ///
+    /// Per node, compute time is the larger of two bounds, modelling a
+    /// dynamic task scheduler plus adaptive thread teams:
+    ///
+    /// * **throughput bound** — total single-core work divided by the
+    ///   node's effective cores: `min(cores, slots × team-width)`,
+    ///   discounted for oversubscription. Single-threaded (iterative)
+    ///   tasks can never use more cores than there are runnable tasks —
+    ///   the paper's "too large a block size may serialize the Spark
+    ///   execution";
+    /// * **straggler bound** — the longest single task at its own best
+    ///   speedup (1 for iterative; its thread team for recursive).
+    ///
+    /// I/O (shuffle fetch, staging, serde) flows through the task slots
+    /// the same way, and the CB driver phase is serial.
+    pub fn stage_seconds(&self, stage: &StageRecord) -> f64 {
+        let p = &self.params;
+        let comp = p.compression.max(1.0);
+        let nodes = self.spec.nodes;
+        let cores = self.spec.node.cores as f64;
+        // Per node accumulators.
+        struct NodeAcc {
+            tasks: usize,
+            busy: usize,
+            work: f64,
+            longest: f64,
+            io: f64,
+            longest_io: f64,
+            width_sum: f64,
+            max_team: f64,
+        }
+        let mut acc: Vec<NodeAcc> = (0..nodes)
+            .map(|_| NodeAcc {
+                tasks: 0,
+                busy: 0,
+                work: 0.0,
+                longest: 0.0,
+                io: 0.0,
+                longest_io: 0.0,
+                width_sum: 0.0,
+                max_team: 1.0,
+            })
+            .collect();
+        for t in &stage.tasks {
+            let a = &mut acc[t.node % nodes];
+            a.tasks += 1;
+            let mut task_work = 0.0;
+            let mut task_straggler = 0.0;
+            let mut task_width = 0.0f64;
+            for inv in &t.kernels {
+                let w = self.core_seconds(inv);
+                task_work += w;
+                task_straggler += w / self.task_max_speedup(&inv.kernel);
+                let width = match inv.kernel {
+                    KernelType::Iterative => 1.0,
+                    KernelType::Recursive { threads, .. } => threads.max(1) as f64,
+                };
+                // A task runs its kernels sequentially: its thread
+                // footprint is one team, not one per kernel.
+                task_width = task_width.max(width);
+            }
+            if !t.kernels.is_empty() {
+                a.busy += 1;
+                a.width_sum += task_width;
+                a.max_team = a.max_team.max(task_width);
+            }
+            a.work += task_work;
+            a.longest = a.longest.max(task_straggler);
+            let bytes = t.remote_read_bytes + t.local_read_bytes;
+            let mut io = t.remote_read_bytes as f64 / comp / self.spec.network_bw
+                + t.local_read_bytes as f64 / comp / self.spec.storage.read_bw
+                + bytes as f64 / p.serde_bw
+                + t.shuffle_write_bytes as f64 / comp / self.spec.storage.write_bw
+                + t.shuffle_write_bytes as f64 / p.serde_bw;
+            io += p.task_overhead;
+            a.io += io;
+            a.longest_io = a.longest_io.max(io);
+        }
+        let mut makespan = 0.0f64;
+        for a in &acc {
+            if a.tasks == 0 {
+                continue;
+            }
+            let slots = (self.executor_cores.min(a.tasks)).max(1) as f64;
+            let node_compute = if a.busy > 0 {
+                // Concurrent kernel width: slots limited by runnable
+                // busy tasks, each contributing its average team width.
+                let busy_slots = (self.executor_cores.min(a.busy)).max(1) as f64;
+                let avg_width = (a.width_sum / a.busy as f64).max(1.0);
+                let demand = busy_slots * avg_width;
+                let oversub = if demand > cores {
+                    1.0 / (1.0 + (demand / cores / p.oversub_knee).powf(p.oversub_sharpness))
+                } else {
+                    1.0
+                };
+                let eff_cores = demand.min(cores) * oversub;
+                (a.work / eff_cores).max(a.longest)
+            } else {
+                0.0
+            };
+            let node_io = (a.io / slots).max(a.longest_io);
+            makespan = makespan.max(node_compute + node_io);
+        }
+        // Driver phase (CB): collect over the network to one node, write
+        // to shared storage, then write the broadcast files out. The
+        // executor-side broadcast *reads* are recorded per task (as
+        // local storage traffic) and priced in the makespan above.
+        let driver = stage.collect_bytes as f64 / comp / self.spec.network_bw
+            + stage.collect_bytes as f64 / comp / self.spec.storage.write_bw
+            + stage.broadcast_bytes as f64 / comp / self.spec.storage.write_bw;
+        makespan + driver + p.stage_overhead
+    }
+
+    /// Simulated seconds of a whole job (stages are barriers).
+    pub fn job_seconds(&self, stages: &[StageRecord]) -> f64 {
+        stages.iter().map(|s| self.stage_seconds(s)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(b: usize, kernel: KernelType) -> KernelInvocation {
+        KernelInvocation {
+            updates: (b as f64).powi(3),
+            block_side: b,
+            elem_bytes: 8,
+            kernel,
+        }
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(ClusterSpec::skylake(), 32)
+    }
+
+    fn stage_with(tasks: Vec<TaskRecord>) -> StageRecord {
+        StageRecord {
+            tasks,
+            ..Default::default()
+        }
+    }
+
+    fn kernel_task(node: usize, invs: Vec<KernelInvocation>) -> TaskRecord {
+        TaskRecord {
+            node,
+            kernels: invs,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn base_case_side_arithmetic() {
+        assert_eq!(base_case_side(1024, 4, 64), 64);
+        assert_eq!(base_case_side(1024, 2, 64), 64);
+        assert_eq!(base_case_side(2048, 16, 64), 8);
+        assert_eq!(base_case_side(1024, 16, 64), 64);
+        assert_eq!(base_case_side(96, 4, 16), 6); // 96→24→6 (24%4==0, 24>16)
+        assert_eq!(base_case_side(50, 4, 16), 50); // not divisible
+    }
+
+    #[test]
+    fn iterative_kernel_has_l2_cliff() {
+        let m = model();
+        // 512²·8 = 2 MB ≤ 2·1 MB slack → fits; 1024²·8 = 8 MB → LLC.
+        let t512 = m.core_seconds(&inv(512, KernelType::Iterative));
+        let t1024 = m.core_seconds(&inv(1024, KernelType::Iterative));
+        // 8× the work at a lower rate → much more than 8× the time.
+        assert!(t1024 > 8.0 * t512 * 1.5, "t512={t512} t1024={t1024}");
+    }
+
+    #[test]
+    fn recursive_kernel_is_cache_oblivious() {
+        let m = model();
+        let k = KernelType::Recursive { r_shared: 4, threads: 1 };
+        let t512 = m.core_seconds(&inv(512, k));
+        let t1024 = m.core_seconds(&inv(1024, k));
+        // 8× the work → between 5× and 9× the time (no L2 cliff; the
+        // small residual comes from the base-case-size factor).
+        let ratio = t1024 / t512;
+        assert!((5.0..9.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn recursive_beats_iterative_beyond_l2() {
+        let m = model();
+        let it = m.core_seconds(&inv(2048, KernelType::Iterative));
+        let rec = m.core_seconds(&inv(2048, KernelType::Recursive { r_shared: 4, threads: 1 }));
+        assert!(rec < it * 0.5, "rec={rec} it={it}");
+    }
+
+    #[test]
+    fn threads_fill_idle_cores_when_tasks_are_scarce() {
+        // 2 busy tasks on a 32-core node: single-threaded kernels leave
+        // 30 cores idle; 16-thread teams fill them.
+        let m = model();
+        let narrow = stage_with(vec![
+            kernel_task(0, vec![inv(1024, KernelType::Recursive { r_shared: 4, threads: 1 })]),
+            kernel_task(0, vec![inv(1024, KernelType::Recursive { r_shared: 4, threads: 1 })]),
+        ]);
+        let wide = stage_with(vec![
+            kernel_task(0, vec![inv(1024, KernelType::Recursive { r_shared: 4, threads: 16 })]),
+            kernel_task(0, vec![inv(1024, KernelType::Recursive { r_shared: 4, threads: 16 })]),
+        ]);
+        let t_narrow = m.stage_seconds(&narrow);
+        let t_wide = m.stage_seconds(&wide);
+        assert!(t_wide < t_narrow / 4.0, "narrow={t_narrow} wide={t_wide}");
+    }
+
+    #[test]
+    fn oversubscription_is_penalized() {
+        // 32 busy tasks already saturate the node; 32-thread teams
+        // (1024 threads on 32 cores) must not be faster than 2-thread
+        // teams (64 threads).
+        let m = model();
+        let mk = |threads| {
+            stage_with(
+                (0..64)
+                    .map(|_| {
+                        kernel_task(
+                            0,
+                            vec![inv(1024, KernelType::Recursive { r_shared: 4, threads })],
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        let t2 = m.stage_seconds(&mk(2));
+        let t32 = m.stage_seconds(&mk(32));
+        assert!(t32 > t2, "t2={t2} t32={t32}");
+    }
+
+    #[test]
+    fn single_huge_block_serializes_iterative_execution() {
+        // One giant iterative task cannot use more than one core — the
+        // paper's "too large a block size may serialize" effect.
+        let m = model();
+        let iter = stage_with(vec![kernel_task(0, vec![inv(4096, KernelType::Iterative)])]);
+        let rec = stage_with(vec![kernel_task(
+            0,
+            vec![inv(4096, KernelType::Recursive { r_shared: 4, threads: 16 })],
+        )]);
+        let t_iter = m.stage_seconds(&iter);
+        let t_rec = m.stage_seconds(&rec);
+        assert!(t_rec < t_iter / 8.0, "iter={t_iter} rec={t_rec}");
+    }
+
+    #[test]
+    fn tiny_base_cases_are_penalized() {
+        let m = model();
+        let good = m.core_seconds(&inv(1024, KernelType::Recursive { r_shared: 4, threads: 1 }));
+        // Normalize 2048³ work down to 1024³.
+        let tiny =
+            m.core_seconds(&inv(2048, KernelType::Recursive { r_shared: 16, threads: 1 })) / 8.0;
+        assert!(tiny > good, "tiny-base should be slower per update");
+    }
+
+    #[test]
+    fn stage_seconds_accounts_network_and_staging() {
+        let m = model();
+        let bare = stage_with(vec![kernel_task(0, vec![inv(256, KernelType::Iterative)])]);
+        let mut heavy_task = kernel_task(0, vec![inv(256, KernelType::Iterative)]);
+        heavy_task.remote_read_bytes = 1 << 30;
+        heavy_task.shuffle_write_bytes = 1 << 30;
+        let heavy = stage_with(vec![heavy_task]);
+        let t_bare = m.stage_seconds(&bare);
+        let t_heavy = m.stage_seconds(&heavy);
+        // 1 GiB over GbE is ~8.6 s pre-compression, ~3.4 s after the
+        // default 2.5× ratio; plus staging and serde.
+        assert!(t_heavy > t_bare + 4.0, "bare={t_bare} heavy={t_heavy}");
+    }
+
+    #[test]
+    fn stage_makespan_is_max_over_nodes() {
+        let m = model();
+        let one_node = stage_with(
+            (0..64)
+                .map(|_| kernel_task(0, vec![inv(512, KernelType::Iterative)]))
+                .collect(),
+        );
+        let spread = stage_with(
+            (0..64)
+                .map(|i| kernel_task(i % 16, vec![inv(512, KernelType::Iterative)]))
+                .collect(),
+        );
+        assert!(m.stage_seconds(&one_node) > 1.5 * m.stage_seconds(&spread));
+    }
+
+    #[test]
+    fn collect_broadcast_adds_driver_serial_time() {
+        let m = model();
+        let stage = StageRecord {
+            tasks: vec![],
+            collect_bytes: 1 << 30,
+            broadcast_bytes: 1 << 30,
+        };
+        // ≥ 1 GiB compressed over GbE + storage writes: several seconds.
+        assert!(m.stage_seconds(&stage) > 4.0);
+    }
+
+    #[test]
+    fn hdd_cluster_pays_more_for_staging() {
+        let ssd = CostModel::new(ClusterSpec::skylake(), 32);
+        let hdd = CostModel::new(ClusterSpec::haswell(), 20);
+        let mut task = TaskRecord {
+            node: 0,
+            ..Default::default()
+        };
+        task.shuffle_write_bytes = 4 << 30;
+        let stage = stage_with(vec![task]);
+        assert!(hdd.stage_seconds(&stage) > 2.0 * ssd.stage_seconds(&stage));
+    }
+
+    #[test]
+    fn breakdown_components_are_consistent() {
+        let m = model();
+        let mut t = kernel_task(0, vec![inv(1024, KernelType::Iterative)]);
+        t.remote_read_bytes = 1 << 28;
+        t.shuffle_write_bytes = 1 << 28;
+        let stage = StageRecord {
+            tasks: vec![t],
+            collect_bytes: 1 << 27,
+            broadcast_bytes: 0,
+        };
+        let cost = m.stage_breakdown(&stage);
+        assert!(cost.compute > 0.0 && cost.io > 0.0 && cost.driver > 0.0);
+        let sum = cost.compute + cost.io + cost.driver + cost.overhead;
+        assert!(
+            (sum - cost.total).abs() < 0.05 * cost.total + 1e-6,
+            "components {sum} vs total {}",
+            cost.total
+        );
+    }
+
+    #[test]
+    fn breakdown_of_pure_compute_is_compute() {
+        let m = model();
+        let stage = stage_with(vec![kernel_task(0, vec![inv(2048, KernelType::Iterative)])]);
+        let cost = m.stage_breakdown(&stage);
+        assert!(cost.compute > 10.0 * (cost.io + cost.driver));
+    }
+
+    #[test]
+    fn job_is_sum_of_stages() {
+        let m = model();
+        let s = stage_with(vec![kernel_task(0, vec![inv(256, KernelType::Iterative)])]);
+        let one = m.stage_seconds(&s);
+        let job = m.job_seconds(&[s.clone(), s]);
+        assert!((job - 2.0 * one).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,30 @@
+//! `cluster-model` — cluster hardware specs and the analytical cost
+//! model used to regenerate the paper's tables and figures.
+//!
+//! We cannot run on the paper's two 16-node clusters, so every
+//! experiment executes the *real* distributed dataflow (real DAG,
+//! stages, shuffles, partitioning) on the `sparklet` engine while
+//! recording per-task work and byte counters, and this crate maps those
+//! records onto a parameterised cluster to produce **simulated
+//! seconds**. The model encodes the mechanisms the paper's evaluation
+//! hinges on:
+//!
+//! * iterative kernels fall off a cliff once a block no longer fits L2
+//!   (Fig. 6's 512 → 1024 crossover), while recursive kernels are
+//!   cache-oblivious and stay flat;
+//! * `executor-cores × OMP_NUM_THREADS` beyond the physical core count
+//!   oversubscribes the node (Tables I–II's valley shape);
+//! * wide shuffles pay network *and* SSD-staging costs and scale with
+//!   copy multiplicity (IM), while collect-broadcast serializes through
+//!   the driver and shared storage (CB);
+//! * per-task scheduling overhead punishes very small blocks.
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod spec;
+
+pub use cost::{
+    CostModel, KernelInvocation, KernelType, ModelParams, StageCost, StageRecord, TaskRecord,
+};
+pub use spec::{ClusterSpec, NodeSpec, StorageKind, StorageSpec};

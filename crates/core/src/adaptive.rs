@@ -1,0 +1,125 @@
+//! Adaptive runtime configuration selection — the paper's other tuning
+//! mode ("either on-the-fly by using adaptive runtime configuration
+//! selection or using estimates from … analytical models").
+//!
+//! [`adaptive_solve`] probes each candidate kernel on the first
+//! iteration of the real workload (wall-clock, on a throwaway copy of
+//! the table RDD), commits to the fastest, and runs the full solve with
+//! it. The probe measures the *actual* machine and engine — no model.
+
+use std::time::Instant;
+
+use gep_kernels::Matrix;
+use sparklet::{JobError, SparkContext};
+
+use crate::config::{DpConfig, KernelChoice};
+use crate::problem::DpProblem;
+use crate::solver::solve;
+
+/// Result of an adaptive run.
+#[derive(Debug, Clone)]
+pub struct AdaptiveOutcome<E> {
+    /// The solved table.
+    pub result: Matrix<E>,
+    /// The kernel the probe committed to.
+    pub chosen: KernelChoice,
+    /// Probe wall-times (seconds) per candidate, same order as input.
+    pub probe_seconds: Vec<f64>,
+}
+
+/// Probe `candidates` on a truncated copy of the problem (the first
+/// `probe_phases` block phases at full block size), then solve the real
+/// problem with the fastest. Returns the solution plus the decision.
+pub fn adaptive_solve<S: DpProblem>(
+    sc: &SparkContext,
+    cfg: &DpConfig,
+    input: &Matrix<S::Elem>,
+    candidates: &[KernelChoice],
+    probe_phases: usize,
+) -> Result<AdaptiveOutcome<S::Elem>, JobError> {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    let probe_phases = probe_phases.max(1);
+    // Probe problem: the first `probe_phases` block rows/columns — a
+    // (probe_phases × block)-sized leading principal sub-table, which
+    // exercises the same per-phase structure at reduced iteration count.
+    let probe_n = (probe_phases * cfg.block).min(cfg.n);
+    let probe_input = input.copy_block(0, 0, probe_n, probe_n);
+    let mut probe_seconds = Vec::with_capacity(candidates.len());
+    let mut best = (0usize, f64::INFINITY);
+    for (i, candidate) in candidates.iter().enumerate() {
+        let probe_cfg = DpConfig::new(probe_n, cfg.block.min(probe_n))
+            .with_strategy(cfg.strategy)
+            .with_kernel(*candidate);
+        let t0 = Instant::now();
+        let _ = solve::<S>(sc, &probe_cfg, &probe_input)?;
+        let secs = t0.elapsed().as_secs_f64();
+        probe_seconds.push(secs);
+        if secs < best.1 {
+            best = (i, secs);
+        }
+    }
+    let chosen = candidates[best.0];
+    let final_cfg = cfg.clone().with_kernel(chosen);
+    let result = solve::<S>(sc, &final_cfg, input)?;
+    Ok(AdaptiveOutcome {
+        result,
+        chosen,
+        probe_seconds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Strategy;
+    use gep_kernels::gep::gep_reference;
+    use gep_kernels::Tropical;
+    use sparklet::SparkConf;
+
+    #[test]
+    fn adaptive_solve_is_correct_whatever_it_picks() {
+        let n = 24;
+        let input = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0.0
+            } else if (i * 7 + j) % 3 == 0 {
+                ((i + j) % 9 + 1) as f64
+            } else {
+                f64::INFINITY
+            }
+        });
+        let mut reference = input.clone();
+        gep_reference::<Tropical>(&mut reference);
+        let sc = SparkContext::new(
+            SparkConf::default().with_executors(2).with_partitions(6),
+        );
+        let candidates = [
+            KernelChoice::Iterative,
+            KernelChoice::Recursive {
+                r_shared: 2,
+                base: 2,
+                threads: 2,
+            },
+        ];
+        let out = adaptive_solve::<Tropical>(
+            &sc,
+            &DpConfig::new(n, 6).with_strategy(Strategy::InMemory),
+            &input,
+            &candidates,
+            2,
+        )
+        .expect("adaptive solve");
+        assert_eq!(out.result.first_difference(&reference), None);
+        assert!(candidates.contains(&out.chosen));
+        assert_eq!(out.probe_seconds.len(), 2);
+        assert!(out.probe_seconds.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn rejects_empty_candidate_list() {
+        let sc = SparkContext::new(SparkConf::default());
+        let input = Matrix::square(4, 0.0f64);
+        let _ = adaptive_solve::<Tropical>(&sc, &DpConfig::new(4, 2), &input, &[], 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Distribution blocks — the values of the DP-table RDD.
+//!
+//! A [`Block`] is either a real owned matrix tile or a *virtual* tile
+//! that carries only its geometry. Virtual blocks flow through the
+//! exact same dataflow (same keys, same shuffles, same stages) but skip
+//! the numeric kernel and *declare* their full-scale size to the byte
+//! accounting ([`sparklet::Storable::approx_bytes`]), which is how
+//! paper-scale (32K×32K) configurations are timed without terabytes of
+//! traffic.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gep_kernels::Matrix;
+use sparklet::{JobError, Storable};
+
+/// Element codec: fixed-width wire encoding for table elements.
+pub trait ElemCodec: gep_kernels::matrix::Elem {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+    /// Append the fixed-width encoding.
+    fn put(&self, buf: &mut BytesMut);
+    /// Decode one element, advancing the buffer.
+    fn take(buf: &mut Bytes) -> Result<Self, JobError>;
+}
+
+impl ElemCodec for f64 {
+    const BYTES: usize = 8;
+    fn put(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(*self);
+    }
+    fn take(buf: &mut Bytes) -> Result<Self, JobError> {
+        if buf.remaining() < 8 {
+            return Err(JobError::Codec("f64 underrun".into()));
+        }
+        Ok(buf.get_f64_le())
+    }
+}
+
+impl ElemCodec for bool {
+    const BYTES: usize = 1;
+    fn put(&self, buf: &mut BytesMut) {
+        buf.put_u8(u8::from(*self));
+    }
+    fn take(buf: &mut Bytes) -> Result<Self, JobError> {
+        if buf.remaining() < 1 {
+            return Err(JobError::Codec("bool underrun".into()));
+        }
+        Ok(buf.get_u8() != 0)
+    }
+}
+
+/// One `b×b` tile of the distributed DP table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Block<E> {
+    /// Owned data.
+    Real(Matrix<E>),
+    /// Geometry only; kernels become cost-accounting no-ops.
+    Virtual {
+        /// Declared row count.
+        rows: usize,
+        /// Declared column count.
+        cols: usize,
+    },
+}
+
+impl<E: ElemCodec> Block<E> {
+    /// Row count (real or declared).
+    pub fn rows(&self) -> usize {
+        match self {
+            Block::Real(m) => m.rows(),
+            Block::Virtual { rows, .. } => *rows,
+        }
+    }
+
+    /// Column count (real or declared).
+    pub fn cols(&self) -> usize {
+        match self {
+            Block::Real(m) => m.cols(),
+            Block::Virtual { cols, .. } => *cols,
+        }
+    }
+
+    /// Is this a geometry-only virtual block?
+    pub fn is_virtual(&self) -> bool {
+        matches!(self, Block::Virtual { .. })
+    }
+
+    /// Logical payload size — what this block weighs on the wire at
+    /// full scale.
+    pub fn logical_bytes(&self) -> usize {
+        17 + self.rows() * self.cols() * E::BYTES
+    }
+
+    /// The real matrix, or a panic for virtual blocks (callers branch
+    /// on [`Block::is_virtual`] first).
+    pub fn expect_real(&self) -> &Matrix<E> {
+        match self {
+            Block::Real(m) => m,
+            Block::Virtual { .. } => panic!("virtual block has no data"),
+        }
+    }
+
+    /// Mutable access to the real matrix (panics for virtual blocks).
+    pub fn expect_real_mut(&mut self) -> &mut Matrix<E> {
+        match self {
+            Block::Real(m) => m,
+            Block::Virtual { .. } => panic!("virtual block has no data"),
+        }
+    }
+}
+
+impl ElemCodec for gep_kernels::semiring::MinPlus {
+    const BYTES: usize = 8;
+    fn put(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(self.0);
+    }
+    fn take(buf: &mut Bytes) -> Result<Self, JobError> {
+        if buf.remaining() < 8 {
+            return Err(JobError::Codec("MinPlus underrun".into()));
+        }
+        Ok(gep_kernels::semiring::MinPlus(buf.get_f64_le()))
+    }
+}
+
+impl ElemCodec for gep_kernels::semiring::MaxMin {
+    const BYTES: usize = 8;
+    fn put(&self, buf: &mut BytesMut) {
+        buf.put_f64_le(self.0);
+    }
+    fn take(buf: &mut Bytes) -> Result<Self, JobError> {
+        if buf.remaining() < 8 {
+            return Err(JobError::Codec("MaxMin underrun".into()));
+        }
+        Ok(gep_kernels::semiring::MaxMin(buf.get_f64_le()))
+    }
+}
+
+const TAG_REAL: u8 = 0;
+const TAG_VIRTUAL: u8 = 1;
+
+impl<E: ElemCodec> Storable for Block<E> {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Block::Real(m) => {
+                buf.put_u8(TAG_REAL);
+                buf.put_u64_le(m.rows() as u64);
+                buf.put_u64_le(m.cols() as u64);
+                for e in m.as_slice() {
+                    e.put(buf);
+                }
+            }
+            Block::Virtual { rows, cols } => {
+                buf.put_u8(TAG_VIRTUAL);
+                buf.put_u64_le(*rows as u64);
+                buf.put_u64_le(*cols as u64);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, JobError> {
+        if buf.remaining() < 17 {
+            return Err(JobError::Codec("block header underrun".into()));
+        }
+        let tag = buf.get_u8();
+        let rows = buf.get_u64_le() as usize;
+        let cols = buf.get_u64_le() as usize;
+        match tag {
+            TAG_REAL => {
+                let mut data = Vec::with_capacity(rows * cols);
+                for _ in 0..rows * cols {
+                    data.push(E::take(buf)?);
+                }
+                Ok(Block::Real(Matrix::from_vec(rows, cols, data)))
+            }
+            TAG_VIRTUAL => Ok(Block::Virtual { rows, cols }),
+            t => Err(JobError::Codec(format!("bad block tag {t}"))),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        // Declared size: full scale for both variants, so virtual runs
+        // account honest byte volumes.
+        self.logical_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklet::codec::{decode_one, encode_one};
+
+    #[test]
+    fn real_block_roundtrips() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64 / 2.0);
+        let b = Block::Real(m.clone());
+        let dec: Block<f64> = decode_one(encode_one(&b)).unwrap();
+        assert_eq!(dec, b);
+        assert_eq!(b.rows(), 3);
+        assert_eq!(b.cols(), 4);
+    }
+
+    #[test]
+    fn bool_block_roundtrips() {
+        let m = Matrix::from_fn(4, 4, |i, j| (i + j) % 3 == 0);
+        let b = Block::Real(m);
+        let dec: Block<bool> = decode_one(encode_one(&b)).unwrap();
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn virtual_block_is_small_on_wire_but_heavy_in_accounting() {
+        let b: Block<f64> = Block::Virtual {
+            rows: 1024,
+            cols: 1024,
+        };
+        let wire = encode_one(&b);
+        assert_eq!(wire.len(), 17);
+        assert_eq!(b.approx_bytes(), 17 + 1024 * 1024 * 8);
+        let dec: Block<f64> = decode_one(wire).unwrap();
+        assert_eq!(dec, b);
+    }
+
+    #[test]
+    fn real_block_accounting_matches_wire() {
+        let b = Block::Real(Matrix::square(16, 1.0f64));
+        assert_eq!(b.approx_bytes(), encode_one(&b).len());
+    }
+
+    #[test]
+    fn infinity_survives_the_wire() {
+        let m = Matrix::from_fn(2, 2, |i, j| if i == j { 0.0 } else { f64::INFINITY });
+        let b = Block::Real(m);
+        let dec: Block<f64> = decode_one(encode_one(&b)).unwrap();
+        assert_eq!(dec.expect_real().get(0, 1), f64::INFINITY);
+    }
+}

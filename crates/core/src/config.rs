@@ -1,0 +1,204 @@
+//! The tunable parameter surface of a distributed GEP execution —
+//! exactly the knobs Section V of the paper sweeps.
+
+use serde::{Deserialize, Serialize};
+
+/// Which kernel runs inside executor tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelChoice {
+    /// Loop-based block kernel (the Numba-baseline analogue).
+    Iterative,
+    /// Parallel `r_shared`-way recursive divide-&-conquer on an
+    /// OpenMP-style pool of `threads` workers (`OMP_NUM_THREADS`).
+    Recursive {
+        /// Recursive fan-out inside the executor kernel.
+        r_shared: usize,
+        /// Base-case tile side.
+        base: usize,
+        /// OpenMP-style thread-team size (`OMP_NUM_THREADS`).
+        threads: usize,
+    },
+}
+
+impl KernelChoice {
+    /// The cost-model descriptor of this kernel choice.
+    pub fn kernel_type(&self) -> cluster_model::KernelType {
+        match *self {
+            KernelChoice::Iterative => cluster_model::KernelType::Iterative,
+            KernelChoice::Recursive {
+                r_shared, threads, ..
+            } => cluster_model::KernelType::Recursive {
+                r_shared,
+                threads,
+            },
+        }
+    }
+}
+
+/// Distribution strategy (Section IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Strategy {
+    /// Listing 1: wide shuffles (`combineByKey`) move block copies.
+    InMemory,
+    /// Listing 2: collect to the driver, redistribute via shared
+    /// storage broadcast.
+    CollectBroadcast,
+}
+
+/// One experiment configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DpConfig {
+    /// Problem size: the DP table is `n×n` (padded up to a multiple of
+    /// `block` if needed).
+    pub n: usize,
+    /// Block side `b`; the Spark-level decomposition parameter is then
+    /// `r = ⌈n/b⌉` (the paper's top-level `r`).
+    pub block: usize,
+    /// Kernel type run inside executor tasks.
+    pub kernel: KernelChoice,
+    /// Distribution strategy (IM or CB).
+    pub strategy: Strategy,
+    /// RDD partition count (`None` → the context default, which the
+    /// paper sets to 2× total cores).
+    pub partitions: Option<usize>,
+    /// Use the locality-aware grid partitioner instead of Spark's
+    /// default hash partitioner (the paper's future-work extension).
+    pub grid_partitioner: bool,
+    /// Run with virtual blocks (cost accounting only, no numeric data).
+    pub virtual_data: bool,
+}
+
+impl DpConfig {
+    /// Config for an `n×n` table in `block×block` blocks (iterative
+    /// IM defaults; use the builders to change).
+    pub fn new(n: usize, block: usize) -> Self {
+        assert!(n >= 1 && block >= 1);
+        DpConfig {
+            n,
+            block,
+            kernel: KernelChoice::Iterative,
+            strategy: Strategy::InMemory,
+            partitions: None,
+            grid_partitioner: false,
+            virtual_data: false,
+        }
+    }
+
+    /// Grid side `g = ⌈n/block⌉` (after virtual padding).
+    pub fn grid(&self) -> usize {
+        self.n.div_ceil(self.block)
+    }
+
+    /// Padded table side.
+    pub fn padded_n(&self) -> usize {
+        self.grid() * self.block
+    }
+
+    /// Set the executor kernel.
+    pub fn with_kernel(mut self, k: KernelChoice) -> Self {
+        if let KernelChoice::Recursive { r_shared, base, threads } = k {
+            assert!(r_shared >= 2, "r_shared must be ≥ 2");
+            assert!(base >= 1 && threads >= 1);
+        }
+        self.kernel = k;
+        self
+    }
+
+    /// Set the distribution strategy.
+    pub fn with_strategy(mut self, s: Strategy) -> Self {
+        self.strategy = s;
+        self
+    }
+
+    /// Set the RDD partition count.
+    pub fn with_partitions(mut self, p: usize) -> Self {
+        assert!(p >= 1);
+        self.partitions = Some(p);
+        self
+    }
+
+    /// Toggle the locality-aware grid partitioner.
+    pub fn with_grid_partitioner(mut self, on: bool) -> Self {
+        self.grid_partitioner = on;
+        self
+    }
+
+    /// Switch to virtual (cost-accounting) blocks.
+    pub fn virtual_mode(mut self) -> Self {
+        self.virtual_data = true;
+        self
+    }
+
+    /// Short human-readable label, e.g. `IM/rec4x8/b1024`.
+    pub fn label(&self) -> String {
+        let strat = match self.strategy {
+            Strategy::InMemory => "IM",
+            Strategy::CollectBroadcast => "CB",
+        };
+        let kernel = match self.kernel {
+            KernelChoice::Iterative => "iter".to_string(),
+            KernelChoice::Recursive {
+                r_shared, threads, ..
+            } => format!("rec{r_shared}x{threads}t"),
+        };
+        format!("{strat}/{kernel}/b{}", self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_and_padding() {
+        let c = DpConfig::new(32, 8);
+        assert_eq!(c.grid(), 4);
+        assert_eq!(c.padded_n(), 32);
+        let c = DpConfig::new(33, 8);
+        assert_eq!(c.grid(), 5);
+        assert_eq!(c.padded_n(), 40);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let c = DpConfig::new(1024, 256)
+            .with_strategy(Strategy::CollectBroadcast)
+            .with_kernel(KernelChoice::Recursive {
+                r_shared: 4,
+                base: 64,
+                threads: 8,
+            });
+        assert_eq!(c.label(), "CB/rec4x8t/b256");
+        assert_eq!(DpConfig::new(8, 4).label(), "IM/iter/b4");
+    }
+
+    #[test]
+    #[should_panic(expected = "r_shared must be")]
+    fn rejects_degenerate_recursion() {
+        let _ = DpConfig::new(8, 4).with_kernel(KernelChoice::Recursive {
+            r_shared: 1,
+            base: 4,
+            threads: 1,
+        });
+    }
+
+    #[test]
+    fn kernel_type_mapping() {
+        assert_eq!(
+            KernelChoice::Iterative.kernel_type(),
+            cluster_model::KernelType::Iterative
+        );
+        assert_eq!(
+            KernelChoice::Recursive {
+                r_shared: 4,
+                base: 32,
+                threads: 8
+            }
+            .kernel_type(),
+            cluster_model::KernelType::Recursive {
+                r_shared: 4,
+                threads: 8
+            }
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! The `FilterA/B/C/D` block predicates of Listings 1–2, derived from
+//! the problem's Σ_G so the same code serves FW-APSP (all blocks) and
+//! GE (trailing submatrix only).
+
+use gep_kernels::gep::{block_active, Kind};
+
+use crate::problem::DpProblem;
+
+/// Is `(i, j)` the diagonal block of phase `k`?
+pub fn filter_a(key: (usize, usize), k: usize) -> bool {
+    key == (k, k)
+}
+
+/// Is `(i, j)` an *active* row-panel block of phase `k` (kernel B)?
+pub fn filter_b<S: DpProblem>(key: (usize, usize), k: usize, b: usize) -> bool {
+    let (i, j) = key;
+    i == k && j != k && block_active::<S>(i, j, k, b)
+}
+
+/// Is `(i, j)` an *active* column-panel block of phase `k` (kernel C)?
+pub fn filter_c<S: DpProblem>(key: (usize, usize), k: usize, b: usize) -> bool {
+    let (i, j) = key;
+    j == k && i != k && block_active::<S>(i, j, k, b)
+}
+
+/// Is `(i, j)` an *active* trailing block of phase `k` (kernel D)?
+pub fn filter_d<S: DpProblem>(key: (usize, usize), k: usize, b: usize) -> bool {
+    let (i, j) = key;
+    i != k && j != k && block_active::<S>(i, j, k, b)
+}
+
+/// Any of A/B/C/D — i.e. the block is touched during phase `k`.
+pub fn touched<S: DpProblem>(key: (usize, usize), k: usize, b: usize) -> bool {
+    filter_a(key, k)
+        || filter_b::<S>(key, k, b)
+        || filter_c::<S>(key, k, b)
+        || filter_d::<S>(key, k, b)
+}
+
+/// Which kernel processes block `key` during phase `k`, if any.
+pub fn kind_of<S: DpProblem>(key: (usize, usize), k: usize, b: usize) -> Option<Kind> {
+    if filter_a(key, k) {
+        Some(Kind::A)
+    } else if filter_b::<S>(key, k, b) {
+        Some(Kind::B)
+    } else if filter_c::<S>(key, k, b) {
+        Some(Kind::C)
+    } else if filter_d::<S>(key, k, b) {
+        Some(Kind::D)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gep_kernels::{GaussianElim, Tropical};
+
+    #[test]
+    fn fw_touches_every_block_every_phase() {
+        let g = 4;
+        for k in 0..g {
+            for i in 0..g {
+                for j in 0..g {
+                    assert!(touched::<Tropical>((i, j), k, 8));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ge_filters_match_listing_bounds() {
+        // Listing 1: FilterD[(l,m), k] = l>k && m>k.
+        let b = 8;
+        for k in 0..4 {
+            for i in 0..4 {
+                for j in 0..4 {
+                    let expect_d = i > k && j > k;
+                    assert_eq!(
+                        filter_d::<GaussianElim>((i, j), k, b),
+                        expect_d,
+                        "D ({i},{j}) k={k}"
+                    );
+                    let expect_b = i == k && j > k;
+                    assert_eq!(filter_b::<GaussianElim>((i, j), k, b), expect_b);
+                    let expect_c = j == k && i > k;
+                    assert_eq!(filter_c::<GaussianElim>((i, j), k, b), expect_c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn filters_partition_touched_blocks() {
+        // Exactly one kind per touched block; none overlap.
+        let b = 4;
+        for k in 0..3 {
+            for i in 0..3 {
+                for j in 0..3 {
+                    let kinds = [
+                        filter_a((i, j), k),
+                        filter_b::<Tropical>((i, j), k, b),
+                        filter_c::<Tropical>((i, j), k, b),
+                        filter_d::<Tropical>((i, j), k, b),
+                    ];
+                    let hits = kinds.iter().filter(|&&x| x).count();
+                    assert_eq!(hits, 1, "({i},{j}) k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_of_agrees_with_filters() {
+        use gep_kernels::gep::Kind;
+        assert_eq!(kind_of::<GaussianElim>((2, 2), 2, 4), Some(Kind::A));
+        assert_eq!(kind_of::<GaussianElim>((2, 3), 2, 4), Some(Kind::B));
+        assert_eq!(kind_of::<GaussianElim>((3, 2), 2, 4), Some(Kind::C));
+        assert_eq!(kind_of::<GaussianElim>((3, 3), 2, 4), Some(Kind::D));
+        assert_eq!(kind_of::<GaussianElim>((1, 3), 2, 4), None);
+    }
+}

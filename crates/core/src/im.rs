@@ -1,0 +1,197 @@
+//! The In-Memory (IM) implementation — Listing 1 of the paper.
+//!
+//! One iteration `k` of the blocked GEP runs as three Spark-style
+//! stages, with updated blocks *copied* to their consumers through wide
+//! `combineByKey`-shaped shuffles:
+//!
+//! 1. **A stage** — the diagonal block updates itself and flat-maps
+//!    `2(r-k-1) + (r-k-1)²` tagged copies of itself toward the B, C,
+//!    and D consumers (the copy multiplicity the paper identifies as
+//!    IM's bottleneck for heavy dependency patterns like GE);
+//! 2. **BC stage** — a `group_by_key` joins each panel block with its
+//!    diagonal copy; kernels B/C run and flat-map their own copies
+//!    toward the D consumers;
+//! 3. **D stage** — a second `group_by_key` joins each trailing block
+//!    with its U/V/W operands; kernel D runs.
+//!
+//! The iteration ends with the untouched blocks unioned back in and a
+//! `partition_by` (the repartitioning step of Listing 1, line 22).
+
+use std::sync::Arc;
+
+use gep_kernels::gep::Kind;
+use sparklet::{JobError, Partitioner, Rdd};
+
+use crate::block::Block;
+use crate::config::KernelChoice;
+use crate::filters;
+use crate::kernels::apply_kernel;
+use crate::problem::DpProblem;
+
+/// Value tags distinguishing a block's own payload from operand copies.
+pub const ROLE_MAIN: u8 = 0;
+/// Copy of the phase's diagonal block (`w`, and `u`/`v` for B/C).
+pub const ROLE_DIAG: u8 = 1;
+/// Copy of a column-panel block (`u` operand of D).
+pub const ROLE_U: u8 = 2;
+/// Copy of a row-panel block (`v` operand of D).
+pub const ROLE_V: u8 = 3;
+
+type K = (usize, usize);
+/// Tagged block stream flowing between the IM stages.
+type Tagged<E> = Vec<(K, (u8, Block<E>))>;
+
+fn pick<E>(group: &[(u8, Block<E>)], role: u8) -> Option<usize> {
+    group.iter().position(|(r, _)| *r == role)
+}
+
+/// One IM iteration: consumes the DP table RDD for phase `k`, returns
+/// the updated (not yet checkpointed) table RDD.
+pub fn step<S: DpProblem>(
+    dp: &Rdd<K, Block<S::Elem>>,
+    k: usize,
+    g: usize,
+    b: usize,
+    kernel: KernelChoice,
+    partitions: usize,
+    partitioner: Arc<dyn Partitioner<K>>,
+) -> Result<Rdd<K, Block<S::Elem>>, JobError> {
+    // ---- Stage 1: A kernel + copies to every consumer --------------
+    let kc = kernel;
+    let a_all = dp
+        .filter(move |key, _| filters::filter_a(*key, k))
+        .map_partitions_to(move |_p, items, tc| {
+            let mut out: Tagged<S::Elem> = Vec::new();
+            for (key, mut blk) in items {
+                apply_kernel::<S>(Kind::A, key, k, &mut blk, None, None, None, &kc, tc);
+                for j in 0..g {
+                    if filters::filter_b::<S>((k, j), k, b) {
+                        out.push(((k, j), (ROLE_DIAG, blk.clone())));
+                    }
+                }
+                for i in 0..g {
+                    if filters::filter_c::<S>((i, k), k, b) {
+                        out.push(((i, k), (ROLE_DIAG, blk.clone())));
+                    }
+                }
+                // D kernels only need the diagonal when `f` reads `w`
+                // (GE); FW-APSP and TC skip these (r-k-1)² copies.
+                if S::USES_W {
+                    for i in 0..g {
+                        for j in 0..g {
+                            if filters::filter_d::<S>((i, j), k, b) {
+                                out.push(((i, j), (ROLE_DIAG, blk.clone())));
+                            }
+                        }
+                    }
+                }
+                out.push((key, (ROLE_MAIN, blk)));
+            }
+            out
+        });
+
+    // ---- Stage 2: combine panels with the diagonal; run B and C ----
+    let bc_mains = dp
+        .filter(move |key, _| {
+            filters::filter_b::<S>(*key, k, b) || filters::filter_c::<S>(*key, k, b)
+        })
+        .map_values(|blk| (ROLE_MAIN, blk));
+    let abc_grouped = bc_mains
+        .union(&a_all)
+        .group_by_key(partitions, Arc::clone(&partitioner));
+    let bc_out = abc_grouped.map_partitions_to(move |_p, groups, tc| {
+        let mut out: Tagged<S::Elem> = Vec::new();
+        for (key, mut group) in groups {
+            if filters::filter_a(key, k) {
+                // The diagonal block passes through to the final union.
+                let main = pick(&group, ROLE_MAIN).expect("A main present");
+                out.push((key, group.swap_remove(main)));
+            } else if filters::filter_b::<S>(key, k, b) {
+                let d = pick(&group, ROLE_DIAG).expect("B needs the diagonal copy");
+                let diag = group.swap_remove(d).1;
+                let m = pick(&group, ROLE_MAIN).expect("B main present");
+                let mut blk = group.swap_remove(m).1;
+                apply_kernel::<S>(Kind::B, key, k, &mut blk, None, None, Some(&diag), &kc, tc);
+                // Copies toward the D consumers in this block column.
+                let j = key.1;
+                for i in 0..g {
+                    if filters::filter_d::<S>((i, j), k, b) {
+                        out.push(((i, j), (ROLE_V, blk.clone())));
+                    }
+                }
+                out.push((key, (ROLE_MAIN, blk)));
+            } else if filters::filter_c::<S>(key, k, b) {
+                let d = pick(&group, ROLE_DIAG).expect("C needs the diagonal copy");
+                let diag = group.swap_remove(d).1;
+                let m = pick(&group, ROLE_MAIN).expect("C main present");
+                let mut blk = group.swap_remove(m).1;
+                apply_kernel::<S>(Kind::C, key, k, &mut blk, None, None, Some(&diag), &kc, tc);
+                let i = key.0;
+                for j in 0..g {
+                    if filters::filter_d::<S>((i, j), k, b) {
+                        out.push(((i, j), (ROLE_U, blk.clone())));
+                    }
+                }
+                out.push((key, (ROLE_MAIN, blk)));
+            } else {
+                // Diagonal copies addressed to D blocks pass through to
+                // the next stage (they were grouped here because the A
+                // stage emits everything at once, as in Listing 1).
+                for item in group {
+                    out.push((key, item));
+                }
+            }
+        }
+        out
+    });
+
+    // ---- Stage 3: combine trailing blocks with operands; run D -----
+    let d_mains = dp
+        .filter(move |key, _| filters::filter_d::<S>(*key, k, b))
+        .map_values(|blk| (ROLE_MAIN, blk));
+    let d_grouped = d_mains
+        .union(&bc_out)
+        .group_by_key(partitions, Arc::clone(&partitioner));
+    let updated = d_grouped.map_partitions_to(move |_p, groups, tc| {
+        let mut out: Vec<(K, Block<S::Elem>)> = Vec::new();
+        for (key, mut group) in groups {
+            if filters::filter_d::<S>(key, k, b) {
+                let m = pick(&group, ROLE_MAIN).expect("D main present");
+                let mut blk = group.swap_remove(m).1;
+                let u = pick(&group, ROLE_U).expect("D needs a U copy");
+                let u_blk = group.swap_remove(u).1;
+                let v = pick(&group, ROLE_V).expect("D needs a V copy");
+                let v_blk = group.swap_remove(v).1;
+                let w_blk = if S::USES_W {
+                    let w = pick(&group, ROLE_DIAG).expect("D needs the diagonal");
+                    Some(group.swap_remove(w).1)
+                } else {
+                    None
+                };
+                apply_kernel::<S>(
+                    Kind::D,
+                    key,
+                    k,
+                    &mut blk,
+                    Some(&u_blk),
+                    Some(&v_blk),
+                    w_blk.as_ref(),
+                    &kc,
+                    tc,
+                );
+                out.push((key, blk));
+            } else {
+                // A/B/C mains pass through unchanged.
+                let m = pick(&group, ROLE_MAIN).expect("main present");
+                out.push((key, group.swap_remove(m).1));
+            }
+        }
+        out
+    });
+
+    // ---- Wrap up: union untouched blocks, repartition ---------------
+    let untouched = dp.filter(move |key, _| !filters::touched::<S>(*key, k, b));
+    Ok(untouched
+        .union(&updated)
+        .partition_by(partitions, partitioner))
+}

@@ -1,0 +1,271 @@
+//! Executor-side kernel execution (the paper's `ARecGE`/`BRecGE`/
+//! `CRecGE`/`DRecGE` and their iterative counterparts).
+//!
+//! Every application records a [`cluster_model::KernelInvocation`] on
+//! the task so the cost model can price the compute; real blocks then
+//! run the actual kernel (iterative loop or parallel r-way R-DP on the
+//! OpenMP-substitute pool), virtual blocks stop at the accounting.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use cluster_model::KernelInvocation;
+use gep_kernels::gep::Kind;
+use gep_kernels::iterative::block_kernel;
+use gep_kernels::recursive::{rec_kernel, RecConfig};
+use par_pool::Pool;
+use parking_lot::Mutex;
+use sparklet::TaskContext;
+
+use crate::block::Block;
+use crate::config::KernelChoice;
+use crate::problem::DpProblem;
+
+/// Shared "OpenMP runtime": one pool per requested thread count,
+/// created lazily and reused across tasks (a task's kernel joins the
+/// team sized like its `OMP_NUM_THREADS`).
+pub fn omp_pool(threads: usize) -> Arc<Pool> {
+    static POOLS: Mutex<Option<HashMap<usize, Arc<Pool>>>> = Mutex::new(None);
+    let mut guard = POOLS.lock();
+    let pools = guard.get_or_insert_with(HashMap::new);
+    Arc::clone(pools.entry(threads.max(1)).or_insert_with(|| {
+        Arc::new(
+            Pool::builder()
+                .threads(threads.max(1))
+                .name_prefix(format!("omp-{threads}"))
+                .build(),
+        )
+    }))
+}
+
+/// Run (or account) one block kernel.
+///
+/// * `kind` — which GEP kernel;
+/// * `key` — the block's grid coordinate `(bi, bj)`;
+/// * `kb` — the phase (diagonal block index);
+/// * `x` — the block to update;
+/// * `u`/`v` — column-/row-panel operand blocks (kind D only);
+/// * `w` — the diagonal block (kinds B, C, D).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_kernel<S: DpProblem>(
+    kind: Kind,
+    key: (usize, usize),
+    kb: usize,
+    x: &mut Block<S::Elem>,
+    u: Option<&Block<S::Elem>>,
+    v: Option<&Block<S::Elem>>,
+    w: Option<&Block<S::Elem>>,
+    kernel: &KernelChoice,
+    tc: &TaskContext,
+) {
+    let b = x.rows();
+    assert_eq!(x.cols(), b, "blocks are square");
+    tc.record_kernel(KernelInvocation {
+        updates: S::updates_for(kind, b),
+        block_side: b,
+        elem_bytes: std::mem::size_of::<S::Elem>(),
+        kernel: kernel.kernel_type(),
+    });
+    if x.is_virtual() {
+        debug_assert!(u.is_none_or(Block::is_virtual));
+        debug_assert!(w.is_none_or(Block::is_virtual));
+        return;
+    }
+    let (bi, bj) = key;
+    let xm = x.expect_real_mut();
+    let mut xv = xm.view_mut_at(bi * b, bj * b);
+    let uv = u.map(|blk| blk.expect_real().view_at(bi * b, kb * b));
+    let vv = v.map(|blk| blk.expect_real().view_at(kb * b, bj * b));
+    let wv = w.map(|blk| blk.expect_real().view_at(kb * b, kb * b));
+    match kind {
+        Kind::A => {
+            debug_assert!(u.is_none() && v.is_none() && w.is_none());
+        }
+        Kind::B | Kind::C => {
+            debug_assert!(w.is_some() && u.is_none() && v.is_none());
+        }
+        Kind::D => {
+            debug_assert!(u.is_some() && v.is_some());
+            debug_assert!(w.is_some() || !S::USES_W);
+        }
+    }
+    match *kernel {
+        KernelChoice::Iterative => {
+            // Iterative kernels take the aliasing-resolved operand set.
+            let (ku, kv, kw) = match kind {
+                Kind::A => (None, None, None),
+                Kind::B => (wv, None, wv),
+                Kind::C => (None, wv, wv),
+                Kind::D => (uv, vv, wv),
+            };
+            block_kernel::<S>(kind, &mut xv, ku, kv, kw);
+        }
+        KernelChoice::Recursive {
+            r_shared,
+            base,
+            threads,
+        } => {
+            let pool = omp_pool(threads);
+            let cfg = RecConfig::new(r_shared, base);
+            rec_kernel::<S>(&pool, &cfg, kind, xv, uv, vv, wv);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gep_kernels::gep::gep_reference;
+    use gep_kernels::{GaussianElim, Matrix, Tropical};
+
+    fn blocks_of(m: &Matrix<f64>, g: usize) -> Vec<((usize, usize), Block<f64>)> {
+        let b = m.rows() / g;
+        let mut out = Vec::new();
+        for i in 0..g {
+            for j in 0..g {
+                out.push(((i, j), Block::Real(m.copy_block(i * b, j * b, b, b))));
+            }
+        }
+        out
+    }
+
+    fn assemble(blocks: &[((usize, usize), Block<f64>)], g: usize, b: usize) -> Matrix<f64> {
+        let mut m = Matrix::square(g * b, 0.0);
+        for ((i, j), blk) in blocks {
+            m.paste_block(i * b, j * b, blk.expect_real());
+        }
+        m
+    }
+
+    /// Drive a full blocked GEP manually through apply_kernel — this is
+    /// the sequential skeleton both strategies distribute.
+    #[allow(clippy::needless_range_loop)]
+    fn run_blocked<S: DpProblem<Elem = f64>>(
+        m: &Matrix<f64>,
+        g: usize,
+        kernel: &KernelChoice,
+    ) -> Matrix<f64> {
+        use crate::filters;
+        let b = m.rows() / g;
+        let tc = TaskContext::new(0);
+        let mut blocks = blocks_of(m, g);
+        for k in 0..g {
+            let diag_idx = blocks.iter().position(|((i, j), _)| (*i, *j) == (k, k)).unwrap();
+            {
+                let (key, ref mut blk) = blocks[diag_idx];
+                apply_kernel::<S>(Kind::A, key, k, blk, None, None, None, kernel, &tc);
+            }
+            let diag = blocks[diag_idx].1.clone();
+            for idx in 0..blocks.len() {
+                let key = blocks[idx].0;
+                if filters::filter_b::<S>(key, k, b) {
+                    apply_kernel::<S>(Kind::B, key, k, &mut blocks[idx].1, None, None, Some(&diag), kernel, &tc);
+                }
+            }
+            for idx in 0..blocks.len() {
+                let key = blocks[idx].0;
+                if filters::filter_c::<S>(key, k, b) {
+                    apply_kernel::<S>(Kind::C, key, k, &mut blocks[idx].1, None, None, Some(&diag), kernel, &tc);
+                }
+            }
+            let snapshot: Vec<((usize, usize), Block<f64>)> = blocks.clone();
+            for idx in 0..blocks.len() {
+                let key = blocks[idx].0;
+                if filters::filter_d::<S>(key, k, b) {
+                    let (i, j) = key;
+                    let u = &snapshot.iter().find(|((a, c), _)| (*a, *c) == (i, k)).unwrap().1;
+                    let v = &snapshot.iter().find(|((a, c), _)| (*a, *c) == (k, j)).unwrap().1;
+                    apply_kernel::<S>(Kind::D, key, k, &mut blocks[idx].1, Some(u), Some(v), Some(&diag), kernel, &tc);
+                }
+            }
+        }
+        assemble(&blocks, g, b)
+    }
+
+    fn dd_matrix(n: usize) -> Matrix<f64> {
+        let mut m = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 6.0 - 1.0);
+        for i in 0..n {
+            m.set(i, i, n as f64 + 2.0);
+        }
+        m
+    }
+
+    fn dist_matrix(n: usize) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0.0
+            } else if (i * 7 + j * 3) % 4 == 0 {
+                ((i + 2 * j) % 9 + 1) as f64
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
+
+    #[test]
+    fn blocked_apply_kernel_iterative_matches_reference() {
+        for g in [2usize, 4] {
+            let m = dd_matrix(16);
+            let out = run_blocked::<GaussianElim>(&m, g, &KernelChoice::Iterative);
+            let mut reference = m.clone();
+            gep_reference::<GaussianElim>(&mut reference);
+            assert_eq!(out.first_difference(&reference), None, "g={g}");
+
+            let d = dist_matrix(16);
+            let out = run_blocked::<Tropical>(&d, g, &KernelChoice::Iterative);
+            let mut reference = d.clone();
+            gep_reference::<Tropical>(&mut reference);
+            assert_eq!(out.first_difference(&reference), None, "fw g={g}");
+        }
+    }
+
+    #[test]
+    fn blocked_apply_kernel_recursive_matches_reference() {
+        let kernel = KernelChoice::Recursive {
+            r_shared: 2,
+            base: 2,
+            threads: 3,
+        };
+        let m = dd_matrix(16);
+        let out = run_blocked::<GaussianElim>(&m, 2, &kernel);
+        let mut reference = m.clone();
+        gep_reference::<GaussianElim>(&mut reference);
+        assert_eq!(out.first_difference(&reference), None);
+
+        let d = dist_matrix(16);
+        let out = run_blocked::<Tropical>(&d, 4, &kernel);
+        let mut reference = d.clone();
+        gep_reference::<Tropical>(&mut reference);
+        assert_eq!(out.first_difference(&reference), None);
+    }
+
+    #[test]
+    fn virtual_blocks_record_without_computing() {
+        let tc = TaskContext::new(0);
+        let mut x: Block<f64> = Block::Virtual { rows: 8, cols: 8 };
+        apply_kernel::<Tropical>(
+            Kind::A,
+            (0, 0),
+            0,
+            &mut x,
+            None,
+            None,
+            None,
+            &KernelChoice::Iterative,
+            &tc,
+        );
+        let rec = tc.snapshot();
+        assert_eq!(rec.kernels.len(), 1);
+        assert_eq!(rec.kernels[0].updates, 512.0);
+        assert_eq!(rec.kernels[0].block_side, 8);
+    }
+
+    #[test]
+    fn omp_pool_is_shared_per_size() {
+        let a = omp_pool(3);
+        let b = omp_pool(3);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.threads(), 3);
+        assert_eq!(omp_pool(0).threads(), 1);
+    }
+}

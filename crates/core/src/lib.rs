@@ -1,0 +1,54 @@
+//! `dp-core` — the paper's primary contribution: efficient execution of
+//! GEP-class dynamic programming algorithms on a Spark-like engine.
+//!
+//! For a problem in GEP form ([`gep_kernels::GepSpec`], extended here by
+//! [`DpProblem`]) and an `n×n` table decomposed into a `g×g` grid of
+//! `b×b` blocks, this crate provides the paper's four implementation
+//! variants:
+//!
+//! | strategy | kernel | paper name |
+//! |---|---|---|
+//! | [`Strategy::InMemory`] | [`KernelChoice::Iterative`] | IM, iterative |
+//! | [`Strategy::InMemory`] | [`KernelChoice::Recursive`] | IM, r-way R-DP |
+//! | [`Strategy::CollectBroadcast`] | [`KernelChoice::Iterative`] | CB, iterative |
+//! | [`Strategy::CollectBroadcast`] | [`KernelChoice::Recursive`] | CB, r-way R-DP |
+//!
+//! **IM** (Listing 1) keeps everything in RDDs: each iteration runs the
+//! A kernel, flat-maps copies of updated blocks to their consumers,
+//! `combineByKey`s them together (wide shuffles), and repartitions.
+//! **CB** (Listing 2) avoids wide dependencies inside an iteration by
+//! collecting updated blocks to the driver and redistributing them via
+//! shared-storage broadcast.
+//!
+//! Kernels run inside executor tasks either iteratively (the baseline)
+//! or as parallel `r_shared`-way recursive divide-&-conquer on an
+//! OpenMP-style pool whose size plays `OMP_NUM_THREADS`.
+//!
+//! Executions are **real** (real blocks, real kernels, validated
+//! bitwise against the sequential reference) or **virtual** (same
+//! dataflow, cost-accounted kernels and declared byte volumes) for
+//! paper-scale timing through `cluster-model`.
+
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod beyond;
+pub mod block;
+pub mod cb;
+pub mod config;
+pub mod filters;
+pub mod im;
+pub mod kernels;
+pub mod linsys;
+pub mod problem;
+pub mod solver;
+pub mod tuner;
+
+pub use block::{Block, ElemCodec};
+pub use config::{DpConfig, KernelChoice, Strategy};
+pub use problem::DpProblem;
+pub use adaptive::{adaptive_solve, AdaptiveOutcome};
+pub use beyond::{solve_alignment, solve_parenthesis};
+pub use linsys::solve_linear_system;
+pub use solver::{simulate_seconds, solve, solve_virtual, SolveReport};
+pub use tuner::{tune, TuneResult};

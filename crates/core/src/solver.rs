@@ -1,0 +1,173 @@
+//! Top-level solver: distribute the table, iterate phases, validate,
+//! and (for paper-scale runs) map the event log to simulated seconds.
+
+use std::sync::Arc;
+
+use cluster_model::{ClusterSpec, CostModel, ModelParams};
+use gep_kernels::padding::{pad_to_multiple, unpad};
+use gep_kernels::Matrix;
+use sparklet::{
+    GridPartitioner, HashPartitioner, JobError, Partitioner, Rdd, SparkConf, SparkContext,
+};
+
+use crate::block::Block;
+use crate::config::{DpConfig, Strategy};
+use crate::problem::DpProblem;
+use crate::{cb, im};
+
+type K = (usize, usize);
+
+/// Summary of a distributed run (for reports and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveReport {
+    /// Stages executed.
+    pub stages: usize,
+    /// Tasks executed.
+    pub tasks: usize,
+    /// Shuffle bytes crossing node boundaries.
+    pub remote_bytes: u64,
+    /// Map-output bytes staged to local storage.
+    pub staged_bytes: u64,
+    /// Bytes collected to the driver.
+    pub collect_bytes: u64,
+    /// Bytes broadcast via shared storage.
+    pub broadcast_bytes: u64,
+}
+
+fn partitioner_for(cfg: &DpConfig) -> Arc<dyn Partitioner<K>> {
+    if cfg.grid_partitioner {
+        Arc::new(GridPartitioner::new(cfg.grid()))
+    } else {
+        Arc::new(HashPartitioner)
+    }
+}
+
+/// Run the distributed GEP loop over an already-created block RDD.
+fn run_loop<S: DpProblem>(
+    sc: &SparkContext,
+    cfg: &DpConfig,
+    mut dp: Rdd<K, Block<S::Elem>>,
+) -> Result<Rdd<K, Block<S::Elem>>, JobError> {
+    let g = cfg.grid();
+    let b = cfg.block;
+    let partitions = cfg.partitions.unwrap_or(sc.conf().default_partitions);
+    let partitioner = partitioner_for(cfg);
+    for k in 0..g {
+        let next = match cfg.strategy {
+            Strategy::InMemory => im::step::<S>(
+                &dp,
+                k,
+                g,
+                b,
+                cfg.kernel,
+                partitions,
+                Arc::clone(&partitioner),
+            )?,
+            Strategy::CollectBroadcast => cb::step::<S>(
+                sc,
+                &dp,
+                k,
+                g,
+                b,
+                cfg.kernel,
+                partitions,
+                Arc::clone(&partitioner),
+            )?,
+        };
+        // Materialize the iteration (the paper's programs are bounded
+        // the same way: each iteration's output feeds the next), then
+        // drop the consumed shuffle data — Spark's ContextCleaner role.
+        dp = next.checkpoint()?;
+        sc.clear_shuffles();
+    }
+    Ok(dp)
+}
+
+/// Solve a GEP instance on the engine and return the resulting table
+/// (same shape as `input`; virtual padding applied and removed
+/// internally).
+pub fn solve<S: DpProblem>(
+    sc: &SparkContext,
+    cfg: &DpConfig,
+    input: &Matrix<S::Elem>,
+) -> Result<Matrix<S::Elem>, JobError> {
+    assert_eq!(input.rows(), input.cols(), "GEP tables are square");
+    assert_eq!(input.rows(), cfg.n, "config/problem size mismatch");
+    assert!(!cfg.virtual_data, "use solve_virtual for virtual runs");
+    let padded = pad_to_multiple::<S>(input, cfg.block);
+    let g = cfg.grid();
+    let b = cfg.block;
+    let mut blocks: Vec<(K, Block<S::Elem>)> = Vec::with_capacity(g * g);
+    for i in 0..g {
+        for j in 0..g {
+            blocks.push(((i, j), Block::Real(padded.copy_block(i * b, j * b, b, b))));
+        }
+    }
+    let partitions = cfg.partitions.unwrap_or(sc.conf().default_partitions);
+    let dp = sc.parallelize_with(blocks, partitions, partitioner_for(cfg));
+    let dp = run_loop::<S>(sc, cfg, dp)?;
+    let items = dp.collect()?;
+    let mut out = Matrix::filled(g * b, g * b, S::padding_value(0, 1));
+    for ((i, j), blk) in items {
+        out.paste_block(i * b, j * b, blk.expect_real());
+    }
+    Ok(unpad(&out, cfg.n))
+}
+
+/// Run the identical dataflow with virtual blocks: kernels become cost
+/// records, bytes are declared at full scale. Returns the run summary.
+pub fn solve_virtual<S: DpProblem>(
+    sc: &SparkContext,
+    cfg: &DpConfig,
+) -> Result<SolveReport, JobError> {
+    assert!(cfg.padded_n().is_multiple_of(cfg.block));
+    let g = cfg.grid();
+    let b = cfg.block;
+    let mut blocks: Vec<(K, Block<S::Elem>)> = Vec::with_capacity(g * g);
+    for i in 0..g {
+        for j in 0..g {
+            blocks.push(((i, j), Block::Virtual { rows: b, cols: b }));
+        }
+    }
+    let partitions = cfg.partitions.unwrap_or(sc.conf().default_partitions);
+    let dp = sc.parallelize_with(blocks, partitions, partitioner_for(cfg));
+    let dp = run_loop::<S>(sc, cfg, dp)?;
+    let n_blocks = dp.count()?;
+    debug_assert_eq!(n_blocks, g * g, "table must stay complete");
+    Ok(sc.with_event_log(|log| SolveReport {
+        stages: log.stage_count(),
+        tasks: log.task_count(),
+        remote_bytes: log.total_remote_bytes(),
+        staged_bytes: log.total_staged_bytes(),
+        collect_bytes: log.total_collect_bytes(),
+        broadcast_bytes: log.total_broadcast_bytes(),
+    }))
+}
+
+/// Paper-scale timing: run the full dataflow virtually on a context
+/// shaped like `cluster`, then price the event log with the cost model.
+/// Returns simulated seconds.
+pub fn simulate_seconds<S: DpProblem>(
+    cluster: &ClusterSpec,
+    executor_cores: usize,
+    cfg: &DpConfig,
+    params: Option<ModelParams>,
+) -> Result<f64, JobError> {
+    let partitions = cfg
+        .partitions
+        .unwrap_or_else(|| cluster.default_partitions());
+    let conf = SparkConf::default()
+        .with_executors(cluster.nodes)
+        .with_executor_cores(executor_cores)
+        .with_partitions(partitions)
+        .with_worker_threads(1)
+        .with_staging_capacity(cluster.storage.capacity);
+    let sc = SparkContext::new(conf);
+    solve_virtual::<S>(&sc, cfg)?;
+    let mut model = CostModel::new(cluster.clone(), executor_cores);
+    if let Some(p) = params {
+        model = model.with_params(p);
+    }
+    let records = sc.with_event_log(|log| log.records());
+    Ok(model.job_seconds(&records))
+}

@@ -1,0 +1,110 @@
+//! Analytical auto-tuner for the paper's tunable parameters.
+//!
+//! Section V argues that `r` (block decomposition), `r_shared`, and
+//! `OMP_NUM_THREADS` must be chosen per cluster ("if \[they\] are chosen
+//! independent of the system configuration, the resulting
+//! implementation can be very inefficient"). This tuner searches the
+//! candidate grid by running the *virtual* dataflow for each
+//! configuration and pricing it with the cost model — the "estimates
+//! from hardware/software parameters using analytical models" knob the
+//! paper mentions.
+
+use cluster_model::ClusterSpec;
+use sparklet::JobError;
+
+use crate::config::{DpConfig, KernelChoice, Strategy};
+use crate::problem::DpProblem;
+use crate::solver::simulate_seconds;
+
+/// One evaluated candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// The evaluated configuration.
+    pub config: DpConfig,
+    /// Its `OMP_NUM_THREADS` value.
+    pub omp_threads: usize,
+    /// Simulated job seconds on the target cluster.
+    pub seconds: f64,
+}
+
+/// Search space for the tuner.
+#[derive(Debug, Clone)]
+pub struct TuneSpace {
+    /// Candidate block sizes.
+    pub blocks: Vec<usize>,
+    /// Candidate recursive fan-outs.
+    pub r_shared: Vec<usize>,
+    /// Candidate thread-team sizes.
+    pub threads: Vec<usize>,
+    /// Candidate distribution strategies.
+    pub strategies: Vec<Strategy>,
+    /// Also evaluate the iterative baseline.
+    pub include_iterative: bool,
+}
+
+impl Default for TuneSpace {
+    fn default() -> Self {
+        TuneSpace {
+            blocks: vec![256, 512, 1024, 2048],
+            r_shared: vec![2, 4, 8, 16],
+            threads: vec![1, 4, 8, 16],
+            strategies: vec![Strategy::InMemory, Strategy::CollectBroadcast],
+            include_iterative: true,
+        }
+    }
+}
+
+/// Exhaustively evaluate the space on `cluster` for problem size `n`,
+/// returning candidates sorted fastest-first. Virtual runs only — no
+/// numeric data is touched.
+pub fn tune<S: DpProblem>(
+    cluster: &ClusterSpec,
+    n: usize,
+    space: &TuneSpace,
+) -> Result<Vec<TuneResult>, JobError> {
+    let mut results = Vec::new();
+    for &block in &space.blocks {
+        if block >= n {
+            continue;
+        }
+        for &strategy in &space.strategies {
+            if space.include_iterative {
+                let cfg = DpConfig::new(n, block)
+                    .with_strategy(strategy)
+                    .with_kernel(KernelChoice::Iterative)
+                    .virtual_mode();
+                let secs =
+                    simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
+                results.push(TuneResult {
+                    config: cfg,
+                    omp_threads: 1,
+                    seconds: secs,
+                });
+            }
+            for &r_shared in &space.r_shared {
+                if r_shared >= block {
+                    continue;
+                }
+                for &threads in &space.threads {
+                    let cfg = DpConfig::new(n, block)
+                        .with_strategy(strategy)
+                        .with_kernel(KernelChoice::Recursive {
+                            r_shared,
+                            base: 64,
+                            threads,
+                        })
+                        .virtual_mode();
+                    let secs =
+                        simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
+                    results.push(TuneResult {
+                        config: cfg,
+                        omp_threads: threads,
+                        seconds: secs,
+                    });
+                }
+            }
+        }
+    }
+    results.sort_by(|a, b| a.seconds.partial_cmp(&b.seconds).expect("finite times"));
+    Ok(results)
+}

@@ -1,0 +1,376 @@
+//! Loop-based ("iterative") kernels — the paper's baseline kernel type.
+//!
+//! [`block_kernel`] applies one phase's worth of GEP updates to a single
+//! block with the [`Kind`]-specific aliasing, exactly the role the
+//! Numba-JIT kernels play inside the paper's Spark executors.
+//! [`blocked_gep`] composes block kernels into a full blocked execution
+//! (Venkataraman et al.'s blocked FW generalized to GEP) — the
+//! single-machine analogue of the distributed algorithm, used as a
+//! mid-level correctness oracle.
+
+use crate::gep::{block_active, GepSpec, Kind};
+use crate::matrix::{Matrix, TileMut, TileRef};
+
+/// Apply the phase updates `c[i,j] = f(c[i,j], c[i,k], c[k,j], c[k,k])`
+/// for every `k` in the diagonal block's range to the block behind `x`.
+///
+/// `u`, `v`, `w` are the operand tiles; `None` means the operand aliases
+/// `x` (see [`Kind`]). The required pattern per kind:
+///
+/// | kind | `u`       | `v`       | `w`       |
+/// |------|-----------|-----------|-----------|
+/// | A    | aliases x | aliases x | aliases x |
+/// | B    | diagonal  | aliases x | diagonal  |
+/// | C    | aliases x | diagonal  | diagonal  |
+/// | D    | col panel | row panel | diagonal  |
+///
+/// Σ_G is evaluated with **global** indices from the tiles' offsets, so
+/// the same kernel serves any block position.
+pub fn block_kernel<S: GepSpec>(
+    kind: Kind,
+    x: &mut TileMut<S::Elem>,
+    u: Option<TileRef<S::Elem>>,
+    v: Option<TileRef<S::Elem>>,
+    w: Option<TileRef<S::Elem>>,
+) {
+    match kind {
+        Kind::A => {
+            assert!(u.is_none() && v.is_none() && w.is_none(), "A aliases all");
+            assert_eq!(x.rows(), x.cols(), "A runs on square diagonal blocks");
+        }
+        Kind::B => {
+            assert!(u.is_some() && v.is_none() && w.is_some(), "B: u,w external");
+        }
+        Kind::C => {
+            assert!(u.is_none() && v.is_some() && w.is_some(), "C: v,w external");
+        }
+        Kind::D => {
+            assert!(u.is_some() && v.is_some(), "D: u, v external");
+            assert!(
+                w.is_some() || !S::USES_W,
+                "D needs w unless the spec ignores it"
+            );
+        }
+    }
+    // k iterates over the diagonal block's global range: taken from `w`
+    // when external, from `u`'s columns for a w-less D, otherwise x *is*
+    // the diagonal block (kind A).
+    let (k0, nk) = match (&w, kind) {
+        (Some(w), _) => {
+            assert_eq!(w.row0(), w.col0(), "w must be a diagonal block");
+            assert_eq!(w.rows(), w.cols());
+            (w.row0(), w.rows())
+        }
+        (None, Kind::D) => {
+            let u = u.as_ref().expect("D has u");
+            (u.col0(), u.cols())
+        }
+        (None, _) => (x.row0(), x.rows()),
+    };
+    if let Some(u) = &u {
+        assert_eq!(u.rows(), x.rows(), "u is x-rows × k-range");
+        assert_eq!(u.cols(), nk);
+        assert_eq!(u.row0(), x.row0());
+    }
+    if let Some(v) = &v {
+        assert_eq!(v.rows(), nk, "v is k-range × x-cols");
+        assert_eq!(v.cols(), x.cols());
+        assert_eq!(v.col0(), x.col0());
+    }
+    if S::fast_block_kernel(kind, x, u, v, w) {
+        return;
+    }
+    block_kernel_generic::<S>(kind, x, u, v, w, k0, nk);
+}
+
+/// The generic (non-specialized) triple loop — public so specialized
+/// kernels can be cross-checked against it.
+#[allow(clippy::too_many_arguments)]
+pub fn block_kernel_generic<S: GepSpec>(
+    kind: Kind,
+    x: &mut TileMut<S::Elem>,
+    u: Option<TileRef<S::Elem>>,
+    v: Option<TileRef<S::Elem>>,
+    w: Option<TileRef<S::Elem>>,
+    k0: usize,
+    nk: usize,
+) {
+    let (gi0, gj0) = (x.row0(), x.col0());
+    for k in 0..nk {
+        let gk = k0 + k;
+        for i in 0..x.rows() {
+            if !S::sigma_i(gi0 + i, gk) {
+                continue;
+            }
+            for j in 0..x.cols() {
+                if !S::sigma_j(gj0 + j, gk) {
+                    continue;
+                }
+                // Operand reads stay inside the loop: for kinds where an
+                // operand aliases x this preserves the in-place Fig. 1
+                // semantics exactly.
+                let uval = match &u {
+                    Some(t) => t.at(i, k),
+                    None => x.at(i, k),
+                };
+                let vval = match &v {
+                    Some(t) => t.at(k, j),
+                    None => x.at(k, j),
+                };
+                let wval = match (&w, kind) {
+                    (Some(t), _) => t.at(k, k),
+                    // w-less D: the spec ignores w, so feed it any
+                    // operand (u) to satisfy the call shape.
+                    (None, Kind::D) => uval,
+                    (None, _) => x.at(k, k),
+                };
+                x.set(i, j, S::f(x.at(i, j), uval, vval, wval));
+            }
+        }
+    }
+}
+
+/// Blocked GEP over an `n×n` matrix decomposed into `r×r` blocks
+/// (`n % r == 0`), running the A/B/C/D block kernels sequentially in
+/// dependency order. Bitwise-equal to [`crate::gep::gep_reference`].
+pub fn blocked_gep<S: GepSpec>(c: &mut Matrix<S::Elem>, r: usize) {
+    let n = c.rows();
+    assert_eq!(n, c.cols());
+    assert!(r > 0 && n.is_multiple_of(r), "n={n} not divisible by r={r}");
+    let b = n / r;
+    for kb in 0..r {
+        let mut grid = c.view_mut().split_grid(r);
+        let parts = crate::tilegrid::phase_split(&mut grid, r, kb);
+        let diag = parts.diag;
+        block_kernel::<S>(Kind::A, diag, None, None, None);
+        let diag_ref = diag.as_ref();
+        let mut row_refs: Vec<(usize, TileRef<S::Elem>)> = Vec::new();
+        for (j, t) in parts.row {
+            if block_active::<S>(kb, j, kb, b) {
+                block_kernel::<S>(Kind::B, t, Some(diag_ref), None, Some(diag_ref));
+            }
+            row_refs.push((j, t.as_ref()));
+        }
+        let mut col_refs: Vec<(usize, TileRef<S::Elem>)> = Vec::new();
+        for (i, t) in parts.col {
+            if block_active::<S>(i, kb, kb, b) {
+                block_kernel::<S>(Kind::C, t, None, Some(diag_ref), Some(diag_ref));
+            }
+            col_refs.push((i, t.as_ref()));
+        }
+        for (i, j, t) in parts.trailing {
+            if !block_active::<S>(i, j, kb, b) {
+                continue;
+            }
+            let u = col_refs.iter().find(|(ci, _)| *ci == i).expect("col panel").1;
+            let v = row_refs.iter().find(|(rj, _)| *rj == j).expect("row panel").1;
+            block_kernel::<S>(Kind::D, t, Some(u), Some(v), Some(diag_ref));
+        }
+    }
+}
+
+/// Direct transcription of Fig. 2 (iterative GE without pivoting), kept
+/// independent of the GEP machinery as a second oracle.
+pub fn gaussian_elim_reference(x: &mut Matrix<f64>) {
+    let n = x.rows();
+    assert_eq!(n, x.cols());
+    for k in 0..n {
+        for i in (k + 1)..n {
+            for j in (k + 1)..n {
+                let upd = x.get(i, j) - x.get(i, k) * x.get(k, j) / x.get(k, k);
+                x.set(i, j, upd);
+            }
+        }
+    }
+}
+
+/// Direct transcription of Fig. 5 (iterative FW-APSP), independent of
+/// the GEP machinery.
+pub fn floyd_warshall_reference(d: &mut Matrix<f64>) {
+    let n = d.rows();
+    assert_eq!(n, d.cols());
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d.get(i, k);
+            for j in 0..n {
+                let via = dik + d.get(k, j);
+                if via < d.get(i, j) {
+                    d.set(i, j, via);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gep::{gep_reference, GaussianElim, TransitiveClosure, Tropical};
+
+    fn random_dd_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        // Diagonally dominant ⇒ GE without pivoting is well defined.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut m = Matrix::from_fn(n, n, |_, _| next() * 2.0 - 1.0);
+        for i in 0..n {
+            m.set(i, i, n as f64 + 1.0 + next());
+        }
+        m
+    }
+
+    fn random_dist_matrix(n: usize, seed: u64) -> Matrix<f64> {
+        let mut state = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        // Integer-valued weights: min-plus relaxations are then exact in
+        // f64 regardless of association order, so every execution order
+        // gives bitwise-identical distances.
+        Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0.0
+            } else if next() < 0.4 {
+                1.0 + (next() * 9.0).floor()
+            } else {
+                f64::INFINITY
+            }
+        })
+    }
+
+    #[test]
+    fn gep_ge_matches_fig2_reference() {
+        let mut a = random_dd_matrix(24, 7);
+        let mut b = a.clone();
+        gep_reference::<GaussianElim>(&mut a);
+        gaussian_elim_reference(&mut b);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn gep_fw_matches_fig5_reference() {
+        let mut a = random_dist_matrix(24, 3);
+        let mut b = a.clone();
+        gep_reference::<Tropical>(&mut a);
+        floyd_warshall_reference(&mut b);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn blocked_ge_bitwise_equals_reference() {
+        for &(n, r) in &[(12, 2), (12, 3), (16, 4), (20, 5), (24, 24)] {
+            let mut blocked = random_dd_matrix(n, n as u64);
+            let mut reference = blocked.clone();
+            blocked_gep::<GaussianElim>(&mut blocked, r);
+            gep_reference::<GaussianElim>(&mut reference);
+            assert_eq!(
+                blocked.first_difference(&reference),
+                None,
+                "n={n} r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_fw_bitwise_equals_reference() {
+        for &(n, r) in &[(12, 2), (12, 4), (18, 3), (16, 8)] {
+            let mut blocked = random_dist_matrix(n, n as u64 + 100);
+            let mut reference = blocked.clone();
+            blocked_gep::<Tropical>(&mut blocked, r);
+            gep_reference::<Tropical>(&mut reference);
+            assert_eq!(
+                blocked.first_difference(&reference),
+                None,
+                "n={n} r={r}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_tc_equals_reference() {
+        let mut state = 99u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut blocked = Matrix::from_fn(16, 16, |i, j| i == j || next() % 5 == 0);
+        let mut reference = blocked.clone();
+        blocked_gep::<TransitiveClosure>(&mut blocked, 4);
+        gep_reference::<TransitiveClosure>(&mut reference);
+        assert_eq!(blocked.first_difference(&reference), None);
+    }
+
+    #[test]
+    fn block_kernel_r_equals_one_is_whole_matrix() {
+        let mut a = random_dd_matrix(8, 42);
+        let mut b = a.clone();
+        blocked_gep::<GaussianElim>(&mut a, 1);
+        gep_reference::<GaussianElim>(&mut b);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn tropical_fast_kernel_is_bitwise_identical_to_generic() {
+        // Compare the specialized FW kernel against the generic triple
+        // loop for every kind and several geometries.
+        for &(n, r) in &[(12usize, 2usize), (16, 4), (24, 3)] {
+            let m = random_dist_matrix(n, (n * r) as u64);
+            for kb in 0..r {
+                let b = n / r;
+                // Generic path.
+                let mut generic = m.clone();
+                {
+                    let mut grid = generic.view_mut().split_grid(r);
+                    let parts = crate::tilegrid::phase_split(&mut grid, r, kb);
+                    let diag = parts.diag;
+                    block_kernel_generic::<Tropical>(
+                        Kind::A, diag, None, None, None, kb * b, b,
+                    );
+                }
+                // Fast path.
+                let mut fast = m.clone();
+                {
+                    let mut grid = fast.view_mut().split_grid(r);
+                    let parts = crate::tilegrid::phase_split(&mut grid, r, kb);
+                    block_kernel::<Tropical>(Kind::A, parts.diag, None, None, None);
+                }
+                assert_eq!(fast.first_difference(&generic), None, "A n={n} kb={kb}");
+            }
+            // B/C/D with external operands.
+            let mut generic = m.clone();
+            let mut fast = m.clone();
+            let b = n / r;
+            for (target, run_fast) in [(&mut generic, false), (&mut fast, true)] {
+                let mut grid = target.view_mut().split_grid(r);
+                let parts = crate::tilegrid::phase_split(&mut grid, r, 0);
+                let diag = parts.diag.as_ref();
+                for (_, t) in parts.row {
+                    if run_fast {
+                        block_kernel::<Tropical>(Kind::B, t, Some(diag), None, Some(diag));
+                    } else {
+                        block_kernel_generic::<Tropical>(
+                            Kind::B, t, Some(diag), None, Some(diag), 0, b,
+                        );
+                    }
+                }
+            }
+            assert_eq!(fast.first_difference(&generic), None, "B n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn blocked_gep_rejects_non_divisible() {
+        let mut m = Matrix::square(10, 0.0f64);
+        blocked_gep::<Tropical>(&mut m, 3);
+    }
+}

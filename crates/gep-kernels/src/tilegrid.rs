@@ -1,0 +1,174 @@
+//! Phase-oriented partitions of a tile grid.
+//!
+//! Every GEP execution — blocked, recursive, or distributed — processes
+//! phase `k` in the same shape: the diagonal tile, the row panel, the
+//! column panel, and the trailing tiles. [`phase_split`] carves a
+//! mutable grid into exactly those four disjoint groups in one pass,
+//! using only safe iterator disjointness (no unsafe), which is what
+//! makes the staged parallel updates in `recursive` borrow-check.
+
+use crate::matrix::TileMut;
+
+/// Tagged mutable tiles of one grid row/column: `(index, tile)`.
+pub type TaggedTiles<'g, 'a, E> = Vec<(usize, &'g mut TileMut<'a, E>)>;
+/// Remaining tiles with their `(i, j)` coordinates.
+pub type CoordTiles<'g, 'a, E> = Vec<(usize, usize, &'g mut TileMut<'a, E>)>;
+
+/// The four disjoint groups of grid tiles for phase `k`.
+pub struct PhaseParts<'g, 'a, E> {
+    /// Tile `(k, k)`.
+    pub diag: &'g mut TileMut<'a, E>,
+    /// Tiles `(k, j)` for `j != k`, tagged with `j`.
+    pub row: Vec<(usize, &'g mut TileMut<'a, E>)>,
+    /// Tiles `(i, k)` for `i != k`, tagged with `i`.
+    pub col: Vec<(usize, &'g mut TileMut<'a, E>)>,
+    /// Tiles `(i, j)` with `i != k`, `j != k`, tagged with `(i, j)`.
+    pub trailing: Vec<(usize, usize, &'g mut TileMut<'a, E>)>,
+}
+
+/// Partition a row-major `r×r` grid slice for phase `k`.
+///
+/// Panics if `grid.len() != r*r` or `k >= r`.
+pub fn phase_split<'g, 'a, E>(
+    grid: &'g mut [TileMut<'a, E>],
+    r: usize,
+    k: usize,
+) -> PhaseParts<'g, 'a, E> {
+    assert_eq!(grid.len(), r * r, "grid must be r×r");
+    assert!(k < r, "phase {k} out of range for r={r}");
+    let mut diag = None;
+    let mut row = Vec::with_capacity(r - 1);
+    let mut col = Vec::with_capacity(r - 1);
+    let mut trailing = Vec::with_capacity((r - 1) * (r - 1));
+    for (idx, tile) in grid.iter_mut().enumerate() {
+        let (i, j) = (idx / r, idx % r);
+        match (i == k, j == k) {
+            (true, true) => diag = Some(tile),
+            (true, false) => row.push((j, tile)),
+            (false, true) => col.push((i, tile)),
+            (false, false) => trailing.push((i, j, tile)),
+        }
+    }
+    PhaseParts {
+        diag: diag.expect("diagonal tile present"),
+        row,
+        col,
+        trailing,
+    }
+}
+
+/// Partition a grid into (row `k` tiles, all other tiles) — the shape
+/// needed inside the recursive B function, whose phase writes every row
+/// except `k` while reading row `k`.
+pub fn row_split<'g, 'a, E>(
+    grid: &'g mut [TileMut<'a, E>],
+    r: usize,
+    k: usize,
+) -> (TaggedTiles<'g, 'a, E>, CoordTiles<'g, 'a, E>) {
+    assert_eq!(grid.len(), r * r);
+    assert!(k < r);
+    let mut row_k = Vec::with_capacity(r);
+    let mut rest = Vec::with_capacity(r * (r - 1));
+    for (idx, tile) in grid.iter_mut().enumerate() {
+        let (i, j) = (idx / r, idx % r);
+        if i == k {
+            row_k.push((j, tile));
+        } else {
+            rest.push((i, j, tile));
+        }
+    }
+    (row_k, rest)
+}
+
+/// Partition a grid into (column `k` tiles, all other tiles) — the
+/// recursive C function's shape.
+pub fn col_split<'g, 'a, E>(
+    grid: &'g mut [TileMut<'a, E>],
+    r: usize,
+    k: usize,
+) -> (TaggedTiles<'g, 'a, E>, CoordTiles<'g, 'a, E>) {
+    assert_eq!(grid.len(), r * r);
+    assert!(k < r);
+    let mut col_k = Vec::with_capacity(r);
+    let mut rest = Vec::with_capacity(r * (r - 1));
+    for (idx, tile) in grid.iter_mut().enumerate() {
+        let (i, j) = (idx / r, idx % r);
+        if j == k {
+            col_k.push((i, tile));
+        } else {
+            rest.push((i, j, tile));
+        }
+    }
+    (col_k, rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    #[test]
+    fn phase_split_groups_have_right_shapes() {
+        let mut m = Matrix::square(12, 0i32);
+        let mut grid = m.view_mut().split_grid(4);
+        let parts = phase_split(&mut grid, 4, 1);
+        assert_eq!((parts.diag.row0(), parts.diag.col0()), (3, 3));
+        assert_eq!(parts.row.len(), 3);
+        assert_eq!(parts.col.len(), 3);
+        assert_eq!(parts.trailing.len(), 9);
+        let row_js: Vec<usize> = parts.row.iter().map(|(j, _)| *j).collect();
+        assert_eq!(row_js, vec![0, 2, 3]);
+        for (i, j, _) in &parts.trailing {
+            assert!(*i != 1 && *j != 1);
+        }
+    }
+
+    #[test]
+    fn phase_split_allows_simultaneous_mutation() {
+        let mut m = Matrix::square(4, 0i32);
+        let mut grid = m.view_mut().split_grid(2);
+        let parts = phase_split(&mut grid, 2, 0);
+        parts.diag.set(0, 0, 1);
+        for (_, t) in parts.row {
+            t.set(0, 0, 2);
+        }
+        for (_, t) in parts.col {
+            t.set(0, 0, 3);
+        }
+        for (_, _, t) in parts.trailing {
+            t.set(0, 0, 4);
+        }
+        assert_eq!(m.get(0, 0), 1);
+        assert_eq!(m.get(0, 2), 2);
+        assert_eq!(m.get(2, 0), 3);
+        assert_eq!(m.get(2, 2), 4);
+    }
+
+    #[test]
+    fn row_split_partitions() {
+        let mut m = Matrix::square(9, 0u8);
+        let mut grid = m.view_mut().split_grid(3);
+        let (row, rest) = row_split(&mut grid, 3, 2);
+        assert_eq!(row.len(), 3);
+        assert_eq!(rest.len(), 6);
+        assert!(row.iter().all(|(j, t)| t.row0() == 6 && t.col0() == j * 3));
+    }
+
+    #[test]
+    fn col_split_partitions() {
+        let mut m = Matrix::square(9, 0u8);
+        let mut grid = m.view_mut().split_grid(3);
+        let (col, rest) = col_split(&mut grid, 3, 0);
+        assert_eq!(col.len(), 3);
+        assert_eq!(rest.len(), 6);
+        assert!(col.iter().all(|(i, t)| t.col0() == 0 && t.row0() == i * 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn phase_split_rejects_bad_phase() {
+        let mut m = Matrix::square(4, 0u8);
+        let mut grid = m.view_mut().split_grid(2);
+        let _ = phase_split(&mut grid, 2, 2);
+    }
+}

@@ -1,0 +1,60 @@
+//! Lightweight execution counters.
+//!
+//! The cluster cost model uses these to reason about how much parallel
+//! work a kernel actually generated (tasks, steals), and the tests use
+//! them to assert that work really ran on pool threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared by all workers of a [`crate::Pool`].
+///
+/// All counters use relaxed ordering: they are statistics, not
+/// synchronization. Reads may observe slightly stale values while the
+/// pool is running; once the pool is idle they are exact.
+#[derive(Debug, Default)]
+pub struct PoolMetrics {
+    tasks_executed: AtomicU64,
+    tasks_stolen: AtomicU64,
+    scopes_entered: AtomicU64,
+    help_iterations: AtomicU64,
+}
+
+impl PoolMetrics {
+    pub(crate) fn record_task(&self) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_steal(&self) {
+        self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_scope(&self) {
+        self.scopes_entered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_help(&self) {
+        self.help_iterations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total tasks executed by pool workers (including helping waiters).
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks_executed.load(Ordering::Relaxed)
+    }
+
+    /// Tasks that were obtained by stealing from a sibling worker's deque
+    /// rather than popped locally or taken from the injector.
+    pub fn tasks_stolen(&self) -> u64 {
+        self.tasks_stolen.load(Ordering::Relaxed)
+    }
+
+    /// Number of `scope` invocations served by the pool.
+    pub fn scopes_entered(&self) -> u64 {
+        self.scopes_entered.load(Ordering::Relaxed)
+    }
+
+    /// Number of tasks executed by threads while they waited on a scope
+    /// (the "help-first" discipline that makes nested scopes safe).
+    pub fn help_iterations(&self) -> u64 {
+        self.help_iterations.load(Ordering::Relaxed)
+    }
+}

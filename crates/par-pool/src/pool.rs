@@ -1,0 +1,492 @@
+//! Work-stealing pool: workers, deques, sleeping, and job routing.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crossbeam::deque::{Injector, Stealer, Worker as Deque};
+use parking_lot::{Condvar, Mutex};
+
+use crate::metrics::PoolMetrics;
+use crate::scope::Scope;
+
+/// A type-erased unit of work. Scoped tasks are lifetime-transmuted into
+/// this by [`Scope::spawn`]; the scope guarantees they run before the
+/// borrowed frame is released.
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its worker threads.
+pub(crate) struct Shared {
+    pub(crate) injector: Injector<Job>,
+    pub(crate) stealers: Vec<Stealer<Job>>,
+    pub(crate) metrics: PoolMetrics,
+    threads: usize,
+    shutdown: AtomicBool,
+    /// Condvar used both by idle workers and by threads blocked in a
+    /// scope wait. Wakeups are broadcast: at our job granularity (block
+    /// kernels) the cost is negligible and it rules out lost-wakeup bugs.
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+}
+
+thread_local! {
+    /// Identifies the pool worker running on this thread, if any:
+    /// (address of its `Shared`, worker index). The address is only used
+    /// for identity comparison, never dereferenced from here.
+    static CURRENT_WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+}
+
+/// Per-worker deque handles, stored thread-locally on worker threads so
+/// that nested spawns go to the local LIFO deque (depth-first execution,
+/// the cache-friendly order for recursive divide-&-conquer).
+struct WorkerCtx {
+    deque: Deque<Job>,
+    index: usize,
+    shared: Arc<Shared>,
+}
+
+impl Shared {
+    fn shared_id(self: &Arc<Self>) -> usize {
+        Arc::as_ptr(self) as usize
+    }
+
+    /// Push a job: onto the local deque when called from one of this
+    /// pool's workers, otherwise onto the global injector.
+    pub(crate) fn push_job(self: &Arc<Self>, job: Job) {
+        let local = CURRENT_WORKER.with(|c| c.get());
+        match local {
+            Some((id, _idx)) if id == self.shared_id() => LOCAL_DEQUE.with(|d| {
+                let slot = d.take();
+                match slot {
+                    Some(ctx) if Arc::ptr_eq(&ctx.shared, self) => {
+                        ctx.deque.push(job);
+                        d.set(Some(ctx));
+                    }
+                    other => {
+                        d.set(other);
+                        self.injector.push(job);
+                    }
+                }
+            }),
+            _ => self.injector.push(job),
+        }
+        self.notify();
+    }
+
+    pub(crate) fn notify(&self) {
+        let _guard = self.sleep_lock.lock();
+        self.sleep_cv.notify_all();
+    }
+
+    /// Find a job from the perspective of worker `index`: local deque
+    /// first, then the injector, then steal from siblings.
+    fn find_job_as_worker(&self, local: &Deque<Job>, index: usize) -> Option<Job> {
+        if let Some(job) = local.pop() {
+            self.metrics.record_task();
+            return Some(job);
+        }
+        self.find_job_shared(Some((local, index)))
+    }
+
+    /// Find a job without a local deque (external thread helping a scope).
+    pub(crate) fn find_job_external(&self) -> Option<Job> {
+        self.find_job_shared(None)
+    }
+
+    fn find_job_shared(&self, local: Option<(&Deque<Job>, usize)>) -> Option<Job> {
+        // Drain the injector (batched into the local deque when we have
+        // one, so siblings can steal the rest).
+        loop {
+            let steal = match local {
+                Some((deque, _)) => self.injector.steal_batch_and_pop(deque),
+                None => self.injector.steal(),
+            };
+            match steal {
+                crossbeam::deque::Steal::Success(job) => {
+                    self.metrics.record_task();
+                    return Some(job);
+                }
+                crossbeam::deque::Steal::Empty => break,
+                crossbeam::deque::Steal::Retry => continue,
+            }
+        }
+        // Steal from siblings.
+        let me = local.map(|(_, i)| i);
+        for (i, stealer) in self.stealers.iter().enumerate() {
+            if Some(i) == me {
+                continue;
+            }
+            loop {
+                match stealer.steal() {
+                    crossbeam::deque::Steal::Success(job) => {
+                        self.metrics.record_steal();
+                        self.metrics.record_task();
+                        return Some(job);
+                    }
+                    crossbeam::deque::Steal::Empty => break,
+                    crossbeam::deque::Steal::Retry => continue,
+                }
+            }
+        }
+        None
+    }
+
+    /// Block until `should_stop` returns true, executing pool jobs while
+    /// waiting. Used by scope waits from both worker and external threads.
+    pub(crate) fn help_until(&self, should_stop: &dyn Fn() -> bool) {
+        loop {
+            if should_stop() {
+                return;
+            }
+            let job = LOCAL_DEQUE.with(|d| {
+                let slot = d.take();
+                match slot {
+                    Some(ctx) if std::ptr::eq(Arc::as_ptr(&ctx.shared), self) => {
+                        let job = self.find_job_as_worker(&ctx.deque, ctx.index);
+                        d.set(Some(ctx));
+                        job
+                    }
+                    other => {
+                        d.set(other);
+                        self.find_job_external()
+                    }
+                }
+            });
+            match job {
+                Some(job) => {
+                    self.metrics.record_help();
+                    job();
+                }
+                None => {
+                    let mut guard = self.sleep_lock.lock();
+                    if should_stop() {
+                        return;
+                    }
+                    // Timed wait: completions notify, but a short timeout
+                    // makes us robust to races between the emptiness check
+                    // and the condition flip.
+                    self.sleep_cv
+                        .wait_for(&mut guard, Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL_DEQUE: Cell<Option<WorkerCtx>> = const { Cell::new(None) };
+}
+
+fn worker_loop(shared: Arc<Shared>, deque: Deque<Job>, index: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((shared.shared_id(), index))));
+    // Park the deque in a thread-local so that `push_job` / `help_until`
+    // reach it from arbitrary call depth; take it back out to run the
+    // main loop against it.
+    LOCAL_DEQUE.with(|d| {
+        d.set(Some(WorkerCtx {
+            deque,
+            index,
+            shared: Arc::clone(&shared),
+        }))
+    });
+    loop {
+        let job = LOCAL_DEQUE.with(|d| {
+            let ctx = d.take().expect("worker ctx present");
+            let job = shared.find_job_as_worker(&ctx.deque, ctx.index);
+            d.set(Some(ctx));
+            job
+        });
+        match job {
+            Some(job) => job(),
+            None => {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let mut guard = shared.sleep_lock.lock();
+                if shared.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                shared
+                    .sleep_cv
+                    .wait_for(&mut guard, Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+/// Builder for [`Pool`] (thread count, thread name prefix).
+#[derive(Debug, Clone)]
+pub struct PoolBuilder {
+    threads: usize,
+    name_prefix: String,
+    stack_size: usize,
+}
+
+impl Default for PoolBuilder {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            name_prefix: "par-pool".to_string(),
+            // Help-first waiting means a worker's stack holds one frame
+            // chain per task it helped with; recursive divide-&-conquer
+            // kernels therefore want roomy stacks.
+            stack_size: 16 << 20,
+        }
+    }
+}
+
+impl PoolBuilder {
+    /// Number of worker threads; clamped to at least 1.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Prefix for worker thread names (`<prefix>-<index>`).
+    pub fn name_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.name_prefix = prefix.into();
+        self
+    }
+
+    /// Stack size per worker thread in bytes (default 16 MiB).
+    pub fn stack_size(mut self, bytes: usize) -> Self {
+        self.stack_size = bytes;
+        self
+    }
+
+    /// Spawn the workers and return the pool handle.
+    pub fn build(self) -> Pool {
+        let threads = self.threads.max(1);
+        let deques: Vec<Deque<Job>> = (0..threads).map(|_| Deque::new_lifo()).collect();
+        let stealers = deques.iter().map(Deque::stealer).collect();
+        let shared = Arc::new(Shared {
+            injector: Injector::new(),
+            stealers,
+            metrics: PoolMetrics::default(),
+            threads,
+            shutdown: AtomicBool::new(false),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+        });
+        let workers = deques
+            .into_iter()
+            .enumerate()
+            .map(|(i, deque)| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("{}-{}", self.name_prefix, i))
+                    .stack_size(self.stack_size)
+                    .spawn(move || worker_loop(shared, deque, i))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers,
+        }
+    }
+}
+
+/// A fixed-size work-stealing thread pool with structured (scoped)
+/// fork-join parallelism. See the crate docs for the execution model.
+pub struct Pool {
+    pub(crate) shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.shared.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pool {
+    /// A pool with `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        PoolBuilder::default().threads(threads).build()
+    }
+
+    /// Builder with defaults (one worker per available core).
+    pub fn builder() -> PoolBuilder {
+        PoolBuilder::default()
+    }
+
+    /// A process-wide shared pool sized to the machine, for callers that
+    /// do not manage their own (e.g. examples and tests).
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| PoolBuilder::default().name_prefix("par-pool-global").build())
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Execution counters.
+    pub fn metrics(&self) -> &PoolMetrics {
+        &self.shared.metrics
+    }
+
+    /// Fire-and-forget: run `f` on some pool worker. Unlike
+    /// [`Pool::scope`] there is no completion barrier — callers
+    /// coordinate through channels or counters (this is what a task
+    /// scheduler submitting to executor pools wants).
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) {
+        self.shared.push_job(Box::new(f));
+    }
+
+    /// Structured fork-join: run `op` with a [`Scope`] that may spawn
+    /// tasks borrowing from the caller's stack frame. Returns only after
+    /// every transitively spawned task has completed. Panics from tasks
+    /// (or from `op`) are propagated after all tasks finish.
+    pub fn scope<'env, F, R>(&self, op: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        self.shared.metrics.record_scope();
+        Scope::enter(&self.shared, op)
+    }
+
+    /// Run two closures, potentially in parallel, returning both results.
+    /// `a` runs on the calling thread; `b` is offered to the pool.
+    pub fn join<A, B, RA, RB>(&self, a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let mut rb = None;
+        let ra = self.scope(|s| {
+            s.spawn(|_| rb = Some(b()));
+            a()
+        });
+        (ra, rb.expect("join branch completed"))
+    }
+
+    /// OpenMP-style `parallel for` over `start..end`, invoking `f(i)` for
+    /// every index. Iterations are grouped into contiguous chunks (about
+    /// four per thread) to amortize scheduling.
+    pub fn parallel_for<F>(&self, start: usize, end: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if end <= start {
+            return;
+        }
+        let n = end - start;
+        if self.threads() == 1 || n == 1 {
+            for i in start..end {
+                f(i);
+            }
+            return;
+        }
+        let parts = (self.threads() * 4).min(n);
+        self.scope(|s| {
+            for (cs, ce) in crate::split_ranges(n, parts) {
+                let f = &f;
+                s.spawn(move |_| {
+                    for i in cs..ce {
+                        f(start + i);
+                    }
+                });
+            }
+        });
+    }
+
+    /// `parallel for` over the cartesian product of two index ranges.
+    pub fn parallel_for_2d<F>(&self, (i0, i1): (usize, usize), (j0, j1): (usize, usize), f: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if i1 <= i0 || j1 <= j0 {
+            return;
+        }
+        let nj = j1 - j0;
+        self.parallel_for(0, (i1 - i0) * nj, |idx| {
+            f(i0 + idx / nj, j0 + idx % nj);
+        });
+    }
+
+    /// Parallel map-reduce over an index range: `map(i)` per index,
+    /// combined with `reduce` (must be associative; `identity` is its
+    /// neutral element). Chunk-local folds run in parallel; the final
+    /// combine is sequential over ~4×threads partials.
+    pub fn parallel_reduce<T, M, R>(
+        &self,
+        start: usize,
+        end: usize,
+        identity: T,
+        map: M,
+        reduce: R,
+    ) -> T
+    where
+        T: Send + Clone,
+        M: Fn(usize) -> T + Sync,
+        R: Fn(T, T) -> T + Sync,
+    {
+        if end <= start {
+            return identity;
+        }
+        let n = end - start;
+        if self.threads() == 1 || n == 1 {
+            let mut acc = identity;
+            for i in start..end {
+                acc = reduce(acc, map(i));
+            }
+            return acc;
+        }
+        let parts = (self.threads() * 4).min(n);
+        let mut partials: Vec<Option<T>> = (0..parts).map(|_| None).collect();
+        self.scope(|s| {
+            for ((cs, ce), slot) in crate::split_ranges(n, parts).zip(partials.iter_mut()) {
+                let map = &map;
+                let reduce = &reduce;
+                let identity = identity.clone();
+                s.spawn(move |_| {
+                    let mut acc = identity;
+                    for i in cs..ce {
+                        acc = reduce(acc, map(start + i));
+                    }
+                    *slot = Some(acc);
+                });
+            }
+        });
+        partials
+            .into_iter()
+            .flatten()
+            .fold(identity, &reduce)
+    }
+
+    /// Apply `f` to disjoint mutable chunks of `data` in parallel.
+    /// `f(chunk, base)` receives each chunk together with the index of
+    /// its first element.
+    pub fn parallel_for_chunks<T, F>(&self, data: &mut [T], chunk: usize, f: F)
+    where
+        T: Send,
+        F: Fn(&mut [T], usize) + Sync,
+    {
+        let chunk = chunk.max(1);
+        self.scope(|s| {
+            for (k, piece) in data.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                s.spawn(move |_| f(piece, k * chunk));
+            }
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.notify();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

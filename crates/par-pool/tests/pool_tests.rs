@@ -1,0 +1,229 @@
+//! Behavioural tests for the fork-join pool.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use par_pool::Pool;
+
+#[test]
+fn parallel_for_visits_every_index_once() {
+    let pool = Pool::new(4);
+    let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+    pool.parallel_for(0, 1000, |i| {
+        hits[i].fetch_add(1, Ordering::Relaxed);
+    });
+    assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+}
+
+#[test]
+fn parallel_for_empty_range_is_noop() {
+    let pool = Pool::new(2);
+    let count = AtomicUsize::new(0);
+    pool.parallel_for(5, 5, |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    pool.parallel_for(7, 3, |_| {
+        count.fetch_add(1, Ordering::Relaxed);
+    });
+    assert_eq!(count.load(Ordering::Relaxed), 0);
+}
+
+#[test]
+fn parallel_for_2d_covers_grid() {
+    let pool = Pool::new(3);
+    let seen = Mutex::new(HashSet::new());
+    pool.parallel_for_2d((2, 5), (10, 14), |i, j| {
+        let fresh = seen.lock().unwrap().insert((i, j));
+        assert!(fresh, "duplicate ({i},{j})");
+    });
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(seen.len(), 3 * 4);
+    assert!(seen.contains(&(2, 10)) && seen.contains(&(4, 13)));
+}
+
+#[test]
+fn join_returns_both_results() {
+    let pool = Pool::new(2);
+    let (a, b) = pool.join(|| 6 * 7, || "ok".to_string());
+    assert_eq!(a, 42);
+    assert_eq!(b, "ok");
+}
+
+#[test]
+fn nested_scopes_do_not_deadlock() {
+    // Recursive fan-out deeper than the worker count: only help-first
+    // waiting makes this terminate.
+    let pool = Pool::new(2);
+    fn fib(pool: &Pool, n: u64) -> u64 {
+        if n < 2 {
+            return n;
+        }
+        let (a, b) = pool.join(|| fib(pool, n - 1), || fib(pool, n - 2));
+        a + b
+    }
+    assert_eq!(fib(&pool, 16), 987);
+}
+
+#[test]
+fn scope_tasks_can_borrow_stack_data() {
+    let pool = Pool::new(4);
+    let mut buckets = [0usize; 8];
+    pool.scope(|s| {
+        for (i, slot) in buckets.iter_mut().enumerate() {
+            s.spawn(move |_| *slot = i * i);
+        }
+    });
+    assert_eq!(buckets[7], 49);
+}
+
+#[test]
+fn recursive_spawns_complete_before_scope_returns() {
+    let pool = Pool::new(3);
+    let count = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|s| {
+                count.fetch_add(1, Ordering::SeqCst);
+                for _ in 0..4 {
+                    s.spawn(|_| {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(count.load(Ordering::SeqCst), 4 + 16);
+}
+
+#[test]
+fn panics_propagate_after_all_tasks_finish() {
+    let pool = Pool::new(2);
+    let completed = AtomicUsize::new(0);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.scope(|s| {
+            s.spawn(|_| panic!("task boom"));
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    completed.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+    }));
+    assert!(result.is_err());
+    assert_eq!(completed.load(Ordering::SeqCst), 8);
+    // Pool must stay usable after a panic.
+    let (a, b) = pool.join(|| 1, || 2);
+    assert_eq!(a + b, 3);
+}
+
+#[test]
+fn single_thread_pool_runs_inline_deterministically() {
+    let pool = Pool::new(1);
+    let order = Vec::new();
+    pool.parallel_for(0, 16, |i| {
+        // Safe: with one thread the fast path runs on this thread.
+        let ptr = &order as *const Vec<usize> as *mut Vec<usize>;
+        unsafe { (*ptr).push(i) };
+    });
+    assert_eq!(order, (0..16usize).collect::<Vec<_>>());
+}
+
+#[test]
+fn chunked_mutation_covers_slice() {
+    let pool = Pool::new(4);
+    let mut data = vec![0u32; 301];
+    pool.parallel_for_chunks(&mut data, 37, |chunk, base| {
+        for (i, x) in chunk.iter_mut().enumerate() {
+            *x = (base + i) as u32;
+        }
+    });
+    for (i, x) in data.iter().enumerate() {
+        assert_eq!(*x, i as u32);
+    }
+}
+
+#[test]
+fn parallel_reduce_sums_and_mins() {
+    let pool = Pool::new(4);
+    let sum = pool.parallel_reduce(0, 1000, 0u64, |i| i as u64, |a, b| a + b);
+    assert_eq!(sum, 499_500);
+    let min = pool.parallel_reduce(
+        0,
+        1000,
+        f64::INFINITY,
+        |i| ((i as f64) - 700.0).abs(),
+        f64::min,
+    );
+    assert_eq!(min, 0.0);
+    // Empty range → identity.
+    assert_eq!(pool.parallel_reduce(5, 5, 42u64, |_| 0, |a, b| a + b), 42);
+}
+
+#[test]
+fn metrics_count_tasks() {
+    let pool = Pool::new(2);
+    pool.parallel_for(0, 64, |_| {});
+    assert!(pool.metrics().tasks_executed() > 0);
+    assert!(pool.metrics().scopes_entered() >= 1);
+}
+
+#[test]
+fn heavy_mixed_load_smoke() {
+    let pool = Pool::new(4);
+    let total = AtomicUsize::new(0);
+    pool.scope(|s| {
+        for _ in 0..32 {
+            s.spawn(|s| {
+                for _ in 0..8 {
+                    s.spawn(|_| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 32 * 8);
+    // Pool keeps working across many scopes.
+    for _ in 0..50 {
+        let sum = AtomicUsize::new(0);
+        pool.parallel_for(0, 100, |i| {
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 4950);
+    }
+}
+
+#[test]
+fn scope_completion_race_hammer() {
+    // Regression: `Scope::complete` once touched the scope after the
+    // pending counter hit zero — a use-after-free when the owner
+    // returned between the decrement and the wakeup. Thousands of
+    // short-lived scopes with instant tasks maximize that window.
+    let pool = Pool::new(2);
+    for _ in 0..20_000 {
+        let mut x = 0u64;
+        pool.scope(|s| {
+            s.spawn(|_| {
+                std::hint::black_box(1u64);
+            });
+            x += 1;
+        });
+        assert_eq!(x, 1);
+    }
+    // And from several driver threads at once.
+    std::thread::scope(|ts| {
+        for _ in 0..4 {
+            ts.spawn(|| {
+                let local = Pool::new(2);
+                for _ in 0..2_000 {
+                    local.scope(|s| {
+                        s.spawn(|_| {
+                            std::hint::black_box(2u64);
+                        });
+                    });
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,139 @@
+//! Engine configuration — the knobs the paper's experimental setup
+//! fixes per cluster (`--num-executors`, `--executor-cores`, RDD
+//! partition count, executor memory).
+
+/// Configuration of a [`crate::SparkContext`].
+#[derive(Debug, Clone)]
+pub struct SparkConf {
+    /// Number of simulated cluster nodes = executors (the paper runs
+    /// one executor per node).
+    pub executors: usize,
+    /// Modeled task slots per executor (`executor-cores`). Recorded to
+    /// the event log and used by the cost model; also the upper bound
+    /// on real concurrency inside an executor pool.
+    pub executor_cores: usize,
+    /// Real OS worker threads per executor pool. The cluster is larger
+    /// than the host, so this defaults to 1; correctness never depends
+    /// on it.
+    pub worker_threads: usize,
+    /// Default number of RDD partitions (the paper: 2 × total cores).
+    pub default_partitions: usize,
+    /// Local-storage capacity per node available for shuffle staging,
+    /// if limited. Exceeding it fails the job
+    /// ([`crate::JobError::StagingOverflow`]).
+    pub staging_capacity: Option<u64>,
+    /// Cached-partition memory per executor, if limited.
+    pub executor_memory: Option<u64>,
+    /// Maximum attempts per task before the job fails (lineage retry).
+    pub max_task_attempts: usize,
+}
+
+impl Default for SparkConf {
+    fn default() -> Self {
+        SparkConf {
+            executors: 4,
+            executor_cores: 4,
+            worker_threads: 1,
+            default_partitions: 32,
+            staging_capacity: None,
+            executor_memory: None,
+            max_task_attempts: 4,
+        }
+    }
+}
+
+impl SparkConf {
+    /// Conf shaped like the paper's cluster 1 runs: 16 executors ×
+    /// 32 cores, 1024 partitions.
+    pub fn paper_cluster1() -> Self {
+        SparkConf {
+            executors: 16,
+            executor_cores: 32,
+            worker_threads: 1,
+            default_partitions: 1024,
+            staging_capacity: Some(1 << 40),
+            executor_memory: Some(160 << 30),
+            max_task_attempts: 4,
+        }
+    }
+
+    /// Conf shaped like the paper's cluster 2 runs: 16 executors ×
+    /// 20 cores, 640 partitions.
+    pub fn paper_cluster2() -> Self {
+        SparkConf {
+            executors: 16,
+            executor_cores: 20,
+            worker_threads: 1,
+            default_partitions: 640,
+            staging_capacity: Some(1 << 40),
+            executor_memory: Some(60 << 30),
+            max_task_attempts: 4,
+        }
+    }
+
+    /// Set the executor (node) count.
+    pub fn with_executors(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.executors = n;
+        self
+    }
+
+    /// Set task slots per executor.
+    pub fn with_executor_cores(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.executor_cores = n;
+        self
+    }
+
+    /// Set the default RDD partition count.
+    pub fn with_partitions(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.default_partitions = n;
+        self
+    }
+
+    /// Set real OS worker threads per executor pool.
+    pub fn with_worker_threads(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.worker_threads = n;
+        self
+    }
+
+    /// Cap per-node shuffle staging (the paper's SSD constraint).
+    pub fn with_staging_capacity(mut self, bytes: u64) -> Self {
+        self.staging_capacity = Some(bytes);
+        self
+    }
+
+    /// Cap cached-partition memory per executor.
+    pub fn with_executor_memory(mut self, bytes: u64) -> Self {
+        self.executor_memory = Some(bytes);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_confs_match_section_v() {
+        let c1 = SparkConf::paper_cluster1();
+        assert_eq!(c1.executors, 16);
+        assert_eq!(c1.executor_cores, 32);
+        assert_eq!(c1.default_partitions, 1024);
+        let c2 = SparkConf::paper_cluster2();
+        assert_eq!(c2.default_partitions, 640);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SparkConf::default()
+            .with_executors(8)
+            .with_executor_cores(2)
+            .with_partitions(64)
+            .with_staging_capacity(1024);
+        assert_eq!((c.executors, c.executor_cores, c.default_partitions), (8, 2, 64));
+        assert_eq!(c.staging_capacity, Some(1024));
+    }
+}

@@ -1,0 +1,264 @@
+//! The driver-side context: executors, shared services, and task state.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cluster_model::{KernelInvocation, TaskRecord};
+use parking_lot::Mutex;
+
+use crate::broadcast::{Broadcast, BroadcastStore};
+use crate::codec::Storable;
+use crate::config::SparkConf;
+use crate::metrics::EventLog;
+use crate::partitioner::{HashPartitioner, Partitioner};
+use crate::rdd::{Key, Rdd, ShufVal};
+use crate::scheduler::FaultPlan;
+use crate::shuffle::ShuffleManager;
+use crate::storage::BlockStore;
+use crate::Data;
+
+/// One simulated cluster node: a worker pool plus its block store.
+pub struct Executor {
+    /// Node index.
+    pub node: usize,
+    /// Worker pool executing this node's tasks.
+    pub pool: par_pool::Pool,
+    /// This node's cached-partition store.
+    pub store: BlockStore,
+}
+
+pub(crate) struct CtxInner {
+    pub conf: SparkConf,
+    pub executors: Vec<Executor>,
+    pub shuffle: ShuffleManager,
+    pub bcast: Arc<BroadcastStore>,
+    pub log: Mutex<EventLog>,
+    pub faults: Mutex<FaultPlan>,
+    ids: AtomicU64,
+    pub stage_ordinal: AtomicU64,
+}
+
+/// The entry point: create one per simulated cluster. Cheap to clone
+/// (shared handle), like Spark's `SparkContext`.
+#[derive(Clone)]
+pub struct SparkContext {
+    pub(crate) inner: Arc<CtxInner>,
+}
+
+impl SparkContext {
+    /// Build a context (spawns the executor pools).
+    pub fn new(conf: SparkConf) -> Self {
+        assert!(conf.executors >= 1);
+        let executors = (0..conf.executors)
+            .map(|node| Executor {
+                node,
+                pool: par_pool::Pool::builder()
+                    .threads(conf.worker_threads.min(conf.executor_cores).max(1))
+                    .name_prefix(format!("exec-{node}"))
+                    .build(),
+                store: BlockStore::new(node, conf.executor_memory),
+            })
+            .collect();
+        let shuffle = ShuffleManager::new(conf.executors, conf.staging_capacity);
+        SparkContext {
+            inner: Arc::new(CtxInner {
+                executors,
+                shuffle,
+                bcast: Arc::new(BroadcastStore::default()),
+                log: Mutex::new(EventLog::default()),
+                faults: Mutex::new(FaultPlan::default()),
+                ids: AtomicU64::new(1),
+                stage_ordinal: AtomicU64::new(0),
+                conf,
+            }),
+        }
+    }
+
+    /// The configuration this context was built with.
+    pub fn conf(&self) -> &SparkConf {
+        &self.inner.conf
+    }
+
+    /// Number of executors (simulated nodes).
+    pub fn num_executors(&self) -> usize {
+        self.inner.conf.executors
+    }
+
+    pub(crate) fn next_id(&self) -> u64 {
+        self.inner.ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Create a pair RDD from driver-side data, hash-partitioned into
+    /// `partitions` (defaults to the configured partition count).
+    pub fn parallelize<K: Key, V: ShufVal>(
+        &self,
+        data: Vec<(K, V)>,
+        partitions: Option<usize>,
+    ) -> Rdd<K, V> {
+        let parts = partitions.unwrap_or(self.inner.conf.default_partitions);
+        self.parallelize_with(data, parts, Arc::new(HashPartitioner))
+    }
+
+    /// Create a pair RDD with an explicit partitioner.
+    pub fn parallelize_with<K: Key, V: ShufVal>(
+        &self,
+        data: Vec<(K, V)>,
+        partitions: usize,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<K, V> {
+        Rdd::parallelize(self.clone(), data, partitions, partitioner)
+    }
+
+    /// Union several RDDs (partitions concatenate; no shuffle).
+    pub fn union<K: Key, V: ShufVal>(&self, rdds: Vec<Rdd<K, V>>) -> Rdd<K, V> {
+        assert!(!rdds.is_empty(), "union of zero RDDs");
+        let mut iter = rdds.into_iter();
+        let first = iter.next().unwrap();
+        iter.fold(first, |acc, r| acc.union(&r))
+    }
+
+    /// Ship a value to all executors through shared storage (the CB
+    /// transport). Driver traffic is *not* logged here — the CB driver
+    /// loop logs it per stage via [`SparkContext::log_driver_traffic`].
+    pub fn broadcast<T: Data + Storable>(&self, value: &T) -> Broadcast<T> {
+        Broadcast::create(self.next_id(), value, Arc::clone(&self.inner.bcast))
+    }
+
+    /// Append a driver-only pseudo-stage carrying collect/broadcast
+    /// byte volumes (the CB pattern's serial phase).
+    pub fn log_driver_traffic(&self, label: &str, collect_bytes: u64, broadcast_bytes: u64) {
+        self.inner.log.lock().push(
+            label.to_string(),
+            cluster_model::StageRecord {
+                tasks: vec![],
+                collect_bytes,
+                broadcast_bytes,
+            },
+        );
+    }
+
+    /// Run `f` over a snapshot view of the event log.
+    pub fn with_event_log<R>(&self, f: impl FnOnce(&EventLog) -> R) -> R {
+        f(&self.inner.log.lock())
+    }
+
+    /// Drain the event log (between benchmark configurations).
+    pub fn take_event_log(&self) -> Vec<crate::metrics::StageEvent> {
+        self.inner.log.lock().take()
+    }
+
+    /// Drop all shuffle data and reset staging accounting. Safe once
+    /// downstream RDDs have been checkpointed (their lineage no longer
+    /// reaches the dropped shuffles).
+    pub fn clear_shuffles(&self) {
+        self.inner.shuffle.clear();
+    }
+
+    /// Currently staged shuffle bytes on `node`.
+    pub fn staged_bytes(&self, node: usize) -> u64 {
+        self.inner.shuffle.staged_bytes(node)
+    }
+
+    /// Inject a failure: the task for `partition` of the `stage`-th
+    /// stage (0-based global ordinal) fails `times` times before
+    /// succeeding — exercising lineage-based retry.
+    pub fn inject_failure(&self, stage: u64, partition: usize, times: usize) {
+        self.inner.faults.lock().add(stage, partition, times);
+    }
+
+    /// Global ordinal the *next* stage will get.
+    pub fn next_stage_ordinal(&self) -> u64 {
+        self.inner.stage_ordinal.load(Ordering::Relaxed)
+    }
+}
+
+/// A driver-visible, add-only counter that tasks update — Spark's
+/// `LongAccumulator`. As in Spark, updates from retried tasks are
+/// counted again (accumulators are for metrics, not exact algebra).
+#[derive(Clone)]
+pub struct Accumulator {
+    name: Arc<String>,
+    value: Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl Accumulator {
+    /// Add to the counter (task side).
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Read the current total (driver side).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// The accumulator's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl SparkContext {
+    /// Create a named add-only counter usable from task closures.
+    pub fn long_accumulator(&self, name: impl Into<String>) -> Accumulator {
+        Accumulator {
+            name: Arc::new(name.into()),
+            value: Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Per-task state handed to every task closure: identifies the node
+/// and accumulates the task's metric record.
+pub struct TaskContext {
+    node: usize,
+    record: Mutex<TaskRecord>,
+}
+
+impl TaskContext {
+    /// Context for a task on `node`.
+    pub fn new(node: usize) -> Self {
+        TaskContext {
+            node,
+            record: Mutex::new(TaskRecord {
+                node,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// The executor (node) this task runs on.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// Record a kernel execution (called by the DP executors so the
+    /// cost model can price the compute).
+    pub fn record_kernel(&self, inv: KernelInvocation) {
+        self.record.lock().kernels.push(inv);
+    }
+
+    /// Record shuffle bytes fetched from another node.
+    pub fn add_remote_read(&self, bytes: u64) {
+        self.record.lock().remote_read_bytes += bytes;
+    }
+
+    /// Record bytes read from this node's storage.
+    pub fn add_local_read(&self, bytes: u64) {
+        self.record.lock().local_read_bytes += bytes;
+    }
+
+    /// Record map-output bytes staged to local storage.
+    pub fn add_shuffle_write(&self, bytes: u64) {
+        self.record.lock().shuffle_write_bytes += bytes;
+    }
+
+    /// Copy of the record so far (tests; the scheduler takes the final).
+    pub fn snapshot(&self) -> TaskRecord {
+        self.record.lock().clone()
+    }
+
+    pub(crate) fn into_record(self) -> TaskRecord {
+        self.record.into_inner()
+    }
+}

@@ -1,0 +1,87 @@
+//! Job-level errors.
+
+use std::fmt;
+
+/// Why a job (action or checkpoint) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// A task panicked (message captured) and exhausted its retries.
+    TaskFailed {
+        /// Label of the failing stage.
+        stage: String,
+        /// Partition whose task failed.
+        partition: usize,
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// Panic or error message of the last attempt.
+        message: String,
+    },
+    /// Shuffle staging exceeded the node's local-storage capacity — the
+    /// paper's In-Memory failure mode for large inputs/many replicas.
+    StagingOverflow {
+        /// Node whose staging filled up.
+        node: usize,
+        /// Bytes staged at failure.
+        used: u64,
+        /// Configured capacity.
+        capacity: u64,
+    },
+    /// Cached partitions exceeded configured executor memory.
+    MemoryOverflow {
+        /// Node whose cache filled up.
+        node: usize,
+        /// Bytes cached at failure.
+        used: u64,
+        /// Configured capacity.
+        capacity: u64,
+    },
+    /// Serialization error.
+    Codec(String),
+    /// A referenced shuffle/broadcast/cache entry is missing (lineage
+    /// was cleared while still referenced, or an engine bug).
+    MissingBlock(String),
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::TaskFailed {
+                stage,
+                partition,
+                attempts,
+                message,
+            } => write!(
+                f,
+                "task for partition {partition} of stage '{stage}' failed after {attempts} attempts: {message}"
+            ),
+            JobError::StagingOverflow { node, used, capacity } => write!(
+                f,
+                "shuffle staging overflow on node {node}: {used} bytes staged, capacity {capacity}"
+            ),
+            JobError::MemoryOverflow { node, used, capacity } => write!(
+                f,
+                "executor memory overflow on node {node}: {used} bytes cached, capacity {capacity}"
+            ),
+            JobError::Codec(msg) => write!(f, "codec error: {msg}"),
+            JobError::MissingBlock(what) => write!(f, "missing block: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_usefully() {
+        let e = JobError::StagingOverflow {
+            node: 3,
+            used: 100,
+            capacity: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("node 3") && s.contains("100") && s.contains("64"));
+    }
+}

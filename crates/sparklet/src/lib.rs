@@ -1,0 +1,62 @@
+//! `sparklet` — a Spark-like distributed dataflow engine, built from
+//! scratch as the substrate for reproducing *Efficient Execution of
+//! Dynamic Programming Algorithms on Apache Spark* (CLUSTER 2020).
+//!
+//! The engine reproduces the Spark mechanisms the paper's evaluation
+//! depends on:
+//!
+//! * **lazy pair-RDDs with lineage** — transformations
+//!   ([`Rdd::map`], [`Rdd::filter`], [`Rdd::flat_map`], [`Rdd::union`],
+//!   [`Rdd::map_partitions`]) build a plan; nothing runs until an
+//!   action ([`Rdd::collect`], [`Rdd::count`]) or a checkpoint;
+//! * **narrow vs wide dependencies** — narrow chains fuse into one pass
+//!   per partition inside a task; wide ops ([`Rdd::partition_by`],
+//!   [`Rdd::combine_by_key`], [`Rdd::group_by_key`],
+//!   [`Rdd::reduce_by_key`]) cut the job into stages and move data
+//!   through a shuffle with **real byte-level serialization**;
+//! * **executors** — one per simulated cluster node, each with a
+//!   worker pool; tasks are placed by preferred location (cached
+//!   partitions) or round-robin, and every task's work and traffic is
+//!   recorded into an event log the cost model consumes;
+//! * **shuffle staging** — map outputs are staged per node and count
+//!   against a configurable local-storage capacity; exceeding it fails
+//!   the job exactly like the paper's In-Memory drawback #2;
+//! * **driver collect / broadcast** — the Collect-Broadcast pattern's
+//!   primitives, with driver traffic recorded;
+//! * **lineage-based recovery** — injected task failures are retried
+//!   (bounded attempts) by recomputing from lineage, Spark-style.
+//!
+//! The cluster is *simulated within one process*: executors are thread
+//! pools, the "network" is the shuffle manager, and the recorded event
+//! log is mapped to cluster seconds by the `cluster-model` crate. The
+//! dataflow itself — partitioning, stage structure, bytes moved, task
+//! placement — is real, which is what the reproduction needs.
+
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod codec;
+pub mod config;
+pub mod context;
+pub mod error;
+pub mod ext;
+pub mod metrics;
+pub mod partitioner;
+pub mod rdd;
+pub mod scheduler;
+pub mod shuffle;
+pub mod storage;
+
+pub use broadcast::Broadcast;
+pub use codec::Storable;
+pub use config::SparkConf;
+pub use context::{Accumulator, SparkContext, TaskContext};
+pub use ext::{Either, RangePartitioner};
+pub use error::JobError;
+pub use metrics::EventLog;
+pub use partitioner::{GridPartitioner, HashPartitioner, Partitioner};
+pub use rdd::Rdd;
+
+/// Bound for anything that flows through an RDD.
+pub trait Data: Clone + Send + Sync + 'static {}
+impl<T: Clone + Send + Sync + 'static> Data for T {}

@@ -1,0 +1,151 @@
+//! Execution event log — the bridge between real `sparklet` runs and
+//! the `cluster-model` cost model.
+
+use cluster_model::StageRecord;
+
+/// One completed stage with a human-readable label.
+#[derive(Debug, Clone, Default)]
+pub struct StageEvent {
+    /// Stage label (engine-assigned).
+    pub label: String,
+    /// The stage's recorded tasks and traffic.
+    pub record: StageRecord,
+    /// Real wall-clock seconds the stage took on the host (for
+    /// comparing against the simulated cluster seconds).
+    pub wall_seconds: f64,
+}
+
+/// Ordered log of every stage a context has executed.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    stages: Vec<StageEvent>,
+}
+
+impl EventLog {
+    /// Append a completed stage.
+    pub fn push(&mut self, label: String, record: StageRecord) {
+        self.push_timed(label, record, 0.0);
+    }
+
+    /// Append a completed stage with its measured host wall time.
+    pub fn push_timed(&mut self, label: String, record: StageRecord, wall_seconds: f64) {
+        self.stages.push(StageEvent {
+            label,
+            record,
+            wall_seconds,
+        });
+    }
+
+    /// Total host wall seconds across stages.
+    pub fn total_wall_seconds(&self) -> f64 {
+        self.stages.iter().map(|s| s.wall_seconds).sum()
+    }
+
+    /// All stages in execution order.
+    pub fn stages(&self) -> &[StageEvent] {
+        &self.stages
+    }
+
+    /// Number of stages executed.
+    pub fn stage_count(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Total tasks across all stages.
+    pub fn task_count(&self) -> usize {
+        self.stages.iter().map(|s| s.record.tasks.len()).sum()
+    }
+
+    /// Total shuffle bytes fetched across node boundaries.
+    pub fn total_remote_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.record.tasks)
+            .map(|t| t.remote_read_bytes)
+            .sum()
+    }
+
+    /// Total shuffle bytes fetched from the task's own node.
+    pub fn total_local_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.record.tasks)
+            .map(|t| t.local_read_bytes)
+            .sum()
+    }
+
+    /// Total map-output bytes staged to local storage.
+    pub fn total_staged_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.record.tasks)
+            .map(|t| t.shuffle_write_bytes)
+            .sum()
+    }
+
+    /// Total driver collect bytes (CB pattern).
+    pub fn total_collect_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.collect_bytes).sum()
+    }
+
+    /// Total broadcast bytes read back by executors (CB pattern).
+    pub fn total_broadcast_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.broadcast_bytes).sum()
+    }
+
+    /// Plain records for the cost model.
+    pub fn records(&self) -> Vec<StageRecord> {
+        self.stages.iter().map(|s| s.record.clone()).collect()
+    }
+
+    /// Drain everything (e.g. between benchmark configurations).
+    pub fn take(&mut self) -> Vec<StageEvent> {
+        std::mem::take(&mut self.stages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster_model::TaskRecord;
+
+    #[test]
+    fn aggregates_sum_over_stages() {
+        let mut log = EventLog::default();
+        log.push(
+            "s0".into(),
+            StageRecord {
+                tasks: vec![TaskRecord {
+                    node: 0,
+                    remote_read_bytes: 10,
+                    local_read_bytes: 5,
+                    shuffle_write_bytes: 7,
+                    ..Default::default()
+                }],
+                collect_bytes: 100,
+                broadcast_bytes: 50,
+            },
+        );
+        log.push(
+            "s1".into(),
+            StageRecord {
+                tasks: vec![TaskRecord {
+                    node: 1,
+                    remote_read_bytes: 1,
+                    ..Default::default()
+                }],
+                ..Default::default()
+            },
+        );
+        assert_eq!(log.stage_count(), 2);
+        assert_eq!(log.task_count(), 2);
+        assert_eq!(log.total_remote_bytes(), 11);
+        assert_eq!(log.total_local_bytes(), 5);
+        assert_eq!(log.total_staged_bytes(), 7);
+        assert_eq!(log.total_collect_bytes(), 100);
+        assert_eq!(log.total_broadcast_bytes(), 50);
+        let taken = log.take();
+        assert_eq!(taken.len(), 2);
+        assert_eq!(log.stage_count(), 0);
+    }
+}

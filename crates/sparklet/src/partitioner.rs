@@ -1,0 +1,147 @@
+//! Key → partition placement.
+//!
+//! The paper uses Spark's default (hash) partitioner and names custom
+//! partitioners exploiting the GEP dependency structure as future work;
+//! [`GridPartitioner`] implements that future work for `(i, j)` block
+//! keys and is evaluated in the ablation benches.
+
+use std::hash::{Hash, Hasher};
+
+use crate::Data;
+
+/// Decides which of `num_partitions` a key belongs to. Implementations
+/// must be pure: the same key always maps to the same partition.
+pub trait Partitioner<K>: Send + Sync {
+    /// Partition index for `key` among `num_partitions`.
+    fn partition(&self, key: &K, num_partitions: usize) -> usize;
+
+    /// Identity for shuffle-elision: two partitioners with equal
+    /// signatures place every key identically, so re-partitioning by
+    /// the same signature and count skips the shuffle (Spark's
+    /// "already partitioned" fast path, footnote 1 of the paper).
+    fn signature(&self) -> (&'static str, u64);
+}
+
+/// Spark's default: partition by key hash. "Probabilistic" in the
+/// paper's words — no locality guarantee for structured keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HashPartitioner;
+
+impl<K: Hash + Data> Partitioner<K> for HashPartitioner {
+    fn partition(&self, key: &K, num_partitions: usize) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % num_partitions as u64) as usize
+    }
+
+    fn signature(&self) -> (&'static str, u64) {
+        ("hash", 0)
+    }
+}
+
+/// Locality-aware partitioner for `(block_row, block_col)` keys on an
+/// `r×r` block grid: contiguous grid tiles land in the same partition,
+/// so the B/C/D kernels of one phase mostly read co-located blocks —
+/// the custom partitioner the paper leaves as future work.
+#[derive(Debug, Clone, Copy)]
+pub struct GridPartitioner {
+    /// Side of the block grid being partitioned.
+    pub grid: usize,
+}
+
+impl GridPartitioner {
+    /// Partitioner for an `grid×grid` block grid.
+    pub fn new(grid: usize) -> Self {
+        assert!(grid >= 1);
+        GridPartitioner { grid }
+    }
+}
+
+impl Partitioner<(usize, usize)> for GridPartitioner {
+    fn partition(&self, key: &(usize, usize), num_partitions: usize) -> usize {
+        let (i, j) = *key;
+        // Row-major block index, scaled onto partitions in contiguous
+        // runs: neighbours in a block row share a partition.
+        let idx = (i % self.grid) * self.grid + (j % self.grid);
+        let total = self.grid * self.grid;
+        idx * num_partitions / total
+    }
+
+    fn signature(&self) -> (&'static str, u64) {
+        ("grid", self.grid as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partitioner_is_stable_and_in_range() {
+        let p = HashPartitioner;
+        for i in 0..100usize {
+            for j in 0..10usize {
+                let a = p.partition(&(i, j), 16);
+                let b = p.partition(&(i, j), 16);
+                assert_eq!(a, b);
+                assert!(a < 16);
+            }
+        }
+    }
+
+    #[test]
+    fn hash_partitioner_spreads_keys() {
+        let p = HashPartitioner;
+        let mut counts = vec![0usize; 8];
+        for i in 0..32usize {
+            for j in 0..32usize {
+                counts[p.partition(&(i, j), 8)] += 1;
+            }
+        }
+        // No partition should be empty or hold more than half the keys.
+        for &c in &counts {
+            assert!(c > 0 && c < 512, "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn grid_partitioner_covers_all_partitions() {
+        let p = GridPartitioner::new(8);
+        let mut seen = [false; 16];
+        for i in 0..8 {
+            for j in 0..8 {
+                let part = p.partition(&(i, j), 16);
+                assert!(part < 16);
+                seen[part] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some partitions unused");
+    }
+
+    #[test]
+    fn grid_partitioner_keeps_row_neighbours_close() {
+        let p = GridPartitioner::new(16);
+        // With 16 partitions over a 16×16 grid, each block row maps to
+        // one partition.
+        let base = p.partition(&(3, 0), 16);
+        for j in 0..16 {
+            assert_eq!(p.partition(&(3, j), 16), base);
+        }
+        assert_ne!(p.partition(&(4, 0), 16), base);
+    }
+
+    #[test]
+    fn signatures_distinguish() {
+        let h: &dyn Partitioner<(usize, usize)> = &HashPartitioner;
+        let g: &dyn Partitioner<(usize, usize)> = &GridPartitioner::new(4);
+        assert_ne!(h.signature(), g.signature());
+        assert_eq!(
+            g.signature(),
+            GridPartitioner::new(4).signature()
+        );
+        assert_ne!(
+            Partitioner::<(usize, usize)>::signature(&GridPartitioner::new(4)),
+            Partitioner::<(usize, usize)>::signature(&GridPartitioner::new(8)),
+        );
+    }
+}

@@ -1,0 +1,1062 @@
+//! Lazy pair-RDDs with lineage.
+//!
+//! An [`Rdd<K, V>`] is a handle to a plan node implementing the
+//! internal `RddOps` trait.
+//! Narrow transformations wrap their parent and fuse at compute time
+//! (one pass per partition, like Spark pipelining); wide
+//! transformations own a shuffle that is materialized — as its own
+//! stage, executed on the executor pools — the first time anything
+//! downstream needs it. Actions materialize all upstream shuffles and
+//! then run a result stage.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::{Buf, BytesMut};
+use parking_lot::Mutex;
+
+use crate::codec::Storable;
+use crate::context::{SparkContext, TaskContext};
+use crate::error::JobError;
+use crate::partitioner::Partitioner;
+use crate::Data;
+
+/// Key bound: hashable, comparable, serializable.
+pub trait Key: Data + Eq + std::hash::Hash + Storable {}
+impl<T: Data + Eq + std::hash::Hash + Storable> Key for T {}
+
+/// Value bound: serializable payload.
+pub trait ShufVal: Data + Storable {}
+impl<T: Data + Storable> ShufVal for T {}
+
+/// Partition-identity signature: (partitioner name, parameter,
+/// partition count). Equal signatures ⇒ identical key placement.
+pub type PartSig = (&'static str, u64, usize);
+
+/// A plan node. Object-safe so lineages can mix key/value types.
+pub(crate) trait RddOps<K: Key, V: ShufVal>: Send + Sync {
+    fn ctx(&self) -> &SparkContext;
+    fn num_partitions(&self) -> usize;
+    /// Present when the keys of this RDD are known to be placed by a
+    /// specific partitioner (enables shuffle elision).
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        None
+    }
+    /// Materialize every shuffle this node (transitively) depends on.
+    fn ensure_deps(&self) -> Result<(), JobError>;
+    /// Produce partition `p` (runs inside a task).
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError>;
+    fn preferred_node(&self, _p: usize) -> Option<usize> {
+        None
+    }
+    /// Append this node (and its lineage) to a plan description, one
+    /// line per node, two spaces per depth level.
+    fn explain_into(&self, depth: usize, out: &mut String);
+}
+
+fn write_plan_line(out: &mut String, depth: usize, line: &str) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(line);
+    out.push('\n');
+}
+
+fn pairs_bytes<K: Key, V: ShufVal>(items: &[(K, V)]) -> u64 {
+    items
+        .iter()
+        .map(|(k, v)| (k.approx_bytes() + v.approx_bytes()) as u64)
+        .sum()
+}
+
+// ---------------------------------------------------------------------
+// Plan nodes
+// ---------------------------------------------------------------------
+
+struct ParallelizeRdd<K, V> {
+    ctx: SparkContext,
+    parts: Arc<Vec<Vec<(K, V)>>>,
+    sig: Option<PartSig>,
+}
+
+impl<K: Key, V: ShufVal> RddOps<K, V> for ParallelizeRdd<K, V> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(out, depth, &format!("Parallelize [{} partitions]", self.parts.len()));
+    }
+    fn ctx(&self) -> &SparkContext {
+        &self.ctx
+    }
+    fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        self.sig
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        Ok(())
+    }
+    fn compute(&self, p: usize, _tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        Ok(self.parts[p].clone())
+    }
+}
+
+struct MapRdd<K1: Key, V1: ShufVal, K2, V2> {
+    parent: Arc<dyn RddOps<K1, V1>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn((K1, V1)) -> (K2, V2) + Send + Sync>,
+}
+
+impl<K1: Key, V1: ShufVal, K2: Key, V2: ShufVal> RddOps<K2, V2> for MapRdd<K1, V1, K2, V2> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(out, depth, "Map [narrow]");
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K2, V2)>, JobError> {
+        Ok(self.parent.compute(p, tc)?.into_iter().map(|kv| (self.f)(kv)).collect())
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        self.parent.preferred_node(p)
+    }
+}
+
+struct FlatMapRdd<K1: Key, V1: ShufVal, K2, V2> {
+    parent: Arc<dyn RddOps<K1, V1>>,
+    #[allow(clippy::type_complexity)]
+    f: Arc<dyn Fn((K1, V1)) -> Vec<(K2, V2)> + Send + Sync>,
+}
+
+impl<K1: Key, V1: ShufVal, K2: Key, V2: ShufVal> RddOps<K2, V2> for FlatMapRdd<K1, V1, K2, V2> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(out, depth, "FlatMap [narrow]");
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K2, V2)>, JobError> {
+        Ok(self
+            .parent
+            .compute(p, tc)?
+            .into_iter()
+            .flat_map(|kv| (self.f)(kv))
+            .collect())
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        self.parent.preferred_node(p)
+    }
+}
+
+struct MapValuesRdd<K: Key, V1: ShufVal, V2> {
+    parent: Arc<dyn RddOps<K, V1>>,
+    f: Arc<dyn Fn(V1) -> V2 + Send + Sync>,
+}
+
+impl<K: Key, V1: ShufVal, V2: ShufVal> RddOps<K, V2> for MapValuesRdd<K, V1, V2> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(out, depth, "MapValues [narrow, preserves partitioning]");
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        // Keys unchanged ⇒ placement preserved.
+        self.parent.partitioner_sig()
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V2)>, JobError> {
+        Ok(self
+            .parent
+            .compute(p, tc)?
+            .into_iter()
+            .map(|(k, v)| (k, (self.f)(v)))
+            .collect())
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        self.parent.preferred_node(p)
+    }
+}
+
+/// Shared predicate over key-value pairs.
+type PredFn<K, V> = Arc<dyn Fn(&K, &V) -> bool + Send + Sync>;
+
+struct FilterRdd<K: Key, V: ShufVal> {
+    parent: Arc<dyn RddOps<K, V>>,
+    pred: PredFn<K, V>,
+}
+
+impl<K: Key, V: ShufVal> RddOps<K, V> for FilterRdd<K, V> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(out, depth, "Filter [narrow, preserves partitioning]");
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        self.parent.partitioner_sig()
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        Ok(self
+            .parent
+            .compute(p, tc)?
+            .into_iter()
+            .filter(|(k, v)| (self.pred)(k, v))
+            .collect())
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        self.parent.preferred_node(p)
+    }
+}
+
+struct UnionRdd<K: Key, V: ShufVal> {
+    parents: Vec<Arc<dyn RddOps<K, V>>>,
+}
+
+impl<K: Key, V: ShufVal> UnionRdd<K, V> {
+    fn locate(&self, p: usize) -> (usize, usize) {
+        let mut off = 0;
+        for (i, parent) in self.parents.iter().enumerate() {
+            let n = parent.num_partitions();
+            if p < off + n {
+                return (i, p - off);
+            }
+            off += n;
+        }
+        panic!("partition {p} out of range");
+    }
+}
+
+impl<K: Key, V: ShufVal> RddOps<K, V> for UnionRdd<K, V> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(out, depth, &format!("Union [{} parents, narrow]", self.parents.len()));
+        for parent in &self.parents {
+            parent.explain_into(depth + 1, out);
+        }
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parents[0].ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parents.iter().map(|p| p.num_partitions()).sum()
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        for parent in &self.parents {
+            parent.ensure_deps()?;
+        }
+        Ok(())
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        let (i, local) = self.locate(p);
+        self.parents[i].compute(local, tc)
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        let (i, local) = self.locate(p);
+        self.parents[i].preferred_node(local)
+    }
+}
+
+#[allow(clippy::type_complexity)]
+struct MapPartitionsRdd<K: Key, V: ShufVal> {
+    parent: Arc<dyn RddOps<K, V>>,
+    f: Arc<dyn Fn(usize, Vec<(K, V)>, &TaskContext) -> Vec<(K, V)> + Send + Sync>,
+    preserves_partitioning: bool,
+}
+
+impl<K: Key, V: ShufVal> RddOps<K, V> for MapPartitionsRdd<K, V> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(out, depth, "MapPartitions [narrow]");
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        if self.preserves_partitioning {
+            self.parent.partitioner_sig()
+        } else {
+            None
+        }
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        Ok((self.f)(p, self.parent.compute(p, tc)?, tc))
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        self.parent.preferred_node(p)
+    }
+}
+
+/// Type-changing whole-partition transform (no partitioning preserved).
+#[allow(clippy::type_complexity)]
+struct MapPartitionsToRdd<K1: Key, V1: ShufVal, K2, V2> {
+    parent: Arc<dyn RddOps<K1, V1>>,
+    f: Arc<dyn Fn(usize, Vec<(K1, V1)>, &TaskContext) -> Vec<(K2, V2)> + Send + Sync>,
+}
+
+impl<K1: Key, V1: ShufVal, K2: Key, V2: ShufVal> RddOps<K2, V2>
+    for MapPartitionsToRdd<K1, V1, K2, V2>
+{
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(out, depth, "MapPartitionsTo [narrow]");
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K2, V2)>, JobError> {
+        Ok((self.f)(p, self.parent.compute(p, tc)?, tc))
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        self.parent.preferred_node(p)
+    }
+}
+
+/// Shuffle-free partition-count reduction: output partition `g`
+/// concatenates a fixed group of parent partitions (Spark's
+/// `CoalescedRDD` without locality preferences).
+struct CoalescedRdd<K: Key, V: ShufVal> {
+    parent: Arc<dyn RddOps<K, V>>,
+    groups: Vec<Vec<usize>>,
+}
+
+impl<K: Key, V: ShufVal> RddOps<K, V> for CoalescedRdd<K, V> {
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.groups.len()
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        let mut out = Vec::new();
+        for &pp in &self.groups[p] {
+            out.extend(self.parent.compute(pp, tc)?);
+        }
+        Ok(out)
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        self.groups[p]
+            .first()
+            .and_then(|&pp| self.parent.preferred_node(pp))
+    }
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(
+            out,
+            depth,
+            &format!("Coalesce [{} partitions, narrow]", self.groups.len()),
+        );
+        self.parent.explain_into(depth + 1, out);
+    }
+}
+
+enum ShuffleState {
+    Pending,
+    Done,
+    Failed(JobError),
+}
+
+/// Wide node: re-partition by a partitioner (`partitionBy`).
+struct ShuffledRdd<K: Key, V: ShufVal> {
+    parent: Arc<dyn RddOps<K, V>>,
+    partitioner: Arc<dyn Partitioner<K>>,
+    partitions: usize,
+    shuffle_id: u64,
+    state: Mutex<ShuffleState>,
+}
+
+impl<K: Key, V: ShufVal> ShuffledRdd<K, V> {
+    fn materialize(&self) -> Result<(), JobError> {
+        let mut state = self.state.lock();
+        match &*state {
+            ShuffleState::Done => return Ok(()),
+            ShuffleState::Failed(e) => return Err(e.clone()),
+            ShuffleState::Pending => {}
+        }
+        let result = self.run_map_stage();
+        *state = match &result {
+            Ok(()) => ShuffleState::Done,
+            Err(e) => ShuffleState::Failed(e.clone()),
+        };
+        result
+    }
+
+    fn run_map_stage(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()?;
+        let ctx = self.parent.ctx().clone();
+        let maps = self.parent.num_partitions();
+        ctx.inner.shuffle.register(self.shuffle_id, maps, self.partitions);
+        let parent = Arc::clone(&self.parent);
+        let partitioner = Arc::clone(&self.partitioner);
+        let partitions = self.partitions;
+        let shuffle_id = self.shuffle_id;
+        let inner_ctx = ctx.clone();
+        let pref = {
+            let parent = Arc::clone(&self.parent);
+            move |p: usize| parent.preferred_node(p)
+        };
+        ctx.run_stage(
+            &format!("shuffle#{shuffle_id}.map"),
+            maps,
+            pref,
+            Arc::new(move |p, tc: &TaskContext| {
+                let items = parent.compute(p, tc)?;
+                // Sparse bucket map: most of the (often ~1000) reduce
+                // partitions receive nothing from a given map task.
+                let mut bufs: HashMap<usize, (BytesMut, u64)> = HashMap::new();
+                for (k, v) in items {
+                    let b = partitioner.partition(&k, partitions);
+                    let slot = bufs.entry(b).or_default();
+                    slot.1 += (k.approx_bytes() + v.approx_bytes()) as u64;
+                    k.encode(&mut slot.0);
+                    v.encode(&mut slot.0);
+                }
+                for (bucket, (buf, declared)) in bufs {
+                    inner_ctx.inner.shuffle.write(
+                        shuffle_id,
+                        p,
+                        bucket,
+                        tc.node(),
+                        buf.freeze(),
+                        declared,
+                        tc,
+                    )?;
+                }
+                Ok(())
+            }),
+        )?;
+        Ok(())
+    }
+}
+
+impl<K: Key, V: ShufVal> RddOps<K, V> for ShuffledRdd<K, V> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(
+            out,
+            depth,
+            &format!(
+                "PartitionBy [WIDE shuffle #{}, {} partitions, {}]",
+                self.shuffle_id,
+                self.partitions,
+                self.partitioner.signature().0
+            ),
+        );
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        let (name, param) = self.partitioner.signature();
+        Some((name, param, self.partitions))
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.materialize()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        let ctx = self.parent.ctx();
+        let bufs = ctx.inner.shuffle.fetch(self.shuffle_id, p, tc)?;
+        let mut out = Vec::new();
+        for mut buf in bufs {
+            while buf.has_remaining() {
+                let k = K::decode(&mut buf)?;
+                let v = V::decode(&mut buf)?;
+                out.push((k, v));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Order-preserving group/merge used by map- and reduce-side combining:
+/// deterministic output order (first-seen key order) independent of
+/// hash iteration order.
+fn combine_ordered<K: Key, C>(
+    items: impl IntoIterator<Item = (K, C)>,
+    merge: impl Fn(C, C) -> C,
+) -> Vec<(K, C)> {
+    let mut index: HashMap<K, usize> = HashMap::new();
+    let mut out: Vec<(K, Option<C>)> = Vec::new();
+    for (k, c) in items {
+        match index.get(&k) {
+            Some(&i) => {
+                let prev = out[i].1.take().expect("slot full");
+                out[i].1 = Some(merge(prev, c));
+            }
+            None => {
+                index.insert(k.clone(), out.len());
+                out.push((k, Some(c)));
+            }
+        }
+    }
+    out.into_iter()
+        .map(|(k, c)| (k, c.expect("slot full")))
+        .collect()
+}
+
+/// Wide node: `combineByKey` with map-side combining.
+#[allow(clippy::type_complexity)]
+struct CombinedRdd<K: Key, V: ShufVal, C: ShufVal> {
+    parent: Arc<dyn RddOps<K, V>>,
+    create: Arc<dyn Fn(V) -> C + Send + Sync>,
+    merge_value: Arc<dyn Fn(C, V) -> C + Send + Sync>,
+    merge_combiners: Arc<dyn Fn(C, C) -> C + Send + Sync>,
+    partitioner: Arc<dyn Partitioner<K>>,
+    partitions: usize,
+    shuffle_id: u64,
+    state: Mutex<ShuffleState>,
+}
+
+impl<K: Key, V: ShufVal, C: ShufVal> CombinedRdd<K, V, C> {
+    fn materialize(&self) -> Result<(), JobError> {
+        let mut state = self.state.lock();
+        match &*state {
+            ShuffleState::Done => return Ok(()),
+            ShuffleState::Failed(e) => return Err(e.clone()),
+            ShuffleState::Pending => {}
+        }
+        let result = self.run_map_stage();
+        *state = match &result {
+            Ok(()) => ShuffleState::Done,
+            Err(e) => ShuffleState::Failed(e.clone()),
+        };
+        result
+    }
+
+    fn run_map_stage(&self) -> Result<(), JobError> {
+        self.parent.ensure_deps()?;
+        let ctx = self.parent.ctx().clone();
+        let maps = self.parent.num_partitions();
+        ctx.inner.shuffle.register(self.shuffle_id, maps, self.partitions);
+        let parent = Arc::clone(&self.parent);
+        let create = Arc::clone(&self.create);
+        let merge_value = Arc::clone(&self.merge_value);
+        let merge_combiners = Arc::clone(&self.merge_combiners);
+        let partitioner = Arc::clone(&self.partitioner);
+        let partitions = self.partitions;
+        let shuffle_id = self.shuffle_id;
+        let inner_ctx = ctx.clone();
+        let pref = {
+            let parent = Arc::clone(&self.parent);
+            move |p: usize| parent.preferred_node(p)
+        };
+        ctx.run_stage(
+            &format!("shuffle#{shuffle_id}.combine-map"),
+            maps,
+            pref,
+            Arc::new(move |p, tc: &TaskContext| {
+                let items = parent.compute(p, tc)?;
+                // Map-side combine (order-preserving, deterministic).
+                let combined = combine_ordered(
+                    items.into_iter().map(|(k, v)| (k, (create)(v))),
+                    |a, b| (merge_combiners)(a, b),
+                );
+                let _ = &merge_value; // map-side path creates then merges combiners
+                let mut bufs: HashMap<usize, (BytesMut, u64)> = HashMap::new();
+                for (k, c) in combined {
+                    let b = partitioner.partition(&k, partitions);
+                    let slot = bufs.entry(b).or_default();
+                    slot.1 += (k.approx_bytes() + c.approx_bytes()) as u64;
+                    k.encode(&mut slot.0);
+                    c.encode(&mut slot.0);
+                }
+                for (bucket, (buf, declared)) in bufs {
+                    inner_ctx.inner.shuffle.write(
+                        shuffle_id,
+                        p,
+                        bucket,
+                        tc.node(),
+                        buf.freeze(),
+                        declared,
+                        tc,
+                    )?;
+                }
+                Ok(())
+            }),
+        )?;
+        Ok(())
+    }
+}
+
+impl<K: Key, V: ShufVal, C: ShufVal> RddOps<K, C> for CombinedRdd<K, V, C> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(
+            out,
+            depth,
+            &format!(
+                "CombineByKey [WIDE shuffle #{}, {} partitions, map-side combine]",
+                self.shuffle_id, self.partitions
+            ),
+        );
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.partitions
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        let (name, param) = self.partitioner.signature();
+        Some((name, param, self.partitions))
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        self.materialize()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, C)>, JobError> {
+        let ctx = self.parent.ctx();
+        let bufs = ctx.inner.shuffle.fetch(self.shuffle_id, p, tc)?;
+        let mut pairs = Vec::new();
+        for mut buf in bufs {
+            while buf.has_remaining() {
+                let k = K::decode(&mut buf)?;
+                let c = C::decode(&mut buf)?;
+                pairs.push((k, c));
+            }
+        }
+        Ok(combine_ordered(pairs, |a, b| (self.merge_combiners)(a, b)))
+    }
+}
+
+/// Checkpointed dataset: lineage is cut; partitions live in executor
+/// block stores.
+struct MaterializedRdd<K, V> {
+    ctx: SparkContext,
+    cache_id: u64,
+    locations: Vec<usize>,
+    sig: Option<PartSig>,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Drop for MaterializedRdd<K, V> {
+    fn drop(&mut self) {
+        // Last handle gone ⇒ reclaim executor memory (Spark's
+        // ContextCleaner unpersisting a dropped RDD).
+        for executor in &self.ctx.inner.executors {
+            executor.store.evict(self.cache_id);
+        }
+    }
+}
+
+impl<K: Key, V: ShufVal> RddOps<K, V> for MaterializedRdd<K, V> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(
+            out,
+            depth,
+            &format!(
+                "Materialized [checkpoint #{}, {} partitions pinned to executors]",
+                self.cache_id,
+                self.locations.len()
+            ),
+        );
+    }
+    fn ctx(&self) -> &SparkContext {
+        &self.ctx
+    }
+    fn num_partitions(&self) -> usize {
+        self.locations.len()
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        self.sig
+    }
+    fn ensure_deps(&self) -> Result<(), JobError> {
+        Ok(())
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        let owner = self.locations[p];
+        let store = &self.ctx.inner.executors[owner].store;
+        let (data, bytes) = store.get::<Vec<(K, V)>>(self.cache_id, p)?;
+        if owner != tc.node() {
+            // Reading a cached partition from another node crosses the
+            // network.
+            tc.add_remote_read(bytes);
+        }
+        Ok((*data).clone())
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        Some(self.locations[p])
+    }
+}
+
+// ---------------------------------------------------------------------
+// Public handle
+// ---------------------------------------------------------------------
+
+/// A distributed collection of key-value pairs (lazily evaluated).
+pub struct Rdd<K: Key, V: ShufVal> {
+    pub(crate) ctx: SparkContext,
+    pub(crate) ops: Arc<dyn RddOps<K, V>>,
+}
+
+impl<K: Key, V: ShufVal> Clone for Rdd<K, V> {
+    fn clone(&self) -> Self {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::clone(&self.ops),
+        }
+    }
+}
+
+impl<K: Key, V: ShufVal> Rdd<K, V> {
+    pub(crate) fn parallelize(
+        ctx: SparkContext,
+        data: Vec<(K, V)>,
+        partitions: usize,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Self {
+        assert!(partitions >= 1);
+        let mut parts: Vec<Vec<(K, V)>> = (0..partitions).map(|_| Vec::new()).collect();
+        for (k, v) in data {
+            let b = partitioner.partition(&k, partitions);
+            parts[b].push((k, v));
+        }
+        let (name, param) = partitioner.signature();
+        let ops = Arc::new(ParallelizeRdd {
+            ctx: ctx.clone(),
+            parts: Arc::new(parts),
+            sig: Some((name, param, partitions)),
+        });
+        Rdd {
+            ctx,
+            ops,
+        }
+    }
+
+    /// The owning context.
+    pub fn context(&self) -> &SparkContext {
+        &self.ctx
+    }
+
+    /// Partition count of this RDD.
+    pub fn num_partitions(&self) -> usize {
+        self.ops.num_partitions()
+    }
+
+    /// Known key-placement signature, if any.
+    pub fn partitioner_sig(&self) -> Option<PartSig> {
+        self.ops.partitioner_sig()
+    }
+
+    /// Human-readable lineage plan (one node per line, children
+    /// indented) — Spark's `toDebugString`.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.ops.explain_into(0, &mut out);
+        out
+    }
+
+    /// Narrow: transform each pair (may change key and value types).
+    pub fn map<K2: Key, V2: ShufVal>(
+        &self,
+        f: impl Fn((K, V)) -> (K2, V2) + Send + Sync + 'static,
+    ) -> Rdd<K2, V2> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(MapRdd {
+                parent: Arc::clone(&self.ops),
+                f: Arc::new(f),
+            }),
+        }
+    }
+
+    /// Narrow: transform values, keeping keys (and partitioning).
+    pub fn map_values<V2: ShufVal>(
+        &self,
+        f: impl Fn(V) -> V2 + Send + Sync + 'static,
+    ) -> Rdd<K, V2> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(MapValuesRdd {
+                parent: Arc::clone(&self.ops),
+                f: Arc::new(f),
+            }),
+        }
+    }
+
+    /// Narrow: transform each pair into zero or more pairs.
+    pub fn flat_map<K2: Key, V2: ShufVal>(
+        &self,
+        f: impl Fn((K, V)) -> Vec<(K2, V2)> + Send + Sync + 'static,
+    ) -> Rdd<K2, V2> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(FlatMapRdd {
+                parent: Arc::clone(&self.ops),
+                f: Arc::new(f),
+            }),
+        }
+    }
+
+    /// Narrow: keep pairs matching the predicate.
+    pub fn filter(&self, pred: impl Fn(&K, &V) -> bool + Send + Sync + 'static) -> Rdd<K, V> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(FilterRdd {
+                parent: Arc::clone(&self.ops),
+                pred: Arc::new(pred),
+            }),
+        }
+    }
+
+    /// Narrow: concatenate two RDDs' partitions.
+    pub fn union(&self, other: &Rdd<K, V>) -> Rdd<K, V> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(UnionRdd {
+                parents: vec![Arc::clone(&self.ops), Arc::clone(&other.ops)],
+            }),
+        }
+    }
+
+    /// Narrow: transform whole partitions (receives the partition index
+    /// and the task context, so DP kernels can record their work).
+    pub fn map_partitions(
+        &self,
+        preserves_partitioning: bool,
+        f: impl Fn(usize, Vec<(K, V)>, &TaskContext) -> Vec<(K, V)> + Send + Sync + 'static,
+    ) -> Rdd<K, V> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(MapPartitionsRdd {
+                parent: Arc::clone(&self.ops),
+                f: Arc::new(f),
+                preserves_partitioning,
+            }),
+        }
+    }
+
+    /// Narrow: transform whole partitions with a possible key/value
+    /// type change (receives the partition index and task context).
+    pub fn map_partitions_to<K2: Key, V2: ShufVal>(
+        &self,
+        f: impl Fn(usize, Vec<(K, V)>, &TaskContext) -> Vec<(K2, V2)> + Send + Sync + 'static,
+    ) -> Rdd<K2, V2> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(MapPartitionsToRdd {
+                parent: Arc::clone(&self.ops),
+                f: Arc::new(f),
+            }),
+        }
+    }
+
+    /// Narrow: reduce the partition count by concatenating groups of
+    /// adjacent partitions (no shuffle; any partitioner knowledge is
+    /// dropped since keys from different hash buckets now co-reside).
+    pub fn coalesce(&self, target: usize) -> Rdd<K, V> {
+        let target = target.max(1);
+        let current = self.num_partitions();
+        if target >= current {
+            return self.clone();
+        }
+        let groups: Vec<Vec<usize>> = (0..target)
+            .map(|g| (0..current).filter(|p| p * target / current == g).collect())
+            .collect();
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(CoalescedRdd {
+                parent: Arc::clone(&self.ops),
+                groups,
+            }),
+        }
+    }
+
+    /// Wide: redistribute by `partitioner` into `partitions`. Elided
+    /// (returns `self`) when the RDD is already partitioned identically
+    /// — the paper's footnote-1 fast path.
+    pub fn partition_by(
+        &self,
+        partitions: usize,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<K, V> {
+        let (name, param) = partitioner.signature();
+        if self.ops.partitioner_sig() == Some((name, param, partitions)) {
+            return self.clone();
+        }
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(ShuffledRdd {
+                parent: Arc::clone(&self.ops),
+                partitioner,
+                partitions,
+                shuffle_id: self.ctx.next_id(),
+                state: Mutex::new(ShuffleState::Pending),
+            }),
+        }
+    }
+
+    /// Wide: Spark's `combineByKey` with map-side combining.
+    pub fn combine_by_key<C: ShufVal>(
+        &self,
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(C, V) -> C + Send + Sync + 'static,
+        merge_combiners: impl Fn(C, C) -> C + Send + Sync + 'static,
+        partitions: usize,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<K, C> {
+        Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(CombinedRdd {
+                parent: Arc::clone(&self.ops),
+                create: Arc::new(create),
+                merge_value: Arc::new(merge_value),
+                merge_combiners: Arc::new(merge_combiners),
+                partitioner,
+                partitions,
+                shuffle_id: self.ctx.next_id(),
+                state: Mutex::new(ShuffleState::Pending),
+            }),
+        }
+    }
+
+    /// Wide: group all values per key (deterministic order: map-task
+    /// order, then first-seen order within each map task).
+    pub fn group_by_key(
+        &self,
+        partitions: usize,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<K, Vec<V>> {
+        self.combine_by_key(
+            |v| vec![v],
+            |mut acc, v| {
+                acc.push(v);
+                acc
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+            partitions,
+            partitioner,
+        )
+    }
+
+    /// Wide: reduce values per key.
+    pub fn reduce_by_key(
+        &self,
+        f: impl Fn(V, V) -> V + Send + Sync + Clone + 'static,
+        partitions: usize,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<K, V> {
+        let g = f.clone();
+        self.combine_by_key(|v| v, f, g, partitions, partitioner)
+    }
+
+    /// Action: pull every pair to the driver (partition order).
+    pub fn collect(&self) -> Result<Vec<(K, V)>, JobError> {
+        self.ops.ensure_deps()?;
+        let ops = Arc::clone(&self.ops);
+        let n = ops.num_partitions();
+        let pref = {
+            let ops = Arc::clone(&self.ops);
+            move |p: usize| ops.preferred_node(p)
+        };
+        let parts = self.ctx.run_stage(
+            "collect",
+            n,
+            pref,
+            Arc::new(move |p, tc: &TaskContext| ops.compute(p, tc)),
+        )?;
+        let total_bytes: u64 = parts.iter().map(|items| pairs_bytes(items)).sum();
+        self.ctx.annotate_last_stage(total_bytes, 0);
+        Ok(parts.into_iter().flatten().collect())
+    }
+
+    /// Action: number of pairs.
+    pub fn count(&self) -> Result<usize, JobError> {
+        self.ops.ensure_deps()?;
+        let ops = Arc::clone(&self.ops);
+        let n = ops.num_partitions();
+        let pref = {
+            let ops = Arc::clone(&self.ops);
+            move |p: usize| ops.preferred_node(p)
+        };
+        let counts = self.ctx.run_stage(
+            "count",
+            n,
+            pref,
+            Arc::new(move |p, tc: &TaskContext| Ok(ops.compute(p, tc)?.len())),
+        )?;
+        Ok(counts.into_iter().sum())
+    }
+
+    /// Materialize every partition into executor memory and cut the
+    /// lineage (Spark `persist` + `localCheckpoint`). The returned RDD
+    /// reads from the block stores; tasks prefer the owning node.
+    pub fn checkpoint(&self) -> Result<Rdd<K, V>, JobError> {
+        self.ops.ensure_deps()?;
+        let ops = Arc::clone(&self.ops);
+        let n = ops.num_partitions();
+        let cache_id = self.ctx.next_id();
+        let ctx = self.ctx.clone();
+        let pref = {
+            let ops = Arc::clone(&self.ops);
+            move |p: usize| ops.preferred_node(p)
+        };
+        let locations = self.ctx.run_stage(
+            "checkpoint",
+            n,
+            pref,
+            Arc::new(move |p, tc: &TaskContext| {
+                let items = ops.compute(p, tc)?;
+                let bytes = pairs_bytes(&items);
+                ctx.inner.executors[tc.node()]
+                    .store
+                    .put(cache_id, p, Arc::new(items), bytes)?;
+                Ok(tc.node())
+            }),
+        )?;
+        Ok(Rdd {
+            ctx: self.ctx.clone(),
+            ops: Arc::new(MaterializedRdd {
+                ctx: self.ctx.clone(),
+                cache_id,
+                locations,
+                sig: self.ops.partitioner_sig(),
+                _marker: std::marker::PhantomData,
+            }),
+        })
+    }
+}

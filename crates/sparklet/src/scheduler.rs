@@ -1,0 +1,191 @@
+//! Stage execution: task placement, waves, lineage retry, fault
+//! injection, and event-log recording.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use cluster_model::StageRecord;
+
+use crate::context::{SparkContext, TaskContext};
+use crate::error::JobError;
+
+/// The closure a stage runs per task.
+pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &TaskContext) -> Result<R, JobError> + Send + Sync>;
+
+/// Deterministic fault injection: rules keyed by (stage ordinal,
+/// partition), each failing a bounded number of attempts.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+#[derive(Debug)]
+struct FaultRule {
+    stage: u64,
+    partition: usize,
+    remaining: usize,
+}
+
+impl FaultPlan {
+    /// Schedule `times` failures for (stage ordinal, partition).
+    pub fn add(&mut self, stage: u64, partition: usize, times: usize) {
+        self.rules.push(FaultRule {
+            stage,
+            partition,
+            remaining: times,
+        });
+    }
+
+    /// Consume one failure budget for this (stage, partition) if any.
+    pub fn should_fail(&mut self, stage: u64, partition: usize) -> bool {
+        for rule in &mut self.rules {
+            if rule.stage == stage && rule.partition == partition && rule.remaining > 0 {
+                rule.remaining -= 1;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Is this error worth re-running the task for? Staging/memory
+/// overflows are deterministic — retrying cannot help.
+fn retryable(err: &JobError) -> bool {
+    !matches!(
+        err,
+        JobError::StagingOverflow { .. } | JobError::MemoryOverflow { .. }
+    )
+}
+
+impl SparkContext {
+    /// Run one stage of `ntasks` tasks on the executor pools and wait.
+    ///
+    /// `preferred(p)` pins a task to a node (cached partitions);
+    /// otherwise placement is round-robin with retries rescheduled onto
+    /// the next node, Spark-style. Records a [`StageRecord`] with every
+    /// *successful* task's metrics.
+    pub(crate) fn run_stage<R: Send + 'static>(
+        &self,
+        label: &str,
+        ntasks: usize,
+        preferred: impl Fn(usize) -> Option<usize>,
+        work: TaskFn<R>,
+    ) -> Result<Vec<R>, JobError> {
+        let t0 = std::time::Instant::now();
+        let stage = self
+            .inner
+            .stage_ordinal
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let nodes = self.inner.executors.len();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let mut results: Vec<Option<R>> = (0..ntasks).map(|_| None).collect();
+        let mut records = Vec::with_capacity(ntasks);
+        let mut attempts = vec![0usize; ntasks];
+        let mut pending: Vec<usize> = (0..ntasks).collect();
+        while !pending.is_empty() {
+            let wave = pending.len();
+            for p in pending.drain(..) {
+                attempts[p] += 1;
+                // Retries move to the next node (the failed one may be
+                // "bad"), matching Spark's blacklist-lite behaviour.
+                let base = preferred(p).unwrap_or(p % nodes);
+                let node = (base + attempts[p] - 1) % nodes;
+                let injected = self.inner.faults.lock().should_fail(stage, p);
+                let work = Arc::clone(&work);
+                let tx = tx.clone();
+                self.inner.executors[node].pool.spawn(move || {
+                    let tc = TaskContext::new(node);
+                    let outcome = if injected {
+                        Err(JobError::MissingBlock(format!(
+                            "injected failure (partition {p})"
+                        )))
+                    } else {
+                        match catch_unwind(AssertUnwindSafe(|| work(p, &tc))) {
+                            Ok(r) => r,
+                            Err(panic) => {
+                                let msg = panic
+                                    .downcast_ref::<&str>()
+                                    .map(|s| s.to_string())
+                                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                                    .unwrap_or_else(|| "task panicked".into());
+                                Err(JobError::TaskFailed {
+                                    stage: String::new(),
+                                    partition: p,
+                                    attempts: 0,
+                                    message: msg,
+                                })
+                            }
+                        }
+                    };
+                    let _ = tx.send((p, outcome, tc.into_record()));
+                });
+            }
+            for _ in 0..wave {
+                let (p, outcome, record) = rx.recv().expect("task channel open");
+                match outcome {
+                    Ok(r) => {
+                        results[p] = Some(r);
+                        records.push(record);
+                    }
+                    Err(err) => {
+                        if retryable(&err) && attempts[p] < self.inner.conf.max_task_attempts {
+                            pending.push(p);
+                        } else {
+                            // Record what we have, then fail the job.
+                            self.inner.log.lock().push(
+                                format!("{label} (failed)"),
+                                StageRecord {
+                                    tasks: records,
+                                    ..Default::default()
+                                },
+                            );
+                            return Err(match err {
+                                JobError::TaskFailed { message, .. } => JobError::TaskFailed {
+                                    stage: label.to_string(),
+                                    partition: p,
+                                    attempts: attempts[p],
+                                    message,
+                                },
+                                JobError::MissingBlock(m)
+                                    if m.starts_with("injected failure") =>
+                                {
+                                    JobError::TaskFailed {
+                                        stage: label.to_string(),
+                                        partition: p,
+                                        attempts: attempts[p],
+                                        message: m,
+                                    }
+                                }
+                                other => other,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        self.inner.log.lock().push_timed(
+            label.to_string(),
+            StageRecord {
+                tasks: records,
+                ..Default::default()
+            },
+            t0.elapsed().as_secs_f64(),
+        );
+        Ok(results.into_iter().map(|r| r.expect("task completed")).collect())
+    }
+
+    /// Add collect bytes to the most recent stage record (an action's
+    /// result shipping to the driver).
+    pub(crate) fn annotate_last_stage(&self, collect_bytes: u64, broadcast_bytes: u64) {
+        let mut log = self.inner.log.lock();
+        let stages = log.take();
+        let mut stages = stages;
+        if let Some(last) = stages.last_mut() {
+            last.record.collect_bytes += collect_bytes;
+            last.record.broadcast_bytes += broadcast_bytes;
+        }
+        for s in stages {
+            log.push(s.label, s.record);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The shuffle service: map-output staging and reduce-side fetch.
+//!
+//! Map tasks serialize their output into per-reduce-partition buckets
+//! "staged on local storage" (per-node byte accounting against the
+//! configured capacity — the paper's IM failure mode when exceeded).
+//! Reduce tasks fetch every map task's bucket for their partition; a
+//! fetch from another node counts as remote (network) traffic, from
+//! the same node as local (storage) traffic.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::context::TaskContext;
+use crate::error::JobError;
+
+/// Identifier of one shuffle (one wide dependency).
+pub type ShuffleId = u64;
+
+/// One map task's output for one reduce partition.
+#[derive(Debug, Clone)]
+pub struct MapBucket {
+    /// Node whose map task produced this bucket.
+    pub origin_node: usize,
+    /// Serialized pairs.
+    pub data: Bytes,
+    /// Accounted ("declared") size: the logical payload size used for
+    /// all byte accounting. Equals `data.len()` for real payloads;
+    /// virtual-mode payloads declare their full-scale size while
+    /// shipping only headers.
+    pub declared: u64,
+}
+
+#[derive(Debug, Default)]
+struct ShuffleData {
+    /// `buckets[reduce_partition][map_task] = bucket` (map task order is
+    /// preserved so downstream merging is deterministic).
+    buckets: Vec<Vec<Option<MapBucket>>>,
+}
+
+/// Global shuffle state shared by all executors (it *is* the network).
+#[derive(Debug)]
+pub struct ShuffleManager {
+    shuffles: Mutex<HashMap<ShuffleId, ShuffleData>>,
+    /// Currently staged bytes per node.
+    staged: Mutex<Vec<u64>>,
+    capacity: Option<u64>,
+}
+
+impl ShuffleManager {
+    /// Manager for `nodes` nodes with optional per-node staging cap.
+    pub fn new(nodes: usize, capacity: Option<u64>) -> Self {
+        ShuffleManager {
+            shuffles: Mutex::new(HashMap::new()),
+            staged: Mutex::new(vec![0; nodes]),
+            capacity,
+        }
+    }
+
+    /// Create the bucket matrix for a shuffle.
+    pub fn register(&self, id: ShuffleId, map_tasks: usize, reduce_partitions: usize) {
+        let mut shuffles = self.shuffles.lock();
+        shuffles.entry(id).or_insert_with(|| ShuffleData {
+            buckets: vec![vec![None; map_tasks]; reduce_partitions],
+        });
+    }
+
+    /// Stage one map task's bucket for one reduce partition. Fails the
+    /// job when the origin node's staging capacity is exceeded.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write(
+        &self,
+        id: ShuffleId,
+        map_task: usize,
+        reduce_partition: usize,
+        origin_node: usize,
+        data: Bytes,
+        declared: u64,
+        tc: &TaskContext,
+    ) -> Result<(), JobError> {
+        let len = declared;
+        {
+            let mut staged = self.staged.lock();
+            staged[origin_node] += len;
+            if let Some(cap) = self.capacity {
+                if staged[origin_node] > cap {
+                    return Err(JobError::StagingOverflow {
+                        node: origin_node,
+                        used: staged[origin_node],
+                        capacity: cap,
+                    });
+                }
+            }
+        }
+        tc.add_shuffle_write(len);
+        let mut shuffles = self.shuffles.lock();
+        let shuffle = shuffles
+            .get_mut(&id)
+            .ok_or_else(|| JobError::MissingBlock(format!("shuffle {id}")))?;
+        shuffle.buckets[reduce_partition][map_task] = Some(MapBucket {
+            origin_node,
+            data,
+            declared,
+        });
+        Ok(())
+    }
+
+    /// Fetch all map buckets for `reduce_partition`, recording
+    /// local/remote read bytes on the calling task. Buckets come back
+    /// in map-task order.
+    pub fn fetch(
+        &self,
+        id: ShuffleId,
+        reduce_partition: usize,
+        tc: &TaskContext,
+    ) -> Result<Vec<Bytes>, JobError> {
+        let shuffles = self.shuffles.lock();
+        let shuffle = shuffles
+            .get(&id)
+            .ok_or_else(|| JobError::MissingBlock(format!("shuffle {id}")))?;
+        let row = shuffle
+            .buckets
+            .get(reduce_partition)
+            .ok_or_else(|| JobError::MissingBlock(format!("shuffle {id} partition {reduce_partition}")))?;
+        // Empty buckets are never written (map tasks skip them to keep
+        // the bucket matrix sparse), so a `None` slot means "no data".
+        let mut out = Vec::new();
+        for bucket in row.iter().flatten() {
+            {
+                if bucket.data.is_empty() {
+                    continue;
+                }
+                if bucket.origin_node == tc.node() {
+                    tc.add_local_read(bucket.declared);
+                } else {
+                    tc.add_remote_read(bucket.declared);
+                }
+                out.push(bucket.data.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Current staged bytes on `node`.
+    pub fn staged_bytes(&self, node: usize) -> u64 {
+        self.staged.lock()[node]
+    }
+
+    /// Drop all shuffle data and reset staging accounting (the
+    /// between-iterations cleanup a checkpoint performs).
+    pub fn clear(&self) {
+        self.shuffles.lock().clear();
+        for b in self.staged.lock().iter_mut() {
+            *b = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::TaskContext;
+
+    #[test]
+    fn write_then_fetch_roundtrips_in_map_order() {
+        let sm = ShuffleManager::new(2, None);
+        sm.register(1, 3, 2);
+        let tc0 = TaskContext::new(0);
+        let tc1 = TaskContext::new(1);
+        sm.write(1, 0, 0, 0, Bytes::from_static(b"aa"), 2, &tc0).unwrap();
+        sm.write(1, 1, 0, 1, Bytes::from_static(b"bb"), 2, &tc1).unwrap();
+        sm.write(1, 2, 0, 0, Bytes::from_static(b"cc"), 2, &tc0).unwrap();
+        sm.write(1, 0, 1, 0, Bytes::new(), 0, &tc0).unwrap();
+        sm.write(1, 1, 1, 1, Bytes::new(), 0, &tc1).unwrap();
+        sm.write(1, 2, 1, 0, Bytes::new(), 0, &tc0).unwrap();
+        let reader = TaskContext::new(0);
+        let got = sm.fetch(1, 0, &reader).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"aa"), Bytes::from_static(b"bb"), Bytes::from_static(b"cc")]);
+        let rec = reader.snapshot();
+        assert_eq!(rec.local_read_bytes, 4); // aa + cc from node 0
+        assert_eq!(rec.remote_read_bytes, 2); // bb from node 1
+    }
+
+    #[test]
+    fn staging_capacity_overflow_fails() {
+        let sm = ShuffleManager::new(1, Some(10));
+        sm.register(7, 1, 1);
+        let tc = TaskContext::new(0);
+        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc).unwrap();
+        let err = sm
+            .write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
+            .unwrap_err();
+        assert!(matches!(err, JobError::StagingOverflow { node: 0, .. }));
+    }
+
+    #[test]
+    fn clear_resets_staging() {
+        let sm = ShuffleManager::new(1, Some(10));
+        sm.register(7, 1, 1);
+        let tc = TaskContext::new(0);
+        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc).unwrap();
+        assert_eq!(sm.staged_bytes(0), 8);
+        sm.clear();
+        assert_eq!(sm.staged_bytes(0), 0);
+        assert!(sm.fetch(7, 0, &tc).is_err());
+    }
+
+    #[test]
+    fn unwritten_buckets_read_as_empty() {
+        let sm = ShuffleManager::new(1, None);
+        sm.register(3, 2, 1);
+        let tc = TaskContext::new(0);
+        sm.write(3, 0, 0, 0, Bytes::from_static(b"x"), 1, &tc).unwrap();
+        let got = sm.fetch(3, 0, &tc).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"x")]);
+    }
+}

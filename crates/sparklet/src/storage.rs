@@ -1,0 +1,156 @@
+//! Per-executor block manager: cached (checkpointed) partitions.
+//!
+//! Cached partitions are stored deserialized, like Spark's
+//! MEMORY_ONLY storage level, with byte accounting against the
+//! configured executor memory.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::JobError;
+
+/// Identifier of a cached dataset (one per checkpoint call).
+/// Identifier of one cached dataset (one checkpoint call).
+pub type CacheId = u64;
+
+struct Entry {
+    data: Arc<dyn Any + Send + Sync>,
+    bytes: u64,
+}
+
+/// One node's cache.
+pub struct BlockStore {
+    node: usize,
+    entries: Mutex<HashMap<(CacheId, usize), Entry>>,
+    used: Mutex<u64>,
+    capacity: Option<u64>,
+}
+
+impl BlockStore {
+    /// Store for `node` with an optional memory cap.
+    pub fn new(node: usize, capacity: Option<u64>) -> Self {
+        BlockStore {
+            node,
+            entries: Mutex::new(HashMap::new()),
+            used: Mutex::new(0),
+            capacity,
+        }
+    }
+
+    /// Store one partition. Fails when executor memory is exhausted.
+    pub fn put<T: Send + Sync + 'static>(
+        &self,
+        cache: CacheId,
+        partition: usize,
+        data: Arc<T>,
+        bytes: u64,
+    ) -> Result<(), JobError> {
+        {
+            let mut used = self.used.lock();
+            *used += bytes;
+            if let Some(cap) = self.capacity {
+                if *used > cap {
+                    return Err(JobError::MemoryOverflow {
+                        node: self.node,
+                        used: *used,
+                        capacity: cap,
+                    });
+                }
+            }
+        }
+        self.entries.lock().insert(
+            (cache, partition),
+            Entry {
+                data,
+                bytes,
+            },
+        );
+        Ok(())
+    }
+
+    /// Fetch a typed partition. Returns the stored `Arc` and its
+    /// accounted size.
+    pub fn get<T: Send + Sync + 'static>(
+        &self,
+        cache: CacheId,
+        partition: usize,
+    ) -> Result<(Arc<T>, u64), JobError> {
+        let entries = self.entries.lock();
+        let entry = entries.get(&(cache, partition)).ok_or_else(|| {
+            JobError::MissingBlock(format!("cache {cache} partition {partition} on node {}", self.node))
+        })?;
+        let data = Arc::clone(&entry.data)
+            .downcast::<T>()
+            .map_err(|_| JobError::MissingBlock(format!("cache {cache} type mismatch")))?;
+        Ok((data, entry.bytes))
+    }
+
+    /// Is this partition cached here?
+    pub fn contains(&self, cache: CacheId, partition: usize) -> bool {
+        self.entries.lock().contains_key(&(cache, partition))
+    }
+
+    /// Evict every partition of one cached dataset.
+    pub fn evict(&self, cache: CacheId) {
+        let mut entries = self.entries.lock();
+        let victims: Vec<_> = entries
+            .keys()
+            .filter(|(c, _)| *c == cache)
+            .cloned()
+            .collect();
+        let mut freed = 0;
+        for k in victims {
+            if let Some(e) = entries.remove(&k) {
+                freed += e.bytes;
+            }
+        }
+        *self.used.lock() -= freed;
+    }
+
+    /// Currently cached bytes.
+    pub fn used_bytes(&self) -> u64 {
+        *self.used.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let store = BlockStore::new(0, None);
+        store.put(1, 0, Arc::new(vec![1u32, 2, 3]), 12).unwrap();
+        let (data, bytes) = store.get::<Vec<u32>>(1, 0).unwrap();
+        assert_eq!(*data, vec![1, 2, 3]);
+        assert_eq!(bytes, 12);
+    }
+
+    #[test]
+    fn type_mismatch_is_error() {
+        let store = BlockStore::new(0, None);
+        store.put(1, 0, Arc::new(17u64), 8).unwrap();
+        assert!(store.get::<String>(1, 0).is_err());
+    }
+
+    #[test]
+    fn memory_capacity_enforced() {
+        let store = BlockStore::new(2, Some(10));
+        store.put(1, 0, Arc::new(()), 6).unwrap();
+        let err = store.put(1, 1, Arc::new(()), 6).unwrap_err();
+        assert!(matches!(err, JobError::MemoryOverflow { node: 2, .. }));
+    }
+
+    #[test]
+    fn evict_frees_accounting() {
+        let store = BlockStore::new(0, Some(10));
+        store.put(1, 0, Arc::new(()), 6).unwrap();
+        store.evict(1);
+        assert_eq!(store.used_bytes(), 0);
+        assert!(!store.contains(1, 0));
+        store.put(2, 0, Arc::new(()), 9).unwrap();
+    }
+}

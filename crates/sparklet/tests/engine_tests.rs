@@ -1,0 +1,384 @@
+//! End-to-end behaviour of the sparklet engine.
+
+use std::sync::Arc;
+
+use sparklet::{GridPartitioner, HashPartitioner, JobError, SparkConf, SparkContext};
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConf::default().with_executors(4).with_partitions(8))
+}
+
+fn pairs(n: usize) -> Vec<(usize, u64)> {
+    (0..n).map(|i| (i, (i * i) as u64)).collect()
+}
+
+fn sorted<K: Ord, V>(mut v: Vec<(K, V)>) -> Vec<(K, V)> {
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+#[test]
+fn parallelize_collect_roundtrip() {
+    let sc = ctx();
+    let rdd = sc.parallelize(pairs(100), None);
+    assert_eq!(rdd.num_partitions(), 8);
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got, pairs(100));
+}
+
+#[test]
+fn map_filter_flatmap_chain_fuses_in_one_stage() {
+    let sc = ctx();
+    let rdd = sc
+        .parallelize(pairs(50), None)
+        .map(|(k, v)| (k, v + 1))
+        .filter(|k, _| k % 2 == 0)
+        .flat_map(|(k, v)| vec![(k, v), (k + 1000, v)]);
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got.len(), 50); // 25 evens × 2
+    assert!(got.iter().any(|&(k, v)| k == 4 && v == 17));
+    assert!(got.iter().any(|&(k, v)| k == 1004 && v == 17));
+    // Whole narrow chain + collect = exactly one stage.
+    sc.with_event_log(|log| {
+        assert_eq!(log.stage_count(), 1, "narrow chain must fuse");
+        assert_eq!(log.task_count(), 8);
+    });
+}
+
+#[test]
+fn map_values_preserves_partitioning() {
+    let sc = ctx();
+    let rdd = sc.parallelize(pairs(20), None);
+    let sig = rdd.partitioner_sig();
+    assert!(sig.is_some());
+    let mapped = rdd.map_values(|v| v * 2);
+    assert_eq!(mapped.partitioner_sig(), sig);
+    // map (which may change keys) must drop the signature.
+    let remapped = rdd.map(|(k, v)| (k + 1, v));
+    assert_eq!(remapped.partitioner_sig(), None);
+}
+
+#[test]
+fn union_concatenates_partitions() {
+    let sc = ctx();
+    let a = sc.parallelize(pairs(10), Some(3));
+    let b = sc.parallelize(vec![(100usize, 1u64), (101, 2)], Some(2));
+    let u = a.union(&b);
+    assert_eq!(u.num_partitions(), 5);
+    let got = sorted(u.collect().unwrap());
+    assert_eq!(got.len(), 12);
+    assert_eq!(got[11], (101, 2));
+}
+
+#[test]
+fn partition_by_places_keys_and_counts_a_shuffle() {
+    let sc = ctx();
+    let rdd = sc
+        .parallelize(pairs(64), None)
+        .map(|(k, v)| (k, v)) // drop partitioner knowledge
+        .partition_by(4, Arc::new(HashPartitioner));
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got, pairs(64));
+    sc.with_event_log(|log| {
+        assert_eq!(log.stage_count(), 2, "shuffle map stage + collect");
+        assert!(
+            log.total_remote_bytes() + log.total_local_bytes() > 0,
+            "shuffle moved real bytes"
+        );
+        assert!(log.total_staged_bytes() > 0, "map outputs were staged");
+    });
+}
+
+#[test]
+fn partition_by_same_partitioner_elides_shuffle() {
+    let sc = ctx();
+    let rdd = sc.parallelize(pairs(32), Some(8));
+    // parallelize already hash-partitioned into 8.
+    let same = rdd.partition_by(8, Arc::new(HashPartitioner));
+    same.collect().unwrap();
+    sc.with_event_log(|log| {
+        assert_eq!(log.stage_count(), 1, "no shuffle for identical partitioning");
+    });
+    // Different partition count still shuffles.
+    let different = rdd.partition_by(4, Arc::new(HashPartitioner));
+    different.collect().unwrap();
+    sc.with_event_log(|log| {
+        assert_eq!(log.stage_count(), 3);
+    });
+}
+
+#[test]
+fn group_by_key_collects_all_values_deterministically() {
+    let sc = ctx();
+    let data: Vec<(usize, u64)> = (0..40).map(|i| (i % 4, i as u64)).collect();
+    let rdd = sc.parallelize(data, Some(5)).group_by_key(4, Arc::new(HashPartitioner));
+    let got1 = sorted(rdd.collect().unwrap());
+    assert_eq!(got1.len(), 4);
+    for (k, vs) in &got1 {
+        assert_eq!(vs.len(), 10);
+        assert!(vs.iter().all(|v| (*v as usize) % 4 == *k));
+    }
+    // Determinism: a second identical pipeline yields identical bytes.
+    let sc2 = ctx();
+    let data2: Vec<(usize, u64)> = (0..40).map(|i| (i % 4, i as u64)).collect();
+    let rdd2 = sc2.parallelize(data2, Some(5)).group_by_key(4, Arc::new(HashPartitioner));
+    let got2 = sorted(rdd2.collect().unwrap());
+    assert_eq!(got1, got2);
+}
+
+#[test]
+fn reduce_by_key_sums() {
+    let sc = ctx();
+    let data: Vec<(usize, u64)> = (0..100).map(|i| (i % 7, 1u64)).collect();
+    let rdd = sc
+        .parallelize(data, Some(6))
+        .reduce_by_key(|a, b| a + b, 4, Arc::new(HashPartitioner));
+    let got = sorted(rdd.collect().unwrap());
+    let total: u64 = got.iter().map(|(_, v)| v).sum();
+    assert_eq!(total, 100);
+    assert_eq!(got.len(), 7);
+    assert_eq!(got[0], (0, 15)); // 0,7,...,98 → 15 values
+}
+
+#[test]
+fn map_side_combine_shrinks_shuffle() {
+    // 1000 pairs over 10 keys: map-side combining should stage ~10
+    // combined records per map task, far fewer bytes than 1000 raw pairs.
+    let sc = ctx();
+    let data: Vec<(usize, u64)> = (0..1000).map(|i| (i % 10, 1u64)).collect();
+    sc.parallelize(data, Some(4))
+        .reduce_by_key(|a, b| a + b, 4, Arc::new(HashPartitioner))
+        .collect()
+        .unwrap();
+    let staged = sc.with_event_log(|log| log.total_staged_bytes());
+    // Raw would be 1000 × 16 B = 16 kB; combined is ≤ 4 maps × 10 keys × 16 B.
+    assert!(staged <= 4 * 10 * 16, "staged={staged}");
+}
+
+#[test]
+fn checkpoint_cuts_lineage_and_pins_location() {
+    let sc = ctx();
+    let rdd = sc
+        .parallelize(pairs(32), Some(4))
+        .map_values(|v| v + 1)
+        .checkpoint()
+        .unwrap();
+    let stages_after_ckpt = sc.with_event_log(|log| log.stage_count());
+    assert_eq!(stages_after_ckpt, 1, "checkpoint ran one stage");
+    // Collect twice: each is a single stage reading cached partitions.
+    let a = sorted(rdd.collect().unwrap());
+    let b = sorted(rdd.collect().unwrap());
+    assert_eq!(a, b);
+    assert_eq!(a[3], (3, 10));
+    sc.with_event_log(|log| {
+        assert_eq!(log.stage_count(), 3);
+        // Cached reads are node-local: no remote traffic in collects.
+        assert_eq!(log.total_remote_bytes(), 0);
+    });
+}
+
+#[test]
+fn injected_failures_are_retried_via_lineage() {
+    let sc = ctx();
+    let rdd = sc.parallelize(pairs(16), Some(4));
+    // Fail partition 2 of the next stage twice; 4 attempts allowed.
+    sc.inject_failure(sc.next_stage_ordinal(), 2, 2);
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got, pairs(16));
+}
+
+#[test]
+fn too_many_failures_fail_the_job() {
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(2)
+            .with_partitions(4),
+    );
+    let rdd = sc.parallelize(pairs(8), Some(4));
+    sc.inject_failure(sc.next_stage_ordinal(), 1, 10); // > max_task_attempts
+    let err = rdd.collect().unwrap_err();
+    assert!(
+        matches!(err, JobError::TaskFailed { partition: 1, .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn task_panic_is_captured_and_retried_or_failed() {
+    let sc = ctx();
+    let rdd = sc.parallelize(pairs(8), Some(2)).map(|(k, v)| {
+        if k == 3 {
+            panic!("kernel exploded on key 3");
+        }
+        (k, v)
+    });
+    let err = rdd.collect().unwrap_err();
+    match err {
+        JobError::TaskFailed { message, .. } => assert!(message.contains("exploded")),
+        other => panic!("unexpected error {other}"),
+    }
+}
+
+#[test]
+fn staging_overflow_fails_fast_like_the_paper() {
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(2)
+            .with_partitions(4)
+            .with_staging_capacity(64), // tiny SSD
+    );
+    let big: Vec<(usize, Vec<f64>)> = (0..16).map(|i| (i, vec![1.0; 64])).collect();
+    let err = sc
+        .parallelize(big, Some(4))
+        .map(|(k, v)| (k, v)) // forget partitioning to force a shuffle
+        .partition_by(4, Arc::new(HashPartitioner))
+        .collect()
+        .unwrap_err();
+    assert!(matches!(err, JobError::StagingOverflow { .. }), "{err}");
+}
+
+#[test]
+fn executor_memory_overflow_on_checkpoint() {
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(1)
+            .with_partitions(2)
+            .with_executor_memory(32),
+    );
+    let big: Vec<(usize, Vec<f64>)> = (0..4).map(|i| (i, vec![0.0; 100])).collect();
+    let err = match sc.parallelize(big, Some(2)).checkpoint() {
+        Err(e) => e,
+        Ok(_) => panic!("checkpoint should exceed executor memory"),
+    };
+    assert!(matches!(err, JobError::MemoryOverflow { .. }), "{err}");
+}
+
+#[test]
+fn broadcast_reaches_tasks_via_shared_storage() {
+    let sc = ctx();
+    let bc = sc.broadcast(&vec![10u64, 20, 30]);
+    let bc2 = bc.clone();
+    let rdd = sc
+        .parallelize(pairs(12), Some(4))
+        .map_partitions(true, move |_p, items, tc| {
+            let table = bc2.value(tc).expect("broadcast available");
+            items
+                .into_iter()
+                .map(|(k, v)| (k, v + table[k % 3]))
+                .collect()
+        });
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got[0], (0, 10));
+    assert_eq!(got[4], (4, 16 + 20));
+    assert!(bc.serialized_bytes() > 0);
+}
+
+#[test]
+fn driver_traffic_pseudo_stage_is_logged() {
+    let sc = ctx();
+    sc.log_driver_traffic("cb-iter-0", 1024, 2048);
+    sc.with_event_log(|log| {
+        assert_eq!(log.total_collect_bytes(), 1024);
+        assert_eq!(log.total_broadcast_bytes(), 2048);
+    });
+}
+
+#[test]
+fn collect_records_bytes_to_driver() {
+    let sc = ctx();
+    sc.parallelize(pairs(10), Some(2)).collect().unwrap();
+    sc.with_event_log(|log| {
+        // 10 pairs × (8 + 8) bytes.
+        assert_eq!(log.total_collect_bytes(), 160);
+    });
+}
+
+#[test]
+fn grid_partitioner_gives_locality_for_block_keys() {
+    let sc = SparkContext::new(SparkConf::default().with_executors(4).with_partitions(16));
+    let blocks: Vec<((usize, usize), u64)> =
+        (0..8).flat_map(|i| (0..8).map(move |j| ((i, j), (i * 8 + j) as u64))).collect();
+    let rdd = sc.parallelize_with(blocks, 16, Arc::new(GridPartitioner::new(8)));
+    let got = rdd.collect().unwrap();
+    assert_eq!(got.len(), 64);
+    // Keys of one block row share a partition → collected adjacently.
+    sc.with_event_log(|log| assert_eq!(log.task_count(), 16));
+}
+
+#[test]
+fn clear_shuffles_after_checkpoint_is_safe() {
+    let sc = ctx();
+    let rdd = sc
+        .parallelize(pairs(16), Some(4))
+        .map(|(k, v)| (k, v))
+        .partition_by(4, Arc::new(HashPartitioner))
+        .checkpoint()
+        .unwrap();
+    sc.clear_shuffles();
+    assert_eq!(sc.staged_bytes(0), 0);
+    // The checkpointed RDD no longer needs the shuffle.
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got, pairs(16));
+}
+
+#[test]
+fn shared_lineage_materializes_shuffle_once() {
+    let sc = ctx();
+    let shuffled = sc
+        .parallelize(pairs(16), Some(4))
+        .map(|(k, v)| (k, v))
+        .partition_by(4, Arc::new(HashPartitioner));
+    let a = shuffled.map_values(|v| v + 1);
+    let b = shuffled.map_values(|v| v + 2);
+    a.collect().unwrap();
+    b.collect().unwrap();
+    sc.with_event_log(|log| {
+        // map stage once + two collects = 3 stages, not 4.
+        assert_eq!(log.stage_count(), 3);
+    });
+}
+
+#[test]
+fn count_matches_collect_len() {
+    let sc = ctx();
+    let rdd = sc.parallelize(pairs(123), None).filter(|k, _| k % 3 == 0);
+    assert_eq!(rdd.count().unwrap(), 41);
+    assert_eq!(rdd.collect().unwrap().len(), 41);
+}
+
+#[test]
+fn listing_one_shape_runs_end_to_end() {
+    // A miniature of Listing 1's per-iteration dataflow: filter one
+    // "diagonal" key, flat-map copies to dependents, combine with the
+    // originals, update, union with untouched, repartition.
+    let sc = ctx();
+    let r = 4usize;
+    let blocks: Vec<((usize, usize), u64)> =
+        (0..r).flat_map(|i| (0..r).map(move |j| ((i, j), 1u64))).collect();
+    let mut dp = sc.parallelize(blocks, Some(8));
+    let k = 0usize;
+    let a = dp.filter(move |&(i, j), _| i == k && j == k);
+    let copies = a.flat_map(move |((_, _), v)| {
+        (0..r)
+            .filter(move |&j| j != k)
+            .map(move |j| ((k, j), v * 100))
+            .collect::<Vec<_>>()
+    });
+    let row = dp.filter(move |&(i, j), _| i == k && j != k);
+    let updated = row
+        .union(&copies)
+        .group_by_key(8, Arc::new(HashPartitioner))
+        .map_values(|vs| vs.iter().sum::<u64>());
+    let untouched = dp.filter(move |&(i, _), _| i != k);
+    dp = untouched
+        .union(&updated)
+        .union(&a) // the diagonal block itself stays in the table
+        .partition_by(8, Arc::new(HashPartitioner));
+    let got = sorted(dp.collect().unwrap());
+    assert_eq!(got.len(), r * r);
+    // Row-0 off-diagonal blocks got 1 + 100.
+    for j in 1..r {
+        assert!(got.contains(&((0, j), 101)));
+    }
+    assert!(got.contains(&((1, 1), 1)));
+}

@@ -1,0 +1,226 @@
+//! Tests for the extended pair-RDD surface: cogroup/join, sorting,
+//! count_by_key, accumulators.
+
+use std::sync::Arc;
+
+use sparklet::{HashPartitioner, SparkConf, SparkContext};
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConf::default().with_executors(3).with_partitions(6))
+}
+
+fn sorted<K: Ord, V>(mut v: Vec<(K, V)>) -> Vec<(K, V)> {
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+#[test]
+fn cogroup_pairs_both_sides() {
+    let sc = ctx();
+    let left = sc.parallelize(vec![(1usize, 10u64), (2, 20), (2, 21)], Some(3));
+    let right = sc.parallelize(vec![(2usize, 2.5f64), (3, 3.5)], Some(2));
+    let grouped = left.cogroup(&right, 4, Arc::new(HashPartitioner));
+    let got = sorted(grouped.collect().unwrap());
+    assert_eq!(got.len(), 3);
+    assert_eq!(got[0], (1, (vec![10], vec![])));
+    let (ls, rs) = &got[1].1;
+    assert_eq!(ls, &vec![20, 21]);
+    assert_eq!(rs, &vec![2.5]);
+    assert_eq!(got[2], (3, (vec![], vec![3.5])));
+}
+
+#[test]
+fn join_is_inner_cartesian_per_key() {
+    let sc = ctx();
+    let users = sc.parallelize(
+        vec![(1usize, "ada".to_string()), (2, "grace".to_string())],
+        Some(2),
+    );
+    let orders = sc.parallelize(vec![(1usize, 100u64), (1, 101), (9, 900)], Some(2));
+    let joined = users.join(&orders, 4, Arc::new(HashPartitioner));
+    let got = sorted(joined.collect().unwrap());
+    assert_eq!(got.len(), 2);
+    assert_eq!(got[0].0, 1);
+    assert_eq!(got[0].1 .0, "ada");
+    let order_ids: Vec<u64> = got.iter().map(|(_, (_, o))| *o).collect();
+    assert!(order_ids.contains(&100) && order_ids.contains(&101));
+}
+
+#[test]
+fn left_outer_join_keeps_unmatched_left() {
+    let sc = ctx();
+    let left = sc.parallelize(vec![(1usize, 1u64), (2, 2)], Some(2));
+    let right = sc.parallelize(vec![(2usize, 20u64)], Some(1));
+    let joined = left.left_outer_join(&right, 3, Arc::new(HashPartitioner));
+    let got = sorted(joined.collect().unwrap());
+    assert_eq!(got, vec![(1, (1, None)), (2, (2, Some(20)))]);
+}
+
+#[test]
+fn count_by_key_counts() {
+    let sc = ctx();
+    let data: Vec<(usize, u64)> = (0..30).map(|i| (i % 3, i as u64)).collect();
+    let counts = sc
+        .parallelize(data, Some(5))
+        .count_by_key(3, Arc::new(HashPartitioner))
+        .unwrap();
+    assert_eq!(counts.len(), 3);
+    assert_eq!(counts[&0], 10);
+    assert_eq!(counts[&2], 10);
+}
+
+#[test]
+fn sort_by_key_yields_global_order() {
+    let sc = ctx();
+    let mut data: Vec<(u64, u64)> = (0..200).map(|i| ((i * 7919) % 1000, i)).collect();
+    let rdd = sc.parallelize(data.clone(), Some(8)).sort_by_key(4).unwrap();
+    let got = rdd.collect().unwrap();
+    let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+    let mut want_keys = keys.clone();
+    want_keys.sort_unstable();
+    assert_eq!(keys, want_keys, "collect order must be globally sorted");
+    data.sort_by_key(|(k, _)| *k);
+    assert_eq!(got.len(), data.len());
+}
+
+#[test]
+fn sort_by_key_handles_duplicates_and_empty() {
+    let sc = ctx();
+    let data: Vec<(u64, u64)> = vec![(5, 1), (5, 2), (1, 3), (5, 4), (1, 5)];
+    let got = sc
+        .parallelize(data, Some(3))
+        .sort_by_key(2)
+        .unwrap()
+        .collect()
+        .unwrap();
+    let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
+    assert_eq!(keys, vec![1, 1, 5, 5, 5]);
+
+    let empty: Vec<(u64, u64)> = vec![];
+    let got = sc
+        .parallelize(empty, Some(2))
+        .sort_by_key(3)
+        .unwrap()
+        .collect()
+        .unwrap();
+    assert!(got.is_empty());
+}
+
+#[test]
+fn accumulators_visible_to_driver_after_action() {
+    let sc = ctx();
+    let acc = sc.long_accumulator("pairs-seen");
+    let acc_for_tasks = acc.clone();
+    let rdd = sc
+        .parallelize((0..50usize).map(|i| (i, i as u64)).collect(), Some(5))
+        .map_partitions(true, move |_p, items, _tc| {
+            acc_for_tasks.add(items.len() as u64);
+            items
+        });
+    rdd.collect().unwrap();
+    assert_eq!(acc.value(), 50);
+    assert_eq!(acc.name(), "pairs-seen");
+}
+
+#[test]
+fn accumulator_counts_retries_like_spark() {
+    let sc = ctx();
+    let acc = sc.long_accumulator("attempts");
+    let acc_for_tasks = acc.clone();
+    sc.inject_failure(sc.next_stage_ordinal(), 0, 1);
+    let rdd = sc
+        .parallelize(vec![(0usize, 0u64)], Some(1))
+        .map_partitions(true, move |_p, items, _tc| {
+            acc_for_tasks.add(1);
+            items
+        });
+    rdd.collect().unwrap();
+    // Injected failures skip the task body, so exactly one increment
+    // lands; with a body-level panic the count would exceed one —
+    // accumulators are metrics, not exactly-once.
+    assert!(acc.value() >= 1);
+}
+
+#[test]
+fn explain_shows_the_lineage_plan() {
+    let sc = ctx();
+    let rdd = sc
+        .parallelize((0..10usize).map(|i| (i, i as u64)).collect(), Some(4))
+        .map(|(k, v)| (k, v))
+        .filter(|_, v| *v > 2)
+        .partition_by(3, Arc::new(HashPartitioner));
+    let plan = rdd.explain();
+    let lines: Vec<&str> = plan.lines().collect();
+    assert!(lines[0].starts_with("PartitionBy [WIDE"), "{plan}");
+    assert!(lines[1].trim_start().starts_with("Filter"), "{plan}");
+    assert!(lines[2].trim_start().starts_with("Map"), "{plan}");
+    assert!(lines[3].trim_start().starts_with("Parallelize"), "{plan}");
+    // Checkpointing cuts the plan to a single node.
+    let ckpt = rdd.checkpoint().unwrap();
+    let plan = ckpt.explain();
+    assert_eq!(plan.lines().count(), 1);
+    assert!(plan.starts_with("Materialized"), "{plan}");
+}
+
+#[test]
+fn explain_shows_union_and_groups() {
+    let sc = ctx();
+    let a = sc.parallelize(vec![(1usize, 1u64)], Some(1));
+    let b = sc.parallelize(vec![(2usize, 2u64)], Some(1));
+    let plan = a
+        .union(&b)
+        .group_by_key(2, Arc::new(HashPartitioner))
+        .explain();
+    assert!(plan.contains("CombineByKey [WIDE"), "{plan}");
+    assert!(plan.contains("Union [2 parents"), "{plan}");
+}
+
+#[test]
+fn take_first_and_sample() {
+    let sc = ctx();
+    let rdd = sc.parallelize((0..100usize).map(|i| (i, i as u64)).collect(), Some(8));
+    assert_eq!(rdd.take(5).unwrap().len(), 5);
+    assert!(rdd.first().unwrap().is_some());
+    let empty = sc.parallelize(Vec::<(usize, u64)>::new(), Some(2));
+    assert_eq!(empty.first().unwrap(), None);
+    assert!(empty.take(3).unwrap().is_empty());
+
+    // Sampling: deterministic per seed, roughly proportional.
+    let s1 = rdd.sample(0.3, 7).collect().unwrap();
+    let s2 = rdd.sample(0.3, 7).collect().unwrap();
+    assert_eq!(sorted(s1.clone()), sorted(s2));
+    assert!(s1.len() > 5 && s1.len() < 70, "got {}", s1.len());
+    assert!(rdd.sample(0.0, 1).collect().unwrap().is_empty());
+    assert_eq!(rdd.sample(1.0, 1).collect().unwrap().len(), 100);
+}
+
+#[test]
+fn coalesce_reduces_partitions_without_losing_data() {
+    let sc = ctx();
+    let rdd = sc.parallelize((0..60usize).map(|i| (i, i as u64)).collect(), Some(12));
+    let co = rdd.coalesce(4);
+    assert_eq!(co.num_partitions(), 4);
+    assert_eq!(sorted(co.collect().unwrap()), sorted(rdd.collect().unwrap()));
+    // Task count reflects the coalesced width.
+    sc.take_event_log();
+    co.count().unwrap();
+    sc.with_event_log(|log| assert_eq!(log.task_count(), 4));
+    // target >= current is a no-op.
+    assert_eq!(rdd.coalesce(100).num_partitions(), 12);
+    assert!(co.explain().contains("Coalesce [4 partitions"));
+}
+
+#[test]
+fn stage_wall_time_is_recorded() {
+    let sc = ctx();
+    sc.parallelize((0..50usize).map(|i| (i, i as u64)).collect(), Some(4))
+        .map_values(|v| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            v
+        })
+        .count()
+        .unwrap();
+    sc.with_event_log(|log| {
+        assert!(log.total_wall_seconds() > 0.001, "{}", log.total_wall_seconds());
+    });
+}

@@ -1,0 +1,152 @@
+//! Property-based tests of the engine's data-plane invariants.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sparklet::codec::{decode_one, encode_one};
+use sparklet::{HashPartitioner, Partitioner, SparkConf, SparkContext};
+
+fn ctx(executors: usize, partitions: usize) -> SparkContext {
+    SparkContext::new(
+        SparkConf::default()
+            .with_executors(executors.max(1))
+            .with_partitions(partitions.max(1)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn codec_roundtrips_arbitrary_pairs(
+        data in proptest::collection::vec((any::<u64>(), any::<f64>()), 0..200),
+    ) {
+        let enc = encode_one(&data);
+        let dec: Vec<(u64, f64)> = decode_one(enc).unwrap();
+        prop_assert_eq!(dec.len(), data.len());
+        for ((k1, v1), (k2, v2)) in dec.iter().zip(&data) {
+            prop_assert_eq!(k1, k2);
+            prop_assert_eq!(v1.to_bits(), v2.to_bits(), "bitwise float identity");
+        }
+    }
+
+    #[test]
+    fn codec_roundtrips_nested(
+        data in proptest::collection::vec(
+            proptest::collection::vec(any::<f32>(), 0..8),
+            0..20,
+        ),
+    ) {
+        let enc = encode_one(&data);
+        let dec: Vec<Vec<f32>> = decode_one(enc).unwrap();
+        prop_assert_eq!(
+            dec.iter().flatten().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            data.iter().flatten().map(|f| f.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn collect_preserves_multiset(
+        data in proptest::collection::vec((0usize..50, any::<u64>()), 0..120),
+        executors in 1usize..6,
+        partitions in 1usize..17,
+    ) {
+        let sc = ctx(executors, partitions);
+        let rdd = sc.parallelize(data.clone(), Some(partitions.max(1)));
+        let mut got = rdd.collect().unwrap();
+        let mut want = data;
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(
+        data in proptest::collection::vec((0usize..20, any::<u64>()), 1..100),
+        partitions in 1usize..9,
+    ) {
+        let sc = ctx(3, 6);
+        let mut want = data.clone();
+        let rdd = sc
+            .parallelize(data, Some(5))
+            .map(|kv| kv) // forget partitioning
+            .partition_by(partitions.max(1), Arc::new(HashPartitioner));
+        let mut got = rdd.collect().unwrap();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn keys_land_in_their_hash_partition(
+        keys in proptest::collection::vec(any::<usize>(), 1..60),
+        partitions in 1usize..8,
+    ) {
+        let sc = ctx(2, 4);
+        let partitions = partitions.max(1);
+        let data: Vec<(usize, u64)> = keys.iter().map(|&k| (k, 1)).collect();
+        let rdd = sc
+            .parallelize(data, Some(3))
+            .map(|kv| kv)
+            .partition_by(partitions, Arc::new(HashPartitioner));
+        // group_by_key with the same partitioner must not lose pairs —
+        // counting via reduce validates co-location end-to-end.
+        let counts = rdd
+            .reduce_by_key(|a, b| a + b, partitions, Arc::new(HashPartitioner))
+            .collect()
+            .unwrap();
+        let mut expect: HashMap<usize, u64> = HashMap::new();
+        for k in &keys {
+            *expect.entry(*k).or_default() += 1;
+        }
+        prop_assert_eq!(counts.len(), expect.len());
+        for (k, c) in counts {
+            prop_assert_eq!(c, expect[&k]);
+        }
+    }
+
+    #[test]
+    fn group_by_key_groups_everything_once(
+        data in proptest::collection::vec((0usize..10, 0u64..1000), 1..80),
+    ) {
+        let sc = ctx(3, 6);
+        let grouped = sc
+            .parallelize(data.clone(), Some(4))
+            .group_by_key(4, Arc::new(HashPartitioner))
+            .collect()
+            .unwrap();
+        let total: usize = grouped.iter().map(|(_, vs)| vs.len()).sum();
+        prop_assert_eq!(total, data.len());
+        // Every value accounted under its own key.
+        for (k, vs) in grouped {
+            let mut want: Vec<u64> =
+                data.iter().filter(|(dk, _)| *dk == k).map(|(_, v)| *v).collect();
+            let mut got = vs;
+            got.sort_unstable();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn checkpoint_is_transparent(
+        data in proptest::collection::vec((0usize..30, any::<u64>()), 0..60),
+    ) {
+        let sc = ctx(4, 8);
+        let rdd = sc.parallelize(data, Some(8)).map_values(|v| v ^ 0xFF);
+        let mut direct = rdd.collect().unwrap();
+        let mut through_ckpt = rdd.checkpoint().unwrap().collect().unwrap();
+        direct.sort_unstable();
+        through_ckpt.sort_unstable();
+        prop_assert_eq!(direct, through_ckpt);
+    }
+
+    #[test]
+    fn partitioner_is_total_and_stable(key in any::<(usize, usize)>(), parts in 1usize..64) {
+        let p = HashPartitioner;
+        let a = p.partition(&key, parts);
+        prop_assert!(a < parts);
+        prop_assert_eq!(a, p.partition(&key, parts));
+    }
+}

@@ -1,0 +1,76 @@
+//! Transportation-network routing — one of the FW-APSP application
+//! domains the paper cites (transportation research).
+//!
+//! ```text
+//! cargo run --release --example transportation
+//! ```
+//!
+//! Builds a grid-shaped road network (intersections × road segments
+//! with congestion-noised travel times), computes all-pairs travel
+//! times with the Collect-Broadcast strategy, and answers routing
+//! queries: worst-case commute, network diameter, and the average
+//! travel time from a depot.
+
+use dp_core::{solve, DpConfig, KernelChoice, Strategy};
+use gep_kernels::graph::{check_apsp, grid_network};
+use gep_kernels::Tropical;
+use sparklet::{SparkConf, SparkContext};
+
+fn main() {
+    // A 16×16 street grid → 256 intersections.
+    let (rows, cols) = (16, 16);
+    let n = rows * cols;
+    let roads = grid_network(rows, cols, 7);
+
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(4)
+            .with_executor_cores(2)
+            .with_partitions(16),
+    );
+    // CB suits the lighter per-iteration traffic of a small cluster.
+    let cfg = DpConfig::new(n, 64)
+        .with_strategy(Strategy::CollectBroadcast)
+        .with_kernel(KernelChoice::Recursive {
+            r_shared: 2,
+            base: 16,
+            threads: 2,
+        });
+
+    println!("computing all-pairs travel times for a {rows}×{cols} street grid …");
+    let times = solve::<Tropical>(&sc, &cfg, &roads).expect("distributed solve");
+    assert_eq!(
+        check_apsp(&roads, &times, 1e-9),
+        None,
+        "validation against Dijkstra"
+    );
+
+    // Network diameter: the worst shortest travel time.
+    let mut diameter = (0.0f64, 0, 0);
+    for i in 0..n {
+        for j in 0..n {
+            let t = times.get(i, j);
+            if t.is_finite() && t > diameter.0 {
+                diameter = (t, i, j);
+            }
+        }
+    }
+    let at = |v: usize| (v / cols, v % cols);
+    println!(
+        "diameter: {:.1} min, from intersection {:?} to {:?}",
+        diameter.0,
+        at(diameter.1),
+        at(diameter.2)
+    );
+
+    // Depot analysis: average travel time from the center.
+    let depot = (rows / 2) * cols + cols / 2;
+    let avg: f64 = (0..n).map(|j| times.get(depot, j)).sum::<f64>() / n as f64;
+    println!(
+        "depot {:?}: average travel time to any intersection {avg:.1} min",
+        at(depot)
+    );
+
+    // A sample route cost matrix corner.
+    println!("corner-to-corner: {:.1} min", times.get(0, n - 1));
+}

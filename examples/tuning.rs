@@ -1,0 +1,56 @@
+//! Auto-tuning `r`, `r_shared`, and `OMP_NUM_THREADS` for a cluster —
+//! the paper's Section V takeaway turned into a tool.
+//!
+//! ```text
+//! cargo run --release --example tuning
+//! ```
+//!
+//! Evaluates the candidate grid *virtually* on both paper clusters
+//! (real dataflow, cost-model pricing) and prints the best
+//! configurations — demonstrating that the optimum moves between
+//! clusters, which is the portability argument of Fig. 8.
+
+use cluster_model::ClusterSpec;
+use dp_core::tuner::{tune, TuneSpace};
+use gep_kernels::Tropical;
+
+fn main() {
+    // Modest size so the example finishes quickly; the bench binaries
+    // run the full 32K sweeps.
+    let n = 8192;
+    let space = TuneSpace {
+        blocks: vec![512, 1024, 2048],
+        r_shared: vec![2, 4, 8],
+        threads: vec![1, 4, 8, 16],
+        ..TuneSpace::default()
+    };
+
+    for cluster in [ClusterSpec::skylake(), ClusterSpec::haswell()] {
+        println!("\n=== tuning FW-APSP {n}×{n} on {} ===", cluster.name);
+        let results = tune::<Tropical>(&cluster, n, &space).expect("tuning run");
+        println!("{:<24} {:>6} {:>12}", "configuration", "omp", "sim seconds");
+        for r in results.iter().take(5) {
+            println!(
+                "{:<24} {:>6} {:>12.1}",
+                r.config.label(),
+                r.omp_threads,
+                r.seconds
+            );
+        }
+        let best = &results[0];
+        let worst = results.last().unwrap();
+        println!(
+            "best {} ({:.1} s) vs worst {} ({:.1} s): {:.1}× spread",
+            best.config.label(),
+            best.seconds,
+            worst.config.label(),
+            worst.seconds,
+            worst.seconds / best.seconds
+        );
+    }
+    println!(
+        "\nTakeaway: the optimal (r, r_shared, threads) differs per cluster —\n\
+         choosing them independent of the system configuration is inefficient\n\
+         (the paper's Fig. 8 portability argument)."
+    );
+}
