@@ -65,6 +65,15 @@ pub struct StageRecord {
     pub collect_bytes: u64,
     /// Bytes each node reads back from shared storage (CB broadcast).
     pub broadcast_bytes: u64,
+    /// Failed attempts that were re-launched via lineage retry.
+    pub retries: u64,
+    /// Straggler attempts re-launched speculatively on another node.
+    pub speculative_launches: u64,
+    /// Late (zombie-attempt) shuffle writes dropped by attempt fencing.
+    pub zombie_writes_fenced: u64,
+    /// Staged shuffle bytes released back during the stage window
+    /// (per-shuffle GC plus retry re-staging reconciliation).
+    pub staged_released_bytes: u64,
 }
 
 /// A stage's simulated time decomposed into components (seconds).
@@ -565,6 +574,7 @@ mod tests {
             tasks: vec![],
             collect_bytes: 1 << 30,
             broadcast_bytes: 1 << 30,
+            ..Default::default()
         };
         // ≥ 1 GiB compressed over GbE + storage writes: several seconds.
         assert!(m.stage_seconds(&stage) > 4.0);
@@ -593,6 +603,7 @@ mod tests {
             tasks: vec![t],
             collect_bytes: 1 << 27,
             broadcast_bytes: 0,
+            ..Default::default()
         };
         let cost = m.stage_breakdown(&stage);
         assert!(cost.compute > 0.0 && cost.io > 0.0 && cost.driver > 0.0);

@@ -32,6 +32,15 @@ pub struct SolveReport {
     pub collect_bytes: u64,
     /// Bytes broadcast via shared storage.
     pub broadcast_bytes: u64,
+    /// Failed attempts re-launched via lineage retry.
+    pub retries: u64,
+    /// Straggler attempts re-launched speculatively.
+    pub speculative_launches: u64,
+    /// Late shuffle writes dropped by attempt fencing.
+    pub zombie_writes_fenced: u64,
+    /// Staged bytes released back by shuffle GC and retry
+    /// reconciliation.
+    pub staged_released_bytes: u64,
 }
 
 fn partitioner_for(cfg: &DpConfig) -> Arc<dyn Partitioner<K>> {
@@ -75,10 +84,12 @@ fn run_loop<S: DpProblem>(
             )?,
         };
         // Materialize the iteration (the paper's programs are bounded
-        // the same way: each iteration's output feeds the next), then
-        // drop the consumed shuffle data — Spark's ContextCleaner role.
+        // the same way: each iteration's output feeds the next). The
+        // checkpoint cuts the lineage, so dropping `next` at the end
+        // of this iteration releases the consumed shuffles' staged
+        // bytes individually (per-shuffle GC — Spark's ContextCleaner
+        // role), keeping long runs clear of the staging cap.
         dp = next.checkpoint()?;
-        sc.clear_shuffles();
     }
     Ok(dp)
 }
@@ -141,6 +152,10 @@ pub fn solve_virtual<S: DpProblem>(
         staged_bytes: log.total_staged_bytes(),
         collect_bytes: log.total_collect_bytes(),
         broadcast_bytes: log.total_broadcast_bytes(),
+        retries: log.total_retries(),
+        speculative_launches: log.total_speculative_launches(),
+        zombie_writes_fenced: log.total_zombie_writes_fenced(),
+        staged_released_bytes: log.total_staged_released_bytes(),
     }))
 }
 

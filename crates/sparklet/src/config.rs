@@ -26,6 +26,18 @@ pub struct SparkConf {
     pub executor_memory: Option<u64>,
     /// Maximum attempts per task before the job fails (lineage retry).
     pub max_task_attempts: usize,
+    /// Base delay before re-launching a failed task, doubling per
+    /// attempt (`spark.task.retry.backoff`-style). 0 disables backoff.
+    pub retry_backoff_ms: u64,
+    /// Upper bound on the exponential retry backoff.
+    pub retry_backoff_max_ms: u64,
+    /// Speculatively re-launch stragglers on another node once
+    /// [`SparkConf::speculation_quantile`] of a stage has completed
+    /// (`spark.speculation`).
+    pub speculation: bool,
+    /// Fraction of a stage's tasks that must complete before
+    /// stragglers are speculated (`spark.speculation.quantile`).
+    pub speculation_quantile: f64,
 }
 
 impl Default for SparkConf {
@@ -38,6 +50,10 @@ impl Default for SparkConf {
             staging_capacity: None,
             executor_memory: None,
             max_task_attempts: 4,
+            retry_backoff_ms: 0,
+            retry_backoff_max_ms: 1000,
+            speculation: false,
+            speculation_quantile: 0.75,
         }
     }
 }
@@ -54,6 +70,7 @@ impl SparkConf {
             staging_capacity: Some(1 << 40),
             executor_memory: Some(160 << 30),
             max_task_attempts: 4,
+            ..Default::default()
         }
     }
 
@@ -68,6 +85,7 @@ impl SparkConf {
             staging_capacity: Some(1 << 40),
             executor_memory: Some(60 << 30),
             max_task_attempts: 4,
+            ..Default::default()
         }
     }
 
@@ -110,6 +128,30 @@ impl SparkConf {
         self.executor_memory = Some(bytes);
         self
     }
+
+    /// Set the maximum attempts per task (lineage retry budget).
+    pub fn with_max_task_attempts(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.max_task_attempts = n;
+        self
+    }
+
+    /// Set the exponential retry backoff: `base` ms doubling per
+    /// attempt, capped at `max` ms.
+    pub fn with_retry_backoff(mut self, base_ms: u64, max_ms: u64) -> Self {
+        self.retry_backoff_ms = base_ms;
+        self.retry_backoff_max_ms = max_ms.max(base_ms);
+        self
+    }
+
+    /// Enable speculative execution of stragglers once `quantile` of a
+    /// stage's tasks have completed.
+    pub fn with_speculation(mut self, quantile: f64) -> Self {
+        assert!((0.0..=1.0).contains(&quantile));
+        self.speculation = true;
+        self.speculation_quantile = quantile;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -135,5 +177,20 @@ mod tests {
             .with_staging_capacity(1024);
         assert_eq!((c.executors, c.executor_cores, c.default_partitions), (8, 2, 64));
         assert_eq!(c.staging_capacity, Some(1024));
+    }
+
+    #[test]
+    fn retry_and_speculation_knobs_compose() {
+        let c = SparkConf::default()
+            .with_max_task_attempts(6)
+            .with_retry_backoff(5, 80)
+            .with_speculation(0.5);
+        assert_eq!(c.max_task_attempts, 6);
+        assert_eq!((c.retry_backoff_ms, c.retry_backoff_max_ms), (5, 80));
+        assert!(c.speculation);
+        assert_eq!(c.speculation_quantile, 0.5);
+        let d = SparkConf::default();
+        assert!(!d.speculation, "speculation is opt-in");
+        assert_eq!(d.retry_backoff_ms, 0, "backoff off by default");
     }
 }

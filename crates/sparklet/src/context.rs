@@ -36,6 +36,11 @@ pub(crate) struct CtxInner {
     pub faults: Mutex<FaultPlan>,
     ids: AtomicU64,
     pub stage_ordinal: AtomicU64,
+    /// Shuffle-counter watermarks: totals already attributed to a
+    /// stage record. The next stage to finish claims the delta, so
+    /// between-stage GC releases still land in the event log.
+    pub zombie_mark: AtomicU64,
+    pub released_mark: AtomicU64,
 }
 
 /// The entry point: create one per simulated cluster. Cheap to clone
@@ -69,6 +74,8 @@ impl SparkContext {
                 faults: Mutex::new(FaultPlan::default()),
                 ids: AtomicU64::new(1),
                 stage_ordinal: AtomicU64::new(0),
+                zombie_mark: AtomicU64::new(0),
+                released_mark: AtomicU64::new(0),
                 conf,
             }),
         }
@@ -133,6 +140,7 @@ impl SparkContext {
                 tasks: vec![],
                 collect_bytes,
                 broadcast_bytes,
+                ..Default::default()
             },
         );
     }
@@ -159,11 +167,36 @@ impl SparkContext {
         self.inner.shuffle.staged_bytes(node)
     }
 
+    /// High-water mark of staged shuffle bytes on `node` over the
+    /// context's lifetime (for calibrating staging capacities).
+    pub fn peak_staged_bytes(&self, node: usize) -> u64 {
+        self.inner.shuffle.peak_staged_bytes(node)
+    }
+
+    /// Total late (zombie-attempt) shuffle writes dropped by attempt
+    /// fencing since the context was created.
+    pub fn zombie_writes_fenced(&self) -> u64 {
+        self.inner.shuffle.zombie_writes_fenced()
+    }
+
+    /// Total staged bytes released back (shuffle GC plus retry
+    /// reconciliation) since the context was created.
+    pub fn staged_released_bytes(&self) -> u64 {
+        self.inner.shuffle.staged_released_bytes()
+    }
+
     /// Inject a failure: the task for `partition` of the `stage`-th
     /// stage (0-based global ordinal) fails `times` times before
     /// succeeding — exercising lineage-based retry.
     pub fn inject_failure(&self, stage: u64, partition: usize, times: usize) {
         self.inner.faults.lock().add(stage, partition, times);
+    }
+
+    /// Inject a failure into *every* stage: the task for `partition`
+    /// fails `times` times per stage before succeeding (a standing
+    /// chaos rule for fault-tolerance stress tests).
+    pub fn inject_failure_every_stage(&self, partition: usize, times: usize) {
+        self.inner.faults.lock().add_every_stage(partition, times);
     }
 
     /// Global ordinal the *next* stage will get.
@@ -208,18 +241,50 @@ impl SparkContext {
     }
 }
 
+/// Commit board of one stage: `board[partition]` holds the attempt
+/// number whose results were accepted (0 = still open). Set once by
+/// the scheduler when the first attempt of a partition completes;
+/// later ("zombie") attempts of the same partition are fenced out of
+/// shuffle writes and result delivery.
+pub(crate) type CommitBoard = Arc<Vec<AtomicU64>>;
+
 /// Per-task state handed to every task closure: identifies the node
+/// and attempt, carries the stage's commit board for attempt fencing,
 /// and accumulates the task's metric record.
 pub struct TaskContext {
     node: usize,
+    attempt: u64,
+    fence: Option<(CommitBoard, usize)>,
     record: Mutex<TaskRecord>,
 }
 
 impl TaskContext {
-    /// Context for a task on `node`.
+    /// Context for a first-attempt task on `node` with no commit board
+    /// (unit tests and driver-local work).
     pub fn new(node: usize) -> Self {
         TaskContext {
             node,
+            attempt: 1,
+            fence: None,
+            record: Mutex::new(TaskRecord {
+                node,
+                ..Default::default()
+            }),
+        }
+    }
+
+    /// Context for attempt `attempt` of `partition`, fenced by the
+    /// stage's commit board (scheduler-side constructor).
+    pub(crate) fn for_attempt(
+        node: usize,
+        attempt: u64,
+        board: CommitBoard,
+        partition: usize,
+    ) -> Self {
+        TaskContext {
+            node,
+            attempt,
+            fence: Some((board, partition)),
             record: Mutex::new(TaskRecord {
                 node,
                 ..Default::default()
@@ -230,6 +295,24 @@ impl TaskContext {
     /// The executor (node) this task runs on.
     pub fn node(&self) -> usize {
         self.node
+    }
+
+    /// 1-based attempt number of this task execution.
+    pub fn attempt(&self) -> u64 {
+        self.attempt
+    }
+
+    /// Has this partition already been committed by a *different*
+    /// attempt? A fenced task is a zombie: its side effects must be
+    /// dropped.
+    pub fn is_fenced(&self) -> bool {
+        match &self.fence {
+            Some((board, partition)) => {
+                let committed = board[*partition].load(Ordering::Acquire);
+                committed != 0 && committed != self.attempt
+            }
+            None => false,
+        }
     }
 
     /// Record a kernel execution (called by the DP executors so the

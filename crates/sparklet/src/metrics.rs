@@ -93,6 +93,31 @@ impl EventLog {
         self.stages.iter().map(|s| s.record.broadcast_bytes).sum()
     }
 
+    /// Total failed attempts re-launched via lineage retry.
+    pub fn total_retries(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.retries).sum()
+    }
+
+    /// Total straggler attempts re-launched speculatively.
+    pub fn total_speculative_launches(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.speculative_launches).sum()
+    }
+
+    /// Total late shuffle writes dropped by attempt fencing.
+    pub fn total_zombie_writes_fenced(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.zombie_writes_fenced).sum()
+    }
+
+    /// Total staged bytes released back (shuffle GC + reconciliation).
+    pub fn total_staged_released_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.staged_released_bytes).sum()
+    }
+
+    /// Mutable view of the most recent stage (action annotations).
+    pub fn last_stage_mut(&mut self) -> Option<&mut StageEvent> {
+        self.stages.last_mut()
+    }
+
     /// Plain records for the cost model.
     pub fn records(&self) -> Vec<StageRecord> {
         self.stages.iter().map(|s| s.record.clone()).collect()
@@ -124,6 +149,9 @@ mod tests {
                 }],
                 collect_bytes: 100,
                 broadcast_bytes: 50,
+                retries: 2,
+                staged_released_bytes: 30,
+                ..Default::default()
             },
         );
         log.push(
@@ -144,6 +172,9 @@ mod tests {
         assert_eq!(log.total_staged_bytes(), 7);
         assert_eq!(log.total_collect_bytes(), 100);
         assert_eq!(log.total_broadcast_bytes(), 50);
+        assert_eq!(log.total_retries(), 2);
+        assert_eq!(log.total_speculative_launches(), 0);
+        assert_eq!(log.total_staged_released_bytes(), 30);
         let taken = log.take();
         assert_eq!(taken.len(), 2);
         assert_eq!(log.stage_count(), 0);

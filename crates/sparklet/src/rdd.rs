@@ -468,6 +468,15 @@ impl<K: Key, V: ShufVal> ShuffledRdd<K, V> {
     }
 }
 
+impl<K: Key, V: ShufVal> Drop for ShuffledRdd<K, V> {
+    fn drop(&mut self) {
+        // Last lineage reference gone ⇒ nothing can fetch this shuffle
+        // again: release its staged bytes (Spark's ContextCleaner
+        // removing a shuffle, but per-shuffle instead of global).
+        self.parent.ctx().inner.shuffle.release(self.shuffle_id);
+    }
+}
+
 impl<K: Key, V: ShufVal> RddOps<K, V> for ShuffledRdd<K, V> {
     fn explain_into(&self, depth: usize, out: &mut String) {
         write_plan_line(
@@ -617,6 +626,12 @@ impl<K: Key, V: ShufVal, C: ShufVal> CombinedRdd<K, V, C> {
             }),
         )?;
         Ok(())
+    }
+}
+
+impl<K: Key, V: ShufVal, C: ShufVal> Drop for CombinedRdd<K, V, C> {
+    fn drop(&mut self) {
+        self.parent.ctx().inner.shuffle.release(self.shuffle_id);
     }
 }
 

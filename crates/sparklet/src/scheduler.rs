@@ -1,47 +1,96 @@
-//! Stage execution: task placement, waves, lineage retry, fault
-//! injection, and event-log recording.
+//! Stage execution: task placement, waves, lineage retry with
+//! exponential backoff, speculative re-execution, attempt fencing,
+//! fault injection, and event-log recording.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cluster_model::StageRecord;
 
-use crate::context::{SparkContext, TaskContext};
+use crate::context::{CommitBoard, SparkContext, TaskContext};
 use crate::error::JobError;
 
 /// The closure a stage runs per task.
 pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &TaskContext) -> Result<R, JobError> + Send + Sync>;
 
 /// Deterministic fault injection: rules keyed by (stage ordinal,
-/// partition), each failing a bounded number of attempts.
+/// partition), each failing a bounded number of attempts. A rule can
+/// also apply to every stage (standing chaos for stress tests).
 #[derive(Debug, Default)]
 pub struct FaultPlan {
     rules: Vec<FaultRule>,
 }
 
 #[derive(Debug)]
-struct FaultRule {
-    stage: u64,
-    partition: usize,
-    remaining: usize,
+enum FaultRule {
+    /// Fail `remaining` more attempts of (stage, partition).
+    Once {
+        stage: u64,
+        partition: usize,
+        remaining: usize,
+    },
+    /// Fail the first `times` attempts of `partition` in every stage.
+    EveryStage {
+        partition: usize,
+        times: usize,
+        current_stage: Option<u64>,
+        used: usize,
+    },
 }
 
 impl FaultPlan {
     /// Schedule `times` failures for (stage ordinal, partition).
     pub fn add(&mut self, stage: u64, partition: usize, times: usize) {
-        self.rules.push(FaultRule {
+        self.rules.push(FaultRule::Once {
             stage,
             partition,
             remaining: times,
         });
     }
 
+    /// Schedule `times` failures for `partition` in *every* stage.
+    pub fn add_every_stage(&mut self, partition: usize, times: usize) {
+        self.rules.push(FaultRule::EveryStage {
+            partition,
+            times,
+            current_stage: None,
+            used: 0,
+        });
+    }
+
     /// Consume one failure budget for this (stage, partition) if any.
     pub fn should_fail(&mut self, stage: u64, partition: usize) -> bool {
         for rule in &mut self.rules {
-            if rule.stage == stage && rule.partition == partition && rule.remaining > 0 {
-                rule.remaining -= 1;
-                return true;
+            match rule {
+                FaultRule::Once {
+                    stage: s,
+                    partition: p,
+                    remaining,
+                } => {
+                    if *s == stage && *p == partition && *remaining > 0 {
+                        *remaining -= 1;
+                        return true;
+                    }
+                }
+                FaultRule::EveryStage {
+                    partition: p,
+                    times,
+                    current_stage,
+                    used,
+                } => {
+                    if *p != partition {
+                        continue;
+                    }
+                    if *current_stage != Some(stage) {
+                        *current_stage = Some(stage);
+                        *used = 0;
+                    }
+                    if *used < *times {
+                        *used += 1;
+                        return true;
+                    }
+                }
             }
         }
         false
@@ -61,9 +110,18 @@ impl SparkContext {
     /// Run one stage of `ntasks` tasks on the executor pools and wait.
     ///
     /// `preferred(p)` pins a task to a node (cached partitions);
-    /// otherwise placement is round-robin with retries rescheduled onto
-    /// the next node, Spark-style. Records a [`StageRecord`] with every
-    /// *successful* task's metrics.
+    /// otherwise placement is round-robin with re-executions moving to
+    /// the next node, Spark-style. Each launch gets a fresh attempt
+    /// number; the first attempt to complete a partition commits it on
+    /// the stage's [`CommitBoard`] and late twins are fenced: their
+    /// results, records, and shuffle writes are dropped. Genuine
+    /// retries back off exponentially
+    /// ([`crate::SparkConf::retry_backoff_ms`]); once
+    /// [`crate::SparkConf::speculation_quantile`] of the stage has
+    /// completed, stragglers are speculatively re-launched on another
+    /// node (when [`crate::SparkConf::speculation`] is on). Records a
+    /// [`StageRecord`] with every committed task's metrics plus the
+    /// stage's retry/speculation/fencing counters.
     pub(crate) fn run_stage<R: Send + 'static>(
         &self,
         label: &str,
@@ -75,98 +133,156 @@ impl SparkContext {
         let stage = self
             .inner
             .stage_ordinal
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            .fetch_add(1, Ordering::Relaxed);
+        let conf = &self.inner.conf;
         let nodes = self.inner.executors.len();
         let (tx, rx) = crossbeam::channel::unbounded();
+        let board: CommitBoard = Arc::new((0..ntasks).map(|_| AtomicU64::new(0)).collect());
         let mut results: Vec<Option<R>> = (0..ntasks).map(|_| None).collect();
         let mut records = Vec::with_capacity(ntasks);
-        let mut attempts = vec![0usize; ntasks];
-        let mut pending: Vec<usize> = (0..ntasks).collect();
-        while !pending.is_empty() {
-            let wave = pending.len();
-            for p in pending.drain(..) {
-                attempts[p] += 1;
-                // Retries move to the next node (the failed one may be
-                // "bad"), matching Spark's blacklist-lite behaviour.
-                let base = preferred(p).unwrap_or(p % nodes);
-                let node = (base + attempts[p] - 1) % nodes;
-                let injected = self.inner.faults.lock().should_fail(stage, p);
-                let work = Arc::clone(&work);
-                let tx = tx.clone();
-                self.inner.executors[node].pool.spawn(move || {
-                    let tc = TaskContext::new(node);
-                    let outcome = if injected {
-                        Err(JobError::MissingBlock(format!(
-                            "injected failure (partition {p})"
-                        )))
-                    } else {
-                        match catch_unwind(AssertUnwindSafe(|| work(p, &tc))) {
-                            Ok(r) => r,
-                            Err(panic) => {
-                                let msg = panic
-                                    .downcast_ref::<&str>()
-                                    .map(|s| s.to_string())
-                                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "task panicked".into());
-                                Err(JobError::TaskFailed {
-                                    stage: String::new(),
-                                    partition: p,
-                                    attempts: 0,
-                                    message: msg,
-                                })
+        // Per-partition bookkeeping: launches so far (= highest attempt
+        // number), in-flight attempts, committed flag, speculated flag.
+        let mut attempts = vec![0u64; ntasks];
+        let mut in_flight = vec![0usize; ntasks];
+        let mut committed = vec![false; ntasks];
+        let mut speculated = vec![false; ntasks];
+        let mut retries = 0u64;
+        let mut speculative_launches = 0u64;
+        let spawn_attempt = |p: usize, attempt: u64| {
+            let base = preferred(p).unwrap_or(p % nodes);
+            // Re-executions move to the next node (the failed or slow
+            // one may be "bad"), matching Spark's blacklist-lite
+            // behaviour.
+            let node = (base + (attempt - 1) as usize) % nodes;
+            let injected = self.inner.faults.lock().should_fail(stage, p);
+            let work = Arc::clone(&work);
+            let tx = tx.clone();
+            let board = Arc::clone(&board);
+            let label = label.to_string();
+            self.inner.executors[node].pool.spawn(move || {
+                let tc = TaskContext::for_attempt(node, attempt, board, p);
+                let outcome = match catch_unwind(AssertUnwindSafe(|| work(p, &tc))) {
+                    Ok(r) => r,
+                    Err(panic) => {
+                        let msg = panic
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| panic.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "task panicked".into());
+                        Err(JobError::TaskFailed {
+                            stage: label.clone(),
+                            partition: p,
+                            attempts: attempt as usize,
+                            message: msg,
+                        })
+                    }
+                };
+                // Release the task's lineage references *before*
+                // reporting: once the driver has seen every task of a
+                // stage, no executor-side `Arc` clones may keep the
+                // stage's RDDs — and their Drop-based shuffle GC —
+                // alive past the user's last handle.
+                drop(work);
+                // Injected faults fail the attempt *after* its side
+                // effects (shuffle writes, cache puts) have landed, so
+                // retries exercise real re-staging reconciliation.
+                let outcome = match (injected, outcome) {
+                    (true, Ok(_)) => Err(JobError::TaskFailed {
+                        stage: label,
+                        partition: p,
+                        attempts: attempt as usize,
+                        message: format!("injected failure (partition {p})"),
+                    }),
+                    (_, other) => other,
+                };
+                let _ = tx.send((p, attempt, outcome, tc.into_record()));
+            });
+        };
+        let speculation_target = if conf.speculation && ntasks > 1 {
+            ((conf.speculation_quantile * ntasks as f64).ceil() as usize).min(ntasks)
+        } else {
+            usize::MAX
+        };
+        for p in 0..ntasks {
+            attempts[p] = 1;
+            in_flight[p] = 1;
+            spawn_attempt(p, 1);
+        }
+        let mut completed = 0usize;
+        while completed < ntasks {
+            let (p, attempt, outcome, record) = rx.recv().expect("task channel open");
+            in_flight[p] -= 1;
+            match outcome {
+                Ok(r) => {
+                    if committed[p] {
+                        // A fenced twin finishing late: first success
+                        // already won; drop result and record.
+                        continue;
+                    }
+                    committed[p] = true;
+                    completed += 1;
+                    // Publish the winning attempt so in-flight twins
+                    // see themselves fenced from here on.
+                    board[p].store(attempt, Ordering::Release);
+                    results[p] = Some(r);
+                    records.push(record);
+                    if completed >= speculation_target && completed < ntasks {
+                        for q in 0..ntasks {
+                            if !committed[q] && !speculated[q] && in_flight[q] > 0 {
+                                speculated[q] = true;
+                                attempts[q] += 1;
+                                in_flight[q] += 1;
+                                speculative_launches += 1;
+                                spawn_attempt(q, attempts[q]);
                             }
                         }
-                    };
-                    let _ = tx.send((p, outcome, tc.into_record()));
-                });
-            }
-            for _ in 0..wave {
-                let (p, outcome, record) = rx.recv().expect("task channel open");
-                match outcome {
-                    Ok(r) => {
-                        results[p] = Some(r);
-                        records.push(record);
                     }
-                    Err(err) => {
-                        if retryable(&err) && attempts[p] < self.inner.conf.max_task_attempts {
-                            pending.push(p);
-                        } else {
-                            // Record what we have, then fail the job.
-                            self.inner.log.lock().push(
-                                format!("{label} (failed)"),
-                                StageRecord {
-                                    tasks: records,
-                                    ..Default::default()
-                                },
-                            );
-                            return Err(match err {
-                                JobError::TaskFailed { message, .. } => JobError::TaskFailed {
-                                    stage: label.to_string(),
-                                    partition: p,
-                                    attempts: attempts[p],
-                                    message,
-                                },
-                                JobError::MissingBlock(m)
-                                    if m.starts_with("injected failure") =>
-                                {
-                                    JobError::TaskFailed {
-                                        stage: label.to_string(),
-                                        partition: p,
-                                        attempts: attempts[p],
-                                        message: m,
-                                    }
-                                }
-                                other => other,
-                            });
+                }
+                Err(err) => {
+                    if committed[p] || in_flight[p] > 0 {
+                        // Another attempt already won, or a twin is
+                        // still running — let it decide the partition.
+                        continue;
+                    }
+                    if retryable(&err) && (attempts[p] as usize) < conf.max_task_attempts {
+                        let backoff = retry_backoff_ms(conf.retry_backoff_ms, conf.retry_backoff_max_ms, attempts[p]);
+                        if backoff > 0 {
+                            std::thread::sleep(std::time::Duration::from_millis(backoff));
                         }
+                        retries += 1;
+                        attempts[p] += 1;
+                        in_flight[p] = 1;
+                        spawn_attempt(p, attempts[p]);
+                    } else {
+                        // Record what we have, then fail the job. The
+                        // error already carries its stage label and
+                        // attempt count (filled at construction).
+                        let (zombies, released) = self.claim_shuffle_deltas();
+                        self.inner.log.lock().push(
+                            format!("{label} (failed)"),
+                            StageRecord {
+                                tasks: records,
+                                retries,
+                                speculative_launches,
+                                zombie_writes_fenced: zombies,
+                                staged_released_bytes: released,
+                                ..Default::default()
+                            },
+                        );
+                        return Err(err);
                     }
                 }
             }
         }
+        let (zombies, released) = self.claim_shuffle_deltas();
         self.inner.log.lock().push_timed(
             label.to_string(),
             StageRecord {
                 tasks: records,
+                retries,
+                speculative_launches,
+                zombie_writes_fenced: zombies,
+                staged_released_bytes: released,
                 ..Default::default()
             },
             t0.elapsed().as_secs_f64(),
@@ -174,18 +290,61 @@ impl SparkContext {
         Ok(results.into_iter().map(|r| r.expect("task completed")).collect())
     }
 
+    /// Unattributed shuffle-counter growth since the last stage record
+    /// (zombie writes fenced, staged bytes released). Swapping the
+    /// watermarks keeps event-log totals equal to the manager's
+    /// counters even when GC runs between stages.
+    fn claim_shuffle_deltas(&self) -> (u64, u64) {
+        let zombies = self.inner.shuffle.zombie_writes_fenced();
+        let released = self.inner.shuffle.staged_released_bytes();
+        let z0 = self.inner.zombie_mark.swap(zombies, Ordering::Relaxed);
+        let r0 = self.inner.released_mark.swap(released, Ordering::Relaxed);
+        (zombies.saturating_sub(z0), released.saturating_sub(r0))
+    }
+
     /// Add collect bytes to the most recent stage record (an action's
-    /// result shipping to the driver).
+    /// result shipping to the driver), preserving its wall time.
     pub(crate) fn annotate_last_stage(&self, collect_bytes: u64, broadcast_bytes: u64) {
         let mut log = self.inner.log.lock();
-        let stages = log.take();
-        let mut stages = stages;
-        if let Some(last) = stages.last_mut() {
+        if let Some(last) = log.last_stage_mut() {
             last.record.collect_bytes += collect_bytes;
             last.record.broadcast_bytes += broadcast_bytes;
         }
-        for s in stages {
-            log.push(s.label, s.record);
-        }
+    }
+}
+
+/// Exponential backoff before relaunching attempt `attempt + 1`:
+/// `base × 2^(attempt-1)`, capped at `max`.
+fn retry_backoff_ms(base: u64, max: u64, attempt: u64) -> u64 {
+    if base == 0 {
+        return 0;
+    }
+    let shift = (attempt.saturating_sub(1)).min(16) as u32;
+    base.saturating_mul(1u64 << shift).min(max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stage_rule_resets_per_stage() {
+        let mut plan = FaultPlan::default();
+        plan.add_every_stage(0, 1);
+        assert!(plan.should_fail(0, 0));
+        assert!(!plan.should_fail(0, 0)); // budget spent for stage 0
+        assert!(!plan.should_fail(0, 1)); // other partitions untouched
+        assert!(plan.should_fail(1, 0)); // fresh budget for stage 1
+        assert!(!plan.should_fail(1, 0));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(retry_backoff_ms(0, 1000, 1), 0);
+        assert_eq!(retry_backoff_ms(10, 1000, 1), 10);
+        assert_eq!(retry_backoff_ms(10, 1000, 2), 20);
+        assert_eq!(retry_backoff_ms(10, 1000, 3), 40);
+        assert_eq!(retry_backoff_ms(10, 25, 3), 25);
+        assert_eq!(retry_backoff_ms(u64::MAX / 2, u64::MAX, 64), u64::MAX);
     }
 }

@@ -6,8 +6,21 @@
 //! Reduce tasks fetch every map task's bucket for their partition; a
 //! fetch from another node counts as remote (network) traffic, from
 //! the same node as local (storage) traffic.
+//!
+//! Writes are attempt-aware and idempotent: re-executed map tasks
+//! (lineage retries, speculative twins) overwrite their previous
+//! bucket and the staging accounting is *reconciled* — the prior
+//! attempt's declared bytes are released before the new bytes are
+//! charged, so retry never inflates `staged_bytes` toward a spurious
+//! [`JobError::StagingOverflow`]. Attempts that lost the commit race
+//! for their partition are fenced out entirely (see
+//! [`crate::context::TaskContext::is_fenced`]). Whole shuffles are
+//! released individually when their RDD lineage is dropped
+//! ([`ShuffleManager::release`]) instead of only on global
+//! [`ShuffleManager::clear`].
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use bytes::Bytes;
 use parking_lot::Mutex;
@@ -23,6 +36,8 @@ pub type ShuffleId = u64;
 pub struct MapBucket {
     /// Node whose map task produced this bucket.
     pub origin_node: usize,
+    /// Attempt number of the map-task execution that wrote it.
+    pub attempt: u64,
     /// Serialized pairs.
     pub data: Bytes,
     /// Accounted ("declared") size: the logical payload size used for
@@ -39,35 +54,62 @@ struct ShuffleData {
     buckets: Vec<Vec<Option<MapBucket>>>,
 }
 
+/// State behind one lock: the bucket matrices plus the staging
+/// accounting they imply. Invariant: `staged[n]` equals the sum of
+/// `declared` over every stored bucket with `origin_node == n`.
+#[derive(Debug)]
+struct ShuffleInner {
+    shuffles: HashMap<ShuffleId, ShuffleData>,
+    /// Currently staged bytes per node.
+    staged: Vec<u64>,
+    /// High-water mark of `staged` per node.
+    peak: Vec<u64>,
+}
+
 /// Global shuffle state shared by all executors (it *is* the network).
 #[derive(Debug)]
 pub struct ShuffleManager {
-    shuffles: Mutex<HashMap<ShuffleId, ShuffleData>>,
-    /// Currently staged bytes per node.
-    staged: Mutex<Vec<u64>>,
+    inner: Mutex<ShuffleInner>,
     capacity: Option<u64>,
+    /// Late writes dropped because another attempt already committed
+    /// the partition.
+    zombie_writes_fenced: AtomicU64,
+    /// Bytes released back to staging: per-shuffle GC plus retry
+    /// reconciliation of overwritten buckets.
+    staged_released: AtomicU64,
 }
 
 impl ShuffleManager {
     /// Manager for `nodes` nodes with optional per-node staging cap.
     pub fn new(nodes: usize, capacity: Option<u64>) -> Self {
         ShuffleManager {
-            shuffles: Mutex::new(HashMap::new()),
-            staged: Mutex::new(vec![0; nodes]),
+            inner: Mutex::new(ShuffleInner {
+                shuffles: HashMap::new(),
+                staged: vec![0; nodes],
+                peak: vec![0; nodes],
+            }),
             capacity,
+            zombie_writes_fenced: AtomicU64::new(0),
+            staged_released: AtomicU64::new(0),
         }
     }
 
     /// Create the bucket matrix for a shuffle.
     pub fn register(&self, id: ShuffleId, map_tasks: usize, reduce_partitions: usize) {
-        let mut shuffles = self.shuffles.lock();
-        shuffles.entry(id).or_insert_with(|| ShuffleData {
+        let mut inner = self.inner.lock();
+        inner.shuffles.entry(id).or_insert_with(|| ShuffleData {
             buckets: vec![vec![None; map_tasks]; reduce_partitions],
         });
     }
 
     /// Stage one map task's bucket for one reduce partition. Fails the
     /// job when the origin node's staging capacity is exceeded.
+    ///
+    /// The write is keyed by the attempt carried on `tc`: overwriting
+    /// an earlier attempt's bucket releases its declared bytes first
+    /// (idempotent re-staging), a fenced (zombie) attempt's write is
+    /// dropped, and empty buckets are never stored. A capacity failure
+    /// mutates nothing.
     #[allow(clippy::too_many_arguments)]
     pub fn write(
         &self,
@@ -79,30 +121,65 @@ impl ShuffleManager {
         declared: u64,
         tc: &TaskContext,
     ) -> Result<(), JobError> {
-        let len = declared;
-        {
-            let mut staged = self.staged.lock();
-            staged[origin_node] += len;
-            if let Some(cap) = self.capacity {
-                if staged[origin_node] > cap {
-                    return Err(JobError::StagingOverflow {
-                        node: origin_node,
-                        used: staged[origin_node],
-                        capacity: cap,
-                    });
-                }
-            }
+        // Empty buckets are skipped (map tasks keep the bucket matrix
+        // sparse); a `None` slot already reads as "no data".
+        if data.is_empty() && declared == 0 {
+            return Ok(());
         }
-        tc.add_shuffle_write(len);
-        let mut shuffles = self.shuffles.lock();
-        let shuffle = shuffles
+        // A zombie attempt (its partition was committed by a different
+        // attempt) must not disturb committed data or accounting.
+        if tc.is_fenced() {
+            self.zombie_writes_fenced.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        let mut guard = self.inner.lock();
+        let inner = &mut *guard;
+        let shuffle = inner
+            .shuffles
             .get_mut(&id)
             .ok_or_else(|| JobError::MissingBlock(format!("shuffle {id}")))?;
-        shuffle.buckets[reduce_partition][map_task] = Some(MapBucket {
+        let slot = shuffle
+            .buckets
+            .get_mut(reduce_partition)
+            .and_then(|row| row.get_mut(map_task))
+            .ok_or_else(|| {
+                JobError::MissingBlock(format!(
+                    "shuffle {id} bucket ({reduce_partition}, {map_task})"
+                ))
+            })?;
+        // Capacity check on the post-reconciliation total, before any
+        // mutation: a rejected write leaves accounting untouched.
+        let prev = slot.as_ref().map(|b| (b.origin_node, b.declared));
+        let credit = match prev {
+            Some((node, bytes)) if node == origin_node => bytes,
+            _ => 0,
+        };
+        let prospective = inner.staged[origin_node] - credit + declared;
+        if let Some(cap) = self.capacity {
+            if prospective > cap {
+                return Err(JobError::StagingOverflow {
+                    node: origin_node,
+                    used: prospective,
+                    capacity: cap,
+                });
+            }
+        }
+        if let Some((node, bytes)) = prev {
+            inner.staged[node] -= bytes;
+            self.staged_released.fetch_add(bytes, Ordering::Relaxed);
+        }
+        inner.staged[origin_node] += declared;
+        if inner.staged[origin_node] > inner.peak[origin_node] {
+            inner.peak[origin_node] = inner.staged[origin_node];
+        }
+        *slot = Some(MapBucket {
             origin_node,
+            attempt: tc.attempt(),
             data,
             declared,
         });
+        drop(guard);
+        tc.add_shuffle_write(declared);
         Ok(())
     }
 
@@ -115,8 +192,9 @@ impl ShuffleManager {
         reduce_partition: usize,
         tc: &TaskContext,
     ) -> Result<Vec<Bytes>, JobError> {
-        let shuffles = self.shuffles.lock();
-        let shuffle = shuffles
+        let inner = self.inner.lock();
+        let shuffle = inner
+            .shuffles
             .get(&id)
             .ok_or_else(|| JobError::MissingBlock(format!("shuffle {id}")))?;
         let row = shuffle
@@ -144,14 +222,53 @@ impl ShuffleManager {
 
     /// Current staged bytes on `node`.
     pub fn staged_bytes(&self, node: usize) -> u64 {
-        self.staged.lock()[node]
+        self.inner.lock().staged[node]
     }
 
-    /// Drop all shuffle data and reset staging accounting (the
-    /// between-iterations cleanup a checkpoint performs).
+    /// High-water mark of staged bytes on `node`.
+    pub fn peak_staged_bytes(&self, node: usize) -> u64 {
+        self.inner.lock().peak[node]
+    }
+
+    /// Late writes dropped by attempt fencing so far.
+    pub fn zombie_writes_fenced(&self) -> u64 {
+        self.zombie_writes_fenced.load(Ordering::Relaxed)
+    }
+
+    /// Bytes released back to staging so far (GC + reconciliation).
+    pub fn staged_released_bytes(&self) -> u64 {
+        self.staged_released.load(Ordering::Relaxed)
+    }
+
+    /// Release one shuffle: drop its buckets and return their declared
+    /// bytes to the owning nodes' staging budgets. Called when the
+    /// consuming RDD lineage is dropped (per-shuffle GC); releasing an
+    /// unknown or already-released id is a no-op.
+    pub fn release(&self, id: ShuffleId) {
+        let mut inner = self.inner.lock();
+        let Some(data) = inner.shuffles.remove(&id) else {
+            return;
+        };
+        let mut released = 0u64;
+        for row in data.buckets {
+            for bucket in row.into_iter().flatten() {
+                inner.staged[bucket.origin_node] -= bucket.declared;
+                released += bucket.declared;
+            }
+        }
+        drop(inner);
+        if released > 0 {
+            self.staged_released.fetch_add(released, Ordering::Relaxed);
+        }
+    }
+
+    /// Drop all shuffle data and reset staging accounting (a wholesale
+    /// reset between benchmark configurations; per-iteration cleanup
+    /// happens through [`ShuffleManager::release`]).
     pub fn clear(&self) {
-        self.shuffles.lock().clear();
-        for b in self.staged.lock().iter_mut() {
+        let mut inner = self.inner.lock();
+        inner.shuffles.clear();
+        for b in inner.staged.iter_mut() {
             *b = 0;
         }
     }
@@ -161,6 +278,7 @@ impl ShuffleManager {
 mod tests {
     use super::*;
     use crate::context::TaskContext;
+    use std::sync::Arc;
 
     #[test]
     fn write_then_fetch_roundtrips_in_map_order() {
@@ -185,13 +303,98 @@ mod tests {
     #[test]
     fn staging_capacity_overflow_fails() {
         let sm = ShuffleManager::new(1, Some(10));
-        sm.register(7, 1, 1);
+        sm.register(7, 2, 1);
         let tc = TaskContext::new(0);
         sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc).unwrap();
         let err = sm
-            .write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
+            .write(7, 1, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
             .unwrap_err();
         assert!(matches!(err, JobError::StagingOverflow { node: 0, .. }));
+        // The rejected write mutated nothing.
+        assert_eq!(sm.staged_bytes(0), 8);
+    }
+
+    #[test]
+    fn rewrite_reconciles_staging_instead_of_inflating() {
+        // Capacity holds one attempt's bucket but not two: retry must
+        // release the first attempt's bytes before charging the new.
+        let sm = ShuffleManager::new(1, Some(10));
+        sm.register(7, 1, 1);
+        let tc = TaskContext::new(0);
+        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc).unwrap();
+        sm.write(7, 0, 0, 0, Bytes::from(vec![1u8; 8]), 8, &tc).unwrap();
+        assert_eq!(sm.staged_bytes(0), 8);
+        assert_eq!(sm.staged_released_bytes(), 8);
+        let got = sm.fetch(7, 0, &TaskContext::new(0)).unwrap();
+        assert_eq!(got, vec![Bytes::from(vec![1u8; 8])]);
+    }
+
+    #[test]
+    fn rewrite_from_another_node_moves_the_accounting() {
+        let sm = ShuffleManager::new(2, None);
+        sm.register(9, 1, 1);
+        sm.write(9, 0, 0, 0, Bytes::from_static(b"xyz"), 3, &TaskContext::new(0)).unwrap();
+        assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (3, 0));
+        // The retry landed on node 1 (Spark-style placement rotation).
+        sm.write(9, 0, 0, 1, Bytes::from_static(b"xyz"), 3, &TaskContext::new(1)).unwrap();
+        assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (0, 3));
+    }
+
+    #[test]
+    fn empty_buckets_are_not_staged() {
+        let sm = ShuffleManager::new(1, Some(4));
+        sm.register(5, 2, 1);
+        let tc = TaskContext::new(0);
+        sm.write(5, 0, 0, 0, Bytes::new(), 0, &tc).unwrap();
+        assert_eq!(sm.staged_bytes(0), 0);
+        assert_eq!(tc.snapshot().shuffle_write_bytes, 0);
+        assert!(sm.fetch(5, 0, &tc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fenced_zombie_write_is_dropped() {
+        let sm = ShuffleManager::new(1, None);
+        sm.register(2, 1, 1);
+        let board = Arc::new(vec![AtomicU64::new(0)]);
+        let winner = TaskContext::for_attempt(0, 2, Arc::clone(&board), 0);
+        sm.write(2, 0, 0, 0, Bytes::from_static(b"win"), 3, &winner).unwrap();
+        board[0].store(2, Ordering::Release);
+        // Attempt 1 limps in after attempt 2 committed: fenced.
+        let zombie = TaskContext::for_attempt(0, 1, Arc::clone(&board), 0);
+        sm.write(2, 0, 0, 0, Bytes::from_static(b"old"), 3, &zombie).unwrap();
+        assert_eq!(sm.zombie_writes_fenced(), 1);
+        assert_eq!(sm.staged_bytes(0), 3);
+        assert_eq!(zombie.snapshot().shuffle_write_bytes, 0);
+        let got = sm.fetch(2, 0, &TaskContext::new(0)).unwrap();
+        assert_eq!(got, vec![Bytes::from_static(b"win")]);
+    }
+
+    #[test]
+    fn release_returns_staged_bytes_per_shuffle() {
+        let sm = ShuffleManager::new(2, Some(100));
+        sm.register(1, 1, 1);
+        sm.register(2, 1, 1);
+        sm.write(1, 0, 0, 0, Bytes::from_static(b"aaaa"), 4, &TaskContext::new(0)).unwrap();
+        sm.write(2, 0, 0, 1, Bytes::from_static(b"bb"), 2, &TaskContext::new(1)).unwrap();
+        sm.release(1);
+        assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (0, 2));
+        assert_eq!(sm.staged_released_bytes(), 4);
+        assert!(sm.fetch(1, 0, &TaskContext::new(0)).is_err());
+        assert!(sm.fetch(2, 0, &TaskContext::new(0)).is_ok());
+        sm.release(1); // double release is a no-op
+        assert_eq!(sm.staged_released_bytes(), 4);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark_across_release() {
+        let sm = ShuffleManager::new(1, None);
+        sm.register(4, 2, 1);
+        let tc = TaskContext::new(0);
+        sm.write(4, 0, 0, 0, Bytes::from(vec![0u8; 6]), 6, &tc).unwrap();
+        sm.write(4, 1, 0, 0, Bytes::from(vec![0u8; 4]), 4, &tc).unwrap();
+        sm.release(4);
+        assert_eq!(sm.staged_bytes(0), 0);
+        assert_eq!(sm.peak_staged_bytes(0), 10);
     }
 
     #[test]

@@ -41,6 +41,10 @@ impl BlockStore {
     }
 
     /// Store one partition. Fails when executor memory is exhausted.
+    ///
+    /// Re-putting an existing (cache, partition) — a re-executed
+    /// checkpoint task — replaces the entry and reconciles the byte
+    /// accounting; a rejected put mutates nothing.
     pub fn put<T: Send + Sync + 'static>(
         &self,
         cache: CacheId,
@@ -48,20 +52,21 @@ impl BlockStore {
         data: Arc<T>,
         bytes: u64,
     ) -> Result<(), JobError> {
-        {
-            let mut used = self.used.lock();
-            *used += bytes;
-            if let Some(cap) = self.capacity {
-                if *used > cap {
-                    return Err(JobError::MemoryOverflow {
-                        node: self.node,
-                        used: *used,
-                        capacity: cap,
-                    });
-                }
+        let mut entries = self.entries.lock();
+        let mut used = self.used.lock();
+        let credit = entries.get(&(cache, partition)).map_or(0, |e| e.bytes);
+        let prospective = *used - credit + bytes;
+        if let Some(cap) = self.capacity {
+            if prospective > cap {
+                return Err(JobError::MemoryOverflow {
+                    node: self.node,
+                    used: prospective,
+                    capacity: cap,
+                });
             }
         }
-        self.entries.lock().insert(
+        *used = prospective;
+        entries.insert(
             (cache, partition),
             Entry {
                 data,
@@ -142,6 +147,22 @@ mod tests {
         store.put(1, 0, Arc::new(()), 6).unwrap();
         let err = store.put(1, 1, Arc::new(()), 6).unwrap_err();
         assert!(matches!(err, JobError::MemoryOverflow { node: 2, .. }));
+    }
+
+    #[test]
+    fn re_put_reconciles_accounting() {
+        // A re-executed checkpoint task stores the same partition
+        // again: accounting must not double-count.
+        let store = BlockStore::new(0, Some(10));
+        store.put(1, 0, Arc::new(vec![1u32]), 8).unwrap();
+        store.put(1, 0, Arc::new(vec![2u32]), 8).unwrap();
+        assert_eq!(store.used_bytes(), 8);
+        let (data, _) = store.get::<Vec<u32>>(1, 0).unwrap();
+        assert_eq!(*data, vec![2]);
+        // A rejected put leaves accounting untouched.
+        let err = store.put(1, 1, Arc::new(()), 6).unwrap_err();
+        assert!(matches!(err, JobError::MemoryOverflow { .. }));
+        assert_eq!(store.used_bytes(), 8);
     }
 
     #[test]

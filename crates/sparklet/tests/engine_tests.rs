@@ -382,3 +382,159 @@ fn listing_one_shape_runs_end_to_end() {
     }
     assert!(got.contains(&((1, 1), 1)));
 }
+
+// ---------------------------------------------------------------------
+// Attempt-fenced shuffle lifecycle
+// ---------------------------------------------------------------------
+
+#[test]
+fn wall_times_survive_actions() {
+    // annotate_last_stage used to rebuild the log via `push`, zeroing
+    // every stage's wall_seconds on each collect.
+    let sc = ctx();
+    let rdd = sc
+        .parallelize(pairs(32), Some(4))
+        .map(|kv| kv)
+        .partition_by(4, Arc::new(HashPartitioner));
+    rdd.collect().unwrap();
+    let wall = sc.with_event_log(|log| log.total_wall_seconds());
+    assert!(wall > 0.0, "stage wall times must survive the action");
+    rdd.collect().unwrap();
+    let wall_after = sc.with_event_log(|log| log.total_wall_seconds());
+    assert!(wall_after >= wall, "second action must not erase times");
+}
+
+#[test]
+fn retry_restages_within_capacity() {
+    // The headline regression: a retried map task re-stages its
+    // buckets. On a single node the retry lands on the same node, so
+    // without reconciliation staged bytes double and a capacity equal
+    // to the fault-free high-water mark spuriously overflows.
+    let shuffle_job = |sc: &SparkContext| {
+        let data: Vec<(usize, u64)> = (0..64).map(|i| (i, i as u64)).collect();
+        let rdd = sc
+            .parallelize(data, Some(4))
+            .map(|(k, v)| (k % 7, v))
+            .reduce_by_key(|a, b| a + b, 4, Arc::new(HashPartitioner));
+        sorted(rdd.collect().unwrap())
+    };
+    let free = SparkContext::new(SparkConf::default().with_executors(1).with_partitions(4));
+    let want = shuffle_job(&free);
+    let peak = free.peak_staged_bytes(0);
+    assert!(peak > 0);
+
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(1)
+            .with_partitions(4)
+            .with_staging_capacity(peak),
+    );
+    sc.inject_failure(0, 1, 2); // fail a map task twice
+    sc.inject_failure(0, 3, 1);
+    let got = shuffle_job(&sc);
+    assert_eq!(got, want, "results must be byte-identical under faults");
+    assert!(
+        sc.with_event_log(|log| log.total_retries()) >= 3,
+        "faults were retried"
+    );
+    assert_eq!(sc.zombie_writes_fenced(), 0, "plain retries create no zombies");
+    assert_eq!(sc.peak_staged_bytes(0), peak, "retries must not inflate staging");
+}
+
+#[test]
+fn faulty_run_matches_fault_free_run() {
+    let run = |faults: bool| {
+        let sc = ctx(); // 4 executors, 8 default partitions
+        if faults {
+            sc.inject_failure(0, 0, 2);
+            sc.inject_failure(0, 2, 1);
+        }
+        let data: Vec<(usize, u64)> = (0..96).map(|i| (i, (i * 3) as u64)).collect();
+        let rdd = sc
+            .parallelize(data, Some(4))
+            .map(|(k, v)| (k % 11, v))
+            .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+        let got = sorted(rdd.collect().unwrap());
+        // Total staged while the shuffle is live: retries may migrate a
+        // bucket to another node, but the sum must reconcile exactly.
+        let staged_total: u64 = (0..4).map(|n| sc.staged_bytes(n)).sum();
+        let retries = sc.with_event_log(|log| log.total_retries());
+        let zombies = sc.zombie_writes_fenced();
+        drop(rdd);
+        let after_gc: u64 = (0..4).map(|n| sc.staged_bytes(n)).sum();
+        (got, staged_total, after_gc, retries, zombies)
+    };
+    let (want, want_staged, want_gc, _, _) = run(false);
+    let (got, got_staged, got_gc, retries, zombies) = run(true);
+    assert_eq!(got, want, "results must be byte-identical under faults");
+    assert_eq!(got_staged, want_staged, "staged accounting must reconcile");
+    assert_eq!((want_gc, got_gc), (0, 0), "GC released everything");
+    assert!(retries >= 3, "injected faults were retried");
+    assert_eq!(zombies, 0, "no zombie writes under plain retry");
+}
+
+#[test]
+fn dropping_shuffled_rdd_releases_staged_bytes() {
+    let sc = ctx();
+    let rdd = sc
+        .parallelize(pairs(32), Some(4))
+        .map(|kv| kv)
+        .partition_by(4, Arc::new(HashPartitioner));
+    rdd.collect().unwrap();
+    let live: u64 = (0..4).map(|n| sc.staged_bytes(n)).sum();
+    assert!(live > 0, "shuffle is staged while its RDD lineage lives");
+    drop(rdd);
+    let after: u64 = (0..4).map(|n| sc.staged_bytes(n)).sum();
+    assert_eq!(after, 0, "dropping the lineage releases the shuffle");
+    assert_eq!(sc.staged_released_bytes(), live);
+}
+
+#[test]
+fn speculation_relaunches_stragglers() {
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(4)
+            .with_partitions(4)
+            .with_speculation(0.5),
+    );
+    let rdd = sc
+        .parallelize(pairs(8), Some(4))
+        .map_partitions(true, |p, items, _tc| {
+            if p == 0 {
+                // One deliberate straggler; the rest finish instantly.
+                std::thread::sleep(std::time::Duration::from_millis(200));
+            }
+            items
+        });
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got, pairs(8));
+    let speculated = sc.with_event_log(|log| log.total_speculative_launches());
+    assert!(speculated >= 1, "the straggler was speculatively re-launched");
+}
+
+#[test]
+fn exhausted_retries_report_stage_and_attempts() {
+    // The panic branch used to leak `stage: ""` / `attempts: 0`.
+    let sc = ctx();
+    let rdd = sc.parallelize(pairs(8), Some(4)).map_partitions(true, |p, items, _tc| {
+        if p == 1 {
+            panic!("boom in partition 1");
+        }
+        items
+    });
+    let err = rdd.collect().unwrap_err();
+    match err {
+        JobError::TaskFailed {
+            stage,
+            partition,
+            attempts,
+            message,
+        } => {
+            assert_eq!(stage, "collect");
+            assert_eq!(partition, 1);
+            assert_eq!(attempts, 4, "max_task_attempts were used");
+            assert!(message.contains("boom"), "{message}");
+        }
+        other => panic!("expected TaskFailed, got {other}"),
+    }
+}

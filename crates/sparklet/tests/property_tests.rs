@@ -150,3 +150,61 @@ proptest! {
         prop_assert_eq!(a, p.partition(&key, parts));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Retry soundness: with staging capacity fixed at the fault-free
+    /// high-water mark, no fault plan whose per-task failure count
+    /// stays under `max_task_attempts` may flip a succeeding job into
+    /// a `StagingOverflow` — re-staged buckets must reconcile, not
+    /// accumulate. Single node, so retries land where the originals
+    /// were staged (the worst case for accounting).
+    #[test]
+    fn fault_plans_never_flip_success_into_overflow(
+        plan in proptest::collection::vec((0u64..3, 0usize..4, 1usize..4), 0..6),
+    ) {
+        let job = |sc: &SparkContext| {
+            let data: Vec<(usize, u64)> = (0..48).map(|i| (i, (i * 7) as u64)).collect();
+            let rdd = sc
+                .parallelize(data, Some(4))
+                .map(|(k, v)| (k % 5, v))
+                .reduce_by_key(|a, b| a + b, 4, Arc::new(HashPartitioner));
+            let mut got = rdd.collect()?;
+            got.sort_unstable();
+            Ok::<_, sparklet::JobError>(got)
+        };
+        let free = SparkContext::new(SparkConf::default().with_executors(1).with_partitions(4));
+        let want = job(&free).unwrap();
+        let peak = free.peak_staged_bytes(0);
+
+        let sc = SparkContext::new(
+            SparkConf::default()
+                .with_executors(1)
+                .with_partitions(4)
+                .with_staging_capacity(peak),
+        );
+        let mut per_task: HashMap<(u64, usize), usize> = HashMap::new();
+        for &(stage, partition, times) in &plan {
+            sc.inject_failure(stage, partition, times);
+            *per_task.entry((stage, partition)).or_default() += times;
+        }
+        // Overlapping rules can exhaust the 4-attempt budget; then the
+        // job may legitimately fail — but never with StagingOverflow.
+        let within_budget = per_task.values().all(|&t| t < 4);
+        match job(&sc) {
+            Err(sparklet::JobError::StagingOverflow { node, used, capacity }) => {
+                prop_assert!(
+                    false,
+                    "retry inflated staging into a spurious overflow \
+                     (node {node}: {used}/{capacity})"
+                );
+            }
+            Err(other) => prop_assert!(!within_budget, "unexpected failure: {other}"),
+            Ok(got) => {
+                prop_assert_eq!(got, want);
+                prop_assert_eq!(sc.staged_bytes(0), free.staged_bytes(0));
+            }
+        }
+    }
+}
