@@ -42,19 +42,11 @@ fn bench_partitioners(c: &mut Criterion) {
     group.throughput(Throughput::Elements(keys.len() as u64));
     group.bench_function("hash", |bench| {
         let p = HashPartitioner;
-        bench.iter(|| {
-            keys.iter()
-                .map(|k| p.partition(k, 1024))
-                .sum::<usize>()
-        });
+        bench.iter(|| keys.iter().map(|k| p.partition(k, 1024)).sum::<usize>());
     });
     group.bench_function("grid", |bench| {
         let p = GridPartitioner::new(64);
-        bench.iter(|| {
-            keys.iter()
-                .map(|k| p.partition(k, 1024))
-                .sum::<usize>()
-        });
+        bench.iter(|| keys.iter().map(|k| p.partition(k, 1024)).sum::<usize>());
     });
     group.finish();
 }
@@ -75,13 +67,13 @@ fn bench_end_to_end(c: &mut Criterion) {
                         .with_executor_cores(2)
                         .with_partitions(8),
                 );
-                let cfg = DpConfig::new(64, 16)
-                    .with_strategy(strategy)
-                    .with_kernel(KernelChoice::Recursive {
+                let cfg = DpConfig::new(64, 16).with_strategy(strategy).with_kernel(
+                    KernelChoice::Recursive {
                         r_shared: 2,
                         base: 8,
                         threads: 2,
-                    });
+                    },
+                );
                 solve::<Tropical>(&sc, &cfg, &input).unwrap()
             });
         });

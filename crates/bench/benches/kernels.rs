@@ -67,7 +67,9 @@ fn bench_block_size_crossover(c: &mut Criterion) {
             let cfg = RecConfig::new(4, 32);
             bench.iter_batched(
                 || m.clone(),
-                |mut m| rec_kernel::<Tropical>(&pool, &cfg, Kind::A, m.view_mut(), None, None, None),
+                |mut m| {
+                    rec_kernel::<Tropical>(&pool, &cfg, Kind::A, m.view_mut(), None, None, None)
+                },
                 criterion::BatchSize::LargeInput,
             );
         });
@@ -88,7 +90,9 @@ fn bench_r_shared(c: &mut Criterion) {
             let cfg = RecConfig::new(r, 16);
             bench.iter_batched(
                 || m.clone(),
-                |mut m| rec_kernel::<GaussianElim>(&pool, &cfg, Kind::A, m.view_mut(), None, None, None),
+                |mut m| {
+                    rec_kernel::<GaussianElim>(&pool, &cfg, Kind::A, m.view_mut(), None, None, None)
+                },
                 criterion::BatchSize::LargeInput,
             );
         });
@@ -109,7 +113,9 @@ fn bench_base_case(c: &mut Criterion) {
             let cfg = RecConfig::new(2, base);
             bench.iter_batched(
                 || m.clone(),
-                |mut m| rec_kernel::<Tropical>(&pool, &cfg, Kind::A, m.view_mut(), None, None, None),
+                |mut m| {
+                    rec_kernel::<Tropical>(&pool, &cfg, Kind::A, m.view_mut(), None, None, None)
+                },
                 criterion::BatchSize::LargeInput,
             );
         });

@@ -31,8 +31,9 @@ fn bench_parallel_for(c: &mut Criterion) {
                 &n,
                 |bench, &n| {
                     let data: Vec<f64> = (0..n).map(|i| i as f64).collect();
-                    let acc: Vec<std::sync::atomic::AtomicU64> =
-                        (0..16).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+                    let acc: Vec<std::sync::atomic::AtomicU64> = (0..16)
+                        .map(|_| std::sync::atomic::AtomicU64::new(0))
+                        .collect();
                     bench.iter(|| {
                         pool.parallel_for(0, n, |i| {
                             let v = (data[i] * 1.5) as u64;
@@ -63,5 +64,10 @@ fn bench_join_fanout(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_scope_overhead, bench_parallel_for, bench_join_fanout);
+criterion_group!(
+    benches,
+    bench_scope_overhead,
+    bench_parallel_for,
+    bench_join_fanout
+);
 criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Spill-path microbenchmarks: what a block pays to cross the storage
+//! tiers. An in-memory cache hit hands back an `Arc` clone; a disk-tier
+//! round-trip pays full serialization on the way down and decode +
+//! downcast on the way back up. The gap between the two is the
+//! per-block cost the `MemoryAndDisk` level trades against
+//! recomputation.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_core::Block;
+use gep_kernels::Matrix;
+use sparklet::{BlockStore, StorageLevel};
+
+fn dist_matrix(n: usize) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |i, j| {
+        if i == j {
+            0.0
+        } else if (i * 31 + j * 17) % 3 == 0 {
+            ((i + j) % 9 + 1) as f64
+        } else {
+            f64::INFINITY
+        }
+    })
+}
+
+type Items = Vec<((usize, usize), Block<f64>)>;
+
+fn block_of(b: usize) -> (Arc<Items>, u64) {
+    let items = vec![((0usize, 0usize), Block::Real(dist_matrix(b)))];
+    let bytes = (b * b * 8) as u64;
+    (Arc::new(items), bytes)
+}
+
+/// Serialize → disk tier → deserialize, the full spill round-trip.
+fn bench_spill_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spill_roundtrip");
+    for &b in &[64usize, 256] {
+        let (items, bytes) = block_of(b);
+        group.throughput(Throughput::Bytes(bytes));
+        group.bench_with_input(BenchmarkId::new("disk_tier", b), &items, |bench, items| {
+            let store = BlockStore::new(0, None, None);
+            bench.iter(|| {
+                store
+                    .put(
+                        1,
+                        0,
+                        Arc::clone(items),
+                        bytes,
+                        StorageLevel::DiskOnly,
+                        false,
+                        None,
+                    )
+                    .unwrap();
+                let (data, _) = store.get::<Items>(1, 0, None).unwrap().unwrap();
+                store.evict(1);
+                data
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The baseline the spill is competing with: a memory-tier hit.
+fn bench_memory_hit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spill_roundtrip");
+    for &b in &[64usize, 256] {
+        let (items, bytes) = block_of(b);
+        group.throughput(Throughput::Bytes(bytes));
+        let store = BlockStore::new(0, None, None);
+        store
+            .put(1, 0, items, bytes, StorageLevel::MemoryOnly, false, None)
+            .unwrap();
+        group.bench_function(BenchmarkId::new("memory_hit", b), |bench| {
+            bench.iter(|| store.get::<Items>(1, 0, None).unwrap().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spill_roundtrip, bench_memory_hit);
+criterion_main!(benches);

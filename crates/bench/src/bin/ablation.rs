@@ -49,7 +49,10 @@ fn main() {
     eprintln!("running grid-partitioned dataflow …");
     let (grid_remote, grid_staged, grid_secs) = run(&cluster, true);
 
-    println!("{:<14}{:>16}{:>16}{:>14}", "partitioner", "remote GB", "staged GB", "sim seconds");
+    println!(
+        "{:<14}{:>16}{:>16}{:>14}",
+        "partitioner", "remote GB", "staged GB", "sim seconds"
+    );
     println!(
         "{:<14}{:>16.1}{:>16.1}{:>14.0}",
         "hash (default)",

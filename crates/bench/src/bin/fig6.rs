@@ -9,7 +9,9 @@
 //! `--quick` restricts block sizes to {512, 1024, 2048} for a fast run.
 
 use cluster_model::ClusterSpec;
-use dp_bench::{fig6_variants, paper_cfg, price, print_row, run_dataflow, with_kernel, TIMEOUT_SECS};
+use dp_bench::{
+    fig6_variants, paper_cfg, price, print_row, run_dataflow, with_kernel, TIMEOUT_SECS,
+};
 use dp_core::{DpProblem, Strategy};
 use gep_kernels::{GaussianElim, Tropical};
 

@@ -80,8 +80,16 @@ fn main() {
     // Weak-scaling efficiency = t(1 node) / t(p nodes) (1.0 is perfect).
     let eff = |series: &[f64]| series[0] / series[series.len() - 1];
     println!("\nweak-scaling efficiency 1→64 nodes (1.0 = perfect):");
-    println!("  FW iter: {:.2}   FW 4-way: {:.2}", eff(&fw_iter), eff(&fw_rec));
-    println!("  GE iter: {:.2}   GE 4-way: {:.2}", eff(&ge_iter), eff(&ge_rec));
+    println!(
+        "  FW iter: {:.2}   FW 4-way: {:.2}",
+        eff(&fw_iter),
+        eff(&fw_rec)
+    );
+    println!(
+        "  GE iter: {:.2}   GE 4-way: {:.2}",
+        eff(&ge_iter),
+        eff(&ge_rec)
+    );
     println!("(paper: the 4-way recursive CB execution of GE scales better than its iterative counterpart)");
     assert!(
         eff(&ge_rec) >= eff(&ge_iter) * 0.95,

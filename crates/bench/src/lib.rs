@@ -213,13 +213,11 @@ pub fn write_csv(
 /// the flag is absent.
 pub fn csv_dir_from_args() -> Option<std::path::PathBuf> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter()
-        .position(|a| a == "--csv")
-        .map(|i| {
-            args.get(i + 1)
-                .map(std::path::PathBuf::from)
-                .unwrap_or_else(|| std::path::PathBuf::from("bench_results"))
-        })
+    args.iter().position(|a| a == "--csv").map(|i| {
+        args.get(i + 1)
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::PathBuf::from("bench_results"))
+    })
 }
 
 #[cfg(test)]
@@ -241,10 +239,7 @@ mod csv_tests {
         )
         .unwrap();
         let body = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(
-            body,
-            "k\\b,256,512\niter,1.5,\nrec,2.2,\n"
-        );
+        assert_eq!(body, "k\\b,256,512\niter,1.5,\nrec,2.2,\n");
         let _ = std::fs::remove_dir_all(dir);
     }
 

@@ -44,7 +44,6 @@ pub struct KernelInvocation {
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct TaskRecord {
     /// Executor (node) index the task ran on.
-    /// Executor (node) index the task ran on.
     pub node: usize,
     /// Block kernels this task executed.
     pub kernels: Vec<KernelInvocation>,
@@ -54,6 +53,11 @@ pub struct TaskRecord {
     pub local_read_bytes: u64,
     /// Map-output bytes staged to local storage for later shuffles.
     pub shuffle_write_bytes: u64,
+    /// Cached bytes this task serialized to the disk tier (spills it
+    /// triggered plus `DISK_ONLY` puts).
+    pub spill_write_bytes: u64,
+    /// Cached bytes this task deserialized back from the disk tier.
+    pub spill_read_bytes: u64,
 }
 
 /// One stage's recorded footprint (plus driver-side traffic for CB).
@@ -74,6 +78,19 @@ pub struct StageRecord {
     /// Staged shuffle bytes released back during the stage window
     /// (per-shuffle GC plus retry re-staging reconciliation).
     pub staged_released_bytes: u64,
+    /// Cached-partition reads served from either storage tier during
+    /// the stage window.
+    pub cache_hits: u64,
+    /// Cached-partition reads that found neither tier populated.
+    pub cache_misses: u64,
+    /// Cached bytes serialized into the disk tier during the stage
+    /// window (LRU spills plus `DISK_ONLY` puts).
+    pub spilled_bytes: u64,
+    /// Cached bytes dropped under memory pressure (recompute-backed
+    /// evictions; unpersists are not counted).
+    pub evicted_bytes: u64,
+    /// Lineage recomputations of dropped cached blocks.
+    pub recomputes: u64,
 }
 
 /// A stage's simulated time decomposed into components (seconds).
@@ -129,7 +146,6 @@ pub struct ModelParams {
     pub stage_overhead: f64,
     /// Serialization/deserialization rate for shuffle data, bytes/s/core.
     pub serde_bw: f64,
-
 
     /// Effective compression ratio of shuffle/collect traffic (Spark
     /// enables LZ4 shuffle compression by default; DP tables of small
@@ -352,7 +368,14 @@ impl CostModel {
                 + t.local_read_bytes as f64 / comp / self.spec.storage.read_bw
                 + bytes as f64 / p.serde_bw
                 + t.shuffle_write_bytes as f64 / comp / self.spec.storage.write_bw
-                + t.shuffle_write_bytes as f64 / p.serde_bw;
+                + t.shuffle_write_bytes as f64 / p.serde_bw
+                // Cache spill traffic is priced like shuffle staging:
+                // serialized (serde) and compressed through the node's
+                // local storage bandwidth.
+                + t.spill_write_bytes as f64 / comp / self.spec.storage.write_bw
+                + t.spill_write_bytes as f64 / p.serde_bw
+                + t.spill_read_bytes as f64 / comp / self.spec.storage.read_bw
+                + t.spill_read_bytes as f64 / p.serde_bw;
             io += p.task_overhead;
             a.io += io;
             a.longest_io = a.longest_io.max(io);
@@ -453,7 +476,10 @@ mod tests {
     #[test]
     fn recursive_kernel_is_cache_oblivious() {
         let m = model();
-        let k = KernelType::Recursive { r_shared: 4, threads: 1 };
+        let k = KernelType::Recursive {
+            r_shared: 4,
+            threads: 1,
+        };
         let t512 = m.core_seconds(&inv(512, k));
         let t1024 = m.core_seconds(&inv(1024, k));
         // 8× the work → between 5× and 9× the time (no L2 cliff; the
@@ -466,7 +492,13 @@ mod tests {
     fn recursive_beats_iterative_beyond_l2() {
         let m = model();
         let it = m.core_seconds(&inv(2048, KernelType::Iterative));
-        let rec = m.core_seconds(&inv(2048, KernelType::Recursive { r_shared: 4, threads: 1 }));
+        let rec = m.core_seconds(&inv(
+            2048,
+            KernelType::Recursive {
+                r_shared: 4,
+                threads: 1,
+            },
+        ));
         assert!(rec < it * 0.5, "rec={rec} it={it}");
     }
 
@@ -476,12 +508,48 @@ mod tests {
         // 30 cores idle; 16-thread teams fill them.
         let m = model();
         let narrow = stage_with(vec![
-            kernel_task(0, vec![inv(1024, KernelType::Recursive { r_shared: 4, threads: 1 })]),
-            kernel_task(0, vec![inv(1024, KernelType::Recursive { r_shared: 4, threads: 1 })]),
+            kernel_task(
+                0,
+                vec![inv(
+                    1024,
+                    KernelType::Recursive {
+                        r_shared: 4,
+                        threads: 1,
+                    },
+                )],
+            ),
+            kernel_task(
+                0,
+                vec![inv(
+                    1024,
+                    KernelType::Recursive {
+                        r_shared: 4,
+                        threads: 1,
+                    },
+                )],
+            ),
         ]);
         let wide = stage_with(vec![
-            kernel_task(0, vec![inv(1024, KernelType::Recursive { r_shared: 4, threads: 16 })]),
-            kernel_task(0, vec![inv(1024, KernelType::Recursive { r_shared: 4, threads: 16 })]),
+            kernel_task(
+                0,
+                vec![inv(
+                    1024,
+                    KernelType::Recursive {
+                        r_shared: 4,
+                        threads: 16,
+                    },
+                )],
+            ),
+            kernel_task(
+                0,
+                vec![inv(
+                    1024,
+                    KernelType::Recursive {
+                        r_shared: 4,
+                        threads: 16,
+                    },
+                )],
+            ),
         ]);
         let t_narrow = m.stage_seconds(&narrow);
         let t_wide = m.stage_seconds(&wide);
@@ -500,7 +568,13 @@ mod tests {
                     .map(|_| {
                         kernel_task(
                             0,
-                            vec![inv(1024, KernelType::Recursive { r_shared: 4, threads })],
+                            vec![inv(
+                                1024,
+                                KernelType::Recursive {
+                                    r_shared: 4,
+                                    threads,
+                                },
+                            )],
                         )
                     })
                     .collect(),
@@ -519,7 +593,13 @@ mod tests {
         let iter = stage_with(vec![kernel_task(0, vec![inv(4096, KernelType::Iterative)])]);
         let rec = stage_with(vec![kernel_task(
             0,
-            vec![inv(4096, KernelType::Recursive { r_shared: 4, threads: 16 })],
+            vec![inv(
+                4096,
+                KernelType::Recursive {
+                    r_shared: 4,
+                    threads: 16,
+                },
+            )],
         )]);
         let t_iter = m.stage_seconds(&iter);
         let t_rec = m.stage_seconds(&rec);
@@ -529,10 +609,21 @@ mod tests {
     #[test]
     fn tiny_base_cases_are_penalized() {
         let m = model();
-        let good = m.core_seconds(&inv(1024, KernelType::Recursive { r_shared: 4, threads: 1 }));
+        let good = m.core_seconds(&inv(
+            1024,
+            KernelType::Recursive {
+                r_shared: 4,
+                threads: 1,
+            },
+        ));
         // Normalize 2048³ work down to 1024³.
-        let tiny =
-            m.core_seconds(&inv(2048, KernelType::Recursive { r_shared: 16, threads: 1 })) / 8.0;
+        let tiny = m.core_seconds(&inv(
+            2048,
+            KernelType::Recursive {
+                r_shared: 16,
+                threads: 1,
+            },
+        )) / 8.0;
         assert!(tiny > good, "tiny-base should be slower per update");
     }
 
@@ -578,6 +669,22 @@ mod tests {
         };
         // ≥ 1 GiB compressed over GbE + storage writes: several seconds.
         assert!(m.stage_seconds(&stage) > 4.0);
+    }
+
+    #[test]
+    fn spill_traffic_is_priced_like_staging() {
+        let m = model();
+        let bare = stage_with(vec![kernel_task(0, vec![inv(256, KernelType::Iterative)])]);
+        let mut spilled_task = kernel_task(0, vec![inv(256, KernelType::Iterative)]);
+        spilled_task.spill_write_bytes = 4 << 30;
+        spilled_task.spill_read_bytes = 4 << 30;
+        let spilled = stage_with(vec![spilled_task]);
+        let t_bare = m.stage_seconds(&bare);
+        let t_spill = m.stage_seconds(&spilled);
+        assert!(t_spill > t_bare + 1.0, "bare={t_bare} spill={t_spill}");
+        // An HDD cluster pays more for the same spill volume.
+        let hdd = CostModel::new(ClusterSpec::haswell(), 20);
+        assert!(hdd.stage_seconds(&spilled) > t_spill);
     }
 
     #[test]

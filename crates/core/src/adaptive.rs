@@ -90,9 +90,7 @@ mod tests {
         });
         let mut reference = input.clone();
         gep_reference::<Tropical>(&mut reference);
-        let sc = SparkContext::new(
-            SparkConf::default().with_executors(2).with_partitions(6),
-        );
+        let sc = SparkContext::new(SparkConf::default().with_executors(2).with_partitions(6));
         let candidates = [
             KernelChoice::Iterative,
             KernelChoice::Recursive {

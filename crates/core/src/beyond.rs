@@ -161,14 +161,8 @@ pub fn solve_parenthesis(
                 items
                     .into_iter()
                     .map(|((bi, bj), _)| {
-                        let m = compute_block(
-                            bi,
-                            bj,
-                            block_side,
-                            &done,
-                            &weight.0,
-                            init.expect_real(),
-                        );
+                        let m =
+                            compute_block(bi, bj, block_side, &done, &weight.0, init.expect_real());
                         ((bi, bj), Block::Real(m))
                     })
                     .collect()
@@ -323,14 +317,7 @@ pub fn solve_alignment(
                             halo_of((ii, jj - 1)).expect("block left finished").1[..rows].to_vec()
                         };
                         let mut data = Matrix::filled(rows, cols, 0i64);
-                        align_block(
-                            &mut data.view_mut_at(r0, c0),
-                            &top,
-                            &left,
-                            &a,
-                            &b,
-                            score,
-                        );
+                        align_block(&mut data.view_mut_at(r0, c0), &top, &left, &a, &b, score);
                         // Flatten for the wire (row-major + dims in key
                         // order reconstruction happens on the driver).
                         let mut flat = Vec::with_capacity(rows * cols + 2);
@@ -397,11 +384,7 @@ mod tests {
             let sc = ctx();
             let dist = solve_parenthesis(&sc, &w, b).expect("solve");
             let reference = parenthesis::solve_reference(&w);
-            assert_eq!(
-                dist.first_difference(&reference),
-                None,
-                "n={n} b={b}"
-            );
+            assert_eq!(dist.first_difference(&reference), None, "n={n} b={b}");
         }
     }
 

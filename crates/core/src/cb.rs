@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use gep_kernels::gep::Kind;
-use sparklet::{JobError, Partitioner, Rdd, SparkContext, Storable};
+use sparklet::{JobError, Partitioner, Rdd, SparkContext, Storable, StorageLevel};
 
 use crate::block::Block;
 use crate::config::KernelChoice;
@@ -20,6 +20,15 @@ use crate::kernels::apply_kernel;
 use crate::problem::DpProblem;
 
 type K = (usize, usize);
+
+/// Storage level the solver uses for CB's per-iteration checkpoint
+/// when the config does not pin one. CB already leans on shared
+/// storage for its broadcasts, so letting the cached table spill to
+/// the disk tier matches the strategy's character (and keeps
+/// undersized-memory runs alive, like IM's default).
+pub fn default_storage_level() -> StorageLevel {
+    StorageLevel::MemoryAndDisk
+}
 
 /// One CB iteration: consumes the DP table RDD for phase `k`, returns
 /// the updated (not yet checkpointed) table RDD.
@@ -93,7 +102,9 @@ pub fn step<S: DpProblem>(
                 return items;
             }
             let a = bc_a_for_d.value(tc).expect("diagonal broadcast available");
-            let panels = bc_panels_for_d.value(tc).expect("panel broadcast available");
+            let panels = bc_panels_for_d
+                .value(tc)
+                .expect("panel broadcast available");
             let diag = &a[0].1;
             items
                 .into_iter()
@@ -138,7 +149,9 @@ pub fn step<S: DpProblem>(
             if items.is_empty() {
                 return items;
             }
-            let a = bc_a_for_abc.value(tc).expect("diagonal broadcast available");
+            let a = bc_a_for_abc
+                .value(tc)
+                .expect("diagonal broadcast available");
             let panels = bc_panels_for_abc
                 .value(tc)
                 .expect("panel broadcast available");

@@ -2,6 +2,7 @@
 //! exactly the knobs Section V of the paper sweeps.
 
 use serde::{Deserialize, Serialize};
+use sparklet::StorageLevel;
 
 /// Which kernel runs inside executor tasks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -27,10 +28,7 @@ impl KernelChoice {
             KernelChoice::Iterative => cluster_model::KernelType::Iterative,
             KernelChoice::Recursive {
                 r_shared, threads, ..
-            } => cluster_model::KernelType::Recursive {
-                r_shared,
-                threads,
-            },
+            } => cluster_model::KernelType::Recursive { r_shared, threads },
         }
     }
 }
@@ -66,6 +64,13 @@ pub struct DpConfig {
     pub grid_partitioner: bool,
     /// Run with virtual blocks (cost accounting only, no numeric data).
     pub virtual_data: bool,
+    /// Storage level for the per-iteration materialization (`None` →
+    /// the strategy's default, currently `MemoryAndDisk` for both).
+    pub storage_level: Option<StorageLevel>,
+    /// Materialize iterations with `persist` (lineage retained, blocks
+    /// droppable and recomputable under memory pressure) instead of
+    /// `checkpoint` (lineage cut, blocks pinned or spilled).
+    pub recompute_on_evict: bool,
 }
 
 impl DpConfig {
@@ -81,6 +86,8 @@ impl DpConfig {
             partitions: None,
             grid_partitioner: false,
             virtual_data: false,
+            storage_level: None,
+            recompute_on_evict: false,
         }
     }
 
@@ -96,7 +103,12 @@ impl DpConfig {
 
     /// Set the executor kernel.
     pub fn with_kernel(mut self, k: KernelChoice) -> Self {
-        if let KernelChoice::Recursive { r_shared, base, threads } = k {
+        if let KernelChoice::Recursive {
+            r_shared,
+            base,
+            threads,
+        } = k
+        {
             assert!(r_shared >= 2, "r_shared must be ≥ 2");
             assert!(base >= 1 && threads >= 1);
         }
@@ -126,6 +138,19 @@ impl DpConfig {
     /// Switch to virtual (cost-accounting) blocks.
     pub fn virtual_mode(mut self) -> Self {
         self.virtual_data = true;
+        self
+    }
+
+    /// Pin the storage level for per-iteration materializations.
+    pub fn with_storage_level(mut self, level: StorageLevel) -> Self {
+        self.storage_level = Some(level);
+        self
+    }
+
+    /// Toggle lineage-retaining materialization (`persist` instead of
+    /// `checkpoint`), allowing eviction + recomputation under pressure.
+    pub fn with_recompute_on_evict(mut self, on: bool) -> Self {
+        self.recompute_on_evict = on;
         self
     }
 
@@ -180,6 +205,18 @@ mod tests {
             base: 4,
             threads: 1,
         });
+    }
+
+    #[test]
+    fn storage_knobs_compose() {
+        let c = DpConfig::new(32, 8)
+            .with_storage_level(StorageLevel::DiskOnly)
+            .with_recompute_on_evict(true);
+        assert_eq!(c.storage_level, Some(StorageLevel::DiskOnly));
+        assert!(c.recompute_on_evict);
+        let d = DpConfig::new(32, 8);
+        assert_eq!(d.storage_level, None);
+        assert!(!d.recompute_on_evict);
     }
 
     #[test]

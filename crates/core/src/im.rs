@@ -20,13 +20,22 @@
 use std::sync::Arc;
 
 use gep_kernels::gep::Kind;
-use sparklet::{JobError, Partitioner, Rdd};
+use sparklet::{JobError, Partitioner, Rdd, StorageLevel};
 
 use crate::block::Block;
 use crate::config::KernelChoice;
 use crate::filters;
 use crate::kernels::apply_kernel;
 use crate::problem::DpProblem;
+
+/// Storage level the solver uses for IM's per-iteration checkpoint
+/// when the config does not pin one. IM *is* the memory-pressure
+/// strategy — it must hold the whole cached table in executor memory —
+/// so it degrades to spilling serialized blocks rather than dying with
+/// `MemoryOverflow` when `executor_memory` is undersized.
+pub fn default_storage_level() -> StorageLevel {
+    StorageLevel::MemoryAndDisk
+}
 
 /// Value tags distinguishing a block's own payload from operand copies.
 pub const ROLE_MAIN: u8 = 0;

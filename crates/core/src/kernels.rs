@@ -150,7 +150,10 @@ mod tests {
         let tc = TaskContext::new(0);
         let mut blocks = blocks_of(m, g);
         for k in 0..g {
-            let diag_idx = blocks.iter().position(|((i, j), _)| (*i, *j) == (k, k)).unwrap();
+            let diag_idx = blocks
+                .iter()
+                .position(|((i, j), _)| (*i, *j) == (k, k))
+                .unwrap();
             {
                 let (key, ref mut blk) = blocks[diag_idx];
                 apply_kernel::<S>(Kind::A, key, k, blk, None, None, None, kernel, &tc);
@@ -159,13 +162,33 @@ mod tests {
             for idx in 0..blocks.len() {
                 let key = blocks[idx].0;
                 if filters::filter_b::<S>(key, k, b) {
-                    apply_kernel::<S>(Kind::B, key, k, &mut blocks[idx].1, None, None, Some(&diag), kernel, &tc);
+                    apply_kernel::<S>(
+                        Kind::B,
+                        key,
+                        k,
+                        &mut blocks[idx].1,
+                        None,
+                        None,
+                        Some(&diag),
+                        kernel,
+                        &tc,
+                    );
                 }
             }
             for idx in 0..blocks.len() {
                 let key = blocks[idx].0;
                 if filters::filter_c::<S>(key, k, b) {
-                    apply_kernel::<S>(Kind::C, key, k, &mut blocks[idx].1, None, None, Some(&diag), kernel, &tc);
+                    apply_kernel::<S>(
+                        Kind::C,
+                        key,
+                        k,
+                        &mut blocks[idx].1,
+                        None,
+                        None,
+                        Some(&diag),
+                        kernel,
+                        &tc,
+                    );
                 }
             }
             let snapshot: Vec<((usize, usize), Block<f64>)> = blocks.clone();
@@ -173,9 +196,27 @@ mod tests {
                 let key = blocks[idx].0;
                 if filters::filter_d::<S>(key, k, b) {
                     let (i, j) = key;
-                    let u = &snapshot.iter().find(|((a, c), _)| (*a, *c) == (i, k)).unwrap().1;
-                    let v = &snapshot.iter().find(|((a, c), _)| (*a, *c) == (k, j)).unwrap().1;
-                    apply_kernel::<S>(Kind::D, key, k, &mut blocks[idx].1, Some(u), Some(v), Some(&diag), kernel, &tc);
+                    let u = &snapshot
+                        .iter()
+                        .find(|((a, c), _)| (*a, *c) == (i, k))
+                        .unwrap()
+                        .1;
+                    let v = &snapshot
+                        .iter()
+                        .find(|((a, c), _)| (*a, *c) == (k, j))
+                        .unwrap()
+                        .1;
+                    apply_kernel::<S>(
+                        Kind::D,
+                        key,
+                        k,
+                        &mut blocks[idx].1,
+                        Some(u),
+                        Some(v),
+                        Some(&diag),
+                        kernel,
+                        &tc,
+                    );
                 }
             }
         }

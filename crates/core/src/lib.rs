@@ -44,11 +44,11 @@ pub mod problem;
 pub mod solver;
 pub mod tuner;
 
-pub use block::{Block, ElemCodec};
-pub use config::{DpConfig, KernelChoice, Strategy};
-pub use problem::DpProblem;
 pub use adaptive::{adaptive_solve, AdaptiveOutcome};
 pub use beyond::{solve_alignment, solve_parenthesis};
+pub use block::{Block, ElemCodec};
+pub use config::{DpConfig, KernelChoice, Strategy};
 pub use linsys::solve_linear_system;
-pub use solver::{simulate_seconds, solve, solve_virtual, SolveReport};
+pub use problem::DpProblem;
+pub use solver::{simulate_seconds, solve, solve_virtual, solve_with_report, SolveReport};
 pub use tuner::{tune, TuneResult};

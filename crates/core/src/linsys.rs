@@ -56,9 +56,7 @@ mod tests {
     #[test]
     fn distributed_solve_recovers_the_solution() {
         let (a, b, x_true) = dd_system(31, 5);
-        let sc = SparkContext::new(
-            SparkConf::default().with_executors(3).with_partitions(9),
-        );
+        let sc = SparkContext::new(SparkConf::default().with_executors(3).with_partitions(9));
         let template = DpConfig::new(1, 8)
             .with_strategy(Strategy::CollectBroadcast)
             .with_kernel(KernelChoice::Recursive {
@@ -75,9 +73,7 @@ mod tests {
     #[test]
     fn matches_sequential_linalg_solver_bitwise() {
         let (a, b, _) = dd_system(23, 9);
-        let sc = SparkContext::new(
-            SparkConf::default().with_executors(2).with_partitions(4),
-        );
+        let sc = SparkContext::new(SparkConf::default().with_executors(2).with_partitions(4));
         let template = DpConfig::new(1, 6).with_strategy(Strategy::InMemory);
         let distributed = solve_linear_system(&sc, &template, &a, &b).expect("solve");
         let sequential = gep_kernels::linalg::solve_system(&a, &b);

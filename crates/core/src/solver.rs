@@ -41,6 +41,39 @@ pub struct SolveReport {
     /// Staged bytes released back by shuffle GC and retry
     /// reconciliation.
     pub staged_released_bytes: u64,
+    /// Cached-partition reads served from either storage tier.
+    pub cache_hits: u64,
+    /// Cached-partition reads that found neither tier populated.
+    pub cache_misses: u64,
+    /// Cached bytes serialized into the disk tier (spills + `DiskOnly`
+    /// puts).
+    pub spilled_bytes: u64,
+    /// Cached bytes dropped under memory pressure (recompute-backed
+    /// evictions).
+    pub evicted_bytes: u64,
+    /// Lineage recomputations of dropped cached blocks.
+    pub recomputes: u64,
+}
+
+/// Build the run summary from a context's event log.
+fn report_from(sc: &SparkContext) -> SolveReport {
+    sc.with_event_log(|log| SolveReport {
+        stages: log.stage_count(),
+        tasks: log.task_count(),
+        remote_bytes: log.total_remote_bytes(),
+        staged_bytes: log.total_staged_bytes(),
+        collect_bytes: log.total_collect_bytes(),
+        broadcast_bytes: log.total_broadcast_bytes(),
+        retries: log.total_retries(),
+        speculative_launches: log.total_speculative_launches(),
+        zombie_writes_fenced: log.total_zombie_writes_fenced(),
+        staged_released_bytes: log.total_staged_released_bytes(),
+        cache_hits: log.total_cache_hits(),
+        cache_misses: log.total_cache_misses(),
+        spilled_bytes: log.total_spilled_bytes(),
+        evicted_bytes: log.total_evicted_bytes(),
+        recomputes: log.total_recomputes(),
+    })
 }
 
 fn partitioner_for(cfg: &DpConfig) -> Arc<dyn Partitioner<K>> {
@@ -88,8 +121,20 @@ fn run_loop<S: DpProblem>(
         // checkpoint cuts the lineage, so dropping `next` at the end
         // of this iteration releases the consumed shuffles' staged
         // bytes individually (per-shuffle GC — Spark's ContextCleaner
-        // role), keeping long runs clear of the staging cap.
-        dp = next.checkpoint()?;
+        // role), keeping long runs clear of the staging cap. With
+        // `recompute_on_evict` the materialization is a `persist`
+        // instead: lineage is retained (upstream shuffles stay staged)
+        // so blocks may be dropped under memory pressure and rebuilt
+        // on demand.
+        let level = cfg.storage_level.unwrap_or_else(|| match cfg.strategy {
+            Strategy::InMemory => im::default_storage_level(),
+            Strategy::CollectBroadcast => cb::default_storage_level(),
+        });
+        dp = if cfg.recompute_on_evict {
+            next.persist(level)?
+        } else {
+            next.checkpoint_with_level(level)?
+        };
     }
     Ok(dp)
 }
@@ -125,6 +170,17 @@ pub fn solve<S: DpProblem>(
     Ok(unpad(&out, cfg.n))
 }
 
+/// Like [`solve`], but also returns the run summary (stages, traffic,
+/// cache behaviour) alongside the resulting table.
+pub fn solve_with_report<S: DpProblem>(
+    sc: &SparkContext,
+    cfg: &DpConfig,
+    input: &Matrix<S::Elem>,
+) -> Result<(Matrix<S::Elem>, SolveReport), JobError> {
+    let out = solve::<S>(sc, cfg, input)?;
+    Ok((out, report_from(sc)))
+}
+
 /// Run the identical dataflow with virtual blocks: kernels become cost
 /// records, bytes are declared at full scale. Returns the run summary.
 pub fn solve_virtual<S: DpProblem>(
@@ -145,18 +201,7 @@ pub fn solve_virtual<S: DpProblem>(
     let dp = run_loop::<S>(sc, cfg, dp)?;
     let n_blocks = dp.count()?;
     debug_assert_eq!(n_blocks, g * g, "table must stay complete");
-    Ok(sc.with_event_log(|log| SolveReport {
-        stages: log.stage_count(),
-        tasks: log.task_count(),
-        remote_bytes: log.total_remote_bytes(),
-        staged_bytes: log.total_staged_bytes(),
-        collect_bytes: log.total_collect_bytes(),
-        broadcast_bytes: log.total_broadcast_bytes(),
-        retries: log.total_retries(),
-        speculative_launches: log.total_speculative_launches(),
-        zombie_writes_fenced: log.total_zombie_writes_fenced(),
-        staged_released_bytes: log.total_staged_released_bytes(),
-    }))
+    Ok(report_from(sc))
 }
 
 /// Paper-scale timing: run the full dataflow virtually on a context

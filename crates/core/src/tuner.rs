@@ -73,8 +73,7 @@ pub fn tune<S: DpProblem>(
                     .with_strategy(strategy)
                     .with_kernel(KernelChoice::Iterative)
                     .virtual_mode();
-                let secs =
-                    simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
+                let secs = simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
                 results.push(TuneResult {
                     config: cfg,
                     omp_threads: 1,
@@ -94,8 +93,7 @@ pub fn tune<S: DpProblem>(
                             threads,
                         })
                         .virtual_mode();
-                    let secs =
-                        simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
+                    let secs = simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
                     results.push(TuneResult {
                         config: cfg,
                         omp_threads: threads,

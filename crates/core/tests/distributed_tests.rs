@@ -81,14 +81,11 @@ fn ge_all_variants_match_reference_bitwise() {
     gep_reference::<GaussianElim>(&mut reference);
     for (strategy, kernel) in all_variants() {
         let sc = ctx();
-        let cfg = DpConfig::new(24, 8).with_strategy(strategy).with_kernel(kernel);
+        let cfg = DpConfig::new(24, 8)
+            .with_strategy(strategy)
+            .with_kernel(kernel);
         let out = solve::<GaussianElim>(&sc, &cfg, &input).expect("solve");
-        assert_eq!(
-            out.first_difference(&reference),
-            None,
-            "{}",
-            cfg.label()
-        );
+        assert_eq!(out.first_difference(&reference), None, "{}", cfg.label());
     }
 }
 
@@ -99,7 +96,9 @@ fn fw_all_variants_match_reference_bitwise() {
     gep_reference::<Tropical>(&mut reference);
     for (strategy, kernel) in all_variants() {
         let sc = ctx();
-        let cfg = DpConfig::new(24, 6).with_strategy(strategy).with_kernel(kernel);
+        let cfg = DpConfig::new(24, 6)
+            .with_strategy(strategy)
+            .with_kernel(kernel);
         let out = solve::<Tropical>(&sc, &cfg, &input).expect("solve");
         assert_eq!(out.first_difference(&reference), None, "{}", cfg.label());
     }

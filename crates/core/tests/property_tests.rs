@@ -57,7 +57,10 @@ fn any_kernel() -> impl proptest::strategy::Strategy<Value = KernelChoice> {
 }
 
 fn any_strategy() -> impl proptest::strategy::Strategy<Value = DpStrategy> {
-    prop_oneof![Just(DpStrategy::InMemory), Just(DpStrategy::CollectBroadcast)]
+    prop_oneof![
+        Just(DpStrategy::InMemory),
+        Just(DpStrategy::CollectBroadcast)
+    ]
 }
 
 proptest! {

@@ -201,7 +201,7 @@ mod tests {
         // One substitution.
         let c = align_reference(b"GATTACA", b"GACTACA", &score);
         assert_eq!(c.get(7, 7), 5); // 6 matches + 1 mismatch
-        // Pure gaps vs empty.
+                                    // Pure gaps vs empty.
         let c = align_reference(b"AAAA", b"", &score);
         assert_eq!(c.get(4, 0), -8);
     }
@@ -240,8 +240,7 @@ mod tests {
                     let (r0, c0) = (1 + ii * bi, 1 + jj * bj);
                     let rows = bi.min(n + 1 - r0);
                     let cols = bj.min(m + 1 - c0);
-                    let top: Vec<i64> =
-                        (0..=cols).map(|j| table.get(r0 - 1, c0 - 1 + j)).collect();
+                    let top: Vec<i64> = (0..=cols).map(|j| table.get(r0 - 1, c0 - 1 + j)).collect();
                     let left: Vec<i64> = (0..rows).map(|i| table.get(r0 + i, c0 - 1)).collect();
                     let mut block = table.copy_block(r0, c0, rows, cols);
                     align_block(&mut block.view_mut_at(r0, c0), &top, &left, a, b, &score);

@@ -390,11 +390,7 @@ mod tests {
     fn fw_reference_small_graph() {
         let inf = f64::INFINITY;
         // 0 →(1) 1 →(2) 2, plus direct 0→2 of weight 9.
-        let mut d = Matrix::from_vec(
-            3,
-            3,
-            vec![0.0, 1.0, 9.0, inf, 0.0, 2.0, inf, inf, 0.0],
-        );
+        let mut d = Matrix::from_vec(3, 3, vec![0.0, 1.0, 9.0, inf, 0.0, 2.0, inf, inf, 0.0]);
         gep_reference::<Tropical>(&mut d);
         assert_eq!(d.get(0, 2), 3.0);
         assert_eq!(d.get(0, 1), 1.0);

@@ -17,7 +17,10 @@ use crate::matrix::Matrix;
 /// diagonal is `0`.
 pub fn erdos_renyi(n: usize, p: f64, w_min: f64, w_max: f64, seed: u64) -> Matrix<f64> {
     assert!((0.0..=1.0).contains(&p));
-    assert!(w_min >= 0.0 && w_max > w_min, "weights must be non-negative");
+    assert!(
+        w_min >= 0.0 && w_max > w_min,
+        "weights must be non-negative"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     Matrix::from_fn(n, n, |i, j| {
         if i == j {
@@ -241,11 +244,7 @@ mod tests {
     fn bellman_ford_handles_negative_edges() {
         let inf = f64::INFINITY;
         // 0 →(4) 1 →(-2) 2; direct 0→2 of 3 → best is 2 via 1.
-        let g = Matrix::from_vec(
-            3,
-            3,
-            vec![0.0, 4.0, 3.0, inf, 0.0, -2.0, inf, inf, 0.0],
-        );
+        let g = Matrix::from_vec(3, 3, vec![0.0, 4.0, 3.0, inf, 0.0, -2.0, inf, inf, 0.0]);
         let d = bellman_ford(&g, 0).expect("no negative cycle");
         assert_eq!(d, vec![0.0, 4.0, 2.0]);
     }
@@ -253,11 +252,7 @@ mod tests {
     #[test]
     fn bellman_ford_detects_negative_cycles() {
         let inf = f64::INFINITY;
-        let g = Matrix::from_vec(
-            2,
-            2,
-            vec![0.0, -1.0, -1.0, 0.0],
-        );
+        let g = Matrix::from_vec(2, 2, vec![0.0, -1.0, -1.0, 0.0]);
         assert!(bellman_ford(&g, 0).is_none());
         let ok = Matrix::from_vec(2, 2, vec![0.0, -1.0, 5.0, 0.0]);
         assert!(bellman_ford(&ok, 0).is_some());

@@ -162,8 +162,16 @@ pub fn blocked_gep<S: GepSpec>(c: &mut Matrix<S::Elem>, r: usize) {
             if !block_active::<S>(i, j, kb, b) {
                 continue;
             }
-            let u = col_refs.iter().find(|(ci, _)| *ci == i).expect("col panel").1;
-            let v = row_refs.iter().find(|(rj, _)| *rj == j).expect("row panel").1;
+            let u = col_refs
+                .iter()
+                .find(|(ci, _)| *ci == i)
+                .expect("col panel")
+                .1;
+            let v = row_refs
+                .iter()
+                .find(|(rj, _)| *rj == j)
+                .expect("row panel")
+                .1;
             block_kernel::<S>(Kind::D, t, Some(u), Some(v), Some(diag_ref));
         }
     }
@@ -270,11 +278,7 @@ mod tests {
             let mut reference = blocked.clone();
             blocked_gep::<GaussianElim>(&mut blocked, r);
             gep_reference::<GaussianElim>(&mut reference);
-            assert_eq!(
-                blocked.first_difference(&reference),
-                None,
-                "n={n} r={r}"
-            );
+            assert_eq!(blocked.first_difference(&reference), None, "n={n} r={r}");
         }
     }
 
@@ -285,11 +289,7 @@ mod tests {
             let mut reference = blocked.clone();
             blocked_gep::<Tropical>(&mut blocked, r);
             gep_reference::<Tropical>(&mut reference);
-            assert_eq!(
-                blocked.first_difference(&reference),
-                None,
-                "n={n} r={r}"
-            );
+            assert_eq!(blocked.first_difference(&reference), None, "n={n} r={r}");
         }
     }
 
@@ -332,9 +332,7 @@ mod tests {
                     let mut grid = generic.view_mut().split_grid(r);
                     let parts = crate::tilegrid::phase_split(&mut grid, r, kb);
                     let diag = parts.diag;
-                    block_kernel_generic::<Tropical>(
-                        Kind::A, diag, None, None, None, kb * b, b,
-                    );
+                    block_kernel_generic::<Tropical>(Kind::A, diag, None, None, None, kb * b, b);
                 }
                 // Fast path.
                 let mut fast = m.clone();
@@ -358,7 +356,13 @@ mod tests {
                         block_kernel::<Tropical>(Kind::B, t, Some(diag), None, Some(diag));
                     } else {
                         block_kernel_generic::<Tropical>(
-                            Kind::B, t, Some(diag), None, Some(diag), 0, b,
+                            Kind::B,
+                            t,
+                            Some(diag),
+                            None,
+                            Some(diag),
+                            0,
+                            b,
                         );
                     }
                 }

@@ -154,11 +154,7 @@ impl<E: Elem> Matrix<E> {
             let off = (i0 + i) * self.cols + j0;
             data.extend_from_slice(&self.data[off..off + cols]);
         }
-        Matrix {
-            rows,
-            cols,
-            data,
-        }
+        Matrix { rows, cols, data }
     }
 
     /// Write `block` into the window at `(i0, j0)`.
@@ -248,8 +244,12 @@ impl<'a, E: Elem> TileRef<'a, E> {
     /// Split into an `r×r` grid of equal sub-views (requires
     /// divisibility). Row-major order.
     pub fn split_grid(&self, r: usize) -> Vec<TileRef<'a, E>> {
-        assert!(r > 0 && self.rows.is_multiple_of(r) && self.cols.is_multiple_of(r),
-            "tile {}x{} not divisible by r={r}", self.rows, self.cols);
+        assert!(
+            r > 0 && self.rows.is_multiple_of(r) && self.cols.is_multiple_of(r),
+            "tile {}x{} not divisible by r={r}",
+            self.rows,
+            self.cols
+        );
         let (br, bc) = (self.rows / r, self.cols / r);
         let mut out = Vec::with_capacity(r * r);
         for ti in 0..r {
@@ -347,8 +347,12 @@ impl<'a, E: Elem> TileMut<'a, E> {
     /// Consume this view and split it into an `r×r` grid of disjoint
     /// mutable sub-views (row-major order). Requires divisibility.
     pub fn split_grid(self, r: usize) -> Vec<TileMut<'a, E>> {
-        assert!(r > 0 && self.rows.is_multiple_of(r) && self.cols.is_multiple_of(r),
-            "tile {}x{} not divisible by r={r}", self.rows, self.cols);
+        assert!(
+            r > 0 && self.rows.is_multiple_of(r) && self.cols.is_multiple_of(r),
+            "tile {}x{} not divisible by r={r}",
+            self.rows,
+            self.cols
+        );
         let (br, bc) = (self.rows / r, self.cols / r);
         let mut out = Vec::with_capacity(r * r);
         for ti in 0..r {

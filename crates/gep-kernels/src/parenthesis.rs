@@ -57,12 +57,10 @@ impl ParenWeight {
         // operands are ∞, so the weight value is irrelevant — return 0
         // instead of panicking.
         match self {
-            ParenWeight::MatrixChain(dims) => {
-                match (dims.get(i), dims.get(k), dims.get(j)) {
-                    (Some(a), Some(b), Some(c)) => (a * b * c) as f64,
-                    _ => 0.0,
-                }
-            }
+            ParenWeight::MatrixChain(dims) => match (dims.get(i), dims.get(k), dims.get(j)) {
+                (Some(a), Some(b), Some(c)) => (a * b * c) as f64,
+                _ => 0.0,
+            },
             ParenWeight::Polygon(v) => match (v.get(i), v.get(k), v.get(j)) {
                 (Some(a), Some(b), Some(c)) => a * b * c,
                 _ => 0.0,
@@ -308,9 +306,7 @@ mod tests {
                 let j = i + len - 1;
                 m[i][j] = f64::INFINITY;
                 for k in i..j {
-                    let q = m[i][k]
-                        + m[k + 1][j]
-                        + (dims[i - 1] * dims[k] * dims[j]) as f64;
+                    let q = m[i][k] + m[k + 1][j] + (dims[i - 1] * dims[k] * dims[j]) as f64;
                     if q < m[i][j] {
                         m[i][j] = q;
                     }
@@ -345,15 +341,17 @@ mod tests {
     #[test]
     fn recursive_matches_reference_bitwise() {
         let pool = Pool::new(3);
-        for &(n, base, seed) in &[(8usize, 2usize, 3u64), (13, 2, 7), (16, 4, 11), (25, 3, 21), (32, 8, 5)] {
+        for &(n, base, seed) in &[
+            (8usize, 2usize, 3u64),
+            (13, 2, 7),
+            (16, 4, 11),
+            (25, 3, 21),
+            (32, 8, 5),
+        ] {
             let w = ParenWeight::MatrixChain(random_dims(n, seed));
             let rec = solve_recursive(&pool, base, &w);
             let reference = solve_reference(&w);
-            assert_eq!(
-                rec.first_difference(&reference),
-                None,
-                "n={n} base={base}"
-            );
+            assert_eq!(rec.first_difference(&reference), None, "n={n} base={base}");
         }
     }
 

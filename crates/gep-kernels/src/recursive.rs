@@ -66,11 +66,7 @@ impl RecConfig {
 /// May any element of the tile spanning global `rows × cols` be updated
 /// by a phase whose `k` spans `ks`?
 #[inline]
-fn tile_active<S: GepSpec>(
-    rows: (usize, usize),
-    cols: (usize, usize),
-    ks: (usize, usize),
-) -> bool {
+fn tile_active<S: GepSpec>(rows: (usize, usize), cols: (usize, usize), ks: (usize, usize)) -> bool {
     S::range_row_active(rows.0, rows.1, ks.0, ks.1)
         && S::range_col_active(cols.0, cols.1, ks.0, ks.1)
 }
@@ -135,8 +131,16 @@ pub fn rec_a<S: GepSpec>(pool: &Pool, cfg: &RecConfig, mut x: TileMut<S::Elem>) 
                     if !tile_active::<S>(span_rows(t), span_cols(t), ks) {
                         continue;
                     }
-                    let u = col_refs.iter().find(|(ci, _)| *ci == i).expect("col panel").1;
-                    let v = row_refs.iter().find(|(rj, _)| *rj == j).expect("row panel").1;
+                    let u = col_refs
+                        .iter()
+                        .find(|(ci, _)| *ci == i)
+                        .expect("col panel")
+                        .1;
+                    let v = row_refs
+                        .iter()
+                        .find(|(rj, _)| *rj == j)
+                        .expect("row panel")
+                        .1;
                     s.spawn(move |_| rec_d::<S>(pool, cfg, t.reborrow(), u, v, Some(diag)));
                 }
             });
@@ -202,7 +206,11 @@ pub fn rec_c<S: GepSpec>(
     mut x: TileMut<S::Elem>,
     v_diag: TileRef<S::Elem>,
 ) {
-    assert_eq!(x.cols(), v_diag.cols(), "C tile shares the diagonal's columns");
+    assert_eq!(
+        x.cols(),
+        v_diag.cols(),
+        "C tile shares the diagonal's columns"
+    );
     assert_eq!(x.col0(), v_diag.col0());
     if !cfg.recurse(x.cols()) || !x.rows().is_multiple_of(cfg.r) {
         block_kernel::<S>(Kind::C, &mut x, None, Some(v_diag), Some(v_diag));
@@ -257,7 +265,10 @@ pub fn rec_d<S: GepSpec>(
 ) {
     assert_eq!(u.rows(), x.rows());
     assert_eq!(v.cols(), x.cols());
-    assert!(w.is_some() || !S::USES_W, "D needs w unless the spec ignores it");
+    assert!(
+        w.is_some() || !S::USES_W,
+        "D needs w unless the spec ignores it"
+    );
     if let Some(w) = &w {
         assert_eq!(u.cols(), w.rows());
     }
@@ -444,19 +455,43 @@ mod tests {
         for kb in 0..r {
             let mut grid = m.view_mut().split_grid(r);
             let parts = crate::tilegrid::phase_split(&mut grid, r, kb);
-            rec_kernel::<GaussianElim>(&pool, &cfg, Kind::A, parts.diag.reborrow(), None, None, None);
+            rec_kernel::<GaussianElim>(
+                &pool,
+                &cfg,
+                Kind::A,
+                parts.diag.reborrow(),
+                None,
+                None,
+                None,
+            );
             let diag = parts.diag.as_ref();
             let mut row_refs = Vec::new();
             for (j, t) in parts.row {
                 if crate::gep::block_active::<GaussianElim>(kb, j, kb, n / r) {
-                    rec_kernel::<GaussianElim>(&pool, &cfg, Kind::B, t.reborrow(), None, None, Some(diag));
+                    rec_kernel::<GaussianElim>(
+                        &pool,
+                        &cfg,
+                        Kind::B,
+                        t.reborrow(),
+                        None,
+                        None,
+                        Some(diag),
+                    );
                 }
                 row_refs.push((j, t.as_ref()));
             }
             let mut col_refs = Vec::new();
             for (i, t) in parts.col {
                 if crate::gep::block_active::<GaussianElim>(i, kb, kb, n / r) {
-                    rec_kernel::<GaussianElim>(&pool, &cfg, Kind::C, t.reborrow(), None, None, Some(diag));
+                    rec_kernel::<GaussianElim>(
+                        &pool,
+                        &cfg,
+                        Kind::C,
+                        t.reborrow(),
+                        None,
+                        None,
+                        Some(diag),
+                    );
                 }
                 col_refs.push((i, t.as_ref()));
             }
@@ -466,7 +501,15 @@ mod tests {
                 }
                 let u = col_refs.iter().find(|(ci, _)| *ci == i).unwrap().1;
                 let v = row_refs.iter().find(|(rj, _)| *rj == j).unwrap().1;
-                rec_kernel::<GaussianElim>(&pool, &cfg, Kind::D, t.reborrow(), Some(u), Some(v), Some(diag));
+                rec_kernel::<GaussianElim>(
+                    &pool,
+                    &cfg,
+                    Kind::D,
+                    t.reborrow(),
+                    Some(u),
+                    Some(v),
+                    Some(diag),
+                );
             }
         }
         assert_eq!(m.first_difference(&reference), None);

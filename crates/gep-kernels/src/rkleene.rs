@@ -33,10 +33,7 @@ struct Region {
 impl Region {
     fn split_rows(self, at: usize) -> (Region, Region) {
         (
-            Region {
-                rows: at,
-                ..self
-            },
+            Region { rows: at, ..self },
             Region {
                 r0: self.r0 + at,
                 rows: self.rows - at,
@@ -47,10 +44,7 @@ impl Region {
 
     fn split_cols(self, at: usize) -> (Region, Region) {
         (
-            Region {
-                cols: at,
-                ..self
-            },
+            Region { cols: at, ..self },
             Region {
                 c0: self.c0 + at,
                 cols: self.cols - at,
@@ -124,9 +118,7 @@ fn star_base<S: Semiring>(m: &mut Matrix<S>, r: Region) {
     for k in 0..r.rows {
         for i in 0..r.rows {
             for j in 0..r.cols {
-                let via = m
-                    .get(r.r0 + i, r.c0 + k)
-                    .times(m.get(r.r0 + k, r.c0 + j));
+                let via = m.get(r.r0 + i, r.c0 + k).times(m.get(r.r0 + k, r.c0 + j));
                 let cur = m.get(r.r0 + i, r.c0 + j);
                 m.set(r.r0 + i, r.c0 + j, cur.plus(via));
             }

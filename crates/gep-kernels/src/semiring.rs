@@ -134,14 +134,8 @@ mod tests {
     #[test]
     fn pathcount_identities_and_saturation() {
         check_identities(&[PathCount(0), PathCount(1), PathCount(17)]);
-        assert_eq!(
-            PathCount(u64::MAX).plus(PathCount(5)),
-            PathCount(u64::MAX)
-        );
-        assert_eq!(
-            PathCount(u64::MAX).times(PathCount(2)),
-            PathCount(u64::MAX)
-        );
+        assert_eq!(PathCount(u64::MAX).plus(PathCount(5)), PathCount(u64::MAX));
+        assert_eq!(PathCount(u64::MAX).times(PathCount(2)), PathCount(u64::MAX));
     }
 
     #[test]

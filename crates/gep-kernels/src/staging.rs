@@ -142,11 +142,7 @@ fn inline_call<S: GepSpec>(call: &Call, b: usize, out: &mut Vec<Call>) {
                         if S::USES_W {
                             reads.push(dkk);
                         }
-                        push_if_active::<S>(
-                            out,
-                            Call::new(Kind::D, dkk, sub(x, i, j), reads),
-                            b,
-                        );
+                        push_if_active::<S>(out, Call::new(Kind::D, dkk, sub(x, i, j), reads), b);
                     }
                 }
             }
@@ -165,11 +161,7 @@ fn inline_call<S: GepSpec>(call: &Call, b: usize, out: &mut Vec<Call>) {
                         if S::USES_W {
                             reads.push(ukk);
                         }
-                        push_if_active::<S>(
-                            out,
-                            Call::new(Kind::D, ukk, sub(x, i, j), reads),
-                            b,
-                        );
+                        push_if_active::<S>(out, Call::new(Kind::D, ukk, sub(x, i, j), reads), b);
                     }
                 }
             }
@@ -188,11 +180,7 @@ fn inline_call<S: GepSpec>(call: &Call, b: usize, out: &mut Vec<Call>) {
                         if S::USES_W {
                             reads.push(vkk);
                         }
-                        push_if_active::<S>(
-                            out,
-                            Call::new(Kind::D, vkk, sub(x, i, j), reads),
-                            b,
-                        );
+                        push_if_active::<S>(out, Call::new(Kind::D, vkk, sub(x, i, j), reads), b);
                     }
                 }
             }
@@ -221,11 +209,7 @@ fn inline_call<S: GepSpec>(call: &Call, b: usize, out: &mut Vec<Call>) {
                         if S::USES_W {
                             reads.push(wkk);
                         }
-                        push_if_active::<S>(
-                            out,
-                            Call::new(Kind::D, wkk, sub(x, i, j), reads),
-                            b,
-                        );
+                        push_if_active::<S>(out, Call::new(Kind::D, wkk, sub(x, i, j), reads), b);
                     }
                 }
             }
@@ -398,10 +382,7 @@ mod tests {
         let stage = schedule(&inlined);
         let optimized = *stage.iter().max().unwrap();
         let naive = naive_stage_count(&parents);
-        assert!(
-            optimized <= naive,
-            "optimized {optimized} vs naive {naive}"
-        );
+        assert!(optimized <= naive, "optimized {optimized} vs naive {naive}");
         assert!(optimized >= 4, "2-way GE needs at least 4 stages");
     }
 

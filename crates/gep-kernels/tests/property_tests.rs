@@ -5,7 +5,7 @@ use gep_kernels::iterative::blocked_gep;
 use gep_kernels::padding::{pad_to_multiple, round_up, unpad};
 use gep_kernels::recursive::{rway_gep, RecConfig};
 use gep_kernels::semiring::{BoolRing, MaxMin, MinPlus, PathCount, Semiring};
-use gep_kernels::staging::{call_sequence, inline_once, schedule, execute_schedule};
+use gep_kernels::staging::{call_sequence, execute_schedule, inline_once, schedule};
 use gep_kernels::Matrix;
 use par_pool::Pool;
 use proptest::prelude::*;

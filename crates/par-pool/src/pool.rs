@@ -167,8 +167,7 @@ impl Shared {
                     // Timed wait: completions notify, but a short timeout
                     // makes us robust to races between the emptiness check
                     // and the condition flip.
-                    self.sleep_cv
-                        .wait_for(&mut guard, Duration::from_millis(1));
+                    self.sleep_cv.wait_for(&mut guard, Duration::from_millis(1));
                 }
             }
         }
@@ -282,10 +281,7 @@ impl PoolBuilder {
                     .expect("spawn pool worker")
             })
             .collect();
-        Pool {
-            shared,
-            workers,
-        }
+        Pool { shared, workers }
     }
 }
 
@@ -319,7 +315,11 @@ impl Pool {
     /// do not manage their own (e.g. examples and tests).
     pub fn global() -> &'static Pool {
         static GLOBAL: OnceLock<Pool> = OnceLock::new();
-        GLOBAL.get_or_init(|| PoolBuilder::default().name_prefix("par-pool-global").build())
+        GLOBAL.get_or_init(|| {
+            PoolBuilder::default()
+                .name_prefix("par-pool-global")
+                .build()
+        })
     }
 
     /// Number of worker threads.
@@ -457,10 +457,7 @@ impl Pool {
                 });
             }
         });
-        partials
-            .into_iter()
-            .flatten()
-            .fold(identity, &reduce)
+        partials.into_iter().flatten().fold(identity, &reduce)
     }
 
     /// Apply `f` to disjoint mutable chunks of `data` in parallel.

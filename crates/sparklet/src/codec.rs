@@ -158,8 +158,7 @@ impl Storable for String {
         let n = buf.get_u64_le() as usize;
         need(buf, n)?;
         let raw = buf.split_to(n);
-        String::from_utf8(raw.to_vec())
-            .map_err(|e| JobError::Codec(format!("invalid utf8: {e}")))
+        String::from_utf8(raw.to_vec()).map_err(|e| JobError::Codec(format!("invalid utf8: {e}")))
     }
     fn approx_bytes(&self) -> usize {
         8 + self.len()

@@ -2,6 +2,8 @@
 //! fixes per cluster (`--num-executors`, `--executor-cores`, RDD
 //! partition count, executor memory).
 
+use crate::storage::StorageLevel;
+
 /// Configuration of a [`crate::SparkContext`].
 #[derive(Debug, Clone)]
 pub struct SparkConf {
@@ -24,6 +26,14 @@ pub struct SparkConf {
     pub staging_capacity: Option<u64>,
     /// Cached-partition memory per executor, if limited.
     pub executor_memory: Option<u64>,
+    /// Disk-tier capacity per executor for spilled/`DiskOnly` cached
+    /// blocks, if limited. Exceeding it fails the put
+    /// ([`crate::JobError::DiskOverflow`]) unless the block is
+    /// recomputable from lineage.
+    pub disk_capacity: Option<u64>,
+    /// Storage level used by [`crate::Rdd::checkpoint`] (explicit
+    /// `checkpoint_with_level`/`persist` calls override it).
+    pub storage_level: StorageLevel,
     /// Maximum attempts per task before the job fails (lineage retry).
     pub max_task_attempts: usize,
     /// Base delay before re-launching a failed task, doubling per
@@ -49,6 +59,8 @@ impl Default for SparkConf {
             default_partitions: 32,
             staging_capacity: None,
             executor_memory: None,
+            disk_capacity: None,
+            storage_level: StorageLevel::MemoryOnly,
             max_task_attempts: 4,
             retry_backoff_ms: 0,
             retry_backoff_max_ms: 1000,
@@ -129,6 +141,18 @@ impl SparkConf {
         self
     }
 
+    /// Cap the per-executor disk tier for spilled cached blocks.
+    pub fn with_disk_capacity(mut self, bytes: u64) -> Self {
+        self.disk_capacity = Some(bytes);
+        self
+    }
+
+    /// Set the storage level `checkpoint()` uses.
+    pub fn with_storage_level(mut self, level: StorageLevel) -> Self {
+        self.storage_level = level;
+        self
+    }
+
     /// Set the maximum attempts per task (lineage retry budget).
     pub fn with_max_task_attempts(mut self, n: usize) -> Self {
         assert!(n >= 1);
@@ -175,8 +199,25 @@ mod tests {
             .with_executor_cores(2)
             .with_partitions(64)
             .with_staging_capacity(1024);
-        assert_eq!((c.executors, c.executor_cores, c.default_partitions), (8, 2, 64));
+        assert_eq!(
+            (c.executors, c.executor_cores, c.default_partitions),
+            (8, 2, 64)
+        );
         assert_eq!(c.staging_capacity, Some(1024));
+    }
+
+    #[test]
+    fn storage_knobs_compose() {
+        let c = SparkConf::default()
+            .with_executor_memory(1 << 20)
+            .with_disk_capacity(1 << 30)
+            .with_storage_level(StorageLevel::MemoryAndDisk);
+        assert_eq!(c.executor_memory, Some(1 << 20));
+        assert_eq!(c.disk_capacity, Some(1 << 30));
+        assert_eq!(c.storage_level, StorageLevel::MemoryAndDisk);
+        let d = SparkConf::default();
+        assert_eq!(d.storage_level, StorageLevel::MemoryOnly);
+        assert_eq!(d.disk_capacity, None, "disk tier unbounded by default");
     }
 
     #[test]

@@ -41,6 +41,25 @@ pub(crate) struct CtxInner {
     /// between-stage GC releases still land in the event log.
     pub zombie_mark: AtomicU64,
     pub released_mark: AtomicU64,
+    /// Storage-counter watermarks (same claim-the-delta scheme as the
+    /// shuffle marks, over the block stores' summed counters).
+    pub storage_mark: Mutex<StorageTotals>,
+}
+
+/// Snapshot of the cache-behaviour counters summed over every node's
+/// block store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageTotals {
+    /// Reads served from either tier (memory + disk hits).
+    pub cache_hits: u64,
+    /// Reads that found the partition in neither tier.
+    pub cache_misses: u64,
+    /// Bytes serialized into the disk tier (spills + DiskOnly puts).
+    pub spilled_bytes: u64,
+    /// Bytes of blocks dropped under pressure (recompute-backed).
+    pub evicted_bytes: u64,
+    /// Lineage recomputations of dropped blocks.
+    pub recomputes: u64,
 }
 
 /// The entry point: create one per simulated cluster. Cheap to clone
@@ -61,7 +80,7 @@ impl SparkContext {
                     .threads(conf.worker_threads.min(conf.executor_cores).max(1))
                     .name_prefix(format!("exec-{node}"))
                     .build(),
-                store: BlockStore::new(node, conf.executor_memory),
+                store: BlockStore::new(node, conf.executor_memory, conf.disk_capacity),
             })
             .collect();
         let shuffle = ShuffleManager::new(conf.executors, conf.staging_capacity);
@@ -76,6 +95,7 @@ impl SparkContext {
                 stage_ordinal: AtomicU64::new(0),
                 zombie_mark: AtomicU64::new(0),
                 released_mark: AtomicU64::new(0),
+                storage_mark: Mutex::new(StorageTotals::default()),
                 conf,
             }),
         }
@@ -202,6 +222,47 @@ impl SparkContext {
     /// Global ordinal the *next* stage will get.
     pub fn next_stage_ordinal(&self) -> u64 {
         self.inner.stage_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Currently cached memory-tier bytes on `node`.
+    pub fn cached_bytes(&self, node: usize) -> u64 {
+        self.inner.executors[node].store.used_bytes()
+    }
+
+    /// Currently cached disk-tier bytes on `node` (declared sizes of
+    /// spilled/`DiskOnly` blocks).
+    pub fn cached_disk_bytes(&self, node: usize) -> u64 {
+        self.inner.executors[node].store.disk_used_bytes()
+    }
+
+    /// High-water mark of cached memory-tier bytes on `node` over the
+    /// context's lifetime (for calibrating executor memory).
+    pub fn peak_cached_bytes(&self, node: usize) -> u64 {
+        self.inner.executors[node].store.peak_used_bytes()
+    }
+
+    /// Cache-behaviour counters summed over every node's block store
+    /// since the context was created.
+    pub fn storage_totals(&self) -> StorageTotals {
+        let mut t = StorageTotals::default();
+        for e in &self.inner.executors {
+            t.cache_hits += e.store.mem_hits() + e.store.disk_hits();
+            t.cache_misses += e.store.cache_misses();
+            t.spilled_bytes += e.store.spilled_bytes_total();
+            t.evicted_bytes += e.store.evicted_bytes_total();
+            t.recomputes += e.store.recomputes_total();
+        }
+        t
+    }
+
+    /// Total cache puts dropped by attempt fencing (zombie checkpoint
+    /// tasks) since the context was created.
+    pub fn fenced_cache_puts(&self) -> u64 {
+        self.inner
+            .executors
+            .iter()
+            .map(|e| e.store.fenced_puts_total())
+            .sum()
     }
 }
 
@@ -334,6 +395,17 @@ impl TaskContext {
     /// Record map-output bytes staged to local storage.
     pub fn add_shuffle_write(&self, bytes: u64) {
         self.record.lock().shuffle_write_bytes += bytes;
+    }
+
+    /// Record cached bytes serialized to the disk tier (a spill this
+    /// task triggered, or a `DiskOnly` put).
+    pub fn add_spill_write(&self, bytes: u64) {
+        self.record.lock().spill_write_bytes += bytes;
+    }
+
+    /// Record cached bytes deserialized back from the disk tier.
+    pub fn add_spill_read(&self, bytes: u64) {
+        self.record.lock().spill_read_bytes += bytes;
     }
 
     /// Copy of the record so far (tests; the scheduler takes the final).

@@ -35,11 +35,23 @@ pub enum JobError {
         /// Configured capacity.
         capacity: u64,
     },
+    /// Spilled/cached blocks exceeded the node's disk-tier capacity.
+    DiskOverflow {
+        /// Node whose disk tier filled up.
+        node: usize,
+        /// Bytes on disk at failure.
+        used: u64,
+        /// Configured capacity.
+        capacity: u64,
+    },
     /// Serialization error.
     Codec(String),
     /// A referenced shuffle/broadcast/cache entry is missing (lineage
     /// was cleared while still referenced, or an engine bug).
     MissingBlock(String),
+    /// A cached block exists but holds a different type than the
+    /// reader asked for (a caller bug, not a missing block).
+    TypeMismatch(String),
 }
 
 impl fmt::Display for JobError {
@@ -62,8 +74,13 @@ impl fmt::Display for JobError {
                 f,
                 "executor memory overflow on node {node}: {used} bytes cached, capacity {capacity}"
             ),
+            JobError::DiskOverflow { node, used, capacity } => write!(
+                f,
+                "disk tier overflow on node {node}: {used} bytes stored, capacity {capacity}"
+            ),
             JobError::Codec(msg) => write!(f, "codec error: {msg}"),
             JobError::MissingBlock(what) => write!(f, "missing block: {what}"),
+            JobError::TypeMismatch(what) => write!(f, "cached block type mismatch: {what}"),
         }
     }
 }

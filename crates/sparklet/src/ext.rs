@@ -168,7 +168,6 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
             h.finish() <= threshold
         })
     }
-
 }
 
 /// Range partitioner over `Ord` keys: partition `i` holds keys in

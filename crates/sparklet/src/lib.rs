@@ -21,6 +21,11 @@
 //! * **shuffle staging** — map outputs are staged per node and count
 //!   against a configurable local-storage capacity; exceeding it fails
 //!   the job exactly like the paper's In-Memory drawback #2;
+//! * **tiered block storage** — [`Rdd::checkpoint`]/[`Rdd::persist`]
+//!   at `MemoryOnly` / `MemoryAndDisk` / `DiskOnly`
+//!   ([`StorageLevel`]), with a per-node LRU memory manager that
+//!   spills serialized blocks to a disk tier under pressure and falls
+//!   back to lineage recomputation when a block is in neither tier;
 //! * **driver collect / broadcast** — the Collect-Broadcast pattern's
 //!   primitives, with driver traffic recorded;
 //! * **lineage-based recovery** — injected task failures are retried
@@ -50,12 +55,13 @@ pub mod storage;
 pub use broadcast::Broadcast;
 pub use codec::Storable;
 pub use config::SparkConf;
-pub use context::{Accumulator, SparkContext, TaskContext};
-pub use ext::{Either, RangePartitioner};
+pub use context::{Accumulator, SparkContext, StorageTotals, TaskContext};
 pub use error::JobError;
+pub use ext::{Either, RangePartitioner};
 pub use metrics::EventLog;
 pub use partitioner::{GridPartitioner, HashPartitioner, Partitioner};
 pub use rdd::Rdd;
+pub use storage::{BlockStore, PutOutcome, StorageLevel};
 
 /// Bound for anything that flows through an RDD.
 pub trait Data: Clone + Send + Sync + 'static {}

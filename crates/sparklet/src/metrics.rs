@@ -100,17 +100,53 @@ impl EventLog {
 
     /// Total straggler attempts re-launched speculatively.
     pub fn total_speculative_launches(&self) -> u64 {
-        self.stages.iter().map(|s| s.record.speculative_launches).sum()
+        self.stages
+            .iter()
+            .map(|s| s.record.speculative_launches)
+            .sum()
     }
 
     /// Total late shuffle writes dropped by attempt fencing.
     pub fn total_zombie_writes_fenced(&self) -> u64 {
-        self.stages.iter().map(|s| s.record.zombie_writes_fenced).sum()
+        self.stages
+            .iter()
+            .map(|s| s.record.zombie_writes_fenced)
+            .sum()
     }
 
     /// Total staged bytes released back (shuffle GC + reconciliation).
     pub fn total_staged_released_bytes(&self) -> u64 {
-        self.stages.iter().map(|s| s.record.staged_released_bytes).sum()
+        self.stages
+            .iter()
+            .map(|s| s.record.staged_released_bytes)
+            .sum()
+    }
+
+    /// Total cached-partition reads served from either storage tier.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.cache_hits).sum()
+    }
+
+    /// Total cached-partition reads that found neither tier populated.
+    pub fn total_cache_misses(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.cache_misses).sum()
+    }
+
+    /// Total cached bytes serialized into the disk tier (spills +
+    /// `DiskOnly` puts).
+    pub fn total_spilled_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.spilled_bytes).sum()
+    }
+
+    /// Total cached bytes dropped under memory pressure
+    /// (recompute-backed evictions).
+    pub fn total_evicted_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.evicted_bytes).sum()
+    }
+
+    /// Total lineage recomputations of dropped cached blocks.
+    pub fn total_recomputes(&self) -> u64 {
+        self.stages.iter().map(|s| s.record.recomputes).sum()
     }
 
     /// Mutable view of the most recent stage (action annotations).

@@ -135,10 +135,7 @@ mod tests {
         let h: &dyn Partitioner<(usize, usize)> = &HashPartitioner;
         let g: &dyn Partitioner<(usize, usize)> = &GridPartitioner::new(4);
         assert_ne!(h.signature(), g.signature());
-        assert_eq!(
-            g.signature(),
-            GridPartitioner::new(4).signature()
-        );
+        assert_eq!(g.signature(), GridPartitioner::new(4).signature());
         assert_ne!(
             Partitioner::<(usize, usize)>::signature(&GridPartitioner::new(4)),
             Partitioner::<(usize, usize)>::signature(&GridPartitioner::new(8)),

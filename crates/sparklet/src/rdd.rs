@@ -19,6 +19,7 @@ use crate::codec::Storable;
 use crate::context::{SparkContext, TaskContext};
 use crate::error::JobError;
 use crate::partitioner::Partitioner;
+use crate::storage::StorageLevel;
 use crate::Data;
 
 /// Key bound: hashable, comparable, serializable.
@@ -81,7 +82,11 @@ struct ParallelizeRdd<K, V> {
 
 impl<K: Key, V: ShufVal> RddOps<K, V> for ParallelizeRdd<K, V> {
     fn explain_into(&self, depth: usize, out: &mut String) {
-        write_plan_line(out, depth, &format!("Parallelize [{} partitions]", self.parts.len()));
+        write_plan_line(
+            out,
+            depth,
+            &format!("Parallelize [{} partitions]", self.parts.len()),
+        );
     }
     fn ctx(&self) -> &SparkContext {
         &self.ctx
@@ -121,7 +126,12 @@ impl<K1: Key, V1: ShufVal, K2: Key, V2: ShufVal> RddOps<K2, V2> for MapRdd<K1, V
         self.parent.ensure_deps()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K2, V2)>, JobError> {
-        Ok(self.parent.compute(p, tc)?.into_iter().map(|kv| (self.f)(kv)).collect())
+        Ok(self
+            .parent
+            .compute(p, tc)?
+            .into_iter()
+            .map(|kv| (self.f)(kv))
+            .collect())
     }
     fn preferred_node(&self, p: usize) -> Option<usize> {
         self.parent.preferred_node(p)
@@ -255,7 +265,11 @@ impl<K: Key, V: ShufVal> UnionRdd<K, V> {
 
 impl<K: Key, V: ShufVal> RddOps<K, V> for UnionRdd<K, V> {
     fn explain_into(&self, depth: usize, out: &mut String) {
-        write_plan_line(out, depth, &format!("Union [{} parents, narrow]", self.parents.len()));
+        write_plan_line(
+            out,
+            depth,
+            &format!("Union [{} parents, narrow]", self.parents.len()),
+        );
         for parent in &self.parents {
             parent.explain_into(depth + 1, out);
         }
@@ -424,7 +438,9 @@ impl<K: Key, V: ShufVal> ShuffledRdd<K, V> {
         self.parent.ensure_deps()?;
         let ctx = self.parent.ctx().clone();
         let maps = self.parent.num_partitions();
-        ctx.inner.shuffle.register(self.shuffle_id, maps, self.partitions);
+        ctx.inner
+            .shuffle
+            .register(self.shuffle_id, maps, self.partitions);
         let parent = Arc::clone(&self.parent);
         let partitioner = Arc::clone(&self.partitioner);
         let partitions = self.partitions;
@@ -578,7 +594,9 @@ impl<K: Key, V: ShufVal, C: ShufVal> CombinedRdd<K, V, C> {
         self.parent.ensure_deps()?;
         let ctx = self.parent.ctx().clone();
         let maps = self.parent.num_partitions();
-        ctx.inner.shuffle.register(self.shuffle_id, maps, self.partitions);
+        ctx.inner
+            .shuffle
+            .register(self.shuffle_id, maps, self.partitions);
         let parent = Arc::clone(&self.parent);
         let create = Arc::clone(&self.create);
         let merge_value = Arc::clone(&self.merge_value);
@@ -598,10 +616,10 @@ impl<K: Key, V: ShufVal, C: ShufVal> CombinedRdd<K, V, C> {
             Arc::new(move |p, tc: &TaskContext| {
                 let items = parent.compute(p, tc)?;
                 // Map-side combine (order-preserving, deterministic).
-                let combined = combine_ordered(
-                    items.into_iter().map(|(k, v)| (k, (create)(v))),
-                    |a, b| (merge_combiners)(a, b),
-                );
+                let combined =
+                    combine_ordered(items.into_iter().map(|(k, v)| (k, (create)(v))), |a, b| {
+                        (merge_combiners)(a, b)
+                    });
                 let _ = &merge_value; // map-side path creates then merges combiners
                 let mut bufs: HashMap<usize, (BytesMut, u64)> = HashMap::new();
                 for (k, c) in combined {
@@ -675,20 +693,26 @@ impl<K: Key, V: ShufVal, C: ShufVal> RddOps<K, C> for CombinedRdd<K, V, C> {
     }
 }
 
-/// Checkpointed dataset: lineage is cut; partitions live in executor
-/// block stores.
-struct MaterializedRdd<K, V> {
+/// Materialized dataset: partitions live in executor block stores at
+/// a chosen [`StorageLevel`]. A `checkpoint` cuts the lineage
+/// (`parent: None`); a `persist` retains it so dropped blocks can be
+/// recomputed on read.
+struct MaterializedRdd<K: Key, V: ShufVal> {
     ctx: SparkContext,
     cache_id: u64,
     locations: Vec<usize>,
     sig: Option<PartSig>,
-    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+    level: StorageLevel,
+    /// Retained lineage (persist). Keeping the parent ops alive also
+    /// keeps its upstream shuffles staged — the real cost of
+    /// recompute-on-evict.
+    parent: Option<Arc<dyn RddOps<K, V>>>,
 }
 
-impl<K, V> Drop for MaterializedRdd<K, V> {
+impl<K: Key, V: ShufVal> Drop for MaterializedRdd<K, V> {
     fn drop(&mut self) {
-        // Last handle gone ⇒ reclaim executor memory (Spark's
-        // ContextCleaner unpersisting a dropped RDD).
+        // Last handle gone ⇒ reclaim executor memory and disk
+        // (Spark's ContextCleaner unpersisting a dropped RDD).
         for executor in &self.ctx.inner.executors {
             executor.store.evict(self.cache_id);
         }
@@ -701,11 +725,20 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for MaterializedRdd<K, V> {
             out,
             depth,
             &format!(
-                "Materialized [checkpoint #{}, {} partitions pinned to executors]",
+                "Materialized [{} #{}, {:?}, {} partitions pinned to executors]",
+                if self.parent.is_some() {
+                    "persist"
+                } else {
+                    "checkpoint"
+                },
                 self.cache_id,
+                self.level,
                 self.locations.len()
             ),
         );
+        if let Some(parent) = &self.parent {
+            parent.explain_into(depth + 1, out);
+        }
     }
     fn ctx(&self) -> &SparkContext {
         &self.ctx
@@ -722,13 +755,48 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for MaterializedRdd<K, V> {
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         let owner = self.locations[p];
         let store = &self.ctx.inner.executors[owner].store;
-        let (data, bytes) = store.get::<Vec<(K, V)>>(self.cache_id, p)?;
-        if owner != tc.node() {
-            // Reading a cached partition from another node crosses the
-            // network.
-            tc.add_remote_read(bytes);
+        if let Some((data, bytes)) = store.get::<Vec<(K, V)>>(self.cache_id, p, Some(tc))? {
+            if owner != tc.node() {
+                // Reading a cached partition from another node crosses
+                // the network.
+                tc.add_remote_read(bytes);
+            }
+            return Ok((*data).clone());
         }
-        Ok((*data).clone())
+        let Some(parent) = &self.parent else {
+            return Err(JobError::MissingBlock(format!(
+                "cache {} partition {p} on node {owner} (lineage was cut)",
+                self.cache_id
+            )));
+        };
+        // Lineage recomputation, exactly once per dropped block: the
+        // per-partition latch serializes concurrent readers; whoever
+        // enters first re-checks the store, recomputes on a confirmed
+        // miss, and re-caches for the others.
+        let latch = store.recompute_latch(self.cache_id, p);
+        let _guard = latch.lock();
+        if let Some((data, bytes)) = store.get::<Vec<(K, V)>>(self.cache_id, p, Some(tc))? {
+            if owner != tc.node() {
+                tc.add_remote_read(bytes);
+            }
+            return Ok((*data).clone());
+        }
+        let items = parent.compute(p, tc)?;
+        store.note_recompute();
+        let bytes = pairs_bytes(&items);
+        // Re-cache on the owner (keeps `locations` authoritative);
+        // best-effort — under unrelenting pressure readers keep
+        // recomputing from lineage.
+        let _ = store.put(
+            self.cache_id,
+            p,
+            Arc::new(items.clone()),
+            bytes,
+            self.level,
+            true,
+            Some(tc),
+        );
+        Ok(items)
     }
     fn preferred_node(&self, p: usize) -> Option<usize> {
         Some(self.locations[p])
@@ -773,10 +841,7 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
             parts: Arc::new(parts),
             sig: Some((name, param, partitions)),
         });
-        Rdd {
-            ctx,
-            ops,
-        }
+        Rdd { ctx, ops }
     }
 
     /// The owning context.
@@ -1037,10 +1102,36 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
         Ok(counts.into_iter().sum())
     }
 
-    /// Materialize every partition into executor memory and cut the
-    /// lineage (Spark `persist` + `localCheckpoint`). The returned RDD
-    /// reads from the block stores; tasks prefer the owning node.
+    /// Materialize every partition into the block stores at the
+    /// configured default storage level
+    /// ([`crate::SparkConf::storage_level`]) and cut the lineage
+    /// (Spark `persist` + `localCheckpoint`). The returned RDD reads
+    /// from the block stores; tasks prefer the owning node.
     pub fn checkpoint(&self) -> Result<Rdd<K, V>, JobError> {
+        self.checkpoint_with_level(self.ctx.conf().storage_level)
+    }
+
+    /// [`Rdd::checkpoint`] at an explicit [`StorageLevel`]. The
+    /// lineage is cut, so blocks are pinned in memory unless `level`
+    /// allows spilling them to the disk tier.
+    pub fn checkpoint_with_level(&self, level: StorageLevel) -> Result<Rdd<K, V>, JobError> {
+        self.materialize_with(level, false)
+    }
+
+    /// Materialize every partition at `level` while *retaining* the
+    /// lineage (Spark `persist`): blocks dropped under memory pressure
+    /// are recomputed from their parents on the next read. Retained
+    /// lineage keeps upstream shuffles staged until the returned RDD
+    /// is dropped.
+    pub fn persist(&self, level: StorageLevel) -> Result<Rdd<K, V>, JobError> {
+        self.materialize_with(level, true)
+    }
+
+    fn materialize_with(
+        &self,
+        level: StorageLevel,
+        keep_lineage: bool,
+    ) -> Result<Rdd<K, V>, JobError> {
         self.ops.ensure_deps()?;
         let ops = Arc::clone(&self.ops);
         let n = ops.num_partitions();
@@ -1057,12 +1148,29 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
             Arc::new(move |p, tc: &TaskContext| {
                 let items = ops.compute(p, tc)?;
                 let bytes = pairs_bytes(&items);
-                ctx.inner.executors[tc.node()]
-                    .store
-                    .put(cache_id, p, Arc::new(items), bytes)?;
+                ctx.inner.executors[tc.node()].store.put(
+                    cache_id,
+                    p,
+                    Arc::new(items),
+                    bytes,
+                    level,
+                    keep_lineage,
+                    Some(tc),
+                )?;
                 Ok(tc.node())
             }),
         )?;
+        // A failed attempt may have cached its block before the fault
+        // fired, while the committed retry landed on another node.
+        // Only the winner's copy is in `locations`; reclaim the rest
+        // so retries never double-charge memory or disk.
+        for (p, &owner) in locations.iter().enumerate() {
+            for (node, executor) in self.ctx.inner.executors.iter().enumerate() {
+                if node != owner {
+                    executor.store.discard(cache_id, p);
+                }
+            }
+        }
         Ok(Rdd {
             ctx: self.ctx.clone(),
             ops: Arc::new(MaterializedRdd {
@@ -1070,7 +1178,8 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
                 cache_id,
                 locations,
                 sig: self.ops.partitioner_sig(),
-                _marker: std::marker::PhantomData,
+                level,
+                parent: keep_lineage.then(|| Arc::clone(&self.ops)),
             }),
         })
     }

@@ -97,12 +97,14 @@ impl FaultPlan {
     }
 }
 
-/// Is this error worth re-running the task for? Staging/memory
+/// Is this error worth re-running the task for? Staging/memory/disk
 /// overflows are deterministic — retrying cannot help.
 fn retryable(err: &JobError) -> bool {
     !matches!(
         err,
-        JobError::StagingOverflow { .. } | JobError::MemoryOverflow { .. }
+        JobError::StagingOverflow { .. }
+            | JobError::MemoryOverflow { .. }
+            | JobError::DiskOverflow { .. }
     )
 }
 
@@ -130,10 +132,7 @@ impl SparkContext {
         work: TaskFn<R>,
     ) -> Result<Vec<R>, JobError> {
         let t0 = std::time::Instant::now();
-        let stage = self
-            .inner
-            .stage_ordinal
-            .fetch_add(1, Ordering::Relaxed);
+        let stage = self.inner.stage_ordinal.fetch_add(1, Ordering::Relaxed);
         let conf = &self.inner.conf;
         let nodes = self.inner.executors.len();
         let (tx, rx) = crossbeam::channel::unbounded();
@@ -245,7 +244,11 @@ impl SparkContext {
                         continue;
                     }
                     if retryable(&err) && (attempts[p] as usize) < conf.max_task_attempts {
-                        let backoff = retry_backoff_ms(conf.retry_backoff_ms, conf.retry_backoff_max_ms, attempts[p]);
+                        let backoff = retry_backoff_ms(
+                            conf.retry_backoff_ms,
+                            conf.retry_backoff_max_ms,
+                            attempts[p],
+                        );
                         if backoff > 0 {
                             std::thread::sleep(std::time::Duration::from_millis(backoff));
                         }
@@ -258,6 +261,7 @@ impl SparkContext {
                         // error already carries its stage label and
                         // attempt count (filled at construction).
                         let (zombies, released) = self.claim_shuffle_deltas();
+                        let st = self.claim_storage_deltas();
                         self.inner.log.lock().push(
                             format!("{label} (failed)"),
                             StageRecord {
@@ -266,6 +270,11 @@ impl SparkContext {
                                 speculative_launches,
                                 zombie_writes_fenced: zombies,
                                 staged_released_bytes: released,
+                                cache_hits: st.cache_hits,
+                                cache_misses: st.cache_misses,
+                                spilled_bytes: st.spilled_bytes,
+                                evicted_bytes: st.evicted_bytes,
+                                recomputes: st.recomputes,
                                 ..Default::default()
                             },
                         );
@@ -275,6 +284,7 @@ impl SparkContext {
             }
         }
         let (zombies, released) = self.claim_shuffle_deltas();
+        let st = self.claim_storage_deltas();
         self.inner.log.lock().push_timed(
             label.to_string(),
             StageRecord {
@@ -283,11 +293,19 @@ impl SparkContext {
                 speculative_launches,
                 zombie_writes_fenced: zombies,
                 staged_released_bytes: released,
+                cache_hits: st.cache_hits,
+                cache_misses: st.cache_misses,
+                spilled_bytes: st.spilled_bytes,
+                evicted_bytes: st.evicted_bytes,
+                recomputes: st.recomputes,
                 ..Default::default()
             },
             t0.elapsed().as_secs_f64(),
         );
-        Ok(results.into_iter().map(|r| r.expect("task completed")).collect())
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("task completed"))
+            .collect())
     }
 
     /// Unattributed shuffle-counter growth since the last stage record
@@ -300,6 +318,24 @@ impl SparkContext {
         let z0 = self.inner.zombie_mark.swap(zombies, Ordering::Relaxed);
         let r0 = self.inner.released_mark.swap(released, Ordering::Relaxed);
         (zombies.saturating_sub(z0), released.saturating_sub(r0))
+    }
+
+    /// Unattributed block-store counter growth since the last stage
+    /// record (cache hits/misses, spill/eviction bytes, lineage
+    /// recomputations) — the storage analogue of
+    /// [`SparkContext::claim_shuffle_deltas`].
+    fn claim_storage_deltas(&self) -> crate::context::StorageTotals {
+        let now = self.storage_totals();
+        let mut mark = self.inner.storage_mark.lock();
+        let prev = *mark;
+        *mark = now;
+        crate::context::StorageTotals {
+            cache_hits: now.cache_hits.saturating_sub(prev.cache_hits),
+            cache_misses: now.cache_misses.saturating_sub(prev.cache_misses),
+            spilled_bytes: now.spilled_bytes.saturating_sub(prev.spilled_bytes),
+            evicted_bytes: now.evicted_bytes.saturating_sub(prev.evicted_bytes),
+            recomputes: now.recomputes.saturating_sub(prev.recomputes),
+        }
     }
 
     /// Add collect bytes to the most recent stage record (an action's

@@ -197,10 +197,9 @@ impl ShuffleManager {
             .shuffles
             .get(&id)
             .ok_or_else(|| JobError::MissingBlock(format!("shuffle {id}")))?;
-        let row = shuffle
-            .buckets
-            .get(reduce_partition)
-            .ok_or_else(|| JobError::MissingBlock(format!("shuffle {id} partition {reduce_partition}")))?;
+        let row = shuffle.buckets.get(reduce_partition).ok_or_else(|| {
+            JobError::MissingBlock(format!("shuffle {id} partition {reduce_partition}"))
+        })?;
         // Empty buckets are never written (map tasks skip them to keep
         // the bucket matrix sparse), so a `None` slot means "no data".
         let mut out = Vec::new();
@@ -286,15 +285,25 @@ mod tests {
         sm.register(1, 3, 2);
         let tc0 = TaskContext::new(0);
         let tc1 = TaskContext::new(1);
-        sm.write(1, 0, 0, 0, Bytes::from_static(b"aa"), 2, &tc0).unwrap();
-        sm.write(1, 1, 0, 1, Bytes::from_static(b"bb"), 2, &tc1).unwrap();
-        sm.write(1, 2, 0, 0, Bytes::from_static(b"cc"), 2, &tc0).unwrap();
+        sm.write(1, 0, 0, 0, Bytes::from_static(b"aa"), 2, &tc0)
+            .unwrap();
+        sm.write(1, 1, 0, 1, Bytes::from_static(b"bb"), 2, &tc1)
+            .unwrap();
+        sm.write(1, 2, 0, 0, Bytes::from_static(b"cc"), 2, &tc0)
+            .unwrap();
         sm.write(1, 0, 1, 0, Bytes::new(), 0, &tc0).unwrap();
         sm.write(1, 1, 1, 1, Bytes::new(), 0, &tc1).unwrap();
         sm.write(1, 2, 1, 0, Bytes::new(), 0, &tc0).unwrap();
         let reader = TaskContext::new(0);
         let got = sm.fetch(1, 0, &reader).unwrap();
-        assert_eq!(got, vec![Bytes::from_static(b"aa"), Bytes::from_static(b"bb"), Bytes::from_static(b"cc")]);
+        assert_eq!(
+            got,
+            vec![
+                Bytes::from_static(b"aa"),
+                Bytes::from_static(b"bb"),
+                Bytes::from_static(b"cc")
+            ]
+        );
         let rec = reader.snapshot();
         assert_eq!(rec.local_read_bytes, 4); // aa + cc from node 0
         assert_eq!(rec.remote_read_bytes, 2); // bb from node 1
@@ -305,7 +314,8 @@ mod tests {
         let sm = ShuffleManager::new(1, Some(10));
         sm.register(7, 2, 1);
         let tc = TaskContext::new(0);
-        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc).unwrap();
+        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
+            .unwrap();
         let err = sm
             .write(7, 1, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
             .unwrap_err();
@@ -321,8 +331,10 @@ mod tests {
         let sm = ShuffleManager::new(1, Some(10));
         sm.register(7, 1, 1);
         let tc = TaskContext::new(0);
-        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc).unwrap();
-        sm.write(7, 0, 0, 0, Bytes::from(vec![1u8; 8]), 8, &tc).unwrap();
+        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
+            .unwrap();
+        sm.write(7, 0, 0, 0, Bytes::from(vec![1u8; 8]), 8, &tc)
+            .unwrap();
         assert_eq!(sm.staged_bytes(0), 8);
         assert_eq!(sm.staged_released_bytes(), 8);
         let got = sm.fetch(7, 0, &TaskContext::new(0)).unwrap();
@@ -333,10 +345,28 @@ mod tests {
     fn rewrite_from_another_node_moves_the_accounting() {
         let sm = ShuffleManager::new(2, None);
         sm.register(9, 1, 1);
-        sm.write(9, 0, 0, 0, Bytes::from_static(b"xyz"), 3, &TaskContext::new(0)).unwrap();
+        sm.write(
+            9,
+            0,
+            0,
+            0,
+            Bytes::from_static(b"xyz"),
+            3,
+            &TaskContext::new(0),
+        )
+        .unwrap();
         assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (3, 0));
         // The retry landed on node 1 (Spark-style placement rotation).
-        sm.write(9, 0, 0, 1, Bytes::from_static(b"xyz"), 3, &TaskContext::new(1)).unwrap();
+        sm.write(
+            9,
+            0,
+            0,
+            1,
+            Bytes::from_static(b"xyz"),
+            3,
+            &TaskContext::new(1),
+        )
+        .unwrap();
         assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (0, 3));
     }
 
@@ -357,11 +387,13 @@ mod tests {
         sm.register(2, 1, 1);
         let board = Arc::new(vec![AtomicU64::new(0)]);
         let winner = TaskContext::for_attempt(0, 2, Arc::clone(&board), 0);
-        sm.write(2, 0, 0, 0, Bytes::from_static(b"win"), 3, &winner).unwrap();
+        sm.write(2, 0, 0, 0, Bytes::from_static(b"win"), 3, &winner)
+            .unwrap();
         board[0].store(2, Ordering::Release);
         // Attempt 1 limps in after attempt 2 committed: fenced.
         let zombie = TaskContext::for_attempt(0, 1, Arc::clone(&board), 0);
-        sm.write(2, 0, 0, 0, Bytes::from_static(b"old"), 3, &zombie).unwrap();
+        sm.write(2, 0, 0, 0, Bytes::from_static(b"old"), 3, &zombie)
+            .unwrap();
         assert_eq!(sm.zombie_writes_fenced(), 1);
         assert_eq!(sm.staged_bytes(0), 3);
         assert_eq!(zombie.snapshot().shuffle_write_bytes, 0);
@@ -374,8 +406,26 @@ mod tests {
         let sm = ShuffleManager::new(2, Some(100));
         sm.register(1, 1, 1);
         sm.register(2, 1, 1);
-        sm.write(1, 0, 0, 0, Bytes::from_static(b"aaaa"), 4, &TaskContext::new(0)).unwrap();
-        sm.write(2, 0, 0, 1, Bytes::from_static(b"bb"), 2, &TaskContext::new(1)).unwrap();
+        sm.write(
+            1,
+            0,
+            0,
+            0,
+            Bytes::from_static(b"aaaa"),
+            4,
+            &TaskContext::new(0),
+        )
+        .unwrap();
+        sm.write(
+            2,
+            0,
+            0,
+            1,
+            Bytes::from_static(b"bb"),
+            2,
+            &TaskContext::new(1),
+        )
+        .unwrap();
         sm.release(1);
         assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (0, 2));
         assert_eq!(sm.staged_released_bytes(), 4);
@@ -390,8 +440,10 @@ mod tests {
         let sm = ShuffleManager::new(1, None);
         sm.register(4, 2, 1);
         let tc = TaskContext::new(0);
-        sm.write(4, 0, 0, 0, Bytes::from(vec![0u8; 6]), 6, &tc).unwrap();
-        sm.write(4, 1, 0, 0, Bytes::from(vec![0u8; 4]), 4, &tc).unwrap();
+        sm.write(4, 0, 0, 0, Bytes::from(vec![0u8; 6]), 6, &tc)
+            .unwrap();
+        sm.write(4, 1, 0, 0, Bytes::from(vec![0u8; 4]), 4, &tc)
+            .unwrap();
         sm.release(4);
         assert_eq!(sm.staged_bytes(0), 0);
         assert_eq!(sm.peak_staged_bytes(0), 10);
@@ -402,7 +454,8 @@ mod tests {
         let sm = ShuffleManager::new(1, Some(10));
         sm.register(7, 1, 1);
         let tc = TaskContext::new(0);
-        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc).unwrap();
+        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
+            .unwrap();
         assert_eq!(sm.staged_bytes(0), 8);
         sm.clear();
         assert_eq!(sm.staged_bytes(0), 0);
@@ -414,7 +467,8 @@ mod tests {
         let sm = ShuffleManager::new(1, None);
         sm.register(3, 2, 1);
         let tc = TaskContext::new(0);
-        sm.write(3, 0, 0, 0, Bytes::from_static(b"x"), 1, &tc).unwrap();
+        sm.write(3, 0, 0, 0, Bytes::from_static(b"x"), 1, &tc)
+            .unwrap();
         let got = sm.fetch(3, 0, &tc).unwrap();
         assert_eq!(got, vec![Bytes::from_static(b"x")]);
     }

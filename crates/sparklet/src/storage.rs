@@ -1,123 +1,583 @@
-//! Per-executor block manager: cached (checkpointed) partitions.
+//! Per-executor block manager: tiered storage for cached
+//! (checkpointed/persisted) partitions.
 //!
-//! Cached partitions are stored deserialized, like Spark's
-//! MEMORY_ONLY storage level, with byte accounting against the
-//! configured executor memory.
+//! Each node runs a unified memory manager over two tiers, mirroring
+//! Spark's block manager:
+//!
+//! * **memory** — partitions stored deserialized (`Arc<dyn Any>`),
+//!   accounted against the configured executor memory;
+//! * **disk** — partitions serialized through [`crate::codec`] into
+//!   real bytes, accounted against the node's disk capacity the same
+//!   way shuffle staging is.
+//!
+//! Under memory pressure the store evicts in LRU order: a block whose
+//! [`StorageLevel`] allows disk is *spilled* (serialized and moved to
+//! the disk tier); a `MemoryOnly` block backed by retained lineage is
+//! *dropped* (readers recompute it); a `MemoryOnly` block whose
+//! lineage was cut is pinned — when only pinned blocks remain the put
+//! fails with [`JobError::MemoryOverflow`], the pre-tiering failure
+//! mode.
+//!
+//! Writes are attempt-fenced like shuffle writes: a put from a zombie
+//! task (its partition already committed by another attempt) is
+//! dropped, and a re-put from a retried task credits the prior
+//! attempt's bytes in whichever tier they landed before charging the
+//! new ones — retries never double-charge memory or disk.
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use bytes::Bytes;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
+use crate::codec::{decode_one, encode_one, Storable};
+use crate::context::TaskContext;
 use crate::error::JobError;
 
-/// Identifier of a cached dataset (one per checkpoint call).
-/// Identifier of one cached dataset (one checkpoint call).
+/// Identifier of a cached dataset (one per checkpoint/persist call).
 pub type CacheId = u64;
 
-struct Entry {
-    data: Arc<dyn Any + Send + Sync>,
-    bytes: u64,
+/// Where a cached partition is allowed to live — Spark's storage
+/// levels, selected per `checkpoint`/`persist` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum StorageLevel {
+    /// Deserialized in executor memory only (Spark `MEMORY_ONLY`).
+    /// Under pressure a block is dropped when it can be recomputed
+    /// from lineage, and pinned otherwise.
+    #[default]
+    MemoryOnly,
+    /// Memory first, spilling serialized blocks to the disk tier under
+    /// pressure (Spark `MEMORY_AND_DISK`).
+    MemoryAndDisk,
+    /// Serialized straight to the disk tier (Spark `DISK_ONLY`).
+    DiskOnly,
 }
 
-/// One node's cache.
+impl StorageLevel {
+    /// May blocks at this level live in the disk tier?
+    pub fn allows_disk(self) -> bool {
+        !matches!(self, StorageLevel::MemoryOnly)
+    }
+
+    /// May blocks at this level live in the memory tier?
+    pub fn allows_memory(self) -> bool {
+        !matches!(self, StorageLevel::DiskOnly)
+    }
+}
+
+/// Where a [`BlockStore::put`] landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PutOutcome {
+    /// Stored deserialized in the memory tier.
+    Memory,
+    /// Stored serialized in the disk tier (a `DiskOnly` put, or a
+    /// block that did not fit in memory and spilled on arrival).
+    Disk,
+    /// Not stored: memory is full of unevictable blocks, the level
+    /// forbids disk, and this block is recomputable — readers fall
+    /// back to lineage.
+    Skipped,
+    /// Dropped: the putting task was fenced by its stage's commit
+    /// board (a zombie attempt).
+    Fenced,
+}
+
+type AnyArc = Arc<dyn Any + Send + Sync>;
+type EncodeFn = Box<dyn Fn(&AnyArc) -> Bytes + Send + Sync>;
+type DecodeFn = Box<dyn Fn(&Bytes) -> Result<AnyArc, JobError> + Send + Sync>;
+type LatchMap = HashMap<(CacheId, usize), Arc<Mutex<()>>>;
+
+/// Type-erased serialize/deserialize pair captured at put time, so the
+/// LRU evictor can spill any memory-resident entry without knowing its
+/// concrete type.
+struct EntryCodec {
+    encode: EncodeFn,
+    decode: DecodeFn,
+}
+
+fn codec_for<T: Storable + Send + Sync + 'static>() -> Arc<EntryCodec> {
+    Arc::new(EntryCodec {
+        encode: Box::new(|any| {
+            let value = any.downcast_ref::<T>().expect("entry codec type");
+            encode_one(value)
+        }),
+        decode: Box::new(|raw| Ok(Arc::new(decode_one::<T>(raw.clone())?) as AnyArc)),
+    })
+}
+
+enum Tier {
+    Memory(AnyArc),
+    Disk(Bytes),
+}
+
+struct Entry {
+    tier: Tier,
+    /// Declared (deserialized) size — the accounting unit in *both*
+    /// tiers, like shuffle staging's declared bytes.
+    bytes: u64,
+    level: StorageLevel,
+    /// Lineage retained upstream: the block may be dropped entirely
+    /// and recomputed on the next read.
+    recoverable: bool,
+    codec: Arc<EntryCodec>,
+    /// LRU recency stamp (monotonic clock tick of the last touch).
+    stamp: u64,
+}
+
+/// All mutable store state behind one lock, so capacity checks and
+/// tier accounting can never observe each other half-updated (the old
+/// split `entries`/`used` mutexes had exactly that window).
+struct StoreInner {
+    entries: HashMap<(CacheId, usize), Entry>,
+    mem_used: u64,
+    mem_peak: u64,
+    disk_used: u64,
+    disk_peak: u64,
+}
+
+/// One node's tiered cache.
 pub struct BlockStore {
     node: usize,
-    entries: Mutex<HashMap<(CacheId, usize), Entry>>,
-    used: Mutex<u64>,
-    capacity: Option<u64>,
+    inner: Mutex<StoreInner>,
+    mem_capacity: Option<u64>,
+    disk_capacity: Option<u64>,
+    /// LRU clock; ticks on every put/get touch.
+    clock: AtomicU64,
+    mem_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    misses: AtomicU64,
+    spilled_bytes: AtomicU64,
+    evicted_bytes: AtomicU64,
+    recomputes: AtomicU64,
+    fenced_puts: AtomicU64,
+    /// Per-partition latches serializing lineage recomputation, so
+    /// concurrent readers of a dropped block recompute exactly once.
+    recompute_latches: Mutex<LatchMap>,
 }
 
 impl BlockStore {
-    /// Store for `node` with an optional memory cap.
-    pub fn new(node: usize, capacity: Option<u64>) -> Self {
+    /// Store for `node` with optional memory and disk caps.
+    pub fn new(node: usize, mem_capacity: Option<u64>, disk_capacity: Option<u64>) -> Self {
         BlockStore {
             node,
-            entries: Mutex::new(HashMap::new()),
-            used: Mutex::new(0),
-            capacity,
+            inner: Mutex::new(StoreInner {
+                entries: HashMap::new(),
+                mem_used: 0,
+                mem_peak: 0,
+                disk_used: 0,
+                disk_peak: 0,
+            }),
+            mem_capacity,
+            disk_capacity,
+            clock: AtomicU64::new(0),
+            mem_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+            recomputes: AtomicU64::new(0),
+            fenced_puts: AtomicU64::new(0),
+            recompute_latches: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Store one partition. Fails when executor memory is exhausted.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Store one partition at `level`.
     ///
+    /// `recoverable` declares that upstream lineage is retained, so
+    /// the block may be dropped under pressure and recomputed on read.
     /// Re-putting an existing (cache, partition) — a re-executed
     /// checkpoint task — replaces the entry and reconciles the byte
-    /// accounting; a rejected put mutates nothing.
-    pub fn put<T: Send + Sync + 'static>(
+    /// accounting in whichever tier the prior attempt landed; a put
+    /// from a fenced (zombie) attempt is dropped; a rejected put
+    /// mutates nothing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn put<T: Storable + Send + Sync + 'static>(
         &self,
         cache: CacheId,
         partition: usize,
         data: Arc<T>,
         bytes: u64,
-    ) -> Result<(), JobError> {
-        let mut entries = self.entries.lock();
-        let mut used = self.used.lock();
-        let credit = entries.get(&(cache, partition)).map_or(0, |e| e.bytes);
-        let prospective = *used - credit + bytes;
-        if let Some(cap) = self.capacity {
-            if prospective > cap {
+        level: StorageLevel,
+        recoverable: bool,
+        tc: Option<&TaskContext>,
+    ) -> Result<PutOutcome, JobError> {
+        if tc.is_some_and(|tc| tc.is_fenced()) {
+            self.fenced_puts.fetch_add(1, Ordering::Relaxed);
+            return Ok(PutOutcome::Fenced);
+        }
+        let codec = codec_for::<T>();
+        let data: AnyArc = data;
+        let stamp = self.tick();
+        let mut inner = self.inner.lock();
+        // Capacity checks below must see the *post-reconciliation*
+        // totals, but the old entry may only be removed once the new
+        // one is accepted — so compute credits without mutating yet.
+        let (mem_credit, disk_credit) = match inner.entries.get(&(cache, partition)) {
+            Some(old) => match old.tier {
+                Tier::Memory(_) => (old.bytes, 0),
+                Tier::Disk(_) => (0, old.bytes),
+            },
+            None => (0, 0),
+        };
+        let entry = Entry {
+            tier: Tier::Memory(data),
+            bytes,
+            level,
+            recoverable,
+            codec,
+            stamp,
+        };
+        if !level.allows_memory() {
+            return self.place_on_disk(
+                &mut inner,
+                cache,
+                partition,
+                entry,
+                mem_credit,
+                disk_credit,
+                tc,
+            );
+        }
+        if let Some(cap) = self.mem_capacity {
+            let needed = (inner.mem_used - mem_credit + bytes).saturating_sub(cap);
+            if needed > 0 {
+                self.evict_lru(&mut inner, needed, cache, partition, tc);
+            }
+            if inner.mem_used - mem_credit + bytes > cap {
+                // Not enough evictable neighbours: degrade by level.
+                if level.allows_disk() {
+                    return self.place_on_disk(
+                        &mut inner,
+                        cache,
+                        partition,
+                        entry,
+                        mem_credit,
+                        disk_credit,
+                        tc,
+                    );
+                }
+                if recoverable {
+                    // Don't cache; readers recompute from lineage. The
+                    // stale prior entry (if any) must go, or readers
+                    // would see the old attempt's data.
+                    self.remove_reconciled(&mut inner, cache, partition, mem_credit, disk_credit);
+                    return Ok(PutOutcome::Skipped);
+                }
                 return Err(JobError::MemoryOverflow {
                     node: self.node,
-                    used: prospective,
+                    used: inner.mem_used - mem_credit + bytes,
                     capacity: cap,
                 });
             }
         }
-        *used = prospective;
-        entries.insert(
-            (cache, partition),
-            Entry {
-                data,
-                bytes,
-            },
-        );
-        Ok(())
+        self.remove_reconciled(&mut inner, cache, partition, mem_credit, disk_credit);
+        inner.mem_used += bytes;
+        inner.mem_peak = inner.mem_peak.max(inner.mem_used);
+        inner.entries.insert((cache, partition), entry);
+        Ok(PutOutcome::Memory)
     }
 
-    /// Fetch a typed partition. Returns the stored `Arc` and its
-    /// accounted size.
+    /// Serialize `entry` and store it in the disk tier (a `DiskOnly`
+    /// put or a memory-pressure fallback). Accounts declared bytes
+    /// against the disk capacity; the serialized payload is real.
+    #[allow(clippy::too_many_arguments)]
+    fn place_on_disk(
+        &self,
+        inner: &mut StoreInner,
+        cache: CacheId,
+        partition: usize,
+        mut entry: Entry,
+        mem_credit: u64,
+        disk_credit: u64,
+        tc: Option<&TaskContext>,
+    ) -> Result<PutOutcome, JobError> {
+        if let Some(cap) = self.disk_capacity {
+            if inner.disk_used - disk_credit + entry.bytes > cap {
+                if entry.recoverable {
+                    self.remove_reconciled(inner, cache, partition, mem_credit, disk_credit);
+                    return Ok(PutOutcome::Skipped);
+                }
+                return Err(JobError::DiskOverflow {
+                    node: self.node,
+                    used: inner.disk_used - disk_credit + entry.bytes,
+                    capacity: cap,
+                });
+            }
+        }
+        let raw = match &entry.tier {
+            Tier::Memory(data) => (entry.codec.encode)(data),
+            Tier::Disk(raw) => raw.clone(),
+        };
+        entry.tier = Tier::Disk(raw);
+        self.remove_reconciled(inner, cache, partition, mem_credit, disk_credit);
+        inner.disk_used += entry.bytes;
+        inner.disk_peak = inner.disk_peak.max(inner.disk_used);
+        self.spilled_bytes.fetch_add(entry.bytes, Ordering::Relaxed);
+        if let Some(tc) = tc {
+            tc.add_spill_write(entry.bytes);
+        }
+        inner.entries.insert((cache, partition), entry);
+        Ok(PutOutcome::Disk)
+    }
+
+    /// Drop the prior entry of (cache, partition), returning its bytes
+    /// to the owning tier (retry/speculation reconciliation).
+    fn remove_reconciled(
+        &self,
+        inner: &mut StoreInner,
+        cache: CacheId,
+        partition: usize,
+        mem_credit: u64,
+        disk_credit: u64,
+    ) {
+        if inner.entries.remove(&(cache, partition)).is_some() {
+            inner.mem_used -= mem_credit;
+            inner.disk_used -= disk_credit;
+        }
+    }
+
+    /// Free at least `needed` memory-tier bytes in LRU order. Spills
+    /// blocks whose level allows disk, drops recoverable
+    /// `MemoryOnly` blocks, and skips pinned ones. Never touches the
+    /// block currently being put.
+    fn evict_lru(
+        &self,
+        inner: &mut StoreInner,
+        needed: u64,
+        put_cache: CacheId,
+        put_partition: usize,
+        tc: Option<&TaskContext>,
+    ) {
+        let mut freed = 0u64;
+        let mut skip: HashSet<(CacheId, usize)> = HashSet::new();
+        while freed < needed {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, e)| {
+                    matches!(e.tier, Tier::Memory(_))
+                        && **k != (put_cache, put_partition)
+                        && !skip.contains(*k)
+                        && (e.level.allows_disk() || e.recoverable)
+                })
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k);
+            let Some(key) = victim else { break };
+            let entry = inner.entries.get(&key).expect("victim present");
+            if entry.level.allows_disk() {
+                let fits_disk = self
+                    .disk_capacity
+                    .is_none_or(|cap| inner.disk_used + entry.bytes <= cap);
+                if fits_disk {
+                    // Spill: serialize and move the block to disk.
+                    let bytes = entry.bytes;
+                    let raw = match &entry.tier {
+                        Tier::Memory(data) => (entry.codec.encode)(data),
+                        Tier::Disk(_) => unreachable!("victims are memory-resident"),
+                    };
+                    let entry = inner.entries.get_mut(&key).expect("victim present");
+                    entry.tier = Tier::Disk(raw);
+                    inner.mem_used -= bytes;
+                    inner.disk_used += bytes;
+                    inner.disk_peak = inner.disk_peak.max(inner.disk_used);
+                    freed += bytes;
+                    self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
+                    if let Some(tc) = tc {
+                        tc.add_spill_write(bytes);
+                    }
+                    continue;
+                }
+                if !entry.recoverable {
+                    // Disk full and not recomputable: pinned for now.
+                    skip.insert(key);
+                    continue;
+                }
+            }
+            // MemoryOnly + recoverable (or disk full + recoverable):
+            // drop outright; readers recompute from lineage.
+            let entry = inner.entries.remove(&key).expect("victim present");
+            inner.mem_used -= entry.bytes;
+            freed += entry.bytes;
+            self.evicted_bytes.fetch_add(entry.bytes, Ordering::Relaxed);
+        }
+    }
+
+    /// Fetch a typed partition from whichever tier holds it. Returns
+    /// `None` on a miss (evicted / never stored — the caller decides
+    /// whether lineage recomputation applies) and the stored value with
+    /// its accounted size on a hit. A disk-tier hit deserializes the
+    /// real bytes and charges the read to `tc`.
     pub fn get<T: Send + Sync + 'static>(
         &self,
         cache: CacheId,
         partition: usize,
-    ) -> Result<(Arc<T>, u64), JobError> {
-        let entries = self.entries.lock();
-        let entry = entries.get(&(cache, partition)).ok_or_else(|| {
-            JobError::MissingBlock(format!("cache {cache} partition {partition} on node {}", self.node))
-        })?;
-        let data = Arc::clone(&entry.data)
-            .downcast::<T>()
-            .map_err(|_| JobError::MissingBlock(format!("cache {cache} type mismatch")))?;
-        Ok((data, entry.bytes))
+        tc: Option<&TaskContext>,
+    ) -> Result<Option<(Arc<T>, u64)>, JobError> {
+        let stamp = self.tick();
+        let mut inner = self.inner.lock();
+        let node = self.node;
+        let Some(entry) = inner.entries.get_mut(&(cache, partition)) else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        };
+        entry.stamp = stamp;
+        let mismatch = || {
+            JobError::TypeMismatch(format!(
+                "cache {cache} partition {partition} on node {node} holds a different type than {}",
+                std::any::type_name::<T>()
+            ))
+        };
+        match &entry.tier {
+            Tier::Memory(data) => {
+                let data = Arc::clone(data).downcast::<T>().map_err(|_| mismatch())?;
+                self.mem_hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some((data, entry.bytes)))
+            }
+            Tier::Disk(raw) => {
+                let decoded = (entry.codec.decode)(raw)?;
+                let data = decoded.downcast::<T>().map_err(|_| mismatch())?;
+                self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(tc) = tc {
+                    tc.add_spill_read(entry.bytes);
+                }
+                Ok(Some((data, entry.bytes)))
+            }
+        }
     }
 
-    /// Is this partition cached here?
+    /// Is this partition cached here (either tier)?
     pub fn contains(&self, cache: CacheId, partition: usize) -> bool {
-        self.entries.lock().contains_key(&(cache, partition))
+        self.inner.lock().entries.contains_key(&(cache, partition))
     }
 
-    /// Evict every partition of one cached dataset.
-    pub fn evict(&self, cache: CacheId) {
-        let mut entries = self.entries.lock();
-        let victims: Vec<_> = entries
+    /// Evict every partition of one cached dataset (unpersist).
+    /// Returns the freed `(memory, disk)` bytes.
+    pub fn evict(&self, cache: CacheId) -> (u64, u64) {
+        let mut inner = self.inner.lock();
+        let victims: Vec<_> = inner
+            .entries
             .keys()
             .filter(|(c, _)| *c == cache)
             .cloned()
             .collect();
-        let mut freed = 0;
+        let (mut mem_freed, mut disk_freed) = (0, 0);
         for k in victims {
-            if let Some(e) = entries.remove(&k) {
-                freed += e.bytes;
+            if let Some(e) = inner.entries.remove(&k) {
+                match e.tier {
+                    Tier::Memory(_) => mem_freed += e.bytes,
+                    Tier::Disk(_) => disk_freed += e.bytes,
+                }
             }
         }
-        *self.used.lock() -= freed;
+        inner.mem_used -= mem_freed;
+        inner.disk_used -= disk_freed;
+        self.recompute_latches
+            .lock()
+            .retain(|(c, _), _| *c != cache);
+        (mem_freed, disk_freed)
     }
 
-    /// Currently cached bytes.
+    /// Remove a single partition's entry from whichever tier holds it
+    /// and return `(mem_freed, disk_freed)`. Used to reclaim orphaned
+    /// copies left behind by failed attempts whose retry committed on
+    /// a different node — without this, every retried materialization
+    /// double-charges the cluster for one partition.
+    pub fn discard(&self, cache: CacheId, partition: usize) -> (u64, u64) {
+        let mut inner = self.inner.lock();
+        match inner.entries.remove(&(cache, partition)) {
+            Some(e) => match e.tier {
+                Tier::Memory(_) => {
+                    inner.mem_used -= e.bytes;
+                    (e.bytes, 0)
+                }
+                Tier::Disk(_) => {
+                    inner.disk_used -= e.bytes;
+                    (0, e.bytes)
+                }
+            },
+            None => (0, 0),
+        }
+    }
+
+    /// Latch serializing lineage recomputation of one partition:
+    /// concurrent readers that miss lock it, re-check the store, and
+    /// only the first recomputes.
+    pub fn recompute_latch(&self, cache: CacheId, partition: usize) -> Arc<Mutex<()>> {
+        Arc::clone(
+            self.recompute_latches
+                .lock()
+                .entry((cache, partition))
+                .or_default(),
+        )
+    }
+
+    /// Record one lineage recomputation of a dropped block.
+    pub fn note_recompute(&self) {
+        self.recomputes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Currently cached bytes in the memory tier.
     pub fn used_bytes(&self) -> u64 {
-        *self.used.lock()
+        self.inner.lock().mem_used
+    }
+
+    /// Currently cached (declared) bytes in the disk tier.
+    pub fn disk_used_bytes(&self) -> u64 {
+        self.inner.lock().disk_used
+    }
+
+    /// High-water mark of memory-tier bytes over the store's lifetime.
+    pub fn peak_used_bytes(&self) -> u64 {
+        self.inner.lock().mem_peak
+    }
+
+    /// High-water mark of disk-tier bytes over the store's lifetime.
+    pub fn peak_disk_used_bytes(&self) -> u64 {
+        self.inner.lock().disk_peak
+    }
+
+    /// Reads served from the memory tier.
+    pub fn mem_hits(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed)
+    }
+
+    /// Reads served by deserializing from the disk tier.
+    pub fn disk_hits(&self) -> u64 {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// Reads that found the partition in neither tier.
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes serialized into the disk tier (spills + DiskOnly
+    /// puts).
+    pub fn spilled_bytes_total(&self) -> u64 {
+        self.spilled_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes of blocks dropped under pressure (recompute-backed
+    /// evictions; unpersists are not counted).
+    pub fn evicted_bytes_total(&self) -> u64 {
+        self.evicted_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Lineage recomputations of dropped blocks.
+    pub fn recomputes_total(&self) -> u64 {
+        self.recomputes.load(Ordering::Relaxed)
+    }
+
+    /// Cache puts dropped because the task was attempt-fenced.
+    pub fn fenced_puts_total(&self) -> u64 {
+        self.fenced_puts.load(Ordering::Relaxed)
     }
 }
 
@@ -125,27 +585,65 @@ impl BlockStore {
 mod tests {
     use super::*;
 
+    const ML: StorageLevel = StorageLevel::MemoryOnly;
+    const MD: StorageLevel = StorageLevel::MemoryAndDisk;
+    const DO: StorageLevel = StorageLevel::DiskOnly;
+
+    #[test]
+    fn discard_frees_exactly_one_partition() {
+        let store = BlockStore::new(0, None, None);
+        store
+            .put(1, 0, Arc::new(vec![1u32]), 10, ML, false, None)
+            .unwrap();
+        store
+            .put(1, 1, Arc::new(vec![2u32]), 20, DO, false, None)
+            .unwrap();
+        assert_eq!(store.discard(1, 0), (10, 0));
+        assert_eq!(store.discard(1, 1), (0, 20));
+        assert_eq!(store.discard(1, 7), (0, 0), "absent keys are a no-op");
+        assert_eq!(store.used_bytes(), 0);
+        assert_eq!(store.disk_used_bytes(), 0);
+    }
+
     #[test]
     fn put_get_roundtrip() {
-        let store = BlockStore::new(0, None);
-        store.put(1, 0, Arc::new(vec![1u32, 2, 3]), 12).unwrap();
-        let (data, bytes) = store.get::<Vec<u32>>(1, 0).unwrap();
+        let store = BlockStore::new(0, None, None);
+        let out = store
+            .put(1, 0, Arc::new(vec![1u32, 2, 3]), 12, ML, false, None)
+            .unwrap();
+        assert_eq!(out, PutOutcome::Memory);
+        let (data, bytes) = store.get::<Vec<u32>>(1, 0, None).unwrap().unwrap();
         assert_eq!(*data, vec![1, 2, 3]);
         assert_eq!(bytes, 12);
+        assert_eq!(store.mem_hits(), 1);
     }
 
     #[test]
-    fn type_mismatch_is_error() {
-        let store = BlockStore::new(0, None);
-        store.put(1, 0, Arc::new(17u64), 8).unwrap();
-        assert!(store.get::<String>(1, 0).is_err());
+    fn type_mismatch_is_its_own_error() {
+        let store = BlockStore::new(0, None, None);
+        store
+            .put(1, 0, Arc::new(17u64), 8, ML, false, None)
+            .unwrap();
+        let err = store.get::<String>(1, 0, None).unwrap_err();
+        assert!(matches!(err, JobError::TypeMismatch(_)), "{err}");
     }
 
     #[test]
-    fn memory_capacity_enforced() {
-        let store = BlockStore::new(2, Some(10));
-        store.put(1, 0, Arc::new(()), 6).unwrap();
-        let err = store.put(1, 1, Arc::new(()), 6).unwrap_err();
+    fn miss_is_none_not_error() {
+        let store = BlockStore::new(0, None, None);
+        assert!(store.get::<u64>(9, 0, None).unwrap().is_none());
+        assert_eq!(store.cache_misses(), 1);
+    }
+
+    #[test]
+    fn memory_capacity_enforced_for_pinned_blocks() {
+        // MemoryOnly blocks with cut lineage cannot spill or be
+        // recomputed: exceeding memory is still a hard failure.
+        let store = BlockStore::new(2, Some(10), None);
+        store.put(1, 0, Arc::new(()), 6, ML, false, None).unwrap();
+        let err = store
+            .put(1, 1, Arc::new(()), 6, ML, false, None)
+            .unwrap_err();
         assert!(matches!(err, JobError::MemoryOverflow { node: 2, .. }));
     }
 
@@ -153,25 +651,133 @@ mod tests {
     fn re_put_reconciles_accounting() {
         // A re-executed checkpoint task stores the same partition
         // again: accounting must not double-count.
-        let store = BlockStore::new(0, Some(10));
-        store.put(1, 0, Arc::new(vec![1u32]), 8).unwrap();
-        store.put(1, 0, Arc::new(vec![2u32]), 8).unwrap();
+        let store = BlockStore::new(0, Some(10), None);
+        store
+            .put(1, 0, Arc::new(vec![1u32]), 8, ML, false, None)
+            .unwrap();
+        store
+            .put(1, 0, Arc::new(vec![2u32]), 8, ML, false, None)
+            .unwrap();
         assert_eq!(store.used_bytes(), 8);
-        let (data, _) = store.get::<Vec<u32>>(1, 0).unwrap();
+        let (data, _) = store.get::<Vec<u32>>(1, 0, None).unwrap().unwrap();
         assert_eq!(*data, vec![2]);
         // A rejected put leaves accounting untouched.
-        let err = store.put(1, 1, Arc::new(()), 6).unwrap_err();
+        let err = store
+            .put(1, 1, Arc::new(()), 6, ML, false, None)
+            .unwrap_err();
         assert!(matches!(err, JobError::MemoryOverflow { .. }));
         assert_eq!(store.used_bytes(), 8);
     }
 
     #[test]
-    fn evict_frees_accounting() {
-        let store = BlockStore::new(0, Some(10));
-        store.put(1, 0, Arc::new(()), 6).unwrap();
-        store.evict(1);
+    fn evict_frees_both_tiers_and_returns_bytes() {
+        let store = BlockStore::new(0, Some(10), None);
+        store.put(1, 0, Arc::new(7u64), 6, ML, false, None).unwrap();
+        store.put(1, 1, Arc::new(8u64), 9, DO, false, None).unwrap();
+        let (mem, disk) = store.evict(1);
+        assert_eq!((mem, disk), (6, 9));
         assert_eq!(store.used_bytes(), 0);
+        assert_eq!(store.disk_used_bytes(), 0);
         assert!(!store.contains(1, 0));
-        store.put(2, 0, Arc::new(()), 9).unwrap();
+        store.put(2, 0, Arc::new(()), 9, ML, false, None).unwrap();
+    }
+
+    #[test]
+    fn pressure_spills_lru_block_to_disk() {
+        let store = BlockStore::new(0, Some(10), None);
+        store
+            .put(1, 0, Arc::new(vec![1u64, 2]), 6, MD, false, None)
+            .unwrap();
+        let out = store
+            .put(1, 1, Arc::new(vec![3u64]), 6, MD, false, None)
+            .unwrap();
+        assert_eq!(out, PutOutcome::Memory);
+        // Partition 0 was least recently used → spilled.
+        assert_eq!(store.used_bytes(), 6);
+        assert_eq!(store.disk_used_bytes(), 6);
+        assert_eq!(store.spilled_bytes_total(), 6);
+        // Disk-tier read round-trips through real serialization.
+        let (data, bytes) = store.get::<Vec<u64>>(1, 0, None).unwrap().unwrap();
+        assert_eq!(*data, vec![1, 2]);
+        assert_eq!(bytes, 6);
+        assert_eq!(store.disk_hits(), 1);
+    }
+
+    #[test]
+    fn lru_touch_protects_recently_read_blocks() {
+        let store = BlockStore::new(0, Some(12), None);
+        store
+            .put(1, 0, Arc::new(10u64), 6, MD, false, None)
+            .unwrap();
+        store
+            .put(1, 1, Arc::new(11u64), 6, MD, false, None)
+            .unwrap();
+        // Touch partition 0 so partition 1 becomes the LRU victim.
+        store.get::<u64>(1, 0, None).unwrap().unwrap();
+        store
+            .put(1, 2, Arc::new(12u64), 6, MD, false, None)
+            .unwrap();
+        assert_eq!(store.mem_hits(), 1);
+        store.get::<u64>(1, 0, None).unwrap().unwrap();
+        assert_eq!(store.mem_hits(), 2, "partition 0 stayed in memory");
+        store.get::<u64>(1, 1, None).unwrap().unwrap();
+        assert_eq!(store.disk_hits(), 1, "partition 1 was spilled");
+    }
+
+    #[test]
+    fn recoverable_memory_only_blocks_are_dropped_not_fatal() {
+        let store = BlockStore::new(0, Some(10), None);
+        store.put(1, 0, Arc::new(1u64), 6, ML, true, None).unwrap();
+        let out = store.put(1, 1, Arc::new(2u64), 6, ML, true, None).unwrap();
+        assert_eq!(out, PutOutcome::Memory);
+        assert_eq!(store.evicted_bytes_total(), 6);
+        assert!(store.get::<u64>(1, 0, None).unwrap().is_none());
+        // An oversized recoverable block is skipped, not fatal.
+        let out = store.put(1, 2, Arc::new(3u64), 99, ML, true, None).unwrap();
+        assert_eq!(out, PutOutcome::Skipped);
+    }
+
+    #[test]
+    fn disk_only_bypasses_memory() {
+        let store = BlockStore::new(0, Some(4), Some(100));
+        let out = store
+            .put(1, 0, Arc::new(vec![1u32, 2, 3]), 40, DO, false, None)
+            .unwrap();
+        assert_eq!(out, PutOutcome::Disk);
+        assert_eq!(store.used_bytes(), 0);
+        assert_eq!(store.disk_used_bytes(), 40);
+        let (data, _) = store.get::<Vec<u32>>(1, 0, None).unwrap().unwrap();
+        assert_eq!(*data, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn disk_capacity_enforced() {
+        let store = BlockStore::new(3, None, Some(10));
+        store.put(1, 0, Arc::new(1u64), 8, DO, false, None).unwrap();
+        let err = store
+            .put(1, 1, Arc::new(2u64), 8, DO, false, None)
+            .unwrap_err();
+        assert!(
+            matches!(err, JobError::DiskOverflow { node: 3, .. }),
+            "{err}"
+        );
+        assert_eq!(store.disk_used_bytes(), 8);
+        // Re-put of the same partition reconciles the disk credit.
+        store
+            .put(1, 0, Arc::new(3u64), 10, DO, false, None)
+            .unwrap();
+        assert_eq!(store.disk_used_bytes(), 10);
+    }
+
+    #[test]
+    fn re_put_reconciles_across_tiers() {
+        // Attempt 1 spilled to disk; the retry lands in memory. Disk
+        // bytes must be credited back — no double-charge.
+        let store = BlockStore::new(0, None, Some(10));
+        store.put(1, 0, Arc::new(5u64), 8, DO, false, None).unwrap();
+        assert_eq!(store.disk_used_bytes(), 8);
+        store.put(1, 0, Arc::new(5u64), 8, MD, false, None).unwrap();
+        assert_eq!(store.disk_used_bytes(), 0);
+        assert_eq!(store.used_bytes(), 8);
     }
 }

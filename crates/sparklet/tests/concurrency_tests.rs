@@ -53,15 +53,10 @@ fn concurrent_jobs_on_one_context_do_not_interfere() {
                     .parallelize(data, Some(8))
                     .map_values(move |v| v + job as u64)
                     .reduce_by_key(|a, b| a + b, 4, Arc::new(HashPartitioner));
-                let total: u64 = rdd
-                    .collect()
-                    .unwrap()
-                    .into_iter()
-                    .map(|(_, v)| v)
-                    .sum();
+                let total: u64 = rdd.collect().unwrap().into_iter().map(|(_, v)| v).sum();
                 // Σ i·(job+1) + 200·job for i in 0..200.
-                let expect: u64 = (0..200u64).map(|i| i * (job as u64 + 1)).sum::<u64>()
-                    + 200 * job as u64;
+                let expect: u64 =
+                    (0..200u64).map(|i| i * (job as u64 + 1)).sum::<u64>() + 200 * job as u64;
                 assert_eq!(total, expect, "job {job}");
             })
         })
@@ -103,10 +98,7 @@ fn concurrent_actions_share_one_shuffle_materialization() {
 #[test]
 fn checkpoint_under_parallel_workers_is_stable() {
     let sc = parallel_ctx();
-    let mut rdd = sc.parallelize(
-        (0..256usize).map(|i| (i, i as u64)).collect(),
-        Some(16),
-    );
+    let mut rdd = sc.parallelize((0..256usize).map(|i| (i, i as u64)).collect(), Some(16));
     // Chain several checkpointed transformations, like the DP loop.
     for round in 0..5u64 {
         rdd = rdd

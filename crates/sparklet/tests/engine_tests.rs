@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use sparklet::{GridPartitioner, HashPartitioner, JobError, SparkConf, SparkContext};
+use sparklet::{GridPartitioner, HashPartitioner, JobError, SparkConf, SparkContext, StorageLevel};
 
 fn ctx() -> SparkContext {
     SparkContext::new(SparkConf::default().with_executors(4).with_partitions(8))
@@ -97,7 +97,11 @@ fn partition_by_same_partitioner_elides_shuffle() {
     let same = rdd.partition_by(8, Arc::new(HashPartitioner));
     same.collect().unwrap();
     sc.with_event_log(|log| {
-        assert_eq!(log.stage_count(), 1, "no shuffle for identical partitioning");
+        assert_eq!(
+            log.stage_count(),
+            1,
+            "no shuffle for identical partitioning"
+        );
     });
     // Different partition count still shuffles.
     let different = rdd.partition_by(4, Arc::new(HashPartitioner));
@@ -111,7 +115,9 @@ fn partition_by_same_partitioner_elides_shuffle() {
 fn group_by_key_collects_all_values_deterministically() {
     let sc = ctx();
     let data: Vec<(usize, u64)> = (0..40).map(|i| (i % 4, i as u64)).collect();
-    let rdd = sc.parallelize(data, Some(5)).group_by_key(4, Arc::new(HashPartitioner));
+    let rdd = sc
+        .parallelize(data, Some(5))
+        .group_by_key(4, Arc::new(HashPartitioner));
     let got1 = sorted(rdd.collect().unwrap());
     assert_eq!(got1.len(), 4);
     for (k, vs) in &got1 {
@@ -121,7 +127,9 @@ fn group_by_key_collects_all_values_deterministically() {
     // Determinism: a second identical pipeline yields identical bytes.
     let sc2 = ctx();
     let data2: Vec<(usize, u64)> = (0..40).map(|i| (i % 4, i as u64)).collect();
-    let rdd2 = sc2.parallelize(data2, Some(5)).group_by_key(4, Arc::new(HashPartitioner));
+    let rdd2 = sc2
+        .parallelize(data2, Some(5))
+        .group_by_key(4, Arc::new(HashPartitioner));
     let got2 = sorted(rdd2.collect().unwrap());
     assert_eq!(got1, got2);
 }
@@ -130,9 +138,9 @@ fn group_by_key_collects_all_values_deterministically() {
 fn reduce_by_key_sums() {
     let sc = ctx();
     let data: Vec<(usize, u64)> = (0..100).map(|i| (i % 7, 1u64)).collect();
-    let rdd = sc
-        .parallelize(data, Some(6))
-        .reduce_by_key(|a, b| a + b, 4, Arc::new(HashPartitioner));
+    let rdd =
+        sc.parallelize(data, Some(6))
+            .reduce_by_key(|a, b| a + b, 4, Arc::new(HashPartitioner));
     let got = sorted(rdd.collect().unwrap());
     let total: u64 = got.iter().map(|(_, v)| v).sum();
     assert_eq!(total, 100);
@@ -189,11 +197,7 @@ fn injected_failures_are_retried_via_lineage() {
 
 #[test]
 fn too_many_failures_fail_the_job() {
-    let sc = SparkContext::new(
-        SparkConf::default()
-            .with_executors(2)
-            .with_partitions(4),
-    );
+    let sc = SparkContext::new(SparkConf::default().with_executors(2).with_partitions(4));
     let rdd = sc.parallelize(pairs(8), Some(4));
     sc.inject_failure(sc.next_stage_ordinal(), 1, 10); // > max_task_attempts
     let err = rdd.collect().unwrap_err();
@@ -296,8 +300,9 @@ fn collect_records_bytes_to_driver() {
 #[test]
 fn grid_partitioner_gives_locality_for_block_keys() {
     let sc = SparkContext::new(SparkConf::default().with_executors(4).with_partitions(16));
-    let blocks: Vec<((usize, usize), u64)> =
-        (0..8).flat_map(|i| (0..8).map(move |j| ((i, j), (i * 8 + j) as u64))).collect();
+    let blocks: Vec<((usize, usize), u64)> = (0..8)
+        .flat_map(|i| (0..8).map(move |j| ((i, j), (i * 8 + j) as u64)))
+        .collect();
     let rdd = sc.parallelize_with(blocks, 16, Arc::new(GridPartitioner::new(8)));
     let got = rdd.collect().unwrap();
     assert_eq!(got.len(), 64);
@@ -353,8 +358,9 @@ fn listing_one_shape_runs_end_to_end() {
     // originals, update, union with untouched, repartition.
     let sc = ctx();
     let r = 4usize;
-    let blocks: Vec<((usize, usize), u64)> =
-        (0..r).flat_map(|i| (0..r).map(move |j| ((i, j), 1u64))).collect();
+    let blocks: Vec<((usize, usize), u64)> = (0..r)
+        .flat_map(|i| (0..r).map(move |j| ((i, j), 1u64)))
+        .collect();
     let mut dp = sc.parallelize(blocks, Some(8));
     let k = 0usize;
     let a = dp.filter(move |&(i, j), _| i == k && j == k);
@@ -437,8 +443,16 @@ fn retry_restages_within_capacity() {
         sc.with_event_log(|log| log.total_retries()) >= 3,
         "faults were retried"
     );
-    assert_eq!(sc.zombie_writes_fenced(), 0, "plain retries create no zombies");
-    assert_eq!(sc.peak_staged_bytes(0), peak, "retries must not inflate staging");
+    assert_eq!(
+        sc.zombie_writes_fenced(),
+        0,
+        "plain retries create no zombies"
+    );
+    assert_eq!(
+        sc.peak_staged_bytes(0),
+        peak,
+        "retries must not inflate staging"
+    );
 }
 
 #[test]
@@ -509,19 +523,24 @@ fn speculation_relaunches_stragglers() {
     let got = sorted(rdd.collect().unwrap());
     assert_eq!(got, pairs(8));
     let speculated = sc.with_event_log(|log| log.total_speculative_launches());
-    assert!(speculated >= 1, "the straggler was speculatively re-launched");
+    assert!(
+        speculated >= 1,
+        "the straggler was speculatively re-launched"
+    );
 }
 
 #[test]
 fn exhausted_retries_report_stage_and_attempts() {
     // The panic branch used to leak `stage: ""` / `attempts: 0`.
     let sc = ctx();
-    let rdd = sc.parallelize(pairs(8), Some(4)).map_partitions(true, |p, items, _tc| {
-        if p == 1 {
-            panic!("boom in partition 1");
-        }
-        items
-    });
+    let rdd = sc
+        .parallelize(pairs(8), Some(4))
+        .map_partitions(true, |p, items, _tc| {
+            if p == 1 {
+                panic!("boom in partition 1");
+            }
+            items
+        });
     let err = rdd.collect().unwrap_err();
     match err {
         JobError::TaskFailed {
@@ -537,4 +556,141 @@ fn exhausted_retries_report_stage_and_attempts() {
         }
         other => panic!("expected TaskFailed, got {other}"),
     }
+}
+
+// ---------------------------------------------------------------------
+// Tiered block storage
+// ---------------------------------------------------------------------
+
+#[test]
+fn dropping_checkpointed_rdd_evicts_all_nodes() {
+    let sc = ctx();
+    let rdd = sc
+        .parallelize(pairs(64), Some(8))
+        .map_values(|v| v * 3)
+        .checkpoint()
+        .unwrap();
+    let nodes = sc.conf().executors;
+    let before: u64 = (0..nodes).map(|n| sc.cached_bytes(n)).sum();
+    assert!(before > 0, "checkpoint cached real bytes");
+    drop(rdd);
+    for n in 0..nodes {
+        assert_eq!(sc.cached_bytes(n), 0, "node {n} still holds memory bytes");
+        assert_eq!(
+            sc.cached_disk_bytes(n),
+            0,
+            "node {n} still holds disk bytes"
+        );
+    }
+}
+
+#[test]
+fn memory_and_disk_checkpoint_spills_instead_of_failing() {
+    // Same undersized executor as `executor_memory_overflow_on_checkpoint`,
+    // but the MemoryAndDisk level turns the fatal overflow into a spill.
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(1)
+            .with_partitions(2)
+            .with_executor_memory(32)
+            .with_storage_level(StorageLevel::MemoryAndDisk),
+    );
+    let big: Vec<(usize, Vec<u64>)> = (0..4).map(|i| (i, vec![7; 100])).collect();
+    let rdd = sc.parallelize(big.clone(), Some(2)).checkpoint().unwrap();
+    assert!(
+        sc.cached_disk_bytes(0) > 0,
+        "blocks landed on the disk tier"
+    );
+    assert!(sc.cached_bytes(0) <= 32, "memory tier stayed under budget");
+    let totals = sc.storage_totals();
+    assert!(totals.spilled_bytes > 0, "spill traffic was counted");
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got, big, "disk-tier reads decode to the same data");
+    assert!(sc.storage_totals().cache_hits > 0, "collect hit the cache");
+}
+
+#[test]
+fn persisted_blocks_recompute_after_eviction() {
+    // MemoryOnly + persist: under pressure the blocks are dropped (not
+    // spilled), and reads fall back to lineage recomputation.
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(1)
+            .with_partitions(2)
+            .with_executor_memory(32),
+    );
+    let big: Vec<(usize, Vec<u64>)> = (0..4).map(|i| (i, vec![9; 100])).collect();
+    let rdd = sc
+        .parallelize(big.clone(), Some(2))
+        .map_values(|v| v)
+        .persist(StorageLevel::MemoryOnly)
+        .unwrap();
+    let got = sorted(rdd.collect().unwrap());
+    assert_eq!(got, big, "recomputed partitions match the original data");
+    let totals = sc.storage_totals();
+    assert!(totals.recomputes > 0, "at least one partition was rebuilt");
+    assert_eq!(sc.cached_disk_bytes(0), 0, "MemoryOnly never touches disk");
+}
+
+#[test]
+fn disk_only_checkpoint_keeps_memory_free() {
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(2)
+            .with_partitions(4)
+            .with_storage_level(StorageLevel::DiskOnly),
+    );
+    let rdd = sc.parallelize(pairs(32), Some(4)).checkpoint().unwrap();
+    let mem: u64 = (0..2).map(|n| sc.cached_bytes(n)).sum();
+    let disk: u64 = (0..2).map(|n| sc.cached_disk_bytes(n)).sum();
+    assert_eq!(mem, 0, "DiskOnly must not occupy the memory tier");
+    assert!(disk > 0, "blocks were serialized to the disk tier");
+    assert_eq!(sorted(rdd.collect().unwrap()), pairs(32));
+}
+
+#[test]
+fn disk_capacity_overflow_is_a_distinct_error() {
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(1)
+            .with_partitions(2)
+            .with_disk_capacity(64)
+            .with_storage_level(StorageLevel::DiskOnly),
+    );
+    let big: Vec<(usize, Vec<u64>)> = (0..4).map(|i| (i, vec![1; 100])).collect();
+    let err = match sc.parallelize(big, Some(2)).checkpoint() {
+        Err(e) => e,
+        Ok(_) => panic!("checkpoint should exceed the disk tier"),
+    };
+    assert!(matches!(err, JobError::DiskOverflow { .. }), "{err}");
+}
+
+#[test]
+fn retried_checkpoint_does_not_double_cache() {
+    // A failed attempt caches its block before the injected fault
+    // fires; the retry commits on the next node in the rotation. The
+    // loser's orphan copy must be reclaimed, leaving exactly one cached
+    // copy per partition — the same cluster-wide volume as a calm run.
+    let calm = ctx();
+    let a = calm
+        .parallelize(pairs(64), Some(8))
+        .map_values(|v| v + 1)
+        .checkpoint()
+        .unwrap();
+    let calm_total: u64 = (0..4).map(|n| calm.cached_bytes(n)).sum();
+    assert!(calm_total > 0);
+
+    let faulted = ctx();
+    faulted.inject_failure(faulted.next_stage_ordinal(), 3, 1);
+    let b = faulted
+        .parallelize(pairs(64), Some(8))
+        .map_values(|v| v + 1)
+        .checkpoint()
+        .unwrap();
+    let faulted_total: u64 = (0..4).map(|n| faulted.cached_bytes(n)).sum();
+    assert_eq!(
+        faulted_total, calm_total,
+        "a retried put must leave exactly one cached copy per partition"
+    );
+    assert_eq!(sorted(b.collect().unwrap()), sorted(a.collect().unwrap()));
 }

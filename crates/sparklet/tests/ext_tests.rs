@@ -73,7 +73,10 @@ fn count_by_key_counts() {
 fn sort_by_key_yields_global_order() {
     let sc = ctx();
     let mut data: Vec<(u64, u64)> = (0..200).map(|i| ((i * 7919) % 1000, i)).collect();
-    let rdd = sc.parallelize(data.clone(), Some(8)).sort_by_key(4).unwrap();
+    let rdd = sc
+        .parallelize(data.clone(), Some(8))
+        .sort_by_key(4)
+        .unwrap();
     let got = rdd.collect().unwrap();
     let keys: Vec<u64> = got.iter().map(|(k, _)| *k).collect();
     let mut want_keys = keys.clone();
@@ -200,7 +203,10 @@ fn coalesce_reduces_partitions_without_losing_data() {
     let rdd = sc.parallelize((0..60usize).map(|i| (i, i as u64)).collect(), Some(12));
     let co = rdd.coalesce(4);
     assert_eq!(co.num_partitions(), 4);
-    assert_eq!(sorted(co.collect().unwrap()), sorted(rdd.collect().unwrap()));
+    assert_eq!(
+        sorted(co.collect().unwrap()),
+        sorted(rdd.collect().unwrap())
+    );
     // Task count reflects the coalesced width.
     sc.take_event_log();
     co.count().unwrap();
@@ -221,6 +227,10 @@ fn stage_wall_time_is_recorded() {
         .count()
         .unwrap();
     sc.with_event_log(|log| {
-        assert!(log.total_wall_seconds() > 0.001, "{}", log.total_wall_seconds());
+        assert!(
+            log.total_wall_seconds() > 0.001,
+            "{}",
+            log.total_wall_seconds()
+        );
     });
 }

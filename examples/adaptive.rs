@@ -36,9 +36,11 @@ fn main() {
         },
     ];
 
-    println!("probing {} kernel candidates on a 1-phase prefix …", candidates.len());
-    let out = adaptive_solve::<Tropical>(&sc, &cfg, &adj, &candidates, 1)
-        .expect("adaptive solve");
+    println!(
+        "probing {} kernel candidates on a 1-phase prefix …",
+        candidates.len()
+    );
+    let out = adaptive_solve::<Tropical>(&sc, &cfg, &adj, &candidates, 1).expect("adaptive solve");
     for (c, secs) in candidates.iter().zip(&out.probe_seconds) {
         println!("  {c:?}: {secs:.3} s");
     }

@@ -36,7 +36,9 @@ fn main() {
         }
         a.set(i, i, unknowns as f64 + 1.0 + rnd());
     }
-    let x_true: Vec<f64> = (0..unknowns).map(|i| ((i % 17) as f64 - 8.0) / 4.0).collect();
+    let x_true: Vec<f64> = (0..unknowns)
+        .map(|i| ((i % 17) as f64 - 8.0) / 4.0)
+        .collect();
     let rhs: Vec<f64> = (0..unknowns)
         .map(|i| (0..unknowns).map(|j| a.get(i, j) * x_true[j]).sum())
         .collect();
@@ -55,7 +57,10 @@ fn main() {
             threads: 2,
         });
 
-    println!("solving a {unknowns}-unknown system as {} …", template.label());
+    println!(
+        "solving a {unknowns}-unknown system as {} …",
+        template.label()
+    );
     let x = solve_linear_system(&sc, &template, &a, &rhs).expect("distributed solve");
 
     // Residual against the original system.

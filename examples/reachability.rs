@@ -45,7 +45,10 @@ fn main() {
             .with_partitions(12),
     );
     let cfg = DpConfig::new(n, 48).with_strategy(Strategy::InMemory);
-    println!("computing transitive closure of {n} packages as {} …", cfg.label());
+    println!(
+        "computing transitive closure of {n} packages as {} …",
+        cfg.label()
+    );
     let closure = solve::<TransitiveClosure>(&sc, &cfg, &deps).expect("distributed closure");
 
     // Validate against the sequential reference.

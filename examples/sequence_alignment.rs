@@ -78,8 +78,7 @@ fn main() {
         mismatch: -1,
         gap: -2,
     };
-    let nw_table =
-        solve_alignment(&sc, &reference_genome, &read, &nw, 64).expect("distributed NW");
+    let nw_table = solve_alignment(&sc, &reference_genome, &read, &nw, 64).expect("distributed NW");
     let score = nw_table.get(reference_genome.len(), read.len());
     println!("Needleman–Wunsch score: {score}");
 

@@ -5,8 +5,8 @@
 use std::sync::Arc;
 
 use cluster_model::{ClusterSpec, CostModel};
-use dp_core::{solve, solve_virtual, tune, DpConfig, KernelChoice, Strategy};
 use dp_core::tuner::TuneSpace;
+use dp_core::{solve, solve_virtual, tune, DpConfig, KernelChoice, Strategy};
 use gep_kernels::gep::gep_reference;
 use gep_kernels::graph::{check_apsp, erdos_renyi, grid_network, reachability_of};
 use gep_kernels::{GaussianElim, Matrix, TransitiveClosure, Tropical};
