@@ -1,0 +1,78 @@
+//! DAG-scheduler benchmark: a multi-branch job submitted through the
+//! concurrent event loop versus the same job forced onto the old
+//! serial stage walk (`max_concurrent_stages = 1`). The branches are
+//! compute-heavy map stages, so keeping them in flight together should
+//! beat walking them one at a time.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparklet::{HashPartitioner, SparkConf, SparkContext};
+
+const BRANCHES: usize = 4;
+const SPIN: u64 = 40_000;
+
+fn conf() -> SparkConf {
+    SparkConf::default()
+        .with_executors(4)
+        .with_executor_cores(2)
+        .with_worker_threads(2)
+        .with_partitions(4)
+}
+
+/// Build and run a job with `BRANCHES` independent shuffle branches
+/// unioned into one result stage. Each map task spins a fixed amount
+/// so stage runtime dominates scheduling overhead.
+fn run_multi_branch(sc: &SparkContext) -> u64 {
+    let branches: Vec<_> = (0..BRANCHES)
+        .map(|b| {
+            sc.parallelize((0..64usize).map(|i| (i, (i + b) as u64)).collect(), Some(4))
+                .map_partitions(false, |_p, items: Vec<(usize, u64)>, _tc| {
+                    let mut acc = 0u64;
+                    for s in 0..SPIN {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(s);
+                    }
+                    items
+                        .into_iter()
+                        .map(|(k, v)| (k % 8, v.wrapping_add(acc & 1)))
+                        .collect()
+                })
+                .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner))
+        })
+        .collect();
+    let mut union = branches[0].clone();
+    for branch in &branches[1..] {
+        union = union.union(branch);
+    }
+    union
+        .collect()
+        .expect("multi-branch job")
+        .into_iter()
+        .map(|(_, v)| v)
+        .sum()
+}
+
+fn bench_dag_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dag_scheduler");
+    group.sample_size(10);
+    for (name, cap) in [("serial_walk", Some(1)), ("concurrent", None)] {
+        group.bench_with_input(
+            BenchmarkId::new("multi_branch", name),
+            &cap,
+            |bench, cap| {
+                bench.iter(|| {
+                    let mut conf = conf();
+                    if let Some(n) = cap {
+                        conf = conf.with_max_concurrent_stages(*n);
+                    }
+                    let sc = SparkContext::new(conf);
+                    run_multi_branch(&sc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dag_scheduler);
+criterion_main!(benches);

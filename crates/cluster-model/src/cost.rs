@@ -63,6 +63,18 @@ pub struct TaskRecord {
 /// One stage's recorded footprint (plus driver-side traffic for CB).
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageRecord {
+    /// Engine-assigned global stage ordinal (driver-only pseudo-stages
+    /// keep the default 0).
+    #[serde(default)]
+    pub stage_id: u64,
+    /// Stage ids of the direct parent stages in the job DAG — the map
+    /// stages whose shuffles this stage read.
+    #[serde(default)]
+    pub parent_stage_ids: Vec<u64>,
+    /// Stages the DAG scheduler had in flight when this one launched
+    /// (including this one); 1 means serial execution.
+    #[serde(default)]
+    pub concurrent_stages: u64,
     /// Every task of the stage (with placement).
     pub tasks: Vec<TaskRecord>,
     /// Bytes collected to the driver at the end of the stage (CB).

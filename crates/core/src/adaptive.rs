@@ -6,11 +6,14 @@
 //! iteration of the real workload (wall-clock, on a throwaway copy of
 //! the table RDD), commits to the fastest, and runs the full solve with
 //! it. The probe measures the *actual* machine and engine — no model.
+//! All candidate probes are submitted as concurrent jobs through
+//! [`JobHandle`]s, so their stages overlap on the executors instead of
+//! running back to back.
 
 use std::time::Instant;
 
 use gep_kernels::Matrix;
-use sparklet::{JobError, SparkContext};
+use sparklet::{JobError, JobHandle, SparkContext};
 
 use crate::config::{DpConfig, KernelChoice};
 use crate::problem::DpProblem;
@@ -44,15 +47,29 @@ pub fn adaptive_solve<S: DpProblem>(
     // exercises the same per-phase structure at reduced iteration count.
     let probe_n = (probe_phases * cfg.block).min(cfg.n);
     let probe_input = input.copy_block(0, 0, probe_n, probe_n);
+    // Submit every candidate probe at once; each job times its own
+    // solve inside the closure. Waiting on the handles in candidate
+    // order keeps `probe_seconds` aligned with the input slice while
+    // the probes themselves overlap on the executors.
+    let handles: Vec<JobHandle<f64>> = candidates
+        .iter()
+        .map(|candidate| {
+            let probe_cfg = DpConfig::new(probe_n, cfg.block.min(probe_n))
+                .with_strategy(cfg.strategy)
+                .with_kernel(*candidate);
+            let sc = sc.clone();
+            let probe_input = probe_input.clone();
+            JobHandle::spawn(move || {
+                let t0 = Instant::now();
+                let _ = solve::<S>(&sc, &probe_cfg, &probe_input)?;
+                Ok(t0.elapsed().as_secs_f64())
+            })
+        })
+        .collect();
     let mut probe_seconds = Vec::with_capacity(candidates.len());
     let mut best = (0usize, f64::INFINITY);
-    for (i, candidate) in candidates.iter().enumerate() {
-        let probe_cfg = DpConfig::new(probe_n, cfg.block.min(probe_n))
-            .with_strategy(cfg.strategy)
-            .with_kernel(*candidate);
-        let t0 = Instant::now();
-        let _ = solve::<S>(sc, &probe_cfg, &probe_input)?;
-        let secs = t0.elapsed().as_secs_f64();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let secs = handle.wait()?;
         probe_seconds.push(secs);
         if secs < best.1 {
             best = (i, secs);

@@ -8,6 +8,7 @@
 //! trade; the cost model prices the driver phases from the
 //! `log_driver_traffic` records emitted here.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use gep_kernels::gep::Kind;
@@ -32,6 +33,12 @@ pub fn default_storage_level() -> StorageLevel {
 
 /// One CB iteration: consumes the DP table RDD for phase `k`, returns
 /// the updated (not yet checkpointed) table RDD.
+///
+/// The D-block update and the A/B/C rebuild are independent branches
+/// over the cached table, so their materializations are submitted as
+/// concurrent jobs ([`Rdd::persist_async`] /
+/// [`Rdd::checkpoint_async_with_level`]) at `level`; `keep_lineage`
+/// selects persist (recompute-backed) over checkpoint (lineage-cutting).
 #[allow(clippy::too_many_arguments)]
 pub fn step<S: DpProblem>(
     sc: &SparkContext,
@@ -42,6 +49,8 @@ pub fn step<S: DpProblem>(
     kernel: KernelChoice,
     partitions: usize,
     partitioner: Arc<dyn Partitioner<K>>,
+    level: StorageLevel,
+    keep_lineage: bool,
 ) -> Result<Rdd<K, Block<S::Elem>>, JobError> {
     let kc = kernel;
 
@@ -106,19 +115,19 @@ pub fn step<S: DpProblem>(
                 .value(tc)
                 .expect("panel broadcast available");
             let diag = &a[0].1;
+            // Index the broadcast panels once per partition: every D
+            // block looks up two operands, and a linear scan per
+            // lookup is quadratic in the panel count.
+            let by_key: HashMap<K, usize> = panels
+                .iter()
+                .enumerate()
+                .map(|(idx, (key, _))| (*key, idx))
+                .collect();
             items
                 .into_iter()
                 .map(|((i, j), mut blk)| {
-                    let u = &panels
-                        .iter()
-                        .find(|((pi, pj), _)| (*pi, *pj) == (i, k))
-                        .expect("column-panel operand")
-                        .1;
-                    let v = &panels
-                        .iter()
-                        .find(|((pi, pj), _)| (*pi, *pj) == (k, j))
-                        .expect("row-panel operand")
-                        .1;
+                    let u = &panels[*by_key.get(&(i, k)).expect("column-panel operand")].1;
+                    let v = &panels[*by_key.get(&(k, j)).expect("row-panel operand")].1;
                     apply_kernel::<S>(
                         Kind::D,
                         (i, j),
@@ -155,16 +164,18 @@ pub fn step<S: DpProblem>(
             let panels = bc_panels_for_abc
                 .value(tc)
                 .expect("panel broadcast available");
+            let by_key: HashMap<K, usize> = panels
+                .iter()
+                .enumerate()
+                .map(|(idx, (key, _))| (*key, idx))
+                .collect();
             items
                 .into_iter()
                 .map(|(key, _old)| {
                     let fresh = if filters::filter_a(key, k) {
                         a[0].1.clone()
                     } else {
-                        panels
-                            .iter()
-                            .find(|(pk, _)| *pk == key)
-                            .expect("updated panel present")
+                        panels[*by_key.get(&key).expect("updated panel present")]
                             .1
                             .clone()
                     };
@@ -172,6 +183,21 @@ pub fn step<S: DpProblem>(
                 })
                 .collect()
         });
+
+    // ---- Materialize the two independent branches concurrently ------
+    // D and the A/B/C rebuild read only the cached table and the
+    // broadcasts — neither depends on the other — so both jobs are
+    // submitted at once and the driver runs their stages side by side.
+    let (d_handle, abc_handle) = if keep_lineage {
+        (d_up.persist_async(level), updated_abc.persist_async(level))
+    } else {
+        (
+            d_up.checkpoint_async_with_level(level),
+            updated_abc.checkpoint_async_with_level(level),
+        )
+    };
+    let d_up = d_handle.wait()?;
+    let updated_abc = abc_handle.wait()?;
 
     // ---- Wrap up: union everything, one repartition per iteration ---
     let untouched = dp.filter(move |key, _| !filters::touched::<S>(*key, k, b));

@@ -204,3 +204,49 @@ pub fn step<S: DpProblem>(
         .union(&updated)
         .partition_by(partitions, partitioner))
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gep_kernels::Tropical;
+    use sparklet::{GridPartitioner, SparkConf, SparkContext};
+
+    /// Pin the stage graph the DAG scheduler extracts from one
+    /// representative IM iteration: the two `group_by_key` joins chain
+    /// into the final repartition, and the result stage hangs off the
+    /// last shuffle. If stage extraction, fusion of the narrow
+    /// filter/map chains, or the explain format drifts, this fails.
+    #[test]
+    fn explain_pins_the_im_iteration_stage_graph() {
+        let g = 3;
+        let b = 2;
+        let parts = 4;
+        let sc = SparkContext::new(
+            SparkConf::default()
+                .with_executors(2)
+                .with_partitions(parts),
+        );
+        let mut blocks: Vec<(K, Block<f64>)> = Vec::new();
+        for i in 0..g {
+            for j in 0..g {
+                blocks.push(((i, j), Block::Virtual { rows: b, cols: b }));
+            }
+        }
+        let partitioner: Arc<dyn Partitioner<K>> = Arc::new(GridPartitioner::new(g));
+        let dp = sc.parallelize_with(blocks, parts, Arc::clone(&partitioner));
+        let next = step::<Tropical>(&dp, 1, g, b, KernelChoice::Iterative, parts, partitioner)
+            .expect("IM iterations build lazily");
+        let plan = next.explain();
+        let expected = "\
+== stage graph ==
+stage shuffle#1 combine_by_key [8 map tasks -> 4 partitions] <- [input]
+stage shuffle#2 combine_by_key [8 map tasks -> 4 partitions] <- [shuffle#1]
+stage shuffle#3 partition_by [8 map tasks -> 4 partitions] <- [shuffle#2]
+stage result <- [shuffle#3]
+";
+        assert!(
+            plan.contains(expected),
+            "stage graph drifted; explain() now prints:\n{plan}"
+        );
+    }
+}

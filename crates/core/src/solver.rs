@@ -53,6 +53,9 @@ pub struct SolveReport {
     pub evicted_bytes: u64,
     /// Lineage recomputations of dropped cached blocks.
     pub recomputes: u64,
+    /// Highest number of stages the DAG scheduler had in flight
+    /// simultaneously.
+    pub max_concurrent_stages: u64,
 }
 
 /// Build the run summary from a context's event log.
@@ -73,6 +76,7 @@ fn report_from(sc: &SparkContext) -> SolveReport {
         spilled_bytes: log.total_spilled_bytes(),
         evicted_bytes: log.total_evicted_bytes(),
         recomputes: log.total_recomputes(),
+        max_concurrent_stages: log.max_concurrent_stages(),
     })
 }
 
@@ -94,6 +98,10 @@ fn run_loop<S: DpProblem>(
     let b = cfg.block;
     let partitions = cfg.partitions.unwrap_or(sc.conf().default_partitions);
     let partitioner = partitioner_for(cfg);
+    let level = cfg.storage_level.unwrap_or_else(|| match cfg.strategy {
+        Strategy::InMemory => im::default_storage_level(),
+        Strategy::CollectBroadcast => cb::default_storage_level(),
+    });
     for k in 0..g {
         let next = match cfg.strategy {
             Strategy::InMemory => im::step::<S>(
@@ -114,6 +122,8 @@ fn run_loop<S: DpProblem>(
                 cfg.kernel,
                 partitions,
                 Arc::clone(&partitioner),
+                level,
+                cfg.recompute_on_evict,
             )?,
         };
         // Materialize the iteration (the paper's programs are bounded
@@ -126,10 +136,6 @@ fn run_loop<S: DpProblem>(
         // instead: lineage is retained (upstream shuffles stay staged)
         // so blocks may be dropped under memory pressure and rebuilt
         // on demand.
-        let level = cfg.storage_level.unwrap_or_else(|| match cfg.strategy {
-            Strategy::InMemory => im::default_storage_level(),
-            Strategy::CollectBroadcast => cb::default_storage_level(),
-        });
         dp = if cfg.recompute_on_evict {
             next.persist(level)?
         } else {

@@ -48,6 +48,10 @@ pub struct SparkConf {
     /// Fraction of a stage's tasks that must complete before
     /// stragglers are speculated (`spark.speculation.quantile`).
     pub speculation_quantile: f64,
+    /// Cap on stages the DAG scheduler keeps in flight per job
+    /// (`None` = unbounded; 1 reproduces the old serial stage walk for
+    /// A/B benchmarking).
+    pub max_concurrent_stages: Option<usize>,
 }
 
 impl Default for SparkConf {
@@ -66,6 +70,7 @@ impl Default for SparkConf {
             retry_backoff_max_ms: 1000,
             speculation: false,
             speculation_quantile: 0.75,
+            max_concurrent_stages: None,
         }
     }
 }
@@ -176,6 +181,13 @@ impl SparkConf {
         self.speculation_quantile = quantile;
         self
     }
+
+    /// Cap the stages the DAG scheduler keeps in flight per job.
+    pub fn with_max_concurrent_stages(mut self, n: usize) -> Self {
+        assert!(n >= 1);
+        self.max_concurrent_stages = Some(n);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -233,5 +245,16 @@ mod tests {
         let d = SparkConf::default();
         assert!(!d.speculation, "speculation is opt-in");
         assert_eq!(d.retry_backoff_ms, 0, "backoff off by default");
+    }
+
+    #[test]
+    fn dag_knobs_compose() {
+        let c = SparkConf::default().with_max_concurrent_stages(1);
+        assert_eq!(c.max_concurrent_stages, Some(1));
+        let d = SparkConf::default();
+        assert_eq!(
+            d.max_concurrent_stages, None,
+            "stage concurrency unbounded by default"
+        );
     }
 }

@@ -9,6 +9,7 @@ use parking_lot::Mutex;
 use crate::broadcast::{Broadcast, BroadcastStore};
 use crate::codec::Storable;
 use crate::config::SparkConf;
+use crate::dag::ShuffleRegistry;
 use crate::metrics::EventLog;
 use crate::partitioner::{HashPartitioner, Partitioner};
 use crate::rdd::{Key, Rdd, ShufVal};
@@ -36,14 +37,26 @@ pub(crate) struct CtxInner {
     pub faults: Mutex<FaultPlan>,
     ids: AtomicU64,
     pub stage_ordinal: AtomicU64,
-    /// Shuffle-counter watermarks: totals already attributed to a
-    /// stage record. The next stage to finish claims the delta, so
-    /// between-stage GC releases still land in the event log.
-    pub zombie_mark: AtomicU64,
-    pub released_mark: AtomicU64,
-    /// Storage-counter watermarks (same claim-the-delta scheme as the
-    /// shuffle marks, over the block stores' summed counters).
-    pub storage_mark: Mutex<StorageTotals>,
+    /// Per-shuffle materialization latches (exactly-once in-flight
+    /// dedup across branches and concurrent jobs).
+    pub registry: ShuffleRegistry,
+    /// Engine-counter watermarks: totals already attributed to a stage
+    /// record. The next stage to finish claims the delta under this one
+    /// mutex, so between-stage GC releases still land in the event log
+    /// and concurrently completing stages claim disjoint slices.
+    pub claim_marks: Mutex<ClaimMarks>,
+    /// Stages currently in flight (driver-wide gauge).
+    pub stages_in_flight: AtomicU64,
+    /// High-water mark of [`CtxInner::stages_in_flight`].
+    pub peak_stages_in_flight: AtomicU64,
+}
+
+/// Watermarks of engine counters already attributed to stage records.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ClaimMarks {
+    pub zombies: u64,
+    pub released: u64,
+    pub storage: StorageTotals,
 }
 
 /// Snapshot of the cache-behaviour counters summed over every node's
@@ -93,9 +106,10 @@ impl SparkContext {
                 faults: Mutex::new(FaultPlan::default()),
                 ids: AtomicU64::new(1),
                 stage_ordinal: AtomicU64::new(0),
-                zombie_mark: AtomicU64::new(0),
-                released_mark: AtomicU64::new(0),
-                storage_mark: Mutex::new(StorageTotals::default()),
+                registry: ShuffleRegistry::default(),
+                claim_marks: Mutex::new(ClaimMarks::default()),
+                stages_in_flight: AtomicU64::new(0),
+                peak_stages_in_flight: AtomicU64::new(0),
                 conf,
             }),
         }
@@ -157,6 +171,7 @@ impl SparkContext {
         self.inner.log.lock().push(
             label.to_string(),
             cluster_model::StageRecord {
+                stage_id: self.alloc_stage_ordinal(),
                 tasks: vec![],
                 collect_bytes,
                 broadcast_bytes,
@@ -222,6 +237,34 @@ impl SparkContext {
     /// Global ordinal the *next* stage will get.
     pub fn next_stage_ordinal(&self) -> u64 {
         self.inner.stage_ordinal.load(Ordering::Relaxed)
+    }
+
+    /// Allocate the next stage ordinal (DAG event loop / action
+    /// submitters — taken at launch so ordinals follow launch order).
+    pub(crate) fn alloc_stage_ordinal(&self) -> u64 {
+        self.inner.stage_ordinal.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Note a stage entering flight; returns the gauge *including* the
+    /// new stage (recorded as the stage's achieved concurrency) and
+    /// advances the high-water mark.
+    pub(crate) fn stage_launched(&self) -> u64 {
+        let now = self.inner.stages_in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner
+            .peak_stages_in_flight
+            .fetch_max(now, Ordering::Relaxed);
+        now
+    }
+
+    /// Note a stage leaving flight.
+    pub(crate) fn stage_finished(&self) {
+        self.inner.stages_in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// High-water mark of simultaneously in-flight stages over the
+    /// context's lifetime (the DAG scheduler's achieved concurrency).
+    pub fn peak_concurrent_stages(&self) -> u64 {
+        self.inner.peak_stages_in_flight.load(Ordering::Relaxed)
     }
 
     /// Currently cached memory-tier bytes on `node`.

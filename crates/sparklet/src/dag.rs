@@ -1,0 +1,528 @@
+//! The driver-side DAG scheduler.
+//!
+//! Actions no longer materialize upstream shuffles through a recursive
+//! serial walk. Instead the driver runs a *plan pass* that extracts a
+//! stage graph from the lineage — narrow chains stay fused into their
+//! consuming stage; every shuffle boundary becomes a stage node with
+//! explicit parent edges — and an *event loop* that keeps every ready
+//! stage in flight simultaneously on the shared executor pools
+//! ([`materialize_stage_graph`]). Independent branches of a lineage
+//! (and independent concurrently-submitted jobs) therefore overlap,
+//! like Spark's `DAGScheduler`.
+//!
+//! Exactly-once in-flight dedup is latched per shuffle id
+//! ([`ShuffleLatch`]): a shuffle referenced by several branches or by
+//! several concurrent jobs is materialized once; late arrivals wait on
+//! the winner's latch instead of re-running the map stage. A failed
+//! materialization is sticky, exactly like the old per-node
+//! `ShuffleState::Failed`.
+//!
+//! Async job submission ([`JobHandle`]) rides on the same machinery:
+//! each job runs its own event loop on a driver thread, and the
+//! per-context latches keep overlapping jobs consistent.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::context::SparkContext;
+use crate::error::JobError;
+use crate::scheduler::StageMeta;
+
+/// A shuffle boundary in a lineage: one stage node of the DAG. Wide
+/// RDD nodes implement this; narrow nodes forward to their parents.
+pub(crate) trait ShuffleDep: Send + Sync {
+    /// Unique shuffle id — also the plan-level identity of the map
+    /// stage that materializes it.
+    fn shuffle_id(&self) -> u64;
+    /// Operator name for plan output.
+    fn op_name(&self) -> &'static str;
+    /// Map-task count (the parent RDD's partition count).
+    fn num_maps(&self) -> usize;
+    /// Reduce-side partition count.
+    fn num_reduces(&self) -> usize;
+    /// Direct upstream shuffle dependencies.
+    fn parents(&self) -> Vec<Arc<dyn ShuffleDep>>;
+    /// Execute the map stage that stages this shuffle's buckets.
+    fn run_map_stage(&self, meta: StageMeta) -> Result<(), JobError>;
+}
+
+// ---------------------------------------------------------------------
+// Per-shuffle dedup latch
+// ---------------------------------------------------------------------
+
+enum LatchState {
+    Idle,
+    Running,
+    Done,
+    Failed(JobError),
+}
+
+/// What a stage launch is allowed to do with a shuffle.
+pub(crate) enum Claim {
+    /// Caller won the claim: run the map stage, then [`ShuffleLatch::finish`].
+    Run,
+    /// Another job is materializing it: [`ShuffleLatch::wait_done`].
+    Wait,
+    /// Already staged — nothing to do.
+    Done,
+    /// A previous materialization failed (sticky).
+    Failed(JobError),
+}
+
+const STAGE_UNSET: u64 = u64::MAX;
+
+/// Exactly-once in-flight dedup latch for one shuffle id.
+pub(crate) struct ShuffleLatch {
+    state: Mutex<LatchState>,
+    cond: Condvar,
+    /// Ordinal of the map stage that materialized the shuffle (for
+    /// parent-edge resolution in stage records).
+    stage_id: AtomicU64,
+}
+
+impl ShuffleLatch {
+    fn new() -> Self {
+        ShuffleLatch {
+            state: Mutex::new(LatchState::Idle),
+            cond: Condvar::new(),
+            stage_id: AtomicU64::new(STAGE_UNSET),
+        }
+    }
+
+    /// Claim the right to materialize the shuffle (non-blocking).
+    pub(crate) fn try_claim(&self) -> Claim {
+        let mut st = self.state.lock();
+        match &*st {
+            LatchState::Idle => {
+                *st = LatchState::Running;
+                Claim::Run
+            }
+            LatchState::Running => Claim::Wait,
+            LatchState::Done => Claim::Done,
+            LatchState::Failed(e) => Claim::Failed(e.clone()),
+        }
+    }
+
+    /// Publish the map stage's outcome and wake waiters. A failure is
+    /// sticky: every later claim observes the winner's error.
+    pub(crate) fn finish(&self, result: &Result<(), JobError>) {
+        let mut st = self.state.lock();
+        *st = match result {
+            Ok(()) => LatchState::Done,
+            Err(e) => LatchState::Failed(e.clone()),
+        };
+        self.cond.notify_all();
+    }
+
+    /// Block until the in-flight materialization settles.
+    pub(crate) fn wait_done(&self) -> Result<(), JobError> {
+        let mut st = self.state.lock();
+        while matches!(&*st, LatchState::Idle | LatchState::Running) {
+            self.cond.wait(&mut st);
+        }
+        match &*st {
+            LatchState::Done => Ok(()),
+            LatchState::Failed(e) => Err(e.clone()),
+            _ => unreachable!("latch settled"),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(&*self.state.lock(), LatchState::Done)
+    }
+
+    fn set_stage(&self, stage: u64) {
+        self.stage_id.store(stage, Ordering::Release);
+    }
+
+    fn stage(&self) -> Option<u64> {
+        match self.stage_id.load(Ordering::Acquire) {
+            STAGE_UNSET => None,
+            s => Some(s),
+        }
+    }
+}
+
+/// Context-wide table of [`ShuffleLatch`]es, keyed by shuffle id.
+/// Entries are created lazily at plan time and removed by the owning
+/// wide RDD's `Drop` (alongside shuffle GC).
+#[derive(Default)]
+pub(crate) struct ShuffleRegistry {
+    latches: Mutex<HashMap<u64, Arc<ShuffleLatch>>>,
+}
+
+impl ShuffleRegistry {
+    pub(crate) fn latch(&self, id: u64) -> Arc<ShuffleLatch> {
+        Arc::clone(
+            self.latches
+                .lock()
+                .entry(id)
+                .or_insert_with(|| Arc::new(ShuffleLatch::new())),
+        )
+    }
+
+    pub(crate) fn remove(&self, id: u64) {
+        self.latches.lock().remove(&id);
+    }
+
+    pub(crate) fn is_done(&self, id: u64) -> bool {
+        self.latches.lock().get(&id).is_some_and(|l| l.is_done())
+    }
+
+    /// Record which stage ordinal materialized shuffle `id`.
+    pub(crate) fn note_stage(&self, id: u64, stage: u64) {
+        self.latch(id).set_stage(stage);
+    }
+
+    /// Stage ordinal that materialized shuffle `id`, if it ran.
+    pub(crate) fn stage_of(&self, id: u64) -> Option<u64> {
+        self.latches.lock().get(&id).and_then(|l| l.stage())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan pass: lineage -> stage graph
+// ---------------------------------------------------------------------
+
+struct StageNode {
+    dep: Arc<dyn ShuffleDep>,
+    /// Direct parent shuffle ids (including already-staged ones, for
+    /// stage-record edges).
+    parents: Vec<u64>,
+    /// Children among the plan's pending nodes.
+    children: Vec<u64>,
+}
+
+struct StagePlan {
+    nodes: HashMap<u64, StageNode>,
+    /// Deterministic postorder (parents before children, roots in
+    /// submission order) — the launch order of the event loop.
+    order: Vec<u64>,
+}
+
+fn visit(ctx: &SparkContext, dep: &Arc<dyn ShuffleDep>, plan: &mut StagePlan) {
+    let id = dep.shuffle_id();
+    if plan.nodes.contains_key(&id) {
+        return;
+    }
+    // Prune anything already staged: its whole upstream subgraph was
+    // materialized when it ran (same cut the old recursive walk made).
+    if ctx.inner.registry.is_done(id) {
+        return;
+    }
+    plan.nodes.insert(
+        id,
+        StageNode {
+            dep: Arc::clone(dep),
+            parents: Vec::new(),
+            children: Vec::new(),
+        },
+    );
+    let parents = dep.parents();
+    let mut pids = Vec::new();
+    for parent in &parents {
+        let pid = parent.shuffle_id();
+        if !pids.contains(&pid) {
+            pids.push(pid);
+        }
+        visit(ctx, parent, plan);
+    }
+    plan.nodes.get_mut(&id).expect("just inserted").parents = pids;
+    plan.order.push(id);
+}
+
+fn build_plan(ctx: &SparkContext, roots: &[Arc<dyn ShuffleDep>]) -> StagePlan {
+    let mut plan = StagePlan {
+        nodes: HashMap::new(),
+        order: Vec::new(),
+    };
+    for root in roots {
+        visit(ctx, root, &mut plan);
+    }
+    let edges: Vec<(u64, u64)> = plan
+        .nodes
+        .iter()
+        .flat_map(|(&id, node)| {
+            node.parents
+                .iter()
+                .copied()
+                .map(move |p| (p, id))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (parent, child) in edges {
+        if let Some(p) = plan.nodes.get_mut(&parent) {
+            p.children.push(child);
+        }
+    }
+    plan
+}
+
+// ---------------------------------------------------------------------
+// Event loop
+// ---------------------------------------------------------------------
+
+/// Materialize every pending shuffle the given roots (transitively)
+/// depend on, keeping all ready stages in flight simultaneously.
+///
+/// Each ready stage claims its shuffle latch: the winner runs the map
+/// stage on a runner thread; a stage another job is already
+/// materializing gets a waiter thread parked on the latch; an
+/// already-staged stage completes instantly. Completions promote
+/// children whose parents have all settled. The first failure stops
+/// new launches, drains what is in flight, and is returned (late
+/// stages of a failed job still settle their latches for other jobs).
+pub(crate) fn materialize_stage_graph(
+    ctx: &SparkContext,
+    roots: &[Arc<dyn ShuffleDep>],
+) -> Result<(), JobError> {
+    let plan = build_plan(ctx, roots);
+    if plan.order.is_empty() {
+        return Ok(());
+    }
+    let mut pending: HashMap<u64, usize> = plan
+        .nodes
+        .iter()
+        .map(|(&id, node)| {
+            let n = node
+                .parents
+                .iter()
+                .filter(|p| plan.nodes.contains_key(p))
+                .count();
+            (id, n)
+        })
+        .collect();
+    let mut ready: VecDeque<u64> = plan
+        .order
+        .iter()
+        .copied()
+        .filter(|id| pending[id] == 0)
+        .collect();
+    let cap = ctx
+        .conf()
+        .max_concurrent_stages
+        .unwrap_or(usize::MAX)
+        .max(1);
+    let (tx, rx) = crossbeam::channel::unbounded::<(u64, bool, Result<(), JobError>)>();
+    let mut running = 0usize;
+    let mut done: VecDeque<u64> = VecDeque::new();
+    let mut failure: Option<JobError> = None;
+    loop {
+        // Cascade completions: unblock children, queue newly-ready.
+        while let Some(id) = done.pop_front() {
+            for child in &plan.nodes[&id].children {
+                let slot = pending.get_mut(child).expect("child in plan");
+                *slot -= 1;
+                if *slot == 0 {
+                    ready.push_back(*child);
+                }
+            }
+        }
+        // Launch every ready stage (up to the configured cap).
+        while failure.is_none() && running < cap && !ready.is_empty() {
+            let id = ready.pop_front().expect("nonempty");
+            let node = &plan.nodes[&id];
+            let latch = ctx.inner.registry.latch(id);
+            match latch.try_claim() {
+                Claim::Done => done.push_back(id),
+                Claim::Failed(e) => failure = Some(e),
+                Claim::Run => {
+                    // Ordinal and concurrency gauge are taken at launch
+                    // time, on the loop thread: launch order (and thus
+                    // fault-injection ordinals) stays deterministic
+                    // even when completions race.
+                    let meta = StageMeta {
+                        stage_id: ctx.alloc_stage_ordinal(),
+                        parent_shuffles: node.parents.clone(),
+                        concurrent: ctx.stage_launched(),
+                    };
+                    ctx.inner.registry.note_stage(id, meta.stage_id);
+                    let dep = Arc::clone(&node.dep);
+                    let tx = tx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("dag-stage-{id}"))
+                        .spawn(move || {
+                            let res = dep.run_map_stage(meta);
+                            latch.finish(&res);
+                            // Drop the lineage reference *before*
+                            // reporting, so Drop-based shuffle GC is
+                            // never kept alive by a runner thread
+                            // racing the driver's own drop.
+                            drop(dep);
+                            let _ = tx.send((id, true, res));
+                        })
+                        .expect("spawn stage runner");
+                    running += 1;
+                }
+                Claim::Wait => {
+                    let tx = tx.clone();
+                    std::thread::Builder::new()
+                        .name(format!("dag-wait-{id}"))
+                        .spawn(move || {
+                            let _ = tx.send((id, false, latch.wait_done()));
+                        })
+                        .expect("spawn stage waiter");
+                    running += 1;
+                }
+            }
+        }
+        if !done.is_empty() {
+            continue;
+        }
+        if running == 0 {
+            break;
+        }
+        let (id, executed, res) = rx.recv().expect("stage completion channel");
+        running -= 1;
+        if executed {
+            ctx.stage_finished();
+        }
+        match res {
+            Ok(()) => done.push_back(id),
+            Err(e) => {
+                if failure.is_none() {
+                    failure = Some(e);
+                }
+            }
+        }
+    }
+    match failure {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Plan explain
+// ---------------------------------------------------------------------
+
+/// Render parent shuffle ids as `[shuffle#a, shuffle#b]` or `[input]`.
+pub(crate) fn fmt_parent_ids(ids: &[u64]) -> String {
+    if ids.is_empty() {
+        "[input]".to_string()
+    } else {
+        format!(
+            "[{}]",
+            ids.iter()
+                .map(|i| format!("shuffle#{i}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    }
+}
+
+/// Append the full (unpruned) stage graph to `out`, one stage per line
+/// in postorder — parents always print before children.
+pub(crate) fn explain_graph_into(roots: &[Arc<dyn ShuffleDep>], out: &mut String) {
+    fn walk(dep: &Arc<dyn ShuffleDep>, seen: &mut Vec<u64>, out: &mut String) {
+        let id = dep.shuffle_id();
+        if seen.contains(&id) {
+            return;
+        }
+        seen.push(id);
+        let parents = dep.parents();
+        for parent in &parents {
+            walk(parent, seen, out);
+        }
+        let mut pids: Vec<u64> = Vec::new();
+        for parent in &parents {
+            let pid = parent.shuffle_id();
+            if !pids.contains(&pid) {
+                pids.push(pid);
+            }
+        }
+        out.push_str(&format!(
+            "stage shuffle#{} {} [{} map tasks -> {} partitions] <- {}\n",
+            id,
+            dep.op_name(),
+            dep.num_maps(),
+            dep.num_reduces(),
+            fmt_parent_ids(&pids)
+        ));
+    }
+    let mut seen = Vec::new();
+    for root in roots {
+        walk(root, &mut seen, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Async job handles
+// ---------------------------------------------------------------------
+
+/// Handle to a job submitted asynchronously ([`crate::Rdd::collect_async`],
+/// [`crate::Rdd::count_async`], [`crate::Rdd::persist_async`], or
+/// [`JobHandle::spawn`]). Dropping the handle detaches the job: it
+/// keeps running to completion in the background.
+pub struct JobHandle<T> {
+    rx: crossbeam::channel::Receiver<Result<T, JobError>>,
+}
+
+impl<T: Send + 'static> JobHandle<T> {
+    /// Run `job` on a dedicated driver thread and return a handle to
+    /// its result. The closure typically submits engine actions;
+    /// per-shuffle latches dedup any lineage shared with other jobs,
+    /// so overlapping submissions are safe and never double-stage a
+    /// shuffle.
+    pub fn spawn(job: impl FnOnce() -> Result<T, JobError> + Send + 'static) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        std::thread::Builder::new()
+            .name("sparklet-job".into())
+            .spawn(move || {
+                let _ = tx.send(job());
+            })
+            .expect("spawn job thread");
+        JobHandle { rx }
+    }
+
+    /// Has the job finished (its result is ready to [`JobHandle::wait`] for)?
+    pub fn is_finished(&self) -> bool {
+        !self.rx.is_empty()
+    }
+
+    /// Block until the job finishes and return its result.
+    pub fn wait(self) -> Result<T, JobError> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(JobError::Driver("job thread died without a result".into())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latch_claims_run_once_and_waiters_see_result() {
+        let latch = Arc::new(ShuffleLatch::new());
+        assert!(matches!(latch.try_claim(), Claim::Run));
+        assert!(matches!(latch.try_claim(), Claim::Wait));
+        let waiter = {
+            let latch = Arc::clone(&latch);
+            std::thread::spawn(move || latch.wait_done())
+        };
+        latch.finish(&Ok(()));
+        assert!(waiter.join().unwrap().is_ok());
+        assert!(matches!(latch.try_claim(), Claim::Done));
+    }
+
+    #[test]
+    fn latch_failure_is_sticky() {
+        let latch = ShuffleLatch::new();
+        assert!(matches!(latch.try_claim(), Claim::Run));
+        latch.finish(&Err(JobError::MissingBlock("x".into())));
+        assert!(matches!(latch.try_claim(), Claim::Failed(_)));
+        assert!(latch.wait_done().is_err());
+    }
+
+    #[test]
+    fn job_handle_returns_result_and_surfaces_panics() {
+        let h = JobHandle::spawn(|| Ok(41 + 1));
+        assert_eq!(h.wait().unwrap(), 42);
+        let h: JobHandle<u32> = JobHandle::spawn(|| panic!("boom"));
+        assert!(matches!(h.wait(), Err(JobError::Driver(_))));
+    }
+}

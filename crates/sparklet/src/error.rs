@@ -52,6 +52,9 @@ pub enum JobError {
     /// A cached block exists but holds a different type than the
     /// reader asked for (a caller bug, not a missing block).
     TypeMismatch(String),
+    /// A driver-side job thread died without producing a result (e.g.
+    /// the closure behind a [`crate::JobHandle`] panicked).
+    Driver(String),
 }
 
 impl fmt::Display for JobError {
@@ -81,6 +84,7 @@ impl fmt::Display for JobError {
             JobError::Codec(msg) => write!(f, "codec error: {msg}"),
             JobError::MissingBlock(what) => write!(f, "missing block: {what}"),
             JobError::TypeMismatch(what) => write!(f, "cached block type mismatch: {what}"),
+            JobError::Driver(what) => write!(f, "driver job failed: {what}"),
         }
     }
 }

@@ -29,7 +29,13 @@
 //! * **driver collect / broadcast** — the Collect-Broadcast pattern's
 //!   primitives, with driver traffic recorded;
 //! * **lineage-based recovery** — injected task failures are retried
-//!   (bounded attempts) by recomputing from lineage, Spark-style.
+//!   (bounded attempts) by recomputing from lineage, Spark-style;
+//! * **driver-side DAG scheduling** — actions extract a stage graph
+//!   from lineage and keep every ready stage in flight simultaneously;
+//!   a shuffle shared by several branches or concurrent jobs is
+//!   materialized exactly once, and [`Rdd::collect_async`] /
+//!   [`Rdd::count_async`] submit whole jobs concurrently via
+//!   [`JobHandle`]s.
 //!
 //! The cluster is *simulated within one process*: executors are thread
 //! pools, the "network" is the shuffle manager, and the recorded event
@@ -43,6 +49,7 @@ pub mod broadcast;
 pub mod codec;
 pub mod config;
 pub mod context;
+pub mod dag;
 pub mod error;
 pub mod ext;
 pub mod metrics;
@@ -56,6 +63,7 @@ pub use broadcast::Broadcast;
 pub use codec::Storable;
 pub use config::SparkConf;
 pub use context::{Accumulator, SparkContext, StorageTotals, TaskContext};
+pub use dag::JobHandle;
 pub use error::JobError;
 pub use ext::{Either, RangePartitioner};
 pub use metrics::EventLog;

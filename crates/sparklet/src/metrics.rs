@@ -154,6 +154,28 @@ impl EventLog {
         self.stages.last_mut()
     }
 
+    /// Mutable view of the stage with the given stage id. Searches
+    /// from the back: with concurrent jobs, the most recent record
+    /// need not be the caller's, and ids are assigned monotonically so
+    /// a match near the tail is the right one.
+    pub fn stage_mut_by_id(&mut self, stage_id: u64) -> Option<&mut StageEvent> {
+        self.stages
+            .iter_mut()
+            .rev()
+            .find(|s| s.record.stage_id == stage_id)
+    }
+
+    /// Highest number of stages the DAG scheduler had in flight
+    /// simultaneously at any stage launch (each record carries the
+    /// driver's in-flight gauge at its launch instant).
+    pub fn max_concurrent_stages(&self) -> u64 {
+        self.stages
+            .iter()
+            .map(|s| s.record.concurrent_stages)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Plain records for the cost model.
     pub fn records(&self) -> Vec<StageRecord> {
         self.stages.iter().map(|s| s.record.clone()).collect()

@@ -4,21 +4,22 @@
 //! internal `RddOps` trait.
 //! Narrow transformations wrap their parent and fuse at compute time
 //! (one pass per partition, like Spark pipelining); wide
-//! transformations own a shuffle that is materialized — as its own
-//! stage, executed on the executor pools — the first time anything
-//! downstream needs it. Actions materialize all upstream shuffles and
-//! then run a result stage.
+//! transformations own a shuffle that becomes a stage node of the
+//! extracted stage graph. Actions hand their upstream shuffle roots to
+//! the driver-side DAG scheduler ([`crate::dag`]), which materializes
+//! all ready stages concurrently, then run a result stage.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::{Buf, BytesMut};
-use parking_lot::Mutex;
 
 use crate::codec::Storable;
 use crate::context::{SparkContext, TaskContext};
+use crate::dag::{self, JobHandle, ShuffleDep};
 use crate::error::JobError;
 use crate::partitioner::Partitioner;
+use crate::scheduler::{StageMeta, TaskFn};
 use crate::storage::StorageLevel;
 use crate::Data;
 
@@ -43,8 +44,11 @@ pub(crate) trait RddOps<K: Key, V: ShufVal>: Send + Sync {
     fn partitioner_sig(&self) -> Option<PartSig> {
         None
     }
-    /// Materialize every shuffle this node (transitively) depends on.
-    fn ensure_deps(&self) -> Result<(), JobError>;
+    /// Direct shuffle dependencies feeding this node's compute — the
+    /// stage-graph roots the DAG scheduler must materialize before a
+    /// stage over this node can run. Narrow nodes forward to their
+    /// parents; wide nodes return themselves.
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>>;
     /// Produce partition `p` (runs inside a task).
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError>;
     fn preferred_node(&self, _p: usize) -> Option<usize> {
@@ -97,8 +101,8 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for ParallelizeRdd<K, V> {
     fn partitioner_sig(&self) -> Option<PartSig> {
         self.sig
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        Ok(())
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Vec::new()
     }
     fn compute(&self, p: usize, _tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         Ok(self.parts[p].clone())
@@ -122,8 +126,8 @@ impl<K1: Key, V1: ShufVal, K2: Key, V2: ShufVal> RddOps<K2, V2> for MapRdd<K1, V
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K2, V2)>, JobError> {
         Ok(self
@@ -155,8 +159,8 @@ impl<K1: Key, V1: ShufVal, K2: Key, V2: ShufVal> RddOps<K2, V2> for FlatMapRdd<K
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K2, V2)>, JobError> {
         Ok(self
@@ -191,8 +195,8 @@ impl<K: Key, V1: ShufVal, V2: ShufVal> RddOps<K, V2> for MapValuesRdd<K, V1, V2>
         // Keys unchanged ⇒ placement preserved.
         self.parent.partitioner_sig()
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V2)>, JobError> {
         Ok(self
@@ -229,8 +233,8 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for FilterRdd<K, V> {
     fn partitioner_sig(&self) -> Option<PartSig> {
         self.parent.partitioner_sig()
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         Ok(self
@@ -280,11 +284,11 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for UnionRdd<K, V> {
     fn num_partitions(&self) -> usize {
         self.parents.iter().map(|p| p.num_partitions()).sum()
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        for parent in &self.parents {
-            parent.ensure_deps()?;
-        }
-        Ok(())
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        self.parents
+            .iter()
+            .flat_map(|parent| Arc::clone(parent).shuffle_deps())
+            .collect()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         let (i, local) = self.locate(p);
@@ -321,8 +325,8 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for MapPartitionsRdd<K, V> {
             None
         }
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         Ok((self.f)(p, self.parent.compute(p, tc)?, tc))
@@ -352,8 +356,8 @@ impl<K1: Key, V1: ShufVal, K2: Key, V2: ShufVal> RddOps<K2, V2>
     fn num_partitions(&self) -> usize {
         self.parent.num_partitions()
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K2, V2)>, JobError> {
         Ok((self.f)(p, self.parent.compute(p, tc)?, tc))
@@ -378,8 +382,8 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for CoalescedRdd<K, V> {
     fn num_partitions(&self) -> usize {
         self.groups.len()
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         let mut out = Vec::new();
@@ -403,10 +407,45 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for CoalescedRdd<K, V> {
     }
 }
 
-enum ShuffleState {
-    Pending,
-    Done,
-    Failed(JobError),
+/// Pass-through marker for an elided `partition_by`: the RDD was
+/// already partitioned identically, so no shuffle node enters the
+/// stage graph — but the elision stays visible in `explain()`.
+struct ElidedRdd<K: Key, V: ShufVal> {
+    parent: Arc<dyn RddOps<K, V>>,
+    partitions: usize,
+    part_name: &'static str,
+}
+
+impl<K: Key, V: ShufVal> RddOps<K, V> for ElidedRdd<K, V> {
+    fn explain_into(&self, depth: usize, out: &mut String) {
+        write_plan_line(
+            out,
+            depth,
+            &format!(
+                "PartitionBy [elided: already partitioned by {} into {}]",
+                self.part_name, self.partitions
+            ),
+        );
+        self.parent.explain_into(depth + 1, out);
+    }
+    fn ctx(&self) -> &SparkContext {
+        self.parent.ctx()
+    }
+    fn num_partitions(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        self.parent.partitioner_sig()
+    }
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
+    }
+    fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        self.parent.compute(p, tc)
+    }
+    fn preferred_node(&self, p: usize) -> Option<usize> {
+        self.parent.preferred_node(p)
+    }
 }
 
 /// Wide node: re-partition by a partitioner (`partitionBy`).
@@ -415,27 +454,25 @@ struct ShuffledRdd<K: Key, V: ShufVal> {
     partitioner: Arc<dyn Partitioner<K>>,
     partitions: usize,
     shuffle_id: u64,
-    state: Mutex<ShuffleState>,
 }
 
-impl<K: Key, V: ShufVal> ShuffledRdd<K, V> {
-    fn materialize(&self) -> Result<(), JobError> {
-        let mut state = self.state.lock();
-        match &*state {
-            ShuffleState::Done => return Ok(()),
-            ShuffleState::Failed(e) => return Err(e.clone()),
-            ShuffleState::Pending => {}
-        }
-        let result = self.run_map_stage();
-        *state = match &result {
-            Ok(()) => ShuffleState::Done,
-            Err(e) => ShuffleState::Failed(e.clone()),
-        };
-        result
+impl<K: Key, V: ShufVal> ShuffleDep for ShuffledRdd<K, V> {
+    fn shuffle_id(&self) -> u64 {
+        self.shuffle_id
     }
-
-    fn run_map_stage(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()?;
+    fn op_name(&self) -> &'static str {
+        "partition_by"
+    }
+    fn num_maps(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn num_reduces(&self) -> usize {
+        self.partitions
+    }
+    fn parents(&self) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
+    }
+    fn run_map_stage(&self, meta: StageMeta) -> Result<(), JobError> {
         let ctx = self.parent.ctx().clone();
         let maps = self.parent.num_partitions();
         ctx.inner
@@ -452,6 +489,7 @@ impl<K: Key, V: ShufVal> ShuffledRdd<K, V> {
         };
         ctx.run_stage(
             &format!("shuffle#{shuffle_id}.map"),
+            meta,
             maps,
             pref,
             Arc::new(move |p, tc: &TaskContext| {
@@ -488,8 +526,11 @@ impl<K: Key, V: ShufVal> Drop for ShuffledRdd<K, V> {
     fn drop(&mut self) {
         // Last lineage reference gone ⇒ nothing can fetch this shuffle
         // again: release its staged bytes (Spark's ContextCleaner
-        // removing a shuffle, but per-shuffle instead of global).
-        self.parent.ctx().inner.shuffle.release(self.shuffle_id);
+        // removing a shuffle, but per-shuffle instead of global) and
+        // retire its materialization latch.
+        let ctx = self.parent.ctx();
+        ctx.inner.shuffle.release(self.shuffle_id);
+        ctx.inner.registry.remove(self.shuffle_id);
     }
 }
 
@@ -517,8 +558,8 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for ShuffledRdd<K, V> {
         let (name, param) = self.partitioner.signature();
         Some((name, param, self.partitions))
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.materialize()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        vec![self]
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         let ctx = self.parent.ctx();
@@ -571,27 +612,25 @@ struct CombinedRdd<K: Key, V: ShufVal, C: ShufVal> {
     partitioner: Arc<dyn Partitioner<K>>,
     partitions: usize,
     shuffle_id: u64,
-    state: Mutex<ShuffleState>,
 }
 
-impl<K: Key, V: ShufVal, C: ShufVal> CombinedRdd<K, V, C> {
-    fn materialize(&self) -> Result<(), JobError> {
-        let mut state = self.state.lock();
-        match &*state {
-            ShuffleState::Done => return Ok(()),
-            ShuffleState::Failed(e) => return Err(e.clone()),
-            ShuffleState::Pending => {}
-        }
-        let result = self.run_map_stage();
-        *state = match &result {
-            Ok(()) => ShuffleState::Done,
-            Err(e) => ShuffleState::Failed(e.clone()),
-        };
-        result
+impl<K: Key, V: ShufVal, C: ShufVal> ShuffleDep for CombinedRdd<K, V, C> {
+    fn shuffle_id(&self) -> u64 {
+        self.shuffle_id
     }
-
-    fn run_map_stage(&self) -> Result<(), JobError> {
-        self.parent.ensure_deps()?;
+    fn op_name(&self) -> &'static str {
+        "combine_by_key"
+    }
+    fn num_maps(&self) -> usize {
+        self.parent.num_partitions()
+    }
+    fn num_reduces(&self) -> usize {
+        self.partitions
+    }
+    fn parents(&self) -> Vec<Arc<dyn ShuffleDep>> {
+        Arc::clone(&self.parent).shuffle_deps()
+    }
+    fn run_map_stage(&self, meta: StageMeta) -> Result<(), JobError> {
         let ctx = self.parent.ctx().clone();
         let maps = self.parent.num_partitions();
         ctx.inner
@@ -611,6 +650,7 @@ impl<K: Key, V: ShufVal, C: ShufVal> CombinedRdd<K, V, C> {
         };
         ctx.run_stage(
             &format!("shuffle#{shuffle_id}.combine-map"),
+            meta,
             maps,
             pref,
             Arc::new(move |p, tc: &TaskContext| {
@@ -649,7 +689,9 @@ impl<K: Key, V: ShufVal, C: ShufVal> CombinedRdd<K, V, C> {
 
 impl<K: Key, V: ShufVal, C: ShufVal> Drop for CombinedRdd<K, V, C> {
     fn drop(&mut self) {
-        self.parent.ctx().inner.shuffle.release(self.shuffle_id);
+        let ctx = self.parent.ctx();
+        ctx.inner.shuffle.release(self.shuffle_id);
+        ctx.inner.registry.remove(self.shuffle_id);
     }
 }
 
@@ -675,8 +717,8 @@ impl<K: Key, V: ShufVal, C: ShufVal> RddOps<K, C> for CombinedRdd<K, V, C> {
         let (name, param) = self.partitioner.signature();
         Some((name, param, self.partitions))
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        self.materialize()
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        vec![self]
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, C)>, JobError> {
         let ctx = self.parent.ctx();
@@ -749,8 +791,12 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for MaterializedRdd<K, V> {
     fn partitioner_sig(&self) -> Option<PartSig> {
         self.sig
     }
-    fn ensure_deps(&self) -> Result<(), JobError> {
-        Ok(())
+    fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
+        // Reads serve from the block stores; lineage recomputation of a
+        // dropped block (persist) fetches upstream shuffles directly
+        // inside the task — they stay staged because the retained
+        // parent ops keep them alive, not because the DAG re-plans.
+        Vec::new()
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         let owner = self.locations[p];
@@ -859,11 +905,34 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
         self.ops.partitioner_sig()
     }
 
-    /// Human-readable lineage plan (one node per line, children
-    /// indented) — Spark's `toDebugString`.
+    /// Human-readable plan: the lineage tree (one node per line,
+    /// children indented — Spark's `toDebugString`) followed by the
+    /// stage graph the DAG scheduler extracts from it (one stage per
+    /// shuffle, parents before children, plus the result stage) and a
+    /// note counting elided shuffles. RDDs with no upstream shuffles
+    /// print the lineage tree alone.
     pub fn explain(&self) -> String {
         let mut out = String::new();
         self.ops.explain_into(0, &mut out);
+        let elided = out.matches("[elided").count();
+        let roots = Arc::clone(&self.ops).shuffle_deps();
+        if !roots.is_empty() {
+            let mut ids: Vec<u64> = Vec::new();
+            for root in &roots {
+                let id = root.shuffle_id();
+                if !ids.contains(&id) {
+                    ids.push(id);
+                }
+            }
+            out.push_str("== stage graph ==\n");
+            dag::explain_graph_into(&roots, &mut out);
+            out.push_str(&format!("stage result <- {}\n", dag::fmt_parent_ids(&ids)));
+        }
+        if elided > 0 {
+            out.push_str(&format!(
+                "note: {elided} shuffle(s) elided (already co-partitioned)\n"
+            ));
+        }
         out
     }
 
@@ -993,7 +1062,14 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
     ) -> Rdd<K, V> {
         let (name, param) = partitioner.signature();
         if self.ops.partitioner_sig() == Some((name, param, partitions)) {
-            return self.clone();
+            return Rdd {
+                ctx: self.ctx.clone(),
+                ops: Arc::new(ElidedRdd {
+                    parent: Arc::clone(&self.ops),
+                    partitions,
+                    part_name: name,
+                }),
+            };
         }
         Rdd {
             ctx: self.ctx.clone(),
@@ -1002,7 +1078,6 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
                 partitioner,
                 partitions,
                 shuffle_id: self.ctx.next_id(),
-                state: Mutex::new(ShuffleState::Pending),
             }),
         }
     }
@@ -1026,7 +1101,6 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
                 partitioner,
                 partitions,
                 shuffle_id: self.ctx.next_id(),
-                state: Mutex::new(ShuffleState::Pending),
             }),
         }
     }
@@ -1064,42 +1138,88 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
         self.combine_by_key(|v| v, f, g, partitions, partitioner)
     }
 
-    /// Action: pull every pair to the driver (partition order).
-    pub fn collect(&self) -> Result<Vec<(K, V)>, JobError> {
-        self.ops.ensure_deps()?;
-        let ops = Arc::clone(&self.ops);
-        let n = ops.num_partitions();
+    /// Materialize every upstream shuffle through the DAG scheduler,
+    /// then run the result stage itself. Returns the results and the
+    /// result stage's ordinal (for post-hoc record annotation).
+    fn run_action<R: Send + 'static>(
+        &self,
+        label: &str,
+        work: TaskFn<R>,
+    ) -> Result<(Vec<R>, u64), JobError> {
+        let roots = Arc::clone(&self.ops).shuffle_deps();
+        dag::materialize_stage_graph(&self.ctx, &roots)?;
+        let mut parent_shuffles: Vec<u64> = Vec::new();
+        for root in &roots {
+            let id = root.shuffle_id();
+            if !parent_shuffles.contains(&id) {
+                parent_shuffles.push(id);
+            }
+        }
+        let meta = StageMeta {
+            stage_id: self.ctx.alloc_stage_ordinal(),
+            parent_shuffles,
+            concurrent: self.ctx.stage_launched(),
+        };
+        let stage_id = meta.stage_id;
+        let n = self.ops.num_partitions();
         let pref = {
             let ops = Arc::clone(&self.ops);
             move |p: usize| ops.preferred_node(p)
         };
-        let parts = self.ctx.run_stage(
+        let res = self.ctx.run_stage(label, meta, n, pref, work);
+        self.ctx.stage_finished();
+        res.map(|r| (r, stage_id))
+    }
+
+    /// Action: pull every pair to the driver (partition order).
+    pub fn collect(&self) -> Result<Vec<(K, V)>, JobError> {
+        let ops = Arc::clone(&self.ops);
+        let (parts, stage_id) = self.run_action(
             "collect",
-            n,
-            pref,
             Arc::new(move |p, tc: &TaskContext| ops.compute(p, tc)),
         )?;
         let total_bytes: u64 = parts.iter().map(|items| pairs_bytes(items)).sum();
-        self.ctx.annotate_last_stage(total_bytes, 0);
+        self.ctx.annotate_stage(stage_id, total_bytes, 0);
         Ok(parts.into_iter().flatten().collect())
     }
 
     /// Action: number of pairs.
     pub fn count(&self) -> Result<usize, JobError> {
-        self.ops.ensure_deps()?;
         let ops = Arc::clone(&self.ops);
-        let n = ops.num_partitions();
-        let pref = {
-            let ops = Arc::clone(&self.ops);
-            move |p: usize| ops.preferred_node(p)
-        };
-        let counts = self.ctx.run_stage(
+        let (counts, _) = self.run_action(
             "count",
-            n,
-            pref,
             Arc::new(move |p, tc: &TaskContext| Ok(ops.compute(p, tc)?.len())),
         )?;
         Ok(counts.into_iter().sum())
+    }
+
+    /// Submit [`Rdd::collect`] as an asynchronous job on a driver
+    /// thread. Independent jobs overlap; a shuffle shared with another
+    /// in-flight job is materialized exactly once (latched per shuffle
+    /// id by the DAG scheduler).
+    pub fn collect_async(&self) -> JobHandle<Vec<(K, V)>> {
+        let rdd = self.clone();
+        JobHandle::spawn(move || rdd.collect())
+    }
+
+    /// Submit [`Rdd::count`] as an asynchronous job on a driver thread.
+    pub fn count_async(&self) -> JobHandle<usize> {
+        let rdd = self.clone();
+        JobHandle::spawn(move || rdd.count())
+    }
+
+    /// Submit [`Rdd::persist`] as an asynchronous job on a driver
+    /// thread, returning a handle to the materialized RDD.
+    pub fn persist_async(&self, level: StorageLevel) -> JobHandle<Rdd<K, V>> {
+        let rdd = self.clone();
+        JobHandle::spawn(move || rdd.persist(level))
+    }
+
+    /// Submit [`Rdd::checkpoint_with_level`] as an asynchronous job on
+    /// a driver thread, returning a handle to the materialized RDD.
+    pub fn checkpoint_async_with_level(&self, level: StorageLevel) -> JobHandle<Rdd<K, V>> {
+        let rdd = self.clone();
+        JobHandle::spawn(move || rdd.checkpoint_with_level(level))
     }
 
     /// Materialize every partition into the block stores at the
@@ -1132,19 +1252,11 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
         level: StorageLevel,
         keep_lineage: bool,
     ) -> Result<Rdd<K, V>, JobError> {
-        self.ops.ensure_deps()?;
         let ops = Arc::clone(&self.ops);
-        let n = ops.num_partitions();
         let cache_id = self.ctx.next_id();
         let ctx = self.ctx.clone();
-        let pref = {
-            let ops = Arc::clone(&self.ops);
-            move |p: usize| ops.preferred_node(p)
-        };
-        let locations = self.ctx.run_stage(
+        let (locations, _) = self.run_action(
             "checkpoint",
-            n,
-            pref,
             Arc::new(move |p, tc: &TaskContext| {
                 let items = ops.compute(p, tc)?;
                 let bytes = pairs_bytes(&items);

@@ -1,18 +1,41 @@
 //! Stage execution: task placement, waves, lineage retry with
 //! exponential backoff, speculative re-execution, attempt fencing,
 //! fault injection, and event-log recording.
+//!
+//! `run_stage` is the per-stage engine; it no longer owns stage
+//! ordering. The driver-side DAG event loop ([`crate::dag`]) extracts
+//! the stage graph, assigns stage ordinals at launch, and may keep
+//! several `run_stage` calls in flight on different driver threads at
+//! once — so every counter this module attributes to a stage record is
+//! claimed under one mutex ([`SparkContext::claim_stage_deltas`]) and
+//! fault-injection bookkeeping is keyed per stage.
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use cluster_model::StageRecord;
 
-use crate::context::{CommitBoard, SparkContext, TaskContext};
+use crate::context::{CommitBoard, SparkContext, StorageTotals, TaskContext};
 use crate::error::JobError;
 
 /// The closure a stage runs per task.
 pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &TaskContext) -> Result<R, JobError> + Send + Sync>;
+
+/// Identity and graph position of a stage, assigned by the DAG event
+/// loop (or an action submitter) *before* the stage runs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct StageMeta {
+    /// Driver-wide stage ordinal (also the fault-injection key).
+    pub stage_id: u64,
+    /// Direct parent shuffle ids from the stage graph.
+    pub parent_shuffles: Vec<u64>,
+    /// Stages in flight (including this one) at launch time.
+    pub concurrent: u64,
+}
 
 /// Deterministic fault injection: rules keyed by (stage ordinal,
 /// partition), each failing a bounded number of attempts. A rule can
@@ -31,11 +54,12 @@ enum FaultRule {
         remaining: usize,
     },
     /// Fail the first `times` attempts of `partition` in every stage.
+    /// Budgets are tracked per stage ordinal so the rule stays exact
+    /// when the DAG scheduler interleaves attempts of several stages.
     EveryStage {
         partition: usize,
         times: usize,
-        current_stage: Option<u64>,
-        used: usize,
+        used: HashMap<u64, usize>,
     },
 }
 
@@ -54,8 +78,7 @@ impl FaultPlan {
         self.rules.push(FaultRule::EveryStage {
             partition,
             times,
-            current_stage: None,
-            used: 0,
+            used: HashMap::new(),
         });
     }
 
@@ -76,18 +99,14 @@ impl FaultPlan {
                 FaultRule::EveryStage {
                     partition: p,
                     times,
-                    current_stage,
                     used,
                 } => {
                     if *p != partition {
                         continue;
                     }
-                    if *current_stage != Some(stage) {
-                        *current_stage = Some(stage);
-                        *used = 0;
-                    }
-                    if *used < *times {
-                        *used += 1;
+                    let spent = used.entry(stage).or_insert(0);
+                    if *spent < *times {
+                        *spent += 1;
                         return true;
                     }
                 }
@@ -118,21 +137,33 @@ impl SparkContext {
     /// the stage's [`CommitBoard`] and late twins are fenced: their
     /// results, records, and shuffle writes are dropped. Genuine
     /// retries back off exponentially
-    /// ([`crate::SparkConf::retry_backoff_ms`]); once
-    /// [`crate::SparkConf::speculation_quantile`] of the stage has
-    /// completed, stragglers are speculatively re-launched on another
-    /// node (when [`crate::SparkConf::speculation`] is on). Records a
-    /// [`StageRecord`] with every committed task's metrics plus the
-    /// stage's retry/speculation/fencing counters.
+    /// ([`crate::SparkConf::retry_backoff_ms`]) via *deferred
+    /// relaunch*: the partition is parked on a deadline heap and the
+    /// result loop keeps draining other completions in the meantime
+    /// (`recv_deadline`), so one backing-off task never stalls the
+    /// stage. Once [`crate::SparkConf::speculation_quantile`] of the
+    /// stage has completed, stragglers are speculatively re-launched on
+    /// another node (when [`crate::SparkConf::speculation`] is on).
+    /// Records a [`StageRecord`] carrying the stage id, parent-stage
+    /// edges, and achieved concurrency from `meta`, plus every
+    /// committed task's metrics and the stage's
+    /// retry/speculation/fencing counters.
     pub(crate) fn run_stage<R: Send + 'static>(
         &self,
         label: &str,
+        meta: StageMeta,
         ntasks: usize,
         preferred: impl Fn(usize) -> Option<usize>,
         work: TaskFn<R>,
     ) -> Result<Vec<R>, JobError> {
-        let t0 = std::time::Instant::now();
-        let stage = self.inner.stage_ordinal.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let stage = meta.stage_id;
+        let parent_stage_ids: Vec<u64> = meta
+            .parent_shuffles
+            .iter()
+            .filter_map(|&sid| self.inner.registry.stage_of(sid))
+            .filter(|&s| s != stage)
+            .collect();
         let conf = &self.inner.conf;
         let nodes = self.inner.executors.len();
         let (tx, rx) = crossbeam::channel::unbounded();
@@ -145,6 +176,11 @@ impl SparkContext {
         let mut in_flight = vec![0usize; ntasks];
         let mut committed = vec![false; ntasks];
         let mut speculated = vec![false; ntasks];
+        // Partitions parked for backoff: (relaunch deadline, partition).
+        // A parked partition has no attempt in flight; the speculation
+        // sweep skips it (`in_flight == 0`) and no task message can
+        // arrive for it until relaunch.
+        let mut deferred: BinaryHeap<Reverse<(Instant, usize)>> = BinaryHeap::new();
         let mut retries = 0u64;
         let mut speculative_launches = 0u64;
         let spawn_attempt = |p: usize, attempt: u64| {
@@ -209,7 +245,30 @@ impl SparkContext {
         }
         let mut completed = 0usize;
         while completed < ntasks {
-            let (p, attempt, outcome, record) = rx.recv().expect("task channel open");
+            // Relaunch every parked partition whose deadline passed.
+            let now = Instant::now();
+            while deferred.peek().is_some_and(|Reverse((due, _))| *due <= now) {
+                let Reverse((_, p)) = deferred.pop().expect("peeked");
+                retries += 1;
+                attempts[p] += 1;
+                in_flight[p] = 1;
+                spawn_attempt(p, attempts[p]);
+            }
+            // Wait for the next completion, but only until the nearest
+            // relaunch deadline — other tasks keep completing while a
+            // failed partition backs off.
+            let received = if let Some(Reverse((due, _))) = deferred.peek() {
+                match rx.recv_deadline(*due) {
+                    Ok(msg) => msg,
+                    Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
+                    Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
+                        unreachable!("stage holds a sender")
+                    }
+                }
+            } else {
+                rx.recv().expect("task channel open")
+            };
+            let (p, attempt, outcome, record) = received;
             in_flight[p] -= 1;
             match outcome {
                 Ok(r) => {
@@ -249,22 +308,25 @@ impl SparkContext {
                             conf.retry_backoff_max_ms,
                             attempts[p],
                         );
-                        if backoff > 0 {
-                            std::thread::sleep(std::time::Duration::from_millis(backoff));
+                        if backoff == 0 {
+                            retries += 1;
+                            attempts[p] += 1;
+                            in_flight[p] = 1;
+                            spawn_attempt(p, attempts[p]);
+                        } else {
+                            deferred.push(Reverse((now + Duration::from_millis(backoff), p)));
                         }
-                        retries += 1;
-                        attempts[p] += 1;
-                        in_flight[p] = 1;
-                        spawn_attempt(p, attempts[p]);
                     } else {
                         // Record what we have, then fail the job. The
                         // error already carries its stage label and
                         // attempt count (filled at construction).
-                        let (zombies, released) = self.claim_shuffle_deltas();
-                        let st = self.claim_storage_deltas();
+                        let (zombies, released, st) = self.claim_stage_deltas();
                         self.inner.log.lock().push(
                             format!("{label} (failed)"),
                             StageRecord {
+                                stage_id: stage,
+                                parent_stage_ids,
+                                concurrent_stages: meta.concurrent,
                                 tasks: records,
                                 retries,
                                 speculative_launches,
@@ -283,11 +345,13 @@ impl SparkContext {
                 }
             }
         }
-        let (zombies, released) = self.claim_shuffle_deltas();
-        let st = self.claim_storage_deltas();
+        let (zombies, released, st) = self.claim_stage_deltas();
         self.inner.log.lock().push_timed(
             label.to_string(),
             StageRecord {
+                stage_id: stage,
+                parent_stage_ids,
+                concurrent_stages: meta.concurrent,
                 tasks: records,
                 retries,
                 speculative_launches,
@@ -308,43 +372,48 @@ impl SparkContext {
             .collect())
     }
 
-    /// Unattributed shuffle-counter growth since the last stage record
-    /// (zombie writes fenced, staged bytes released). Swapping the
-    /// watermarks keeps event-log totals equal to the manager's
-    /// counters even when GC runs between stages.
-    fn claim_shuffle_deltas(&self) -> (u64, u64) {
+    /// Unattributed engine-counter growth since the last stage record:
+    /// zombie writes fenced and staged bytes released (shuffle GC) plus
+    /// block-store totals (cache hits/misses, spill/eviction bytes,
+    /// lineage recomputations). All watermarks advance under a single
+    /// mutex so that concurrently completing stages each claim a
+    /// disjoint slice and event-log totals stay equal to the managers'
+    /// counters however stage completions interleave.
+    fn claim_stage_deltas(&self) -> (u64, u64, StorageTotals) {
+        let mut marks = self.inner.claim_marks.lock();
         let zombies = self.inner.shuffle.zombie_writes_fenced();
         let released = self.inner.shuffle.staged_released_bytes();
-        let z0 = self.inner.zombie_mark.swap(zombies, Ordering::Relaxed);
-        let r0 = self.inner.released_mark.swap(released, Ordering::Relaxed);
-        (zombies.saturating_sub(z0), released.saturating_sub(r0))
+        let storage = self.storage_totals();
+        let dz = zombies.saturating_sub(marks.zombies);
+        let dr = released.saturating_sub(marks.released);
+        let ds = StorageTotals {
+            cache_hits: storage.cache_hits.saturating_sub(marks.storage.cache_hits),
+            cache_misses: storage
+                .cache_misses
+                .saturating_sub(marks.storage.cache_misses),
+            spilled_bytes: storage
+                .spilled_bytes
+                .saturating_sub(marks.storage.spilled_bytes),
+            evicted_bytes: storage
+                .evicted_bytes
+                .saturating_sub(marks.storage.evicted_bytes),
+            recomputes: storage.recomputes.saturating_sub(marks.storage.recomputes),
+        };
+        marks.zombies = zombies;
+        marks.released = released;
+        marks.storage = storage;
+        (dz, dr, ds)
     }
 
-    /// Unattributed block-store counter growth since the last stage
-    /// record (cache hits/misses, spill/eviction bytes, lineage
-    /// recomputations) — the storage analogue of
-    /// [`SparkContext::claim_shuffle_deltas`].
-    fn claim_storage_deltas(&self) -> crate::context::StorageTotals {
-        let now = self.storage_totals();
-        let mut mark = self.inner.storage_mark.lock();
-        let prev = *mark;
-        *mark = now;
-        crate::context::StorageTotals {
-            cache_hits: now.cache_hits.saturating_sub(prev.cache_hits),
-            cache_misses: now.cache_misses.saturating_sub(prev.cache_misses),
-            spilled_bytes: now.spilled_bytes.saturating_sub(prev.spilled_bytes),
-            evicted_bytes: now.evicted_bytes.saturating_sub(prev.evicted_bytes),
-            recomputes: now.recomputes.saturating_sub(prev.recomputes),
-        }
-    }
-
-    /// Add collect bytes to the most recent stage record (an action's
-    /// result shipping to the driver), preserving its wall time.
-    pub(crate) fn annotate_last_stage(&self, collect_bytes: u64, broadcast_bytes: u64) {
+    /// Add collect bytes to the record of stage `stage_id` (an action's
+    /// result shipping to the driver), preserving its wall time. Keyed
+    /// by stage id because with concurrent stages "the most recent
+    /// record" may belong to another job.
+    pub(crate) fn annotate_stage(&self, stage_id: u64, collect_bytes: u64, broadcast_bytes: u64) {
         let mut log = self.inner.log.lock();
-        if let Some(last) = log.last_stage_mut() {
-            last.record.collect_bytes += collect_bytes;
-            last.record.broadcast_bytes += broadcast_bytes;
+        if let Some(ev) = log.stage_mut_by_id(stage_id) {
+            ev.record.collect_bytes += collect_bytes;
+            ev.record.broadcast_bytes += broadcast_bytes;
         }
     }
 }
@@ -371,6 +440,19 @@ mod tests {
         assert!(!plan.should_fail(0, 0)); // budget spent for stage 0
         assert!(!plan.should_fail(0, 1)); // other partitions untouched
         assert!(plan.should_fail(1, 0)); // fresh budget for stage 1
+        assert!(!plan.should_fail(1, 0));
+    }
+
+    #[test]
+    fn every_stage_budgets_are_independent_under_interleaving() {
+        // With the DAG scheduler two stages' attempts interleave; each
+        // stage ordinal must keep its own budget rather than resetting
+        // on every ordinal change.
+        let mut plan = FaultPlan::default();
+        plan.add_every_stage(0, 1);
+        assert!(plan.should_fail(0, 0));
+        assert!(plan.should_fail(1, 0)); // stage 1 interleaves
+        assert!(!plan.should_fail(0, 0)); // stage 0 budget still spent
         assert!(!plan.should_fail(1, 0));
     }
 

@@ -1,0 +1,326 @@
+//! DAG-scheduler behaviour: concurrent independent stages, exactly-once
+//! shuffle materialization across concurrent jobs, fault tolerance with
+//! multiple stages in flight, deferred retry backoff, and byte
+//! reconciliation under interleaved stage completion.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use sparklet::{HashPartitioner, SparkConf, SparkContext};
+
+fn ctx() -> SparkContext {
+    SparkContext::new(
+        SparkConf::default()
+            .with_executors(4)
+            .with_executor_cores(2)
+            .with_worker_threads(2)
+            .with_partitions(8),
+    )
+}
+
+fn sorted<K: Ord, V>(mut v: Vec<(K, V)>) -> Vec<(K, V)> {
+    v.sort_by(|a, b| a.0.cmp(&b.0));
+    v
+}
+
+fn pairs(n: usize) -> Vec<(usize, u64)> {
+    (0..n).map(|i| (i, (i * 13) as u64)).collect()
+}
+
+#[test]
+fn independent_stages_run_concurrently() {
+    let sc = ctx();
+    let left = sc
+        .parallelize(pairs(64), Some(4))
+        .map(|(k, v)| (k % 7, v))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let right = sc
+        .parallelize(pairs(64), Some(4))
+        .map(|(k, v)| (k % 5, v * 3))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let both = left.union(&right);
+    let got = both.collect().expect("two-branch job");
+
+    // Both branch shuffles are ready at submission, so the event loop
+    // launches them back-to-back before either completes: the second
+    // launch must observe two stages in flight.
+    assert!(
+        sc.peak_concurrent_stages() >= 2,
+        "driver gauge saw {} stages in flight",
+        sc.peak_concurrent_stages()
+    );
+    assert!(
+        sc.with_event_log(|log| log.max_concurrent_stages()) >= 2,
+        "event log recorded no concurrent stage launch"
+    );
+
+    // Correctness: same totals as computing the branches by hand.
+    let total: u64 = got.iter().map(|(_, v)| v).sum();
+    let a: u64 = pairs(64).iter().map(|(_, v)| *v).sum();
+    let b: u64 = pairs(64).iter().map(|(_, v)| *v * 3).sum();
+    assert_eq!(total, a + b);
+}
+
+#[test]
+fn stage_graph_records_parent_edges_in_the_log() {
+    let sc = ctx();
+    let wide = sc
+        .parallelize(pairs(32), Some(4))
+        .map(|(k, v)| (k % 3, v))
+        .reduce_by_key(|a, b| a + b, 4, Arc::new(HashPartitioner))
+        .map_values(|v| v + 1)
+        .partition_by(2, Arc::new(HashPartitioner));
+    let _ = wide.collect().expect("chained job");
+    sc.with_event_log(|log| {
+        // Find the two shuffle map stages; the second's parents must
+        // name the first's stage id.
+        let stages: Vec<_> = log
+            .stages()
+            .iter()
+            .filter(|s| s.label.ends_with("map"))
+            .collect();
+        assert_eq!(stages.len(), 2, "two shuffles -> two map stages");
+        let first = &stages[0].record;
+        let second = &stages[1].record;
+        assert!(
+            second.parent_stage_ids.contains(&first.stage_id),
+            "child stage {} should list parent {} (got {:?})",
+            second.stage_id,
+            first.stage_id,
+            second.parent_stage_ids
+        );
+        assert!(
+            first.parent_stage_ids.is_empty(),
+            "root map stage reads input, not a shuffle"
+        );
+    });
+}
+
+#[test]
+fn shared_shuffle_under_concurrent_jobs_materializes_exactly_once() {
+    // Baseline: one job over the wide RDD.
+    let baseline = {
+        let sc = ctx();
+        let wide = sc
+            .parallelize(pairs(128), Some(8))
+            .map(|(k, v)| (k % 9, v))
+            .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+        let _ = wide.collect().expect("baseline job");
+        sc.with_event_log(|log| log.total_staged_bytes())
+    };
+
+    let sc = ctx();
+    let wide = sc
+        .parallelize(pairs(128), Some(8))
+        .map(|(k, v)| (k % 9, v))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let doubled = wide.map_values(|v| v * 2);
+    let filtered = wide.filter(|k, _| k % 2 == 0);
+    // Two jobs submitted concurrently, both needing the same shuffle.
+    let h1 = doubled.collect_async();
+    let h2 = filtered.collect_async();
+    let r1 = h1.wait().expect("async job 1");
+    let r2 = h2.wait().expect("async job 2");
+
+    let base = sorted(wide.collect().expect("reference"));
+    assert_eq!(
+        sorted(r1),
+        base.iter().map(|(k, v)| (*k, v * 2)).collect::<Vec<_>>()
+    );
+    assert_eq!(
+        sorted(r2),
+        base.iter()
+            .filter(|(k, _)| k % 2 == 0)
+            .cloned()
+            .collect::<Vec<_>>()
+    );
+
+    // Exactly one map stage ran: the second job latched onto the
+    // in-flight materialization instead of re-staging it.
+    let map_stages = sc.with_event_log(|log| {
+        log.stages()
+            .iter()
+            .filter(|s| s.label.ends_with("map"))
+            .count()
+    });
+    assert_eq!(map_stages, 1, "shared shuffle staged more than once");
+    assert_eq!(
+        sc.with_event_log(|log| log.total_staged_bytes()),
+        baseline,
+        "concurrent jobs wrote more shuffle bytes than one job"
+    );
+}
+
+#[test]
+fn fault_matrix_with_multiple_stages_in_flight() {
+    // Branched lineage under retries + speculation + per-stage fault
+    // budgets: results must match the calm run exactly.
+    let run = |faults: bool| {
+        let conf = SparkConf::default()
+            .with_executors(4)
+            .with_executor_cores(2)
+            .with_worker_threads(2)
+            .with_partitions(8)
+            .with_retry_backoff(2, 8)
+            .with_speculation(0.5);
+        let sc = SparkContext::new(conf);
+        if faults {
+            // Partition 0 of every stage fails once, whichever order
+            // the interleaved stages reach it in.
+            sc.inject_failure_every_stage(0, 1);
+        }
+        let left = sc
+            .parallelize(pairs(96), Some(4))
+            .map(|(k, v)| (k % 6, v))
+            .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+        let right = sc
+            .parallelize(pairs(96), Some(4))
+            .map(|(k, v)| (k % 4, v ^ 7))
+            .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+        let got = sorted(
+            left.union(&right)
+                .partition_by(4, Arc::new(HashPartitioner))
+                .collect()
+                .expect("branched job"),
+        );
+        let retries = sc.with_event_log(|log| log.total_retries());
+        let peak = sc.peak_concurrent_stages();
+        (got, retries, peak)
+    };
+    let (want, _, _) = run(false);
+    let (got, retries, peak) = run(true);
+    assert_eq!(got, want, "results must survive the fault matrix");
+    assert!(retries >= 1, "injected faults must be retried");
+    assert!(peak >= 2, "branches still ran concurrently under faults");
+}
+
+#[test]
+fn staged_bytes_reconcile_under_interleaved_stage_completion() {
+    let sc = ctx();
+    sc.inject_failure_every_stage(1, 1);
+    let left = sc
+        .parallelize(pairs(64), Some(4))
+        .map(|(k, v)| (k % 5, v))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let right = sc
+        .parallelize(pairs(64), Some(4))
+        .map(|(k, v)| (k % 3, v + 9))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let both = left.union(&right);
+    let _ = both.collect().expect("interleaved job");
+
+    // Drop every RDD: per-shuffle GC releases all staged bytes.
+    drop(both);
+    drop(left);
+    drop(right);
+    for node in 0..4 {
+        assert_eq!(
+            sc.staged_bytes(node),
+            0,
+            "node {node} still holds staged bytes"
+        );
+    }
+
+    // A trailing stage claims the GC residue into the log; after it,
+    // the per-stage release attribution must sum exactly to the
+    // context counter, and every successfully staged byte must have
+    // been released (failed attempts' partial writes are reconciled
+    // too, so releases can only exceed the logged writes).
+    let _ = sc.parallelize(vec![(0usize, 0u64)], Some(1)).count();
+    sc.with_event_log(|log| {
+        assert_eq!(
+            log.total_staged_released_bytes(),
+            sc.staged_released_bytes(),
+            "per-stage release attribution must sum to the context counter"
+        );
+        assert!(
+            log.total_staged_released_bytes() >= log.total_staged_bytes(),
+            "released {} < staged {}",
+            log.total_staged_released_bytes(),
+            log.total_staged_bytes()
+        );
+        assert!(log.total_staged_bytes() > 0, "the job staged something");
+    });
+    assert_eq!(
+        sc.with_event_log(|log| log.total_zombie_writes_fenced()),
+        sc.zombie_writes_fenced(),
+        "per-stage zombie attribution must sum to the context counter"
+    );
+}
+
+#[test]
+fn max_concurrent_stages_one_reproduces_the_serial_walk() {
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(4)
+            .with_worker_threads(2)
+            .with_partitions(8)
+            .with_max_concurrent_stages(1),
+    );
+    let left = sc
+        .parallelize(pairs(64), Some(4))
+        .map(|(k, v)| (k % 7, v))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let right = sc
+        .parallelize(pairs(64), Some(4))
+        .map(|(k, v)| (k % 5, v))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let _ = left.union(&right).collect().expect("throttled job");
+    assert_eq!(
+        sc.peak_concurrent_stages(),
+        1,
+        "cap of one must serialize the stage walk"
+    );
+}
+
+#[test]
+fn retry_backoff_defers_without_blocking_the_stage() {
+    // Four partitions each fail once with a 200 ms backoff. Deadline-
+    // based deferral parks them all concurrently (~200 ms total); the
+    // old blocking sleep would serialize toward 800 ms.
+    let sc = SparkContext::new(
+        SparkConf::default()
+            .with_executors(4)
+            .with_worker_threads(1)
+            .with_partitions(4)
+            .with_retry_backoff(200, 200),
+    );
+    for p in 0..4 {
+        sc.inject_failure(0, p, 1);
+    }
+    let t0 = Instant::now();
+    let got = sorted(
+        sc.parallelize(pairs(16), Some(4))
+            .collect()
+            .expect("backoff job"),
+    );
+    let elapsed = t0.elapsed();
+    assert_eq!(got, sorted(pairs(16)));
+    assert_eq!(sc.with_event_log(|log| log.total_retries()), 4);
+    assert!(
+        elapsed.as_millis() < 650,
+        "deferred relaunches must overlap (took {elapsed:?})"
+    );
+}
+
+#[test]
+fn explain_notes_elided_shuffles() {
+    let sc = ctx();
+    // 4 -> 6 partitions is a real shuffle; repeating the same
+    // signature and count is not.
+    let once = sc
+        .parallelize(pairs(32), Some(4))
+        .partition_by(6, Arc::new(HashPartitioner));
+    let twice = once.partition_by(6, Arc::new(HashPartitioner));
+    let plan = twice.explain();
+    assert!(
+        plan.contains("[elided: already partitioned"),
+        "elided repartition missing from lineage:\n{plan}"
+    );
+    assert!(
+        plan.contains("note: 1 shuffle(s) elided (already co-partitioned)"),
+        "elision note missing:\n{plan}"
+    );
+    // The stage graph shows only the one real shuffle.
+    assert_eq!(plan.matches("stage shuffle#").count(), 1, "plan:\n{plan}");
+}
