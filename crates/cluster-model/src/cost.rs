@@ -105,6 +105,51 @@ pub struct StageRecord {
     pub recomputes: u64,
 }
 
+/// Converts one task's recorded footprint into logical milliseconds
+/// for the deterministic simulation harness's virtual clock.
+///
+/// Deliberately much cruder than [`CostModel`]: the sim needs task
+/// durations that are *ordered sensibly* (bigger tasks take longer, so
+/// stragglers and backoff deadlines interleave realistically), not
+/// calibrated cluster seconds. Pure integer arithmetic on the record —
+/// identical on every platform, so virtual timelines replay exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickCharger {
+    /// Modeled bytes/s for every byte the task moved (shuffle reads,
+    /// writes, spills).
+    pub io_bw: f64,
+    /// Modeled GEP updates/s for the task's kernels.
+    pub update_rate: f64,
+    /// Fixed per-task overhead in logical milliseconds (keeps even
+    /// zero-byte tasks from completing in zero time).
+    pub task_overhead_ms: u64,
+}
+
+impl Default for TickCharger {
+    fn default() -> Self {
+        TickCharger {
+            io_bw: 8.0e8,
+            update_rate: 1.2e8,
+            task_overhead_ms: 1,
+        }
+    }
+}
+
+impl TickCharger {
+    /// Logical milliseconds one task occupies on the virtual clock.
+    pub fn task_ticks(&self, task: &TaskRecord) -> u64 {
+        let bytes = task.remote_read_bytes
+            + task.local_read_bytes
+            + task.shuffle_write_bytes
+            + task.spill_write_bytes
+            + task.spill_read_bytes;
+        let updates: f64 = task.kernels.iter().map(|k| k.updates).sum();
+        let io_ms = (bytes as f64 / self.io_bw * 1000.0).ceil() as u64;
+        let compute_ms = (updates / self.update_rate * 1000.0).ceil() as u64;
+        self.task_overhead_ms + io_ms + compute_ms
+    }
+}
+
 /// A stage's simulated time decomposed into components (seconds).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StageCost {

@@ -26,5 +26,6 @@ pub mod spec;
 
 pub use cost::{
     CostModel, KernelInvocation, KernelType, ModelParams, StageCost, StageRecord, TaskRecord,
+    TickCharger,
 };
 pub use spec::{ClusterSpec, NodeSpec, StorageKind, StorageSpec};

@@ -50,5 +50,7 @@ pub use block::{Block, ElemCodec};
 pub use config::{DpConfig, KernelChoice, Strategy};
 pub use linsys::solve_linear_system;
 pub use problem::DpProblem;
-pub use solver::{simulate_seconds, solve, solve_virtual, solve_with_report, SolveReport};
+pub use solver::{
+    simulate_seconds, solve, solve_chaos, solve_virtual, solve_with_report, SolveReport,
+};
 pub use tuner::{tune, TuneResult};

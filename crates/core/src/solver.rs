@@ -7,7 +7,8 @@ use cluster_model::{ClusterSpec, CostModel, ModelParams};
 use gep_kernels::padding::{pad_to_multiple, unpad};
 use gep_kernels::Matrix;
 use sparklet::{
-    GridPartitioner, HashPartitioner, JobError, Partitioner, Rdd, SparkConf, SparkContext,
+    ChaosPolicy, GridPartitioner, HashPartitioner, JobError, Partitioner, Rdd, SparkConf,
+    SparkContext,
 };
 
 use crate::block::Block;
@@ -185,6 +186,23 @@ pub fn solve_with_report<S: DpProblem>(
 ) -> Result<(Matrix<S::Elem>, SolveReport), JobError> {
     let out = solve::<S>(sc, cfg, input)?;
     Ok((out, report_from(sc)))
+}
+
+/// Like [`solve_with_report`], but with a [`ChaosPolicy`] installed on
+/// the context before the run: every task attempt consults the policy,
+/// so a seeded deterministic context (`SparkConf::with_sim_seed`)
+/// replays the exact same fault schedule from the seed. The policy is
+/// removed again afterwards so later jobs on the context run clean.
+pub fn solve_chaos<S: DpProblem>(
+    sc: &SparkContext,
+    cfg: &DpConfig,
+    input: &Matrix<S::Elem>,
+    chaos: ChaosPolicy,
+) -> Result<(Matrix<S::Elem>, SolveReport), JobError> {
+    sc.install_chaos(chaos);
+    let res = solve_with_report::<S>(sc, cfg, input);
+    sc.clear_chaos();
+    res
 }
 
 /// Run the identical dataflow with virtual blocks: kernels become cost

@@ -13,7 +13,7 @@ use sparklet::{SparkConf, SparkContext};
 
 const NODES: usize = 4;
 
-fn ctx(staging_capacity: Option<u64>) -> SparkContext {
+fn ctx(staging_capacity: Option<u64>, sim_seed: Option<u64>) -> SparkContext {
     // 16 partitions keep a single task's shuffle write small next to
     // the per-node staging peak, so the calibrated budget below is
     // tight.
@@ -23,6 +23,11 @@ fn ctx(staging_capacity: Option<u64>) -> SparkContext {
         .with_partitions(16);
     if let Some(cap) = staging_capacity {
         conf = conf.with_staging_capacity(cap);
+    }
+    if let Some(seed) = sim_seed {
+        // Deterministic mode: real retry backoff is free — it advances
+        // the virtual clock instead of sleeping the test.
+        conf = conf.with_retry_backoff(200, 400).with_sim_seed(seed);
     }
     SparkContext::new(conf)
 }
@@ -61,6 +66,8 @@ struct RunStats {
     final_staged: Vec<u64>,
     retries: u64,
     zombies: u64,
+    /// Clock reading after the solve (virtual ms under a sim seed).
+    elapsed_ms: u64,
 }
 
 fn run_fw(
@@ -68,7 +75,16 @@ fn run_fw(
     capacity: Option<u64>,
     fault_every_wave: bool,
 ) -> Result<RunStats, sparklet::JobError> {
-    let sc = ctx(capacity);
+    run_fw_seeded(input, capacity, fault_every_wave, None)
+}
+
+fn run_fw_seeded(
+    input: &Matrix<f64>,
+    capacity: Option<u64>,
+    fault_every_wave: bool,
+    sim_seed: Option<u64>,
+) -> Result<RunStats, sparklet::JobError> {
+    let sc = ctx(capacity, sim_seed);
     if fault_every_wave {
         // Partition 0 of every stage — every map wave of every
         // iteration (and the reduce/collect stages too) — fails once
@@ -104,6 +120,7 @@ fn run_fw(
         final_staged: (0..NODES).map(|n| sc.staged_bytes(n)).collect(),
         retries,
         zombies: sc.zombie_writes_fenced(),
+        elapsed_ms: sc.now_ms(),
     })
 }
 
@@ -155,4 +172,53 @@ fn fw_survives_a_fault_in_every_wave_within_the_fault_free_budget() {
         "per-shuffle GC must return every staged byte"
     );
     assert_eq!(faulted.final_staged, vec![0; NODES]);
+}
+
+#[test]
+fn fw_every_wave_faulted_with_real_backoff_on_the_virtual_clock() {
+    // The same every-wave-fault scenario, but deterministically
+    // scheduled and with a real 200 ms retry backoff — which the wall
+    // clock never sees: each deferral is a virtual-clock jump. Under a
+    // real clock this test would sleep for seconds per retried wave.
+    let input = dist_matrix(32, 1234);
+    let mut reference = input.clone();
+    gep_reference::<Tropical>(&mut reference);
+
+    let seed = 77;
+    let faulted =
+        run_fw_seeded(&input, None, true, Some(seed)).expect("every map wave faulted (sim)");
+    assert_eq!(faulted.out.first_difference(&reference), None);
+    assert!(
+        faulted.retries >= 4,
+        "one retry per map wave at minimum, got {}",
+        faulted.retries
+    );
+    assert_eq!(faulted.final_staged, vec![0; NODES]);
+    // Every retry parks for its full backoff in virtual time.
+    assert!(
+        faulted.elapsed_ms >= 200 * faulted.retries,
+        "each of the {} retries must serve >= 200 virtual ms of backoff \
+         (virtual clock only reached {} ms)",
+        faulted.retries,
+        faulted.elapsed_ms
+    );
+
+    // Replay: the identical seed reproduces the identical run.
+    let replay = run_fw_seeded(&input, None, true, Some(seed)).expect("replayed sim solve");
+    assert_eq!(replay.out.first_difference(&faulted.out), None);
+    assert_eq!(
+        (
+            replay.stages,
+            replay.tasks,
+            replay.retries,
+            replay.elapsed_ms
+        ),
+        (
+            faulted.stages,
+            faulted.tasks,
+            faulted.retries,
+            faulted.elapsed_ms
+        ),
+        "same seed must reproduce the identical schedule"
+    );
 }

@@ -35,10 +35,12 @@
 
 #![warn(missing_docs)]
 
+mod clock;
 mod metrics;
 mod pool;
 mod scope;
 
+pub use clock::{Clock, SystemClock, VirtualClock};
 pub use metrics::PoolMetrics;
 pub use pool::{Pool, PoolBuilder};
 pub use scope::Scope;

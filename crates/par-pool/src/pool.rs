@@ -9,6 +9,7 @@ use std::time::Duration;
 use crossbeam::deque::{Injector, Stealer, Worker as Deque};
 use parking_lot::{Condvar, Mutex};
 
+use crate::clock::{Clock, SystemClock};
 use crate::metrics::PoolMetrics;
 use crate::scope::Scope;
 
@@ -221,6 +222,7 @@ pub struct PoolBuilder {
     threads: usize,
     name_prefix: String,
     stack_size: usize,
+    clock: Arc<dyn Clock>,
 }
 
 impl Default for PoolBuilder {
@@ -232,6 +234,7 @@ impl Default for PoolBuilder {
             // chain per task it helped with; recursive divide-&-conquer
             // kernels therefore want roomy stacks.
             stack_size: 16 << 20,
+            clock: Arc::new(SystemClock::new()),
         }
     }
 }
@@ -252,6 +255,16 @@ impl PoolBuilder {
     /// Stack size per worker thread in bytes (default 16 MiB).
     pub fn stack_size(mut self, bytes: usize) -> Self {
         self.stack_size = bytes;
+        self
+    }
+
+    /// Time source the pool exposes to its clients via [`Pool::clock`]
+    /// (default: a fresh [`SystemClock`]). A [`crate::VirtualClock`]
+    /// here makes every timed decision taken *through the pool handle*
+    /// deterministic; the workers' internal condvar waits stay real —
+    /// they affect liveness only, never the observable schedule.
+    pub fn clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -281,7 +294,11 @@ impl PoolBuilder {
                     .expect("spawn pool worker")
             })
             .collect();
-        Pool { shared, workers }
+        Pool {
+            shared,
+            workers,
+            clock: self.clock,
+        }
     }
 }
 
@@ -290,6 +307,7 @@ impl PoolBuilder {
 pub struct Pool {
     pub(crate) shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    clock: Arc<dyn Clock>,
 }
 
 impl std::fmt::Debug for Pool {
@@ -330,6 +348,11 @@ impl Pool {
     /// Execution counters.
     pub fn metrics(&self) -> &PoolMetrics {
         &self.shared.metrics
+    }
+
+    /// The pool's time source (see [`PoolBuilder::clock`]).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Fire-and-forget: run `f` on some pool worker. Unlike

@@ -119,14 +119,16 @@ fn panics_propagate_after_all_tasks_finish() {
 
 #[test]
 fn single_thread_pool_runs_inline_deterministically() {
+    // The lock also keeps this sound if an index ever runs off the
+    // submitting thread; the assertion below still pins the order.
+    // (An earlier unsynchronized `*const -> *mut Vec` cast here was
+    // undefined behavior and crashed under release optimization.)
     let pool = Pool::new(1);
-    let order = Vec::new();
+    let order = Mutex::new(Vec::new());
     pool.parallel_for(0, 16, |i| {
-        // Safe: with one thread the fast path runs on this thread.
-        let ptr = &order as *const Vec<usize> as *mut Vec<usize>;
-        unsafe { (*ptr).push(i) };
+        order.lock().unwrap().push(i);
     });
-    assert_eq!(order, (0..16usize).collect::<Vec<_>>());
+    assert_eq!(*order.lock().unwrap(), (0..16usize).collect::<Vec<_>>());
 }
 
 #[test]

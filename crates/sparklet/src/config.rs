@@ -52,6 +52,17 @@ pub struct SparkConf {
     /// (`None` = unbounded; 1 reproduces the old serial stage walk for
     /// A/B benchmarking).
     pub max_concurrent_stages: Option<usize>,
+    /// Deterministic simulation seed. `Some(seed)` switches the
+    /// context to sim mode: a virtual clock replaces wall time, tasks
+    /// run sequentially in a seeded order, and the whole schedule is a
+    /// pure function of the seed (see DESIGN.md, "Deterministic
+    /// simulation").
+    pub sim_seed: Option<u64>,
+    /// Whole-job resubmissions allowed after a
+    /// [`crate::JobError::FetchFailed`] (lost or chaos-failed map
+    /// outputs trigger a map-stage re-run, Spark-style, rather than a
+    /// task retry).
+    pub max_fetch_retries: usize,
 }
 
 impl Default for SparkConf {
@@ -71,6 +82,8 @@ impl Default for SparkConf {
             speculation: false,
             speculation_quantile: 0.75,
             max_concurrent_stages: None,
+            sim_seed: None,
+            max_fetch_retries: 8,
         }
     }
 }
@@ -188,6 +201,18 @@ impl SparkConf {
         self.max_concurrent_stages = Some(n);
         self
     }
+
+    /// Switch to deterministic simulation mode under `seed`.
+    pub fn with_sim_seed(mut self, seed: u64) -> Self {
+        self.sim_seed = Some(seed);
+        self
+    }
+
+    /// Set the whole-job resubmission budget for fetch failures.
+    pub fn with_max_fetch_retries(mut self, n: usize) -> Self {
+        self.max_fetch_retries = n;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -245,6 +270,18 @@ mod tests {
         let d = SparkConf::default();
         assert!(!d.speculation, "speculation is opt-in");
         assert_eq!(d.retry_backoff_ms, 0, "backoff off by default");
+    }
+
+    #[test]
+    fn sim_knobs_compose() {
+        let c = SparkConf::default()
+            .with_sim_seed(1234)
+            .with_max_fetch_retries(3);
+        assert_eq!(c.sim_seed, Some(1234));
+        assert_eq!(c.max_fetch_retries, 3);
+        let d = SparkConf::default();
+        assert_eq!(d.sim_seed, None, "real execution by default");
+        assert_eq!(d.max_fetch_retries, 8);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! The driver-side context: executors, shared services, and task state.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use cluster_model::{KernelInvocation, TaskRecord};
+use cluster_model::{KernelInvocation, TaskRecord, TickCharger};
+use par_pool::{Clock, SystemClock, VirtualClock};
 use parking_lot::Mutex;
 
 use crate::broadcast::{Broadcast, BroadcastStore};
@@ -15,6 +16,7 @@ use crate::partitioner::{HashPartitioner, Partitioner};
 use crate::rdd::{Key, Rdd, ShufVal};
 use crate::scheduler::FaultPlan;
 use crate::shuffle::ShuffleManager;
+use crate::sim::{ChaosEvent, ChaosPolicy, SimRng};
 use crate::storage::BlockStore;
 use crate::Data;
 
@@ -49,6 +51,27 @@ pub(crate) struct CtxInner {
     pub stages_in_flight: AtomicU64,
     /// High-water mark of [`CtxInner::stages_in_flight`].
     pub peak_stages_in_flight: AtomicU64,
+    /// The context's time source: wall clock normally, the virtual
+    /// clock in sim mode.
+    pub clock: Arc<dyn Clock>,
+    /// Concrete handle on the virtual clock when in sim mode (the
+    /// simulated scheduler advances it explicitly).
+    pub vclock: Option<Arc<VirtualClock>>,
+    /// Seeded scheduler state, present iff `conf.sim_seed` is set.
+    pub sim: Option<SimState>,
+    /// Installed chaos policy, consulted per task attempt.
+    pub chaos: Mutex<Option<ChaosPolicy>>,
+    /// Whole-job resubmissions taken after fetch failures.
+    pub stage_resubmissions: AtomicU64,
+}
+
+/// Deterministic-mode scheduler state: the seeded pick stream and the
+/// virtual-time cost charger.
+pub(crate) struct SimState {
+    /// Stream behind every "which ready item next" choice.
+    pub rng: Mutex<SimRng>,
+    /// Converts task records into logical milliseconds.
+    pub charger: TickCharger,
 }
 
 /// Watermarks of engine counters already attributed to stage records.
@@ -86,12 +109,22 @@ impl SparkContext {
     /// Build a context (spawns the executor pools).
     pub fn new(conf: SparkConf) -> Self {
         assert!(conf.executors >= 1);
+        let vclock = conf.sim_seed.map(|_| Arc::new(VirtualClock::new()));
+        let clock: Arc<dyn Clock> = match &vclock {
+            Some(v) => Arc::clone(v) as Arc<dyn Clock>,
+            None => Arc::new(SystemClock::new()),
+        };
+        let sim = conf.sim_seed.map(|seed| SimState {
+            rng: Mutex::new(SimRng::new(seed)),
+            charger: TickCharger::default(),
+        });
         let executors = (0..conf.executors)
             .map(|node| Executor {
                 node,
                 pool: par_pool::Pool::builder()
                     .threads(conf.worker_threads.min(conf.executor_cores).max(1))
                     .name_prefix(format!("exec-{node}"))
+                    .clock(Arc::clone(&clock))
                     .build(),
                 store: BlockStore::new(node, conf.executor_memory, conf.disk_capacity),
             })
@@ -110,6 +143,11 @@ impl SparkContext {
                 claim_marks: Mutex::new(ClaimMarks::default()),
                 stages_in_flight: AtomicU64::new(0),
                 peak_stages_in_flight: AtomicU64::new(0),
+                clock,
+                vclock,
+                sim,
+                chaos: Mutex::new(None),
+                stage_resubmissions: AtomicU64::new(0),
                 conf,
             }),
         }
@@ -307,6 +345,126 @@ impl SparkContext {
             .map(|e| e.store.fenced_puts_total())
             .sum()
     }
+
+    /// `true` when this context runs in deterministic simulation mode
+    /// ([`SparkConf::with_sim_seed`]).
+    pub fn is_deterministic(&self) -> bool {
+        self.inner.sim.is_some()
+    }
+
+    /// The context's time source (virtual in sim mode).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.inner.clock
+    }
+
+    /// Milliseconds since the context was created: wall time normally,
+    /// logical time in sim mode.
+    pub fn now_ms(&self) -> u64 {
+        self.inner.clock.now_ms()
+    }
+
+    /// Install a seeded [`ChaosPolicy`]; every subsequent task attempt
+    /// consults it. Replaces any previous policy.
+    pub fn install_chaos(&self, policy: ChaosPolicy) {
+        *self.inner.chaos.lock() = Some(policy);
+    }
+
+    /// Remove any installed [`ChaosPolicy`]; later jobs run clean.
+    pub fn clear_chaos(&self) {
+        *self.inner.chaos.lock() = None;
+    }
+
+    /// Kill executor `node`: its cached blocks vanish (recomputable
+    /// ones recompute from lineage; others surface `MissingBlock`) and
+    /// its staged map outputs become unfetchable (reduces see
+    /// [`crate::JobError::FetchFailed`], triggering map-stage
+    /// resubmission). The pool itself survives — the model is a
+    /// instantly-restarted executor with empty local state.
+    pub fn kill_executor(&self, node: usize) -> ExecutorLoss {
+        let (cached_mem_bytes, cached_disk_bytes) = self.inner.executors[node].store.wipe();
+        let (map_buckets_lost, map_bytes_lost) = self.inner.shuffle.drop_node_outputs(node);
+        ExecutorLoss {
+            node,
+            cached_mem_bytes,
+            cached_disk_bytes,
+            map_buckets_lost,
+            map_bytes_lost,
+        }
+    }
+
+    /// Staged bytes written off as lost with their executor (distinct
+    /// from [`SparkContext::staged_released_bytes`], which counts
+    /// orderly reconciliation).
+    pub fn staged_lost_bytes(&self) -> u64 {
+        self.inner.shuffle.staged_lost_bytes()
+    }
+
+    /// Whole-job resubmissions taken after fetch failures since the
+    /// context was created.
+    pub fn stage_resubmissions(&self) -> u64 {
+        self.inner.stage_resubmissions.load(Ordering::Relaxed)
+    }
+
+    /// Cross-check every manager's running counters against a recount
+    /// of its actual state: the shuffle staging ledger and each node's
+    /// block-store tier accounting. The simulation harness calls this
+    /// after every scenario; an `Err` names the first discrepancy.
+    pub fn audit(&self) -> Result<(), String> {
+        self.inner.shuffle.audit()?;
+        for (node, ex) in self.inner.executors.iter().enumerate() {
+            ex.store.audit().map_err(|e| format!("node {node}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Seeded pick in `0..n` (sim-mode schedulers). Falls back to 0
+    /// outside sim mode — callers gate on [`SparkContext::is_deterministic`].
+    pub(crate) fn sim_draw(&self, n: usize) -> usize {
+        match &self.inner.sim {
+            Some(sim) if n > 0 => sim.rng.lock().pick(n),
+            _ => 0,
+        }
+    }
+
+    /// The chaos verdict for one task attempt, if a policy is
+    /// installed.
+    pub(crate) fn chaos_event(
+        &self,
+        stage: u64,
+        partition: usize,
+        attempt: u64,
+    ) -> Option<ChaosEvent> {
+        self.inner
+            .chaos
+            .lock()
+            .as_mut()
+            .and_then(|p| p.event_for(stage, partition, attempt))
+    }
+
+    /// Note a fetch-failure-driven resubmission of `shuffle`: reopen
+    /// its latch so the next planning pass re-runs the map stage.
+    pub(crate) fn note_stage_resubmission(&self, shuffle: u64) {
+        self.inner.registry.invalidate(shuffle);
+        self.inner
+            .stage_resubmissions
+            .fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// What [`SparkContext::kill_executor`] destroyed, for assertions and
+/// logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecutorLoss {
+    /// The executor that died.
+    pub node: usize,
+    /// Memory-tier cached bytes wiped.
+    pub cached_mem_bytes: u64,
+    /// Disk-tier cached bytes wiped.
+    pub cached_disk_bytes: u64,
+    /// Staged map-output buckets lost.
+    pub map_buckets_lost: u64,
+    /// Staged map-output bytes lost.
+    pub map_bytes_lost: u64,
 }
 
 /// A driver-visible, add-only counter that tasks update — Spark's
@@ -360,6 +518,12 @@ pub struct TaskContext {
     attempt: u64,
     fence: Option<(CommitBoard, usize)>,
     record: Mutex<TaskRecord>,
+    /// Armed by a [`ChaosEvent::FetchFailure`]; the first shuffle
+    /// fetch this task makes consumes it and fails.
+    chaos_fetch_fail: AtomicBool,
+    /// Armed by a [`ChaosEvent::DiskFull`]; every disk write this task
+    /// triggers sees a full disk.
+    chaos_disk_full: bool,
 }
 
 impl TaskContext {
@@ -374,6 +538,8 @@ impl TaskContext {
                 node,
                 ..Default::default()
             }),
+            chaos_fetch_fail: AtomicBool::new(false),
+            chaos_disk_full: false,
         }
     }
 
@@ -393,7 +559,31 @@ impl TaskContext {
                 node,
                 ..Default::default()
             }),
+            chaos_fetch_fail: AtomicBool::new(false),
+            chaos_disk_full: false,
         }
+    }
+
+    /// Arm this task's chaos flags from its attempt's event.
+    pub(crate) fn with_chaos(mut self, event: Option<&ChaosEvent>) -> Self {
+        match event {
+            Some(ChaosEvent::FetchFailure) => {
+                self.chaos_fetch_fail = AtomicBool::new(true);
+            }
+            Some(ChaosEvent::DiskFull) => self.chaos_disk_full = true,
+            _ => {}
+        }
+        self
+    }
+
+    /// Consume the armed fetch failure, if any (first fetch only).
+    pub(crate) fn take_chaos_fetch_failure(&self) -> bool {
+        self.chaos_fetch_fail.swap(false, Ordering::Relaxed)
+    }
+
+    /// Is this task doomed to see a full disk on every spill?
+    pub(crate) fn chaos_disk_full(&self) -> bool {
+        self.chaos_disk_full
     }
 
     /// The executor (node) this task runs on.

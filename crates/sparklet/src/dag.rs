@@ -58,6 +58,11 @@ enum LatchState {
     Running,
     Done,
     Failed(JobError),
+    /// Failed in a *recoverable* way (a fetch failure while reading a
+    /// parent shuffle): waiters see the error, but unlike
+    /// [`LatchState::Failed`] the latch is claimable again, so a
+    /// job-level resubmission can re-run the map stage.
+    Aborted(JobError),
 }
 
 /// What a stage launch is allowed to do with a shuffle.
@@ -103,15 +108,25 @@ impl ShuffleLatch {
             LatchState::Running => Claim::Wait,
             LatchState::Done => Claim::Done,
             LatchState::Failed(e) => Claim::Failed(e.clone()),
+            // A fetch-failure abort is claimable again: the resubmitted
+            // job re-runs the map stage from lineage.
+            LatchState::Aborted(_) => {
+                *st = LatchState::Running;
+                Claim::Run
+            }
         }
     }
 
     /// Publish the map stage's outcome and wake waiters. A failure is
-    /// sticky: every later claim observes the winner's error.
+    /// sticky — every later claim observes the winner's error — except
+    /// a [`JobError::FetchFailed`], which marks the latch *aborted* so
+    /// a job-level resubmission can re-run the stage after its lost
+    /// parent outputs are regenerated.
     pub(crate) fn finish(&self, result: &Result<(), JobError>) {
         let mut st = self.state.lock();
         *st = match result {
             Ok(()) => LatchState::Done,
+            Err(e @ JobError::FetchFailed { .. }) => LatchState::Aborted(e.clone()),
             Err(e) => LatchState::Failed(e.clone()),
         };
         self.cond.notify_all();
@@ -125,13 +140,25 @@ impl ShuffleLatch {
         }
         match &*st {
             LatchState::Done => Ok(()),
-            LatchState::Failed(e) => Err(e.clone()),
+            LatchState::Failed(e) | LatchState::Aborted(e) => Err(e.clone()),
             _ => unreachable!("latch settled"),
         }
     }
 
     fn is_done(&self) -> bool {
         matches!(&*self.state.lock(), LatchState::Done)
+    }
+
+    /// Reset a settled latch back to `Idle` so the next plan pass
+    /// re-runs the map stage. Only `Done`/`Aborted` latches reopen:
+    /// an in-flight materialization keeps running and a hard failure
+    /// stays sticky.
+    fn reopen(&self) {
+        let mut st = self.state.lock();
+        if matches!(&*st, LatchState::Done | LatchState::Aborted(_)) {
+            *st = LatchState::Idle;
+            self.stage_id.store(STAGE_UNSET, Ordering::Release);
+        }
     }
 
     fn set_stage(&self, stage: u64) {
@@ -180,6 +207,15 @@ impl ShuffleRegistry {
     /// Stage ordinal that materialized shuffle `id`, if it ran.
     pub(crate) fn stage_of(&self, id: u64) -> Option<u64> {
         self.latches.lock().get(&id).and_then(|l| l.stage())
+    }
+
+    /// Invalidate shuffle `id` after its map outputs were lost (e.g.
+    /// with a dead executor): the next plan pass stops pruning it and
+    /// re-runs its map stage.
+    pub(crate) fn invalidate(&self, id: u64) {
+        if let Some(l) = self.latches.lock().get(&id) {
+            l.reopen();
+        }
     }
 }
 
@@ -242,11 +278,16 @@ fn build_plan(ctx: &SparkContext, roots: &[Arc<dyn ShuffleDep>]) -> StagePlan {
     for root in roots {
         visit(ctx, root, &mut plan);
     }
+    // Derive child edges from `order`, not from the node map: HashMap
+    // iteration order would make each parent's `children` list — and
+    // therefore the ready-queue order of the event loop — vary from
+    // run to run, which breaks seeded replay.
     let edges: Vec<(u64, u64)> = plan
-        .nodes
+        .order
         .iter()
-        .flat_map(|(&id, node)| {
-            node.parents
+        .flat_map(|&id| {
+            plan.nodes[&id]
+                .parents
                 .iter()
                 .copied()
                 .map(move |p| (p, id))
@@ -282,6 +323,9 @@ pub(crate) fn materialize_stage_graph(
     let plan = build_plan(ctx, roots);
     if plan.order.is_empty() {
         return Ok(());
+    }
+    if ctx.is_deterministic() {
+        return materialize_sim(ctx, plan);
     }
     let mut pending: HashMap<u64, usize> = plan
         .nodes
@@ -395,6 +439,84 @@ pub(crate) fn materialize_stage_graph(
     }
 }
 
+/// Deterministic-mode event loop: no runner threads. Stages execute
+/// one at a time on the driver thread, and when several stages are
+/// ready the *seeded* context RNG picks which runs next — so a single
+/// `u64` seed fully determines the stage schedule, while still
+/// exercising every interleaving the threaded loop could produce.
+fn materialize_sim(ctx: &SparkContext, plan: StagePlan) -> Result<(), JobError> {
+    let mut pending: HashMap<u64, usize> = plan
+        .nodes
+        .iter()
+        .map(|(&id, node)| {
+            let n = node
+                .parents
+                .iter()
+                .filter(|p| plan.nodes.contains_key(p))
+                .count();
+            (id, n)
+        })
+        .collect();
+    let mut ready: Vec<u64> = plan
+        .order
+        .iter()
+        .copied()
+        .filter(|id| pending[id] == 0)
+        .collect();
+    let mut done: VecDeque<u64> = VecDeque::new();
+    let mut failure: Option<JobError> = None;
+    loop {
+        while let Some(id) = done.pop_front() {
+            for child in &plan.nodes[&id].children {
+                let slot = pending.get_mut(child).expect("child in plan");
+                *slot -= 1;
+                if *slot == 0 {
+                    ready.push(*child);
+                }
+            }
+        }
+        if failure.is_some() || ready.is_empty() {
+            if done.is_empty() {
+                break;
+            }
+            continue;
+        }
+        let id = ready.swap_remove(ctx.sim_draw(ready.len()));
+        let node = &plan.nodes[&id];
+        let latch = ctx.inner.registry.latch(id);
+        match latch.try_claim() {
+            Claim::Done => done.push_back(id),
+            Claim::Failed(e) => failure = Some(e),
+            Claim::Run => {
+                let meta = StageMeta {
+                    stage_id: ctx.alloc_stage_ordinal(),
+                    parent_shuffles: node.parents.clone(),
+                    concurrent: ctx.stage_launched(),
+                };
+                ctx.inner.registry.note_stage(id, meta.stage_id);
+                let res = node.dep.run_map_stage(meta);
+                latch.finish(&res);
+                ctx.stage_finished();
+                match res {
+                    Ok(()) => done.push_back(id),
+                    Err(e) => failure = Some(e),
+                }
+            }
+            // Jobs are inlined in sim mode, so a Running latch can only
+            // belong to another real thread (mixed-mode use); settle it
+            // the same way the threaded loop would.
+            Claim::Wait => match latch.wait_done() {
+                Ok(()) => done.push_back(id),
+                Err(e) => failure = Some(e),
+            },
+        }
+    }
+    match failure {
+        None => Ok(()),
+        Some(e) => Err(e),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Plan explain
 // ---------------------------------------------------------------------
@@ -478,6 +600,15 @@ impl<T: Send + 'static> JobHandle<T> {
         JobHandle { rx }
     }
 
+    /// Wrap an already-computed result. Used in deterministic mode,
+    /// where "async" submissions run inline on the caller's thread so
+    /// the seeded schedule has no hidden thread interleavings.
+    pub(crate) fn ready(result: Result<T, JobError>) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded(1);
+        let _ = tx.send(result);
+        JobHandle { rx }
+    }
+
     /// Has the job finished (its result is ready to [`JobHandle::wait`] for)?
     pub fn is_finished(&self) -> bool {
         !self.rx.is_empty()
@@ -516,6 +647,45 @@ mod tests {
         latch.finish(&Err(JobError::MissingBlock("x".into())));
         assert!(matches!(latch.try_claim(), Claim::Failed(_)));
         assert!(latch.wait_done().is_err());
+    }
+
+    #[test]
+    fn fetch_failure_aborts_without_sticking() {
+        let latch = ShuffleLatch::new();
+        assert!(matches!(latch.try_claim(), Claim::Run));
+        latch.finish(&Err(JobError::FetchFailed {
+            shuffle: 7,
+            partition: 0,
+            reason: "map output lost".into(),
+        }));
+        // Waiters of the aborted run still see the error...
+        assert!(latch.wait_done().is_err());
+        // ...but a resubmitted job can claim and re-run the stage.
+        assert!(matches!(latch.try_claim(), Claim::Run));
+        latch.finish(&Ok(()));
+        assert!(matches!(latch.try_claim(), Claim::Done));
+    }
+
+    #[test]
+    fn invalidate_reopens_done_latches_but_keeps_hard_failures_sticky() {
+        let reg = ShuffleRegistry::default();
+        let latch = reg.latch(1);
+        assert!(matches!(latch.try_claim(), Claim::Run));
+        latch.finish(&Ok(()));
+        assert!(reg.is_done(1));
+        reg.invalidate(1);
+        assert!(!reg.is_done(1));
+        assert!(matches!(latch.try_claim(), Claim::Run));
+        latch.finish(&Err(JobError::MissingBlock("x".into())));
+        reg.invalidate(1);
+        assert!(matches!(latch.try_claim(), Claim::Failed(_)));
+    }
+
+    #[test]
+    fn job_handle_ready_is_immediately_finished() {
+        let h = JobHandle::ready(Ok(7u32));
+        assert!(h.is_finished());
+        assert_eq!(h.wait().unwrap(), 7);
     }
 
     #[test]

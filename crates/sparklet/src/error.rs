@@ -44,6 +44,19 @@ pub enum JobError {
         /// Configured capacity.
         capacity: u64,
     },
+    /// A reduce task could not fetch a map output (the bucket was lost
+    /// with its executor, or chaos failed the fetch). Not retryable at
+    /// task level — the lost map outputs must be regenerated, so the
+    /// driver resubmits the producing map stage (Spark's
+    /// `FetchFailed` → stage-resubmission path).
+    FetchFailed {
+        /// Shuffle whose map output could not be fetched.
+        shuffle: u64,
+        /// Reduce partition that was fetching.
+        partition: usize,
+        /// What went wrong.
+        reason: String,
+    },
     /// Serialization error.
     Codec(String),
     /// A referenced shuffle/broadcast/cache entry is missing (lineage
@@ -80,6 +93,14 @@ impl fmt::Display for JobError {
             JobError::DiskOverflow { node, used, capacity } => write!(
                 f,
                 "disk tier overflow on node {node}: {used} bytes stored, capacity {capacity}"
+            ),
+            JobError::FetchFailed {
+                shuffle,
+                partition,
+                reason,
+            } => write!(
+                f,
+                "fetch failed for reduce partition {partition} of shuffle #{shuffle}: {reason}"
             ),
             JobError::Codec(msg) => write!(f, "codec error: {msg}"),
             JobError::MissingBlock(what) => write!(f, "missing block: {what}"),

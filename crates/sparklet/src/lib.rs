@@ -35,7 +35,12 @@
 //!   a shuffle shared by several branches or concurrent jobs is
 //!   materialized exactly once, and [`Rdd::collect_async`] /
 //!   [`Rdd::count_async`] submit whole jobs concurrently via
-//!   [`JobHandle`]s.
+//!   [`JobHandle`]s;
+//! * **deterministic simulation** — [`SparkConf::with_sim_seed`]
+//!   switches the whole engine onto a virtual clock and a seeded
+//!   scheduler, and [`SparkContext::install_chaos`] scripts faults
+//!   (panics, stragglers, fetch failures, executor loss, full disks)
+//!   so any concurrency bug replays from its `u64` seed.
 //!
 //! The cluster is *simulated within one process*: executors are thread
 //! pools, the "network" is the shuffle manager, and the recorded event
@@ -57,18 +62,20 @@ pub mod partitioner;
 pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
+pub mod sim;
 pub mod storage;
 
 pub use broadcast::Broadcast;
 pub use codec::Storable;
 pub use config::SparkConf;
-pub use context::{Accumulator, SparkContext, StorageTotals, TaskContext};
+pub use context::{Accumulator, ExecutorLoss, SparkContext, StorageTotals, TaskContext};
 pub use dag::JobHandle;
 pub use error::JobError;
 pub use ext::{Either, RangePartitioner};
 pub use metrics::EventLog;
 pub use partitioner::{GridPartitioner, HashPartitioner, Partitioner};
 pub use rdd::Rdd;
+pub use sim::{ChaosEvent, ChaosPolicy};
 pub use storage::{BlockStore, PutOutcome, StorageLevel};
 
 /// Bound for anything that flows through an RDD.

@@ -176,6 +176,17 @@ impl EventLog {
             .unwrap_or(0)
     }
 
+    /// Schedule fingerprint: `(stage_id, label)` in completion order.
+    /// Two runs with the same sim seed must produce identical
+    /// fingerprints — this is what the simulation harness compares to
+    /// assert a seed fully determines the schedule.
+    pub fn stage_order(&self) -> Vec<(u64, String)> {
+        self.stages
+            .iter()
+            .map(|s| (s.record.stage_id, s.label.clone()))
+            .collect()
+    }
+
     /// Plain records for the cost model.
     pub fn records(&self) -> Vec<StageRecord> {
         self.stages.iter().map(|s| s.record.clone()).collect()

@@ -504,6 +504,11 @@ impl<K: Key, V: ShufVal> ShuffleDep for ShuffledRdd<K, V> {
                     k.encode(&mut slot.0);
                     v.encode(&mut slot.0);
                 }
+                // Flush in bucket order: HashMap iteration order would
+                // vary the shuffle-write sequence (and thus staging
+                // overflow points) between runs, breaking seeded replay.
+                let mut bufs: Vec<(usize, (BytesMut, u64))> = bufs.into_iter().collect();
+                bufs.sort_unstable_by_key(|&(bucket, _)| bucket);
                 for (bucket, (buf, declared)) in bufs {
                     inner_ctx.inner.shuffle.write(
                         shuffle_id,
@@ -669,6 +674,10 @@ impl<K: Key, V: ShufVal, C: ShufVal> ShuffleDep for CombinedRdd<K, V, C> {
                     k.encode(&mut slot.0);
                     c.encode(&mut slot.0);
                 }
+                // Flush in bucket order (see ShuffledRdd: deterministic
+                // write sequence for seeded replay).
+                let mut bufs: Vec<(usize, (BytesMut, u64))> = bufs.into_iter().collect();
+                bufs.sort_unstable_by_key(|&(bucket, _)| bucket);
                 for (bucket, (buf, declared)) in bufs {
                     inner_ctx.inner.shuffle.write(
                         shuffle_id,
@@ -1141,7 +1150,34 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
     /// Materialize every upstream shuffle through the DAG scheduler,
     /// then run the result stage itself. Returns the results and the
     /// result stage's ordinal (for post-hoc record annotation).
+    ///
+    /// A [`JobError::FetchFailed`] — map outputs lost with their
+    /// executor — resubmits the whole action (Spark's map-stage
+    /// resubmission): the lost shuffle's latch reopens so the next
+    /// plan pass re-runs its map stage from lineage, and each retry
+    /// walks one more lost lineage level if the recovery itself hits
+    /// a missing grandparent. Bounded by
+    /// [`crate::SparkConf::max_fetch_retries`].
     fn run_action<R: Send + 'static>(
+        &self,
+        label: &str,
+        work: TaskFn<R>,
+    ) -> Result<(Vec<R>, u64), JobError> {
+        let mut resubmits = 0usize;
+        loop {
+            match self.run_action_once(label, Arc::clone(&work)) {
+                Err(JobError::FetchFailed { shuffle, .. })
+                    if resubmits < self.ctx.conf().max_fetch_retries =>
+                {
+                    resubmits += 1;
+                    self.ctx.note_stage_resubmission(shuffle);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn run_action_once<R: Send + 'static>(
         &self,
         label: &str,
         work: TaskFn<R>,
@@ -1197,27 +1233,45 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
     /// thread. Independent jobs overlap; a shuffle shared with another
     /// in-flight job is materialized exactly once (latched per shuffle
     /// id by the DAG scheduler).
+    /// In deterministic mode the job runs inline on the calling thread
+    /// instead — the handle is returned already finished — so the
+    /// seeded schedule has no hidden thread interleavings.
     pub fn collect_async(&self) -> JobHandle<Vec<(K, V)>> {
+        if self.ctx.is_deterministic() {
+            return JobHandle::ready(self.collect());
+        }
         let rdd = self.clone();
         JobHandle::spawn(move || rdd.collect())
     }
 
-    /// Submit [`Rdd::count`] as an asynchronous job on a driver thread.
+    /// Submit [`Rdd::count`] as an asynchronous job on a driver thread
+    /// (inline when deterministic, like [`Rdd::collect_async`]).
     pub fn count_async(&self) -> JobHandle<usize> {
+        if self.ctx.is_deterministic() {
+            return JobHandle::ready(self.count());
+        }
         let rdd = self.clone();
         JobHandle::spawn(move || rdd.count())
     }
 
     /// Submit [`Rdd::persist`] as an asynchronous job on a driver
-    /// thread, returning a handle to the materialized RDD.
+    /// thread (inline when deterministic), returning a handle to the
+    /// materialized RDD.
     pub fn persist_async(&self, level: StorageLevel) -> JobHandle<Rdd<K, V>> {
+        if self.ctx.is_deterministic() {
+            return JobHandle::ready(self.persist(level));
+        }
         let rdd = self.clone();
         JobHandle::spawn(move || rdd.persist(level))
     }
 
     /// Submit [`Rdd::checkpoint_with_level`] as an asynchronous job on
-    /// a driver thread, returning a handle to the materialized RDD.
+    /// a driver thread (inline when deterministic), returning a handle
+    /// to the materialized RDD.
     pub fn checkpoint_async_with_level(&self, level: StorageLevel) -> JobHandle<Rdd<K, V>> {
+        if self.ctx.is_deterministic() {
+            return JobHandle::ready(self.checkpoint_with_level(level));
+        }
         let rdd = self.clone();
         JobHandle::spawn(move || rdd.checkpoint_with_level(level))
     }

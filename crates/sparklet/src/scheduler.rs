@@ -17,10 +17,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cluster_model::StageRecord;
+use cluster_model::{StageRecord, TaskRecord};
+use par_pool::Clock;
 
 use crate::context::{CommitBoard, SparkContext, StorageTotals, TaskContext};
 use crate::error::JobError;
+use crate::sim::ChaosEvent;
 
 /// The closure a stage runs per task.
 pub(crate) type TaskFn<R> = Arc<dyn Fn(usize, &TaskContext) -> Result<R, JobError> + Send + Sync>;
@@ -117,14 +119,76 @@ impl FaultPlan {
 }
 
 /// Is this error worth re-running the task for? Staging/memory/disk
-/// overflows are deterministic — retrying cannot help.
+/// overflows are deterministic — retrying cannot help. A fetch failure
+/// is not *task*-retryable either: the map outputs it needs are gone,
+/// so re-running the reduce task hits the same hole. It propagates to
+/// the job level, which resubmits the producing map stage (Spark's
+/// `FetchFailed` path).
 fn retryable(err: &JobError) -> bool {
     !matches!(
         err,
         JobError::StagingOverflow { .. }
             | JobError::MemoryOverflow { .. }
             | JobError::DiskOverflow { .. }
+            | JobError::FetchFailed { .. }
     )
+}
+
+/// Execute one task attempt inline: fenced [`TaskContext`] with any
+/// chaos verdict armed on it, straggler delay charged to `clock`,
+/// panics caught, and injected/chaos panics failing the attempt *after*
+/// its side effects (shuffle writes, cache puts) have landed so retries
+/// exercise real re-staging reconciliation. Shared by the threaded
+/// executor path (inside the spawned closure) and the deterministic
+/// scheduler (on the driver thread).
+#[allow(clippy::too_many_arguments)]
+fn run_task_attempt<R>(
+    label: &str,
+    p: usize,
+    attempt: u64,
+    node: usize,
+    board: &CommitBoard,
+    work: &TaskFn<R>,
+    injected: bool,
+    chaos: Option<ChaosEvent>,
+    clock: &Arc<dyn Clock>,
+) -> (Result<R, JobError>, TaskRecord) {
+    let tc =
+        TaskContext::for_attempt(node, attempt, Arc::clone(board), p).with_chaos(chaos.as_ref());
+    if let Some(ChaosEvent::Straggler { delay_ms }) = chaos {
+        clock.sleep_ms(delay_ms);
+    }
+    let outcome = match catch_unwind(AssertUnwindSafe(|| work(p, &tc))) {
+        Ok(r) => r,
+        Err(panic) => {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "task panicked".into());
+            Err(JobError::TaskFailed {
+                stage: label.to_string(),
+                partition: p,
+                attempts: attempt as usize,
+                message: msg,
+            })
+        }
+    };
+    let fail_after = injected || matches!(chaos, Some(ChaosEvent::TaskPanic));
+    let outcome = match (fail_after, outcome) {
+        (true, Ok(_)) => Err(JobError::TaskFailed {
+            stage: label.to_string(),
+            partition: p,
+            attempts: attempt as usize,
+            message: if injected {
+                format!("injected failure (partition {p})")
+            } else {
+                format!("chaos panic (partition {p})")
+            },
+        }),
+        (_, other) => other,
+    };
+    (outcome, tc.into_record())
 }
 
 impl SparkContext {
@@ -156,6 +220,9 @@ impl SparkContext {
         preferred: impl Fn(usize) -> Option<usize>,
         work: TaskFn<R>,
     ) -> Result<Vec<R>, JobError> {
+        if self.inner.sim.is_some() {
+            return self.run_stage_sim(label, meta, ntasks, preferred, work);
+        }
         let t0 = Instant::now();
         let stage = meta.stage_id;
         let parent_stage_ids: Vec<u64> = meta
@@ -176,11 +243,11 @@ impl SparkContext {
         let mut in_flight = vec![0usize; ntasks];
         let mut committed = vec![false; ntasks];
         let mut speculated = vec![false; ntasks];
-        // Partitions parked for backoff: (relaunch deadline, partition).
-        // A parked partition has no attempt in flight; the speculation
-        // sweep skips it (`in_flight == 0`) and no task message can
-        // arrive for it until relaunch.
-        let mut deferred: BinaryHeap<Reverse<(Instant, usize)>> = BinaryHeap::new();
+        // Partitions parked for backoff: (relaunch deadline in clock
+        // milliseconds, partition). A parked partition has no attempt
+        // in flight; the speculation sweep skips it (`in_flight == 0`)
+        // and no task message can arrive for it until relaunch.
+        let mut deferred: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
         let mut retries = 0u64;
         let mut speculative_launches = 0u64;
         let spawn_attempt = |p: usize, attempt: u64| {
@@ -190,47 +257,41 @@ impl SparkContext {
             // behaviour.
             let node = (base + (attempt - 1) as usize) % nodes;
             let injected = self.inner.faults.lock().should_fail(stage, p);
+            let chaos = self.chaos_event(stage, p, attempt);
+            if matches!(chaos, Some(ChaosEvent::ExecutorLoss)) {
+                // Executor loss is a driver-visible event, not task
+                // code: kill the node's state synchronously and report
+                // the attempt dead without running it.
+                self.kill_executor(node);
+                let _ = tx.send((
+                    p,
+                    attempt,
+                    Err(JobError::TaskFailed {
+                        stage: label.to_string(),
+                        partition: p,
+                        attempts: attempt as usize,
+                        message: format!("executor {node} lost (chaos)"),
+                    }),
+                    TaskRecord::default(),
+                ));
+                return;
+            }
             let work = Arc::clone(&work);
             let tx = tx.clone();
             let board = Arc::clone(&board);
             let label = label.to_string();
+            let clock = Arc::clone(&self.inner.clock);
             self.inner.executors[node].pool.spawn(move || {
-                let tc = TaskContext::for_attempt(node, attempt, board, p);
-                let outcome = match catch_unwind(AssertUnwindSafe(|| work(p, &tc))) {
-                    Ok(r) => r,
-                    Err(panic) => {
-                        let msg = panic
-                            .downcast_ref::<&str>()
-                            .map(|s| s.to_string())
-                            .or_else(|| panic.downcast_ref::<String>().cloned())
-                            .unwrap_or_else(|| "task panicked".into());
-                        Err(JobError::TaskFailed {
-                            stage: label.clone(),
-                            partition: p,
-                            attempts: attempt as usize,
-                            message: msg,
-                        })
-                    }
-                };
+                let (outcome, record) = run_task_attempt(
+                    &label, p, attempt, node, &board, &work, injected, chaos, &clock,
+                );
                 // Release the task's lineage references *before*
                 // reporting: once the driver has seen every task of a
                 // stage, no executor-side `Arc` clones may keep the
                 // stage's RDDs — and their Drop-based shuffle GC —
                 // alive past the user's last handle.
                 drop(work);
-                // Injected faults fail the attempt *after* its side
-                // effects (shuffle writes, cache puts) have landed, so
-                // retries exercise real re-staging reconciliation.
-                let outcome = match (injected, outcome) {
-                    (true, Ok(_)) => Err(JobError::TaskFailed {
-                        stage: label,
-                        partition: p,
-                        attempts: attempt as usize,
-                        message: format!("injected failure (partition {p})"),
-                    }),
-                    (_, other) => other,
-                };
-                let _ = tx.send((p, attempt, outcome, tc.into_record()));
+                let _ = tx.send((p, attempt, outcome, record));
             });
         };
         let speculation_target = if conf.speculation && ntasks > 1 {
@@ -245,10 +306,16 @@ impl SparkContext {
         }
         let mut completed = 0usize;
         while completed < ntasks {
-            // Relaunch every parked partition whose deadline passed.
-            let now = Instant::now();
+            // Relaunch every parked partition whose deadline passed. A
+            // clock jump (virtual time, or a long completion burst) can
+            // pass several deadlines at once; a partition committed by a
+            // still-in-flight twin in the meantime must not relaunch.
+            let now = self.inner.clock.now_ms();
             while deferred.peek().is_some_and(|Reverse((due, _))| *due <= now) {
                 let Reverse((_, p)) = deferred.pop().expect("peeked");
+                if committed[p] {
+                    continue;
+                }
                 retries += 1;
                 attempts[p] += 1;
                 in_flight[p] = 1;
@@ -258,7 +325,8 @@ impl SparkContext {
             // relaunch deadline — other tasks keep completing while a
             // failed partition backs off.
             let received = if let Some(Reverse((due, _))) = deferred.peek() {
-                match rx.recv_deadline(*due) {
+                let wait = due.saturating_sub(self.inner.clock.now_ms());
+                match rx.recv_timeout(Duration::from_millis(wait)) {
                     Ok(msg) => msg,
                     Err(crossbeam::channel::RecvTimeoutError::Timeout) => continue,
                     Err(crossbeam::channel::RecvTimeoutError::Disconnected) => {
@@ -314,7 +382,7 @@ impl SparkContext {
                             in_flight[p] = 1;
                             spawn_attempt(p, attempts[p]);
                         } else {
-                            deferred.push(Reverse((now + Duration::from_millis(backoff), p)));
+                            deferred.push(Reverse((now + backoff, p)));
                         }
                     } else {
                         // Record what we have, then fail the job. The
@@ -365,6 +433,193 @@ impl SparkContext {
                 ..Default::default()
             },
             t0.elapsed().as_secs_f64(),
+        );
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("task completed"))
+            .collect())
+    }
+
+    /// Deterministic single-threaded twin of [`SparkContext::run_stage`]:
+    /// attempts run sequentially on the driver thread, the seeded
+    /// context RNG picks which runnable attempt goes next, backoff
+    /// deadlines live in *virtual* milliseconds (the clock jumps
+    /// forward when nothing is runnable instead of sleeping), and each
+    /// attempt's footprint is charged to the virtual clock through the
+    /// tick charger — so a single `u64` seed fully determines the task
+    /// schedule, every interleaving the threaded scheduler could take
+    /// is reachable by some seed, and faults replay exactly.
+    ///
+    /// Speculative re-execution is structurally absent here: it needs
+    /// two attempts of one partition in flight at once, which a
+    /// sequential schedule cannot express. Zombie fencing therefore
+    /// never triggers in sim mode either.
+    fn run_stage_sim<R: Send + 'static>(
+        &self,
+        label: &str,
+        meta: StageMeta,
+        ntasks: usize,
+        preferred: impl Fn(usize) -> Option<usize>,
+        work: TaskFn<R>,
+    ) -> Result<Vec<R>, JobError> {
+        let clock = &self.inner.clock;
+        let vclock = self
+            .inner
+            .vclock
+            .as_ref()
+            .expect("sim mode implies a virtual clock");
+        let sim = self.inner.sim.as_ref().expect("sim mode");
+        let t0_ms = clock.now_ms();
+        let stage = meta.stage_id;
+        let parent_stage_ids: Vec<u64> = meta
+            .parent_shuffles
+            .iter()
+            .filter_map(|&sid| self.inner.registry.stage_of(sid))
+            .filter(|&s| s != stage)
+            .collect();
+        let conf = &self.inner.conf;
+        let nodes = self.inner.executors.len();
+        let board: CommitBoard = Arc::new((0..ntasks).map(|_| AtomicU64::new(0)).collect());
+        let mut results: Vec<Option<R>> = (0..ntasks).map(|_| None).collect();
+        let mut records = Vec::with_capacity(ntasks);
+        let mut attempts = vec![1u64; ntasks];
+        let mut committed = vec![false; ntasks];
+        let mut retries = 0u64;
+        // Launchable attempts: a partition appears at most once, with
+        // the virtual time its (possibly backed-off) launch is due.
+        struct Pending {
+            p: usize,
+            attempt: u64,
+            ready_at: u64,
+        }
+        let mut queue: Vec<Pending> = (0..ntasks)
+            .map(|p| Pending {
+                p,
+                attempt: 1,
+                ready_at: 0,
+            })
+            .collect();
+        let mut completed = 0usize;
+        while completed < ntasks {
+            let now = clock.now_ms();
+            let runnable: Vec<usize> = queue
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.ready_at <= now)
+                .map(|(i, _)| i)
+                .collect();
+            if runnable.is_empty() {
+                // Every pending attempt is backing off: jump virtual
+                // time to the earliest deadline (this is where real
+                // schedulers sleep).
+                let due = queue.iter().map(|t| t.ready_at).min().unwrap_or_else(|| {
+                    panic!(
+                        "sim scheduler quiesced with {} of {ntasks} tasks incomplete \
+                             (stage {stage}, CHAOS_SEED={:?})",
+                        ntasks - completed,
+                        conf.sim_seed
+                    )
+                });
+                vclock.advance_to(due);
+                continue;
+            }
+            let task = queue.swap_remove(runnable[self.sim_draw(runnable.len())]);
+            let (p, attempt) = (task.p, task.attempt);
+            if committed[p] {
+                continue;
+            }
+            if attempt > 1 {
+                retries += 1;
+            }
+            let base = preferred(p).unwrap_or(p % nodes);
+            let node = (base + (attempt - 1) as usize) % nodes;
+            let injected = self.inner.faults.lock().should_fail(stage, p);
+            let chaos = self.chaos_event(stage, p, attempt);
+            let (outcome, record) = if matches!(chaos, Some(ChaosEvent::ExecutorLoss)) {
+                self.kill_executor(node);
+                (
+                    Err(JobError::TaskFailed {
+                        stage: label.to_string(),
+                        partition: p,
+                        attempts: attempt as usize,
+                        message: format!("executor {node} lost (chaos)"),
+                    }),
+                    TaskRecord::default(),
+                )
+            } else {
+                run_task_attempt(
+                    label, p, attempt, node, &board, &work, injected, chaos, clock,
+                )
+            };
+            // Charge the attempt's recorded footprint to virtual time:
+            // later deadlines (and chaos draws) see a clock that moved
+            // like a real run's would.
+            vclock.advance_ms(sim.charger.task_ticks(&record));
+            match outcome {
+                Ok(r) => {
+                    committed[p] = true;
+                    completed += 1;
+                    board[p].store(attempt, Ordering::Release);
+                    results[p] = Some(r);
+                    records.push(record);
+                }
+                Err(err) => {
+                    if retryable(&err) && (attempts[p] as usize) < conf.max_task_attempts {
+                        let backoff = retry_backoff_ms(
+                            conf.retry_backoff_ms,
+                            conf.retry_backoff_max_ms,
+                            attempts[p],
+                        );
+                        attempts[p] += 1;
+                        queue.push(Pending {
+                            p,
+                            attempt: attempts[p],
+                            ready_at: clock.now_ms() + backoff,
+                        });
+                    } else {
+                        let (zombies, released, st) = self.claim_stage_deltas();
+                        self.inner.log.lock().push(
+                            format!("{label} (failed)"),
+                            StageRecord {
+                                stage_id: stage,
+                                parent_stage_ids,
+                                concurrent_stages: meta.concurrent,
+                                tasks: records,
+                                retries,
+                                zombie_writes_fenced: zombies,
+                                staged_released_bytes: released,
+                                cache_hits: st.cache_hits,
+                                cache_misses: st.cache_misses,
+                                spilled_bytes: st.spilled_bytes,
+                                evicted_bytes: st.evicted_bytes,
+                                recomputes: st.recomputes,
+                                ..Default::default()
+                            },
+                        );
+                        return Err(err);
+                    }
+                }
+            }
+        }
+        let (zombies, released, st) = self.claim_stage_deltas();
+        self.inner.log.lock().push_timed(
+            label.to_string(),
+            StageRecord {
+                stage_id: stage,
+                parent_stage_ids,
+                concurrent_stages: meta.concurrent,
+                tasks: records,
+                retries,
+                zombie_writes_fenced: zombies,
+                staged_released_bytes: released,
+                cache_hits: st.cache_hits,
+                cache_misses: st.cache_misses,
+                spilled_bytes: st.spilled_bytes,
+                evicted_bytes: st.evicted_bytes,
+                recomputes: st.recomputes,
+                ..Default::default()
+            },
+            (clock.now_ms() - t0_ms) as f64 / 1000.0,
         );
         Ok(results
             .into_iter()

@@ -47,16 +47,30 @@ pub struct MapBucket {
     pub declared: u64,
 }
 
+/// One cell of the bucket matrix. Three states, not two: a bucket
+/// whose executor died must read as *lost* (failing the fetch so the
+/// map stage is resubmitted), never as "was empty" — collapsing the
+/// two silently returns partial reduce inputs.
+#[derive(Debug, Clone)]
+enum Slot {
+    /// Never written (map task produced nothing for this partition).
+    Empty,
+    /// Staged map output.
+    Data(MapBucket),
+    /// Written, then lost with its executor.
+    Lost,
+}
+
 #[derive(Debug, Default)]
 struct ShuffleData {
-    /// `buckets[reduce_partition][map_task] = bucket` (map task order is
+    /// `buckets[reduce_partition][map_task] = slot` (map task order is
     /// preserved so downstream merging is deterministic).
-    buckets: Vec<Vec<Option<MapBucket>>>,
+    buckets: Vec<Vec<Slot>>,
 }
 
 /// State behind one lock: the bucket matrices plus the staging
 /// accounting they imply. Invariant: `staged[n]` equals the sum of
-/// `declared` over every stored bucket with `origin_node == n`.
+/// `declared` over every [`Slot::Data`] bucket with `origin_node == n`.
 #[derive(Debug)]
 struct ShuffleInner {
     shuffles: HashMap<ShuffleId, ShuffleData>,
@@ -77,6 +91,9 @@ pub struct ShuffleManager {
     /// Bytes released back to staging: per-shuffle GC plus retry
     /// reconciliation of overwritten buckets.
     staged_released: AtomicU64,
+    /// Bytes written off when their executor died (distinct from
+    /// orderly releases — these were destroyed, not reconciled).
+    staged_lost: AtomicU64,
 }
 
 impl ShuffleManager {
@@ -91,6 +108,7 @@ impl ShuffleManager {
             capacity,
             zombie_writes_fenced: AtomicU64::new(0),
             staged_released: AtomicU64::new(0),
+            staged_lost: AtomicU64::new(0),
         }
     }
 
@@ -98,7 +116,7 @@ impl ShuffleManager {
     pub fn register(&self, id: ShuffleId, map_tasks: usize, reduce_partitions: usize) {
         let mut inner = self.inner.lock();
         inner.shuffles.entry(id).or_insert_with(|| ShuffleData {
-            buckets: vec![vec![None; map_tasks]; reduce_partitions],
+            buckets: vec![vec![Slot::Empty; map_tasks]; reduce_partitions],
         });
     }
 
@@ -148,8 +166,13 @@ impl ShuffleManager {
                 ))
             })?;
         // Capacity check on the post-reconciliation total, before any
-        // mutation: a rejected write leaves accounting untouched.
-        let prev = slot.as_ref().map(|b| (b.origin_node, b.declared));
+        // mutation: a rejected write leaves accounting untouched. A
+        // `Lost` slot carries no credit — its bytes were written off
+        // when the executor died; the rewrite charges fresh.
+        let prev = match &*slot {
+            Slot::Data(b) => Some((b.origin_node, b.declared)),
+            Slot::Empty | Slot::Lost => None,
+        };
         let credit = match prev {
             Some((node, bytes)) if node == origin_node => bytes,
             _ => 0,
@@ -172,7 +195,7 @@ impl ShuffleManager {
         if inner.staged[origin_node] > inner.peak[origin_node] {
             inner.peak[origin_node] = inner.staged[origin_node];
         }
-        *slot = Some(MapBucket {
+        *slot = Slot::Data(MapBucket {
             origin_node,
             attempt: tc.attempt(),
             data,
@@ -185,13 +208,23 @@ impl ShuffleManager {
 
     /// Fetch all map buckets for `reduce_partition`, recording
     /// local/remote read bytes on the calling task. Buckets come back
-    /// in map-task order.
+    /// in map-task order. A [`Slot::Lost`] bucket (its executor died)
+    /// fails the fetch with [`JobError::FetchFailed`] — the reduce
+    /// must not proceed on partial inputs; the driver resubmits the
+    /// producing map stage instead.
     pub fn fetch(
         &self,
         id: ShuffleId,
         reduce_partition: usize,
         tc: &TaskContext,
     ) -> Result<Vec<Bytes>, JobError> {
+        if tc.take_chaos_fetch_failure() {
+            return Err(JobError::FetchFailed {
+                shuffle: id,
+                partition: reduce_partition,
+                reason: "injected fetch failure (chaos)".to_string(),
+            });
+        }
         let inner = self.inner.lock();
         let shuffle = inner
             .shuffles
@@ -200,21 +233,30 @@ impl ShuffleManager {
         let row = shuffle.buckets.get(reduce_partition).ok_or_else(|| {
             JobError::MissingBlock(format!("shuffle {id} partition {reduce_partition}"))
         })?;
-        // Empty buckets are never written (map tasks skip them to keep
-        // the bucket matrix sparse), so a `None` slot means "no data".
         let mut out = Vec::new();
-        for bucket in row.iter().flatten() {
-            {
-                if bucket.data.is_empty() {
-                    continue;
+        for (map_task, slot) in row.iter().enumerate() {
+            let bucket = match slot {
+                // Empty buckets are never written (map tasks skip them
+                // to keep the matrix sparse): genuinely no data.
+                Slot::Empty => continue,
+                Slot::Lost => {
+                    return Err(JobError::FetchFailed {
+                        shuffle: id,
+                        partition: reduce_partition,
+                        reason: format!("map output {map_task} lost with its executor"),
+                    });
                 }
-                if bucket.origin_node == tc.node() {
-                    tc.add_local_read(bucket.declared);
-                } else {
-                    tc.add_remote_read(bucket.declared);
-                }
-                out.push(bucket.data.clone());
+                Slot::Data(b) => b,
+            };
+            if bucket.data.is_empty() {
+                continue;
             }
+            if bucket.origin_node == tc.node() {
+                tc.add_local_read(bucket.declared);
+            } else {
+                tc.add_remote_read(bucket.declared);
+            }
+            out.push(bucket.data.clone());
         }
         Ok(out)
     }
@@ -239,6 +281,72 @@ impl ShuffleManager {
         self.staged_released.load(Ordering::Relaxed)
     }
 
+    /// Bytes destroyed with dead executors so far.
+    pub fn staged_lost_bytes(&self) -> u64 {
+        self.staged_lost.load(Ordering::Relaxed)
+    }
+
+    /// Executor death: every bucket `node` staged becomes
+    /// [`Slot::Lost`] (reduces fetching it see
+    /// [`JobError::FetchFailed`]) and its bytes leave the staging
+    /// accounting as *lost*, not released. Returns `(buckets, bytes)`
+    /// destroyed.
+    pub fn drop_node_outputs(&self, node: usize) -> (u64, u64) {
+        let mut inner = self.inner.lock();
+        let mut buckets_lost = 0u64;
+        let mut bytes_lost = 0u64;
+        for data in inner.shuffles.values_mut() {
+            for row in data.buckets.iter_mut() {
+                for slot in row.iter_mut() {
+                    if let Slot::Data(b) = slot {
+                        if b.origin_node == node {
+                            buckets_lost += 1;
+                            bytes_lost += b.declared;
+                            *slot = Slot::Lost;
+                        }
+                    }
+                }
+            }
+        }
+        inner.staged[node] -= bytes_lost;
+        drop(inner);
+        if bytes_lost > 0 {
+            self.staged_lost.fetch_add(bytes_lost, Ordering::Relaxed);
+        }
+        (buckets_lost, bytes_lost)
+    }
+
+    /// Verify the staging invariant: `staged[n]` must equal the sum of
+    /// declared bytes over every stored [`Slot::Data`] bucket with
+    /// origin `n`. Returns a description of the first discrepancy.
+    pub fn audit(&self) -> Result<(), String> {
+        let inner = self.inner.lock();
+        let mut expect = vec![0u64; inner.staged.len()];
+        for (id, data) in &inner.shuffles {
+            for row in &data.buckets {
+                for slot in row {
+                    if let Slot::Data(b) = slot {
+                        if b.origin_node >= expect.len() {
+                            return Err(format!(
+                                "shuffle {id}: bucket origin {} out of range",
+                                b.origin_node
+                            ));
+                        }
+                        expect[b.origin_node] += b.declared;
+                    }
+                }
+            }
+        }
+        for (node, (&want, &got)) in expect.iter().zip(inner.staged.iter()).enumerate() {
+            if want != got {
+                return Err(format!(
+                    "node {node}: staged counter {got} != stored bucket bytes {want}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Release one shuffle: drop its buckets and return their declared
     /// bytes to the owning nodes' staging budgets. Called when the
     /// consuming RDD lineage is dropped (per-shuffle GC); releasing an
@@ -250,9 +358,11 @@ impl ShuffleManager {
         };
         let mut released = 0u64;
         for row in data.buckets {
-            for bucket in row.into_iter().flatten() {
-                inner.staged[bucket.origin_node] -= bucket.declared;
-                released += bucket.declared;
+            for slot in row {
+                if let Slot::Data(bucket) = slot {
+                    inner.staged[bucket.origin_node] -= bucket.declared;
+                    released += bucket.declared;
+                }
             }
         }
         drop(inner);
@@ -460,6 +570,82 @@ mod tests {
         sm.clear();
         assert_eq!(sm.staged_bytes(0), 0);
         assert!(sm.fetch(7, 0, &tc).is_err());
+    }
+
+    #[test]
+    fn lost_buckets_fail_the_fetch_instead_of_reading_as_empty() {
+        let sm = ShuffleManager::new(2, None);
+        sm.register(1, 2, 1);
+        sm.write(
+            1,
+            0,
+            0,
+            0,
+            Bytes::from_static(b"aa"),
+            2,
+            &TaskContext::new(0),
+        )
+        .unwrap();
+        sm.write(
+            1,
+            1,
+            0,
+            1,
+            Bytes::from_static(b"bb"),
+            2,
+            &TaskContext::new(1),
+        )
+        .unwrap();
+        let (buckets, bytes) = sm.drop_node_outputs(1);
+        assert_eq!((buckets, bytes), (1, 2));
+        assert_eq!(sm.staged_bytes(1), 0);
+        assert_eq!(sm.staged_lost_bytes(), 2);
+        assert_eq!(sm.staged_released_bytes(), 0, "loss is not a release");
+        let err = sm.fetch(1, 0, &TaskContext::new(0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                JobError::FetchFailed {
+                    shuffle: 1,
+                    partition: 0,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+        sm.audit().unwrap();
+        // A map re-run rewrites the lost bucket; fetch recovers fully.
+        sm.write(
+            1,
+            1,
+            0,
+            0,
+            Bytes::from_static(b"bb"),
+            2,
+            &TaskContext::new(0),
+        )
+        .unwrap();
+        let got = sm.fetch(1, 0, &TaskContext::new(0)).unwrap();
+        assert_eq!(
+            got,
+            vec![Bytes::from_static(b"aa"), Bytes::from_static(b"bb")]
+        );
+        assert_eq!(sm.staged_bytes(0), 4, "rewrite charges fresh bytes");
+        sm.audit().unwrap();
+    }
+
+    #[test]
+    fn chaos_fetch_failure_fires_once_per_task() {
+        let sm = ShuffleManager::new(1, None);
+        sm.register(6, 1, 1);
+        let writer = TaskContext::new(0);
+        sm.write(6, 0, 0, 0, Bytes::from_static(b"zz"), 2, &writer)
+            .unwrap();
+        let doomed = TaskContext::new(0).with_chaos(Some(&crate::sim::ChaosEvent::FetchFailure));
+        let err = sm.fetch(6, 0, &doomed).unwrap_err();
+        assert!(matches!(err, JobError::FetchFailed { shuffle: 6, .. }));
+        // Consumed: the retry on the same context succeeds.
+        assert!(sm.fetch(6, 0, &doomed).is_ok());
     }
 
     #[test]

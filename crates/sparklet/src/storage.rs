@@ -298,18 +298,24 @@ impl BlockStore {
         disk_credit: u64,
         tc: Option<&TaskContext>,
     ) -> Result<PutOutcome, JobError> {
-        if let Some(cap) = self.disk_capacity {
-            if inner.disk_used - disk_credit + entry.bytes > cap {
-                if entry.recoverable {
-                    self.remove_reconciled(inner, cache, partition, mem_credit, disk_credit);
-                    return Ok(PutOutcome::Skipped);
-                }
-                return Err(JobError::DiskOverflow {
-                    node: self.node,
-                    used: inner.disk_used - disk_credit + entry.bytes,
-                    capacity: cap,
-                });
+        // A chaos-doomed task sees a full disk regardless of the real
+        // capacity; the failure must take the same path a genuine full
+        // disk takes (Skipped when recomputable, DiskOverflow
+        // otherwise — never silently swallowed).
+        let chaos_full = tc.is_some_and(|t| t.chaos_disk_full());
+        let over_cap = self
+            .disk_capacity
+            .is_some_and(|cap| inner.disk_used - disk_credit + entry.bytes > cap);
+        if chaos_full || over_cap {
+            if entry.recoverable {
+                self.remove_reconciled(inner, cache, partition, mem_credit, disk_credit);
+                return Ok(PutOutcome::Skipped);
             }
+            return Err(JobError::DiskOverflow {
+                node: self.node,
+                used: inner.disk_used - disk_credit + entry.bytes,
+                capacity: self.disk_capacity.unwrap_or(inner.disk_used),
+            });
         }
         let raw = match &entry.tier {
             Tier::Memory(data) => (entry.codec.encode)(data),
@@ -372,9 +378,13 @@ impl BlockStore {
             let Some(key) = victim else { break };
             let entry = inner.entries.get(&key).expect("victim present");
             if entry.level.allows_disk() {
-                let fits_disk = self
-                    .disk_capacity
-                    .is_none_or(|cap| inner.disk_used + entry.bytes <= cap);
+                // A chaos-doomed putter also fails the spills its put
+                // provokes — disk-full must cascade, not just gate the
+                // final placement.
+                let fits_disk = !tc.is_some_and(|t| t.chaos_disk_full())
+                    && self
+                        .disk_capacity
+                        .is_none_or(|cap| inner.disk_used + entry.bytes <= cap);
                 if fits_disk {
                     // Spill: serialize and move the block to disk.
                     let bytes = entry.bytes;
@@ -579,6 +589,48 @@ impl BlockStore {
     pub fn fenced_puts_total(&self) -> u64 {
         self.fenced_puts.load(Ordering::Relaxed)
     }
+
+    /// Executor death: destroy every entry in both tiers and all
+    /// recompute latches. Returns the `(memory, disk)` bytes wiped.
+    /// Unlike eviction this is not a policy decision, so nothing is
+    /// added to the evicted/spilled counters.
+    pub fn wipe(&self) -> (u64, u64) {
+        let mut inner = self.inner.lock();
+        let (mem, disk) = (inner.mem_used, inner.disk_used);
+        inner.entries.clear();
+        inner.mem_used = 0;
+        inner.disk_used = 0;
+        drop(inner);
+        self.recompute_latches.lock().clear();
+        (mem, disk)
+    }
+
+    /// Verify the tier accounting: `mem_used`/`disk_used` must equal
+    /// the sum of declared bytes over the entries in each tier.
+    /// Returns a description of the first discrepancy.
+    pub fn audit(&self) -> Result<(), String> {
+        let inner = self.inner.lock();
+        let (mut mem, mut disk) = (0u64, 0u64);
+        for e in inner.entries.values() {
+            match e.tier {
+                Tier::Memory(_) => mem += e.bytes,
+                Tier::Disk(_) => disk += e.bytes,
+            }
+        }
+        if mem != inner.mem_used {
+            return Err(format!(
+                "node {}: mem_used {} != entry bytes {}",
+                self.node, inner.mem_used, mem
+            ));
+        }
+        if disk != inner.disk_used {
+            return Err(format!(
+                "node {}: disk_used {} != entry bytes {}",
+                self.node, inner.disk_used, disk
+            ));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -767,6 +819,48 @@ mod tests {
             .put(1, 0, Arc::new(3u64), 10, DO, false, None)
             .unwrap();
         assert_eq!(store.disk_used_bytes(), 10);
+    }
+
+    #[test]
+    fn chaos_disk_full_surfaces_not_swallowed() {
+        use crate::sim::ChaosEvent;
+        // Unlimited real disk, but the putting task is chaos-doomed:
+        // a pinned DiskOnly put must fail loudly...
+        let store = BlockStore::new(1, None, None);
+        let tc = TaskContext::new(1).with_chaos(Some(&ChaosEvent::DiskFull));
+        let err = store
+            .put(1, 0, Arc::new(7u64), 8, DO, false, Some(&tc))
+            .unwrap_err();
+        assert!(
+            matches!(err, JobError::DiskOverflow { node: 1, .. }),
+            "{err}"
+        );
+        store.audit().unwrap();
+        // ...while a recoverable one degrades to Skipped.
+        let out = store
+            .put(1, 1, Arc::new(8u64), 8, DO, true, Some(&tc))
+            .unwrap();
+        assert_eq!(out, PutOutcome::Skipped);
+        // An untouched task still writes fine.
+        let clean = TaskContext::new(1);
+        let out = store
+            .put(1, 2, Arc::new(9u64), 8, DO, false, Some(&clean))
+            .unwrap();
+        assert_eq!(out, PutOutcome::Disk);
+        store.audit().unwrap();
+    }
+
+    #[test]
+    fn wipe_destroys_both_tiers_without_counting_evictions() {
+        let store = BlockStore::new(0, Some(20), None);
+        store.put(1, 0, Arc::new(1u64), 6, ML, false, None).unwrap();
+        store.put(1, 1, Arc::new(2u64), 9, DO, false, None).unwrap();
+        assert_eq!(store.wipe(), (6, 9));
+        assert_eq!(store.used_bytes(), 0);
+        assert_eq!(store.disk_used_bytes(), 0);
+        assert_eq!(store.evicted_bytes_total(), 0, "loss is not eviction");
+        assert!(store.get::<u64>(1, 0, None).unwrap().is_none());
+        store.audit().unwrap();
     }
 
     #[test]

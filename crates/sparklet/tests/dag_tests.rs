@@ -4,7 +4,6 @@
 //! reconciliation under interleaved stage completion.
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use sparklet::{HashPartitioner, SparkConf, SparkContext};
 
@@ -276,30 +275,33 @@ fn max_concurrent_stages_one_reproduces_the_serial_walk() {
 #[test]
 fn retry_backoff_defers_without_blocking_the_stage() {
     // Four partitions each fail once with a 200 ms backoff. Deadline-
-    // based deferral parks them all concurrently (~200 ms total); the
-    // old blocking sleep would serialize toward 800 ms.
+    // based deferral parks them all on the same 200 ms deadline; the
+    // old blocking sleep would serialize toward 800 ms. On the seeded
+    // virtual clock the distinction is exact: overlapping deferral
+    // costs one 200 ms jump, serialized sleeps would cost four.
     let sc = SparkContext::new(
         SparkConf::default()
             .with_executors(4)
             .with_worker_threads(1)
             .with_partitions(4)
-            .with_retry_backoff(200, 200),
+            .with_retry_backoff(200, 200)
+            .with_sim_seed(11),
     );
     for p in 0..4 {
         sc.inject_failure(0, p, 1);
     }
-    let t0 = Instant::now();
     let got = sorted(
         sc.parallelize(pairs(16), Some(4))
             .collect()
             .expect("backoff job"),
     );
-    let elapsed = t0.elapsed();
     assert_eq!(got, sorted(pairs(16)));
     assert_eq!(sc.with_event_log(|log| log.total_retries()), 4);
+    let elapsed_ms = sc.now_ms();
     assert!(
-        elapsed.as_millis() < 650,
-        "deferred relaunches must overlap (took {elapsed:?})"
+        (200..650).contains(&(elapsed_ms as usize)),
+        "deferred relaunches must overlap: one shared backoff window, \
+         not four in sequence (took {elapsed_ms} virtual ms)"
     );
 }
 

@@ -1,0 +1,278 @@
+//! Shared harness for the deterministic simulation scenarios.
+//!
+//! Every scenario sweeps a set of seeds (`SIM_SEEDS` widens the sweep,
+//! `CHAOS_SEED` pins a single seed for replay), runs a branched-shuffle
+//! workload under an injected fault policy, and asserts the engine's
+//! invariants afterwards. On failure the harness prints the replaying
+//! seed so `CHAOS_SEED=<seed> cargo test <name>` reproduces the exact
+//! schedule.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use sparklet::{ChaosPolicy, HashPartitioner, SparkConf, SparkContext, StorageLevel};
+
+pub const NODES: usize = 4;
+
+/// Base configuration every scenario runs under: four simulated nodes,
+/// a seeded deterministic scheduler, and real retry backoff (free in
+/// virtual time).
+pub fn sim_conf(seed: u64) -> SparkConf {
+    SparkConf::default()
+        .with_executors(NODES)
+        .with_executor_cores(2)
+        .with_worker_threads(1)
+        .with_partitions(8)
+        .with_retry_backoff(4, 64)
+        .with_sim_seed(seed)
+}
+
+/// The seeds a scenario sweeps. `CHAOS_SEED` pins one seed (replay);
+/// otherwise `SIM_SEEDS` (default `default_n`) seeds are derived from
+/// the scenario name so different scenarios don't all start at zero.
+pub fn seeds(scenario: &str, default_n: u64) -> Vec<u64> {
+    if let Ok(pin) = std::env::var("CHAOS_SEED") {
+        let seed: u64 = pin
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("CHAOS_SEED must be a u64, got {pin:?}"));
+        return vec![seed];
+    }
+    let n = std::env::var("SIM_SEEDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default_n);
+    // FNV-1a over the scenario name: a stable per-scenario seed base.
+    let mut base: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in scenario.bytes() {
+        base ^= b as u64;
+        base = base.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (0..n).map(|i| base.wrapping_add(i)).collect()
+}
+
+/// Is this the default fixed-seed sweep (no `CHAOS_SEED` pin, no
+/// `SIM_SEEDS` widening)? Aggregate "the faults actually fired"
+/// assertions only make sense over the known default seed set.
+pub fn default_sweep() -> bool {
+    std::env::var("CHAOS_SEED").is_err() && std::env::var("SIM_SEEDS").is_err()
+}
+
+/// Look up one counter from a run's fingerprint.
+pub fn counter(run: &SimRun, name: &str) -> u64 {
+    run.counters
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, v)| *v)
+        .unwrap_or_else(|| panic!("unknown counter {name}"))
+}
+
+/// Run `body` for every swept seed, printing the replay line before
+/// re-raising any failure.
+pub fn sweep(scenario: &str, default_n: u64, body: impl Fn(u64)) {
+    for seed in seeds(scenario, default_n) {
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| body(seed))) {
+            eprintln!(
+                "\nscenario '{scenario}' failed at seed {seed}; replay with:\n    \
+                 CHAOS_SEED={seed} cargo test -p sparklet --test sim_scenarios\n"
+            );
+            std::panic::resume_unwind(panic);
+        }
+    }
+}
+
+pub fn pairs(n: usize) -> Vec<(usize, u64)> {
+    (0..n).map(|i| (i, (i * 13) as u64)).collect()
+}
+
+fn sorted(mut v: Vec<(usize, u64)>) -> Vec<(usize, u64)> {
+    v.sort_unstable();
+    v
+}
+
+/// The scenario workload: two reduce branches over the same input,
+/// unioned and repartitioned — a diamond of three shuffles plus the
+/// result stage. `persist_level` persists the left branch (retained
+/// lineage, recompute-backed) so storage-pressure scenarios exercise
+/// the block-store paths too.
+pub fn workload(
+    sc: &SparkContext,
+    persist_level: Option<StorageLevel>,
+) -> Result<Vec<(usize, u64)>, sparklet::JobError> {
+    let data = pairs(96);
+    let left = sc
+        .parallelize(data.clone(), Some(6))
+        .map(|(k, v)| (k % 7, v))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let left = match persist_level {
+        Some(level) => left.persist(level)?,
+        None => left,
+    };
+    let right = sc
+        .parallelize(data, Some(6))
+        .map(|(k, v)| (k % 5, v ^ 3))
+        .reduce_by_key(|a, b| a.wrapping_add(b), 4, Arc::new(HashPartitioner));
+    let out = left
+        .union(&right)
+        .partition_by(4, Arc::new(HashPartitioner))
+        .collect()?;
+    Ok(sorted(out))
+}
+
+/// Everything one scenario run produces, for determinism comparison.
+#[derive(Debug, PartialEq)]
+pub struct SimRun {
+    pub result: Result<Vec<(usize, u64)>, String>,
+    pub schedule: Vec<(u64, String)>,
+    pub counters: Vec<(&'static str, u64)>,
+    pub virtual_ms: u64,
+}
+
+/// Counter fingerprint: every engine total that must be bit-identical
+/// between two equal-seed runs.
+pub fn counters(sc: &SparkContext) -> Vec<(&'static str, u64)> {
+    let mut c = sc.with_event_log(|log| {
+        vec![
+            ("stages", log.stage_count() as u64),
+            ("tasks", log.task_count() as u64),
+            ("retries", log.total_retries()),
+            ("staged", log.total_staged_bytes()),
+            ("released", log.total_staged_released_bytes()),
+            ("remote", log.total_remote_bytes()),
+            ("local", log.total_local_bytes()),
+            ("cache_hits", log.total_cache_hits()),
+            ("cache_misses", log.total_cache_misses()),
+            ("spilled", log.total_spilled_bytes()),
+            ("evicted", log.total_evicted_bytes()),
+            ("recomputes", log.total_recomputes()),
+            ("zombies", log.total_zombie_writes_fenced()),
+        ]
+    });
+    c.push(("staged_lost", sc.staged_lost_bytes()));
+    c.push(("resubmissions", sc.stage_resubmissions()));
+    c
+}
+
+/// Engine invariants that must hold after every scenario run, chaotic
+/// or clean, successful or failed.
+pub fn assert_invariants(sc: &SparkContext, seed: u64) {
+    // 1. Staged-byte reconciliation: all lineage dropped => every
+    //    node's staging ledger is back to zero.
+    for node in 0..sc.num_executors() {
+        assert_eq!(
+            sc.staged_bytes(node),
+            0,
+            "CHAOS_SEED={seed}: node {node} still holds staged bytes"
+        );
+    }
+    // 2. Manager self-audit: cached counters == recounted state.
+    if let Err(e) = sc.audit() {
+        panic!("CHAOS_SEED={seed}: engine audit failed: {e}");
+    }
+    sc.with_event_log(|log| {
+        // 3. Per-stage attribution sums exactly to the context counters.
+        assert_eq!(
+            log.total_staged_released_bytes(),
+            sc.staged_released_bytes(),
+            "CHAOS_SEED={seed}: staged-release attribution drifted"
+        );
+        assert_eq!(
+            log.total_zombie_writes_fenced(),
+            sc.zombie_writes_fenced(),
+            "CHAOS_SEED={seed}: zombie-write attribution drifted"
+        );
+        // 4. Every committed staged byte was either released (GC /
+        //    reconciliation) or written off with a dead executor.
+        assert!(
+            log.total_staged_released_bytes() + sc.staged_lost_bytes() >= log.total_staged_bytes(),
+            "CHAOS_SEED={seed}: released {} + lost {} < staged {}",
+            log.total_staged_released_bytes(),
+            sc.staged_lost_bytes(),
+            log.total_staged_bytes()
+        );
+        // 5. Exactly-once materialization: a committed map stage only
+        //    re-runs under a fetch-failure resubmission.
+        let mut label_counts: HashMap<&str, u64> = HashMap::new();
+        for s in log.stages() {
+            if s.label.ends_with("map") {
+                *label_counts.entry(s.label.as_str()).or_insert(0) += 1;
+            }
+        }
+        let duplicates: u64 = label_counts.values().map(|&n| n - 1).sum();
+        assert!(
+            duplicates <= sc.stage_resubmissions(),
+            "CHAOS_SEED={seed}: {duplicates} duplicate map stages but only {} resubmissions",
+            sc.stage_resubmissions()
+        );
+    });
+}
+
+/// Execute the workload once under `chaos` on a fresh seeded context
+/// and check invariants. A trailing one-partition stage claims any GC
+/// residue into the event log before the counters are read.
+pub fn run_scenario(
+    seed: u64,
+    chaos: Option<ChaosPolicy>,
+    persist_level: Option<StorageLevel>,
+    conf: SparkConf,
+) -> SimRun {
+    let sc = SparkContext::new(conf);
+    assert!(sc.is_deterministic(), "scenario contexts must be seeded");
+    if let Some(policy) = chaos {
+        sc.install_chaos(policy);
+    }
+    let result = workload(&sc, persist_level).map_err(|e| e.to_string());
+    sc.clear_chaos();
+    let _ = sc.parallelize(vec![(0usize, 0u64)], Some(1)).count();
+    assert_invariants(&sc, seed);
+    SimRun {
+        result,
+        schedule: sc.with_event_log(|log| log.stage_order()),
+        counters: counters(&sc),
+        virtual_ms: sc.now_ms(),
+    }
+}
+
+/// Run the scenario twice with the same seed and assert the schedule,
+/// the counter fingerprint, and the result are bit-identical — the
+/// "same seed => same run" guarantee. Returns the run.
+pub fn run_replay_stable(scenario: &str, seed: u64, mk: impl Fn(u64) -> SimRun) -> SimRun {
+    let first = mk(seed);
+    let second = mk(seed);
+    assert_eq!(
+        first.schedule, second.schedule,
+        "CHAOS_SEED={seed}: {scenario}: stage schedule not reproducible"
+    );
+    assert_eq!(
+        first, second,
+        "CHAOS_SEED={seed}: {scenario}: run not bit-identical on replay"
+    );
+    first
+}
+
+/// Compare a chaotic run against the fault-free run of the same seed:
+/// a successful chaotic run must produce the identical result; a
+/// failed one must fail with a chaos-attributable error — never
+/// silently wrong data.
+pub fn assert_against_fault_free(scenario: &str, seed: u64, chaotic: &SimRun, clean: &SimRun) {
+    let want = clean
+        .result
+        .as_ref()
+        .unwrap_or_else(|e| panic!("CHAOS_SEED={seed}: {scenario}: fault-free run failed: {e}"));
+    match &chaotic.result {
+        Ok(got) => assert_eq!(
+            got, want,
+            "CHAOS_SEED={seed}: {scenario}: chaotic run survived but returned different data"
+        ),
+        Err(msg) => {
+            let attributable = ["chaos", "injected", "fetch failed", "lost", "disk", "block"]
+                .iter()
+                .any(|needle| msg.contains(needle));
+            assert!(
+                attributable,
+                "CHAOS_SEED={seed}: {scenario}: failure not chaos-attributable: {msg}"
+            );
+        }
+    }
+}
