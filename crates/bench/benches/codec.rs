@@ -1,0 +1,109 @@
+//! Data-plane microbenches: the bulk tile codec against the
+//! element-wise loop it replaced (the refactor's headline win — bulk
+//! encode+decode of a dense f64 tile must beat the baseline by ≥ 2×),
+//! plus `Payload` frame seal/open under both codecs. `--test` runs in
+//! CI pin the before/after in the bench trajectory.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dp_core::Block;
+use gep_kernels::Matrix;
+use sparklet::codec::{decode_one, encode_one};
+use sparklet::{Compression, JobError, PayloadBuilder};
+
+fn tile(n: usize) -> Block<f64> {
+    Block::Real(Matrix::from_fn(n, n, |i, j| (i * n + j) as f64 * 0.5 - 7.0))
+}
+
+/// The pre-refactor wire path: same format, one element at a time.
+fn encode_elementwise(block: &Block<f64>) -> Bytes {
+    let m = block.expect_real();
+    let mut buf = BytesMut::new();
+    buf.put_u8(0);
+    buf.put_u64_le(m.rows() as u64);
+    buf.put_u64_le(m.cols() as u64);
+    for e in m.as_slice() {
+        buf.put_f64_le(*e);
+    }
+    buf.freeze()
+}
+
+fn decode_elementwise(mut buf: Bytes) -> Result<Block<f64>, JobError> {
+    if buf.remaining() < 17 {
+        return Err(JobError::Codec("block header underrun".into()));
+    }
+    let _tag = buf.get_u8();
+    let rows = buf.get_u64_le() as usize;
+    let cols = buf.get_u64_le() as usize;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        if buf.remaining() < 8 {
+            return Err(JobError::Codec("f64 underrun".into()));
+        }
+        data.push(buf.get_f64_le());
+    }
+    Ok(Block::Real(Matrix::from_vec(rows, cols, data)))
+}
+
+fn bench_dense_tile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_f64_tile");
+    for &b in &[64usize, 256] {
+        let block = tile(b);
+        let encoded = encode_one(&block);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("bulk_encode", b), &block, |bench, blk| {
+            bench.iter(|| encode_one(blk));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("elementwise_encode", b),
+            &block,
+            |bench, blk| {
+                bench.iter(|| encode_elementwise(blk));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("bulk_decode", b),
+            &encoded,
+            |bench, enc| {
+                bench.iter(|| decode_one::<Block<f64>>(enc.clone()).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("elementwise_decode", b),
+            &encoded,
+            |bench, enc| {
+                bench.iter(|| decode_elementwise(enc.clone()).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_payload_frame(c: &mut Criterion) {
+    let mut group = c.benchmark_group("payload_frame");
+    let raw = encode_one(&tile(256));
+    group.throughput(Throughput::Bytes(raw.len() as u64));
+    for (name, compression) in [("raw", Compression::None), ("lz4", Compression::Lz4)] {
+        group.bench_with_input(
+            BenchmarkId::new("seal", name),
+            &compression,
+            |bench, &comp| {
+                bench.iter(|| {
+                    let mut b = PayloadBuilder::with_capacity(raw.len());
+                    b.buf().extend_from_slice(&raw);
+                    b.seal(comp)
+                });
+            },
+        );
+        let mut b = PayloadBuilder::with_capacity(raw.len());
+        b.buf().extend_from_slice(&raw);
+        let sealed = b.seal(compression);
+        group.bench_with_input(BenchmarkId::new("open", name), &sealed, |bench, p| {
+            bench.iter(|| p.open().unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dense_tile, bench_payload_frame);
+criterion_main!(benches);

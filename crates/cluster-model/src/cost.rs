@@ -58,6 +58,28 @@ pub struct TaskRecord {
     pub spill_write_bytes: u64,
     /// Cached bytes this task deserialized back from the disk tier.
     pub spill_read_bytes: u64,
+    /// Compressed frame bytes actually fetched from other nodes, when
+    /// the engine's data-plane codec was on (0 = frames moved at their
+    /// declared size; the model falls back to its assumed
+    /// [`ModelParams::compression`] ratio).
+    #[serde(default)]
+    pub remote_read_wire_bytes: u64,
+    /// Compressed frame bytes actually read from this node's storage
+    /// (0 = uncompressed).
+    #[serde(default)]
+    pub local_read_wire_bytes: u64,
+    /// Compressed frame bytes actually staged for later shuffles
+    /// (0 = uncompressed).
+    #[serde(default)]
+    pub shuffle_write_wire_bytes: u64,
+    /// Compressed frame bytes actually written to the disk tier
+    /// (0 = uncompressed).
+    #[serde(default)]
+    pub spill_write_wire_bytes: u64,
+    /// Compressed frame bytes actually read back from the disk tier
+    /// (0 = uncompressed).
+    #[serde(default)]
+    pub spill_read_wire_bytes: u64,
 }
 
 /// One stage's recorded footprint (plus driver-side traffic for CB).
@@ -336,6 +358,16 @@ impl CostModel {
         let mut bare = stage.clone();
         bare.collect_bytes = 0;
         bare.broadcast_bytes = 0;
+        for t in &mut bare.tasks {
+            // Measured wire sizes bypass the compression knob, so they
+            // must be dropped too for the no-I/O repricing to actually
+            // zero the transfer terms.
+            t.remote_read_wire_bytes = 0;
+            t.local_read_wire_bytes = 0;
+            t.shuffle_write_wire_bytes = 0;
+            t.spill_write_wire_bytes = 0;
+            t.spill_read_wire_bytes = 0;
+        }
         let compute = compute_model.stage_seconds(&bare) - compute_model.params.stage_overhead;
         let comp = self.params.compression.max(1.0);
         let driver = stage.collect_bytes as f64 / comp / self.spec.network_bw
@@ -420,18 +452,33 @@ impl CostModel {
             }
             a.work += task_work;
             a.longest = a.longest.max(task_straggler);
+            // Bytes a transfer actually moves: the measured wire size
+            // when the engine's codec compressed the frame, else the
+            // declared volume discounted by the assumed ratio. Serde
+            // terms always run on declared (logical) bytes — codecs
+            // change what crosses the wire, not what gets serialized.
+            let xfer = |logical: u64, wire: u64| {
+                if wire > 0 {
+                    wire as f64
+                } else {
+                    logical as f64 / comp
+                }
+            };
             let bytes = t.remote_read_bytes + t.local_read_bytes;
-            let mut io = t.remote_read_bytes as f64 / comp / self.spec.network_bw
-                + t.local_read_bytes as f64 / comp / self.spec.storage.read_bw
+            let mut io = xfer(t.remote_read_bytes, t.remote_read_wire_bytes)
+                / self.spec.network_bw
+                + xfer(t.local_read_bytes, t.local_read_wire_bytes) / self.spec.storage.read_bw
                 + bytes as f64 / p.serde_bw
-                + t.shuffle_write_bytes as f64 / comp / self.spec.storage.write_bw
+                + xfer(t.shuffle_write_bytes, t.shuffle_write_wire_bytes)
+                    / self.spec.storage.write_bw
                 + t.shuffle_write_bytes as f64 / p.serde_bw
                 // Cache spill traffic is priced like shuffle staging:
                 // serialized (serde) and compressed through the node's
                 // local storage bandwidth.
-                + t.spill_write_bytes as f64 / comp / self.spec.storage.write_bw
+                + xfer(t.spill_write_bytes, t.spill_write_wire_bytes)
+                    / self.spec.storage.write_bw
                 + t.spill_write_bytes as f64 / p.serde_bw
-                + t.spill_read_bytes as f64 / comp / self.spec.storage.read_bw
+                + xfer(t.spill_read_bytes, t.spill_read_wire_bytes) / self.spec.storage.read_bw
                 + t.spill_read_bytes as f64 / p.serde_bw;
             io += p.task_overhead;
             a.io += io;
@@ -785,6 +832,53 @@ mod tests {
         let stage = stage_with(vec![kernel_task(0, vec![inv(2048, KernelType::Iterative)])]);
         let cost = m.stage_breakdown(&stage);
         assert!(cost.compute > 10.0 * (cost.io + cost.driver));
+    }
+
+    #[test]
+    fn measured_wire_bytes_replace_the_assumed_ratio() {
+        let m = model();
+        let mut assumed = kernel_task(0, vec![inv(256, KernelType::Iterative)]);
+        assumed.remote_read_bytes = 1 << 30;
+        assumed.shuffle_write_bytes = 1 << 30;
+        // Same logical traffic, but the engine measured an 8× smaller
+        // wire footprint — tighter than the default 2.5× assumption.
+        let mut measured = assumed.clone();
+        measured.remote_read_wire_bytes = (1 << 30) / 8;
+        measured.shuffle_write_wire_bytes = (1 << 30) / 8;
+        let t_assumed = m.stage_seconds(&stage_with(vec![assumed]));
+        let t_measured = m.stage_seconds(&stage_with(vec![measured]));
+        assert!(
+            t_measured < t_assumed,
+            "assumed={t_assumed} measured={t_measured}"
+        );
+        // And a measured wire size *larger* than logical/2.5 costs more.
+        let mut bloated = kernel_task(0, vec![inv(256, KernelType::Iterative)]);
+        bloated.remote_read_bytes = 1 << 30;
+        bloated.shuffle_write_bytes = 1 << 30;
+        bloated.remote_read_wire_bytes = 1 << 30;
+        bloated.shuffle_write_wire_bytes = 1 << 30;
+        let t_bloated = m.stage_seconds(&stage_with(vec![bloated]));
+        assert!(
+            t_bloated > t_assumed,
+            "ratio-priced={t_assumed} raw={t_bloated}"
+        );
+    }
+
+    #[test]
+    fn breakdown_isolates_compute_with_wire_bytes_present() {
+        let m = model();
+        let mut t = kernel_task(0, vec![inv(1024, KernelType::Iterative)]);
+        t.remote_read_bytes = 1 << 28;
+        t.remote_read_wire_bytes = 1 << 26;
+        t.spill_write_bytes = 1 << 28;
+        t.spill_write_wire_bytes = 1 << 26;
+        let plain = stage_with(vec![kernel_task(0, vec![inv(1024, KernelType::Iterative)])]);
+        let stage = stage_with(vec![t]);
+        let cost = m.stage_breakdown(&stage);
+        let ref_cost = m.stage_breakdown(&plain);
+        // Wire bytes change the io component, never the compute one.
+        assert!((cost.compute - ref_cost.compute).abs() < 1e-9);
+        assert!(cost.io > 0.0);
     }
 
     #[test]

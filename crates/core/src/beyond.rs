@@ -28,6 +28,14 @@ type K = (usize, usize);
 pub struct WeightMsg(pub ParenWeight);
 
 impl Storable for WeightMsg {
+    fn encoded_len(&self) -> usize {
+        1 + match &self.0 {
+            ParenWeight::MatrixChain(dims) => dims.encoded_len(),
+            ParenWeight::Polygon(v) => v.encoded_len(),
+            ParenWeight::Zero => 0,
+        }
+    }
+
     fn encode(&self, buf: &mut BytesMut) {
         match &self.0 {
             ParenWeight::MatrixChain(dims) => {
@@ -184,6 +192,14 @@ pub fn solve_parenthesis(
 pub struct ScoreMsg(pub gep_kernels::alignment::AlignScore);
 
 impl Storable for ScoreMsg {
+    fn encoded_len(&self) -> usize {
+        use gep_kernels::alignment::AlignScore;
+        match &self.0 {
+            AlignScore::Lcs => 1,
+            AlignScore::NeedlemanWunsch { .. } => 1 + 3 * 8,
+        }
+    }
+
     fn encode(&self, buf: &mut BytesMut) {
         use gep_kernels::alignment::AlignScore;
         match &self.0 {

@@ -10,9 +10,15 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use gep_kernels::Matrix;
+use sparklet::codec::{decode_le_slice, encode_le_slice};
 use sparklet::{JobError, Storable};
 
 /// Element codec: fixed-width wire encoding for table elements.
+///
+/// The slice hooks let [`Block`] move a whole tile in one copy:
+/// fixed-width numeric elements override them with
+/// [`encode_le_slice`]/[`decode_le_slice`], and the defaults keep the
+/// element-wise loop byte-identical for everything else.
 pub trait ElemCodec: gep_kernels::matrix::Elem {
     /// Encoded size in bytes.
     const BYTES: usize;
@@ -20,6 +26,23 @@ pub trait ElemCodec: gep_kernels::matrix::Elem {
     fn put(&self, buf: &mut BytesMut);
     /// Decode one element, advancing the buffer.
     fn take(buf: &mut Bytes) -> Result<Self, JobError>;
+
+    /// Append a dense run of elements (bulk-copy override point).
+    fn put_slice(items: &[Self], buf: &mut BytesMut) {
+        for e in items {
+            e.put(buf);
+        }
+    }
+
+    /// Decode a dense run of `n` elements. Implementations must bounds
+    /// check before allocating so corrupted headers cannot OOM.
+    fn take_slice(buf: &mut Bytes, n: usize) -> Result<Vec<Self>, JobError> {
+        let mut out = Vec::with_capacity(n.min(buf.remaining() / Self::BYTES.max(1)));
+        for _ in 0..n {
+            out.push(Self::take(buf)?);
+        }
+        Ok(out)
+    }
 }
 
 impl ElemCodec for f64 {
@@ -33,6 +56,12 @@ impl ElemCodec for f64 {
         }
         Ok(buf.get_f64_le())
     }
+    fn put_slice(items: &[Self], buf: &mut BytesMut) {
+        encode_le_slice(items, buf);
+    }
+    fn take_slice(buf: &mut Bytes, n: usize) -> Result<Vec<Self>, JobError> {
+        decode_le_slice(buf, n)
+    }
 }
 
 impl ElemCodec for bool {
@@ -45,6 +74,19 @@ impl ElemCodec for bool {
             return Err(JobError::Codec("bool underrun".into()));
         }
         Ok(buf.get_u8() != 0)
+    }
+    fn put_slice(items: &[Self], buf: &mut BytesMut) {
+        // SAFETY: `bool` is one byte whose only values are 0 and 1 —
+        // its memory representation is exactly the wire encoding.
+        let raw = unsafe { std::slice::from_raw_parts(items.as_ptr().cast::<u8>(), items.len()) };
+        buf.extend_from_slice(raw);
+    }
+    fn take_slice(buf: &mut Bytes, n: usize) -> Result<Vec<Self>, JobError> {
+        if buf.remaining() < n {
+            return Err(JobError::Codec("bool slice underrun".into()));
+        }
+        let raw = buf.split_to(n);
+        Ok(raw.iter().map(|b| *b != 0).collect())
     }
 }
 
@@ -108,45 +150,70 @@ impl<E: ElemCodec> Block<E> {
     }
 }
 
-impl ElemCodec for gep_kernels::semiring::MinPlus {
-    const BYTES: usize = 8;
-    fn put(&self, buf: &mut BytesMut) {
-        buf.put_f64_le(self.0);
-    }
-    fn take(buf: &mut Bytes) -> Result<Self, JobError> {
-        if buf.remaining() < 8 {
-            return Err(JobError::Codec("MinPlus underrun".into()));
+/// Bulk hooks for newtype-over-`f64` semiring elements. Sound only for
+/// `#[repr(transparent)]` wrappers, which the macro's safety comment
+/// pins at each use site.
+macro_rules! f64_newtype_codec {
+    ($t:ty, $ctor:expr, $label:literal) => {
+        impl ElemCodec for $t {
+            const BYTES: usize = 8;
+            fn put(&self, buf: &mut BytesMut) {
+                buf.put_f64_le(self.0);
+            }
+            fn take(buf: &mut Bytes) -> Result<Self, JobError> {
+                if buf.remaining() < 8 {
+                    return Err(JobError::Codec(concat!($label, " underrun").into()));
+                }
+                Ok($ctor(buf.get_f64_le()))
+            }
+            fn put_slice(items: &[Self], buf: &mut BytesMut) {
+                // SAFETY: the wrapper is `#[repr(transparent)]` over
+                // `f64`, so a run of wrappers is layout-identical to a
+                // run of `f64`s.
+                let raw = unsafe {
+                    std::slice::from_raw_parts(items.as_ptr().cast::<f64>(), items.len())
+                };
+                encode_le_slice(raw, buf);
+            }
+            fn take_slice(buf: &mut Bytes, n: usize) -> Result<Vec<Self>, JobError> {
+                Ok(decode_le_slice::<f64>(buf, n)?
+                    .into_iter()
+                    .map($ctor)
+                    .collect())
+            }
         }
-        Ok(gep_kernels::semiring::MinPlus(buf.get_f64_le()))
-    }
+    };
 }
 
-impl ElemCodec for gep_kernels::semiring::MaxMin {
-    const BYTES: usize = 8;
-    fn put(&self, buf: &mut BytesMut) {
-        buf.put_f64_le(self.0);
-    }
-    fn take(buf: &mut Bytes) -> Result<Self, JobError> {
-        if buf.remaining() < 8 {
-            return Err(JobError::Codec("MaxMin underrun".into()));
-        }
-        Ok(gep_kernels::semiring::MaxMin(buf.get_f64_le()))
-    }
-}
+f64_newtype_codec!(
+    gep_kernels::semiring::MinPlus,
+    gep_kernels::semiring::MinPlus,
+    "MinPlus"
+);
+f64_newtype_codec!(
+    gep_kernels::semiring::MaxMin,
+    gep_kernels::semiring::MaxMin,
+    "MaxMin"
+);
 
 const TAG_REAL: u8 = 0;
 const TAG_VIRTUAL: u8 = 1;
 
 impl<E: ElemCodec> Storable for Block<E> {
+    fn encoded_len(&self) -> usize {
+        match self {
+            Block::Real(m) => 17 + m.rows() * m.cols() * E::BYTES,
+            Block::Virtual { .. } => 17,
+        }
+    }
+
     fn encode(&self, buf: &mut BytesMut) {
         match self {
             Block::Real(m) => {
                 buf.put_u8(TAG_REAL);
                 buf.put_u64_le(m.rows() as u64);
                 buf.put_u64_le(m.cols() as u64);
-                for e in m.as_slice() {
-                    e.put(buf);
-                }
+                E::put_slice(m.as_slice(), buf);
             }
             Block::Virtual { rows, cols } => {
                 buf.put_u8(TAG_VIRTUAL);
@@ -165,10 +232,10 @@ impl<E: ElemCodec> Storable for Block<E> {
         let cols = buf.get_u64_le() as usize;
         match tag {
             TAG_REAL => {
-                let mut data = Vec::with_capacity(rows * cols);
-                for _ in 0..rows * cols {
-                    data.push(E::take(buf)?);
-                }
+                let n = rows
+                    .checked_mul(cols)
+                    .ok_or_else(|| JobError::Codec("block dims overflow".into()))?;
+                let data = E::take_slice(buf, n)?;
                 Ok(Block::Real(Matrix::from_vec(rows, cols, data)))
             }
             TAG_VIRTUAL => Ok(Block::Virtual { rows, cols }),
@@ -223,6 +290,43 @@ mod tests {
     fn real_block_accounting_matches_wire() {
         let b = Block::Real(Matrix::square(16, 1.0f64));
         assert_eq!(b.approx_bytes(), encode_one(&b).len());
+        assert_eq!(b.encoded_len(), encode_one(&b).len());
+        let v: Block<f64> = Block::Virtual { rows: 9, cols: 7 };
+        assert_eq!(v.encoded_len(), encode_one(&v).len());
+    }
+
+    #[test]
+    fn bulk_element_paths_match_elementwise_encoding() {
+        use gep_kernels::semiring::{MaxMin, MinPlus};
+        // The slice hooks must be byte-identical to the per-element
+        // loop — the wire format is pinned, only the path changed.
+        fn check<E: ElemCodec + PartialEq + std::fmt::Debug>(items: Vec<E>) {
+            let mut bulk = BytesMut::new();
+            E::put_slice(&items, &mut bulk);
+            let mut loopy = BytesMut::new();
+            for e in &items {
+                e.put(&mut loopy);
+            }
+            assert_eq!(bulk, loopy);
+            let mut wire = bulk.freeze();
+            let back = E::take_slice(&mut wire, items.len()).unwrap();
+            assert_eq!(back, items);
+            assert!(wire.is_empty());
+        }
+        check((0..37).map(|i| i as f64 * 1.5 - 3.0).collect());
+        check((0..37).map(|i| i % 3 == 0).collect());
+        check((0..37).map(|i| MinPlus(i as f64)).collect());
+        check((0..37).map(|i| MaxMin(-(i as f64))).collect());
+    }
+
+    #[test]
+    fn truncated_real_block_errors_cleanly() {
+        let b = Block::Real(Matrix::square(4, 2.0f64));
+        let wire = encode_one(&b);
+        for cut in [0, 1, 16, 17, 18, wire.len() - 1] {
+            let err = decode_one::<Block<f64>>(wire.slice(..cut));
+            assert!(err.is_err(), "cut at {cut} must fail");
+        }
     }
 
     #[test]

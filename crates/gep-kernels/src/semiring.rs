@@ -22,7 +22,11 @@ pub trait Semiring: Copy + Send + Sync + PartialEq + std::fmt::Debug + 'static {
 /// Tropical (min, +) semiring over `f64`: shortest paths.
 ///
 /// `ZERO = +∞` (no path), `ONE = 0.0` (empty path).
+///
+/// `repr(transparent)` is a codec contract: dense tiles of `MinPlus`
+/// are reinterpreted as `f64` runs for single-copy (de)serialization.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[repr(transparent)]
 pub struct MinPlus(pub f64);
 
 impl Semiring for MinPlus {
@@ -63,7 +67,10 @@ impl Semiring for BoolRing {
 ///
 /// `plus = max` chooses the better path, `times = min` limits a path by
 /// its narrowest edge. Used by the bandwidth-routing example.
+///
+/// `repr(transparent)` is a codec contract, as for [`MinPlus`].
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[repr(transparent)]
 pub struct MaxMin(pub f64);
 
 impl Semiring for MaxMin {

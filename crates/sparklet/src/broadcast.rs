@@ -1,35 +1,37 @@
 //! Driver-mediated broadcast through "shared persistent storage" — the
 //! transport of the paper's Collect-Broadcast implementation.
 //!
-//! The driver serializes a value once into the shared store; each node
+//! The driver serializes a value once into the shared store — a single
+//! sealed [`Payload`] frame, optionally compressed; each node
 //! deserializes it at most once (per-node cache), mirroring how the
 //! paper's executors read broadcast blocks from the shared filesystem.
+//! Handing the frame to a node is a refcount bump, never a copy.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bytes::Bytes;
 use parking_lot::Mutex;
 
-use crate::codec::{decode_one, encode_one, Storable};
+use crate::codec::{decode_one, Storable};
 use crate::context::TaskContext;
 use crate::error::JobError;
+use crate::payload::{Compression, Payload, PayloadBuilder};
 use crate::Data;
 
 /// The shared store the driver writes into (one per context).
 #[derive(Debug, Default)]
 pub struct BroadcastStore {
-    entries: Mutex<HashMap<u64, Bytes>>,
+    entries: Mutex<HashMap<u64, Payload>>,
 }
 
 impl BroadcastStore {
     /// Store a serialized broadcast payload.
-    pub fn put(&self, id: u64, data: Bytes) {
+    pub fn put(&self, id: u64, data: Payload) {
         self.entries.lock().insert(id, data);
     }
 
-    /// Fetch a broadcast payload by id.
-    pub fn get(&self, id: u64) -> Result<Bytes, JobError> {
+    /// Fetch a broadcast payload by id (refcount bump, no copy).
+    pub fn get(&self, id: u64) -> Result<Payload, JobError> {
         self.entries
             .lock()
             .get(&id)
@@ -82,8 +84,16 @@ impl<T> Clone for Broadcast<T> {
 }
 
 impl<T: Data + Storable> Broadcast<T> {
-    pub(crate) fn create(id: u64, value: &T, store: Arc<BroadcastStore>) -> Self {
-        let encoded = encode_one(value);
+    pub(crate) fn create(
+        id: u64,
+        value: &T,
+        store: Arc<BroadcastStore>,
+        compression: Compression,
+    ) -> Self {
+        // Serialize exactly once, straight into the sealed frame.
+        let mut builder = PayloadBuilder::with_capacity(value.encoded_len());
+        value.encode(builder.buf());
+        let encoded = builder.seal(compression);
         // Accounting uses the declared (approx) size so virtual-mode
         // payloads price at full scale.
         let bytes = value.approx_bytes() as u64;
@@ -110,9 +120,9 @@ impl<T: Data + Storable> Broadcast<T> {
         if let Some(v) = cache.get(&tc.node()) {
             return Ok(Arc::clone(v));
         }
-        let raw = self.store.get(self.id)?;
-        tc.add_local_read(self.bytes);
-        let value = Arc::new(decode_one::<T>(raw)?);
+        let payload = self.store.get(self.id)?;
+        tc.add_local_read(self.bytes, payload.wire_hint(self.bytes));
+        let value = Arc::new(decode_one::<T>(payload.open()?)?);
         cache.insert(tc.node(), Arc::clone(&value));
         Ok(value)
     }
@@ -125,7 +135,7 @@ mod tests {
     #[test]
     fn broadcast_roundtrips_and_caches_per_node() {
         let store = Arc::new(BroadcastStore::default());
-        let bc = Broadcast::create(9, &vec![1.5f64, 2.5], Arc::clone(&store));
+        let bc = Broadcast::create(9, &vec![1.5f64, 2.5], Arc::clone(&store), Compression::None);
         let tc0 = TaskContext::new(0);
         let v1 = bc.value(&tc0).unwrap();
         let v2 = bc.value(&tc0).unwrap();
@@ -142,7 +152,7 @@ mod tests {
     #[test]
     fn payload_is_reclaimed_when_last_handle_drops() {
         let store = Arc::new(BroadcastStore::default());
-        let bc = Broadcast::create(5, &1u64, Arc::clone(&store));
+        let bc = Broadcast::create(5, &1u64, Arc::clone(&store), Compression::None);
         let bc2 = bc.clone();
         drop(bc);
         assert!(store.get(5).is_ok(), "still referenced");
@@ -153,9 +163,27 @@ mod tests {
     #[test]
     fn missing_broadcast_errors() {
         let store = Arc::new(BroadcastStore::default());
-        let bc = Broadcast::create(1, &0u64, Arc::clone(&store));
+        let bc = Broadcast::create(1, &0u64, Arc::clone(&store), Compression::None);
         store.remove(1);
         let tc = TaskContext::new(0);
         assert!(bc.value(&tc).is_err());
+    }
+
+    #[test]
+    fn compressed_broadcast_roundtrips_and_reports_wire_bytes() {
+        let store = Arc::new(BroadcastStore::default());
+        let value: Vec<u64> = vec![7; 512];
+        let bc = Broadcast::create(3, &value, Arc::clone(&store), Compression::Lz4);
+        // Declared size is unchanged by the codec.
+        assert_eq!(bc.serialized_bytes(), value.approx_bytes() as u64);
+        let tc = TaskContext::new(0);
+        assert_eq!(*bc.value(&tc).unwrap(), value);
+        let rec = tc.snapshot();
+        assert_eq!(rec.local_read_bytes, bc.serialized_bytes());
+        assert!(
+            rec.local_read_wire_bytes > 0 && rec.local_read_wire_bytes < rec.local_read_bytes,
+            "repetitive payload must report a smaller measured wire size, got {}",
+            rec.local_read_wire_bytes
+        );
     }
 }

@@ -5,27 +5,64 @@
 //! serializes for real too. The codec is deliberately simple:
 //! little-endian fixed-width scalars, length-prefixed sequences —
 //! enough to measure honest byte volumes and to round-trip exactly.
+//!
+//! The trait is bulk-oriented: [`Storable::encoded_len`] sizes a value
+//! exactly without encoding it (O(1) for fixed-width and container
+//! types), and [`Storable::encode_slice`] / [`Storable::decode_slice`]
+//! let dense scalar runs move as single `memcpy`s instead of
+//! per-element loops. On little-endian targets, decoding a dense run
+//! whose buffer happens to be aligned reinterprets the words in place;
+//! unaligned buffers fall back to a byte-wise path with identical
+//! results.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::error::JobError;
 
 /// A type that can cross an executor boundary (shuffle, broadcast,
-/// collect). Implementations must round-trip exactly.
+/// collect). Implementations must round-trip exactly, and
+/// [`Storable::encoded_len`] must equal the number of bytes
+/// [`Storable::encode`] appends.
 pub trait Storable: Sized {
+    /// `Some(w)` when every value of the type encodes to exactly `w`
+    /// bytes — enables O(1) sizing of containers and bulk slice codecs.
+    const WIRE_SIZE: Option<usize> = None;
+
+    /// Exact number of bytes [`Storable::encode`] will append. O(1)
+    /// for scalars and for containers of fixed-width elements.
+    fn encoded_len(&self) -> usize;
+
     /// Append this value's encoding to `buf`.
     fn encode(&self, buf: &mut BytesMut);
 
     /// Decode one value from the front of `buf`, advancing it.
     fn decode(buf: &mut Bytes) -> Result<Self, JobError>;
 
-    /// Approximate in-memory footprint in bytes (used for block-manager
-    /// accounting; defaults to the encoded size which is close enough
-    /// for the dense numeric payloads used here).
+    /// Declared footprint for staging/storage/broadcast accounting.
+    /// Defaults to the exact wire size; types whose wire form is a
+    /// placeholder (virtual blocks) override this with their logical
+    /// size instead.
     fn approx_bytes(&self) -> usize {
-        let mut b = BytesMut::new();
-        self.encode(&mut b);
-        b.len()
+        self.encoded_len()
+    }
+
+    /// Append every item of `items`. Containers call this so
+    /// fixed-width scalars hit a single-`memcpy` path; the default is
+    /// the element-wise loop.
+    fn encode_slice(items: &[Self], buf: &mut BytesMut) {
+        for item in items {
+            item.encode(buf);
+        }
+    }
+
+    /// Decode `n` items — the bulk inverse of
+    /// [`Storable::encode_slice`].
+    fn decode_slice(buf: &mut Bytes, n: usize) -> Result<Vec<Self>, JobError> {
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(Self::decode(buf)?);
+        }
+        Ok(out)
     }
 }
 
@@ -40,9 +77,87 @@ fn need(buf: &Bytes, n: usize) -> Result<(), JobError> {
     }
 }
 
+/// Fixed-width numeric scalars whose in-memory representation is their
+/// wire representation on little-endian targets.
+///
+/// # Safety
+///
+/// Implementors must be plain-old-data: no padding, no invalid bit
+/// patterns, and `size_of::<Self>() == WIDTH`, so that viewing a
+/// `&[Self]` as bytes (and, on aligned little-endian buffers, viewing
+/// wire bytes as `&[Self]`) is sound.
+pub unsafe trait LeScalar: Copy {
+    /// Wire width in bytes (== `size_of::<Self>()`).
+    const WIDTH: usize;
+
+    /// Decode one value from a `WIDTH`-byte little-endian chunk.
+    fn from_le(chunk: &[u8]) -> Self;
+
+    /// Append one value as little-endian bytes.
+    fn put_le(self, buf: &mut BytesMut);
+}
+
+/// Append a dense scalar run in one copy (little-endian targets) or
+/// element-wise (big-endian fallback, byte-identical output).
+pub fn encode_le_slice<T: LeScalar>(items: &[T], buf: &mut BytesMut) {
+    if cfg!(target_endian = "little") {
+        // SAFETY: `LeScalar` guarantees no padding and no invalid bit
+        // patterns, so the memory of `items` is `len * WIDTH` valid
+        // bytes; on little-endian targets memory order is wire order.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(items.as_ptr().cast::<u8>(), std::mem::size_of_val(items))
+        };
+        buf.extend_from_slice(bytes);
+    } else {
+        for v in items {
+            v.put_le(buf);
+        }
+    }
+}
+
+/// Decode a dense run of `n` scalars. On little-endian targets with an
+/// aligned buffer the words are reinterpreted in place (one bulk copy
+/// into the result); unaligned or big-endian buffers take the byte-wise
+/// fallback. Underruns yield [`JobError::Codec`].
+pub fn decode_le_slice<T: LeScalar>(buf: &mut Bytes, n: usize) -> Result<Vec<T>, JobError> {
+    let need_bytes = n
+        .checked_mul(T::WIDTH)
+        .ok_or_else(|| JobError::Codec(format!("slice length {n} overflows")))?;
+    need(buf, need_bytes)?;
+    let raw = buf.split_to(need_bytes);
+    if cfg!(target_endian = "little") {
+        // SAFETY: `LeScalar` rules out padding and invalid bit
+        // patterns, so any aligned `WIDTH`-byte chunk is a valid value.
+        let (head, mid, tail) = unsafe { raw.align_to::<T>() };
+        if head.is_empty() && tail.is_empty() && mid.len() == n {
+            return Ok(mid.to_vec());
+        }
+    }
+    let mut out = Vec::with_capacity(n);
+    for chunk in raw.chunks_exact(T::WIDTH) {
+        out.push(T::from_le(chunk));
+    }
+    Ok(out)
+}
+
 macro_rules! scalar_storable {
     ($t:ty, $put:ident, $get:ident, $n:expr) => {
+        // SAFETY: primitive numeric type — no padding, no invalid bit
+        // patterns, in-memory width equals wire width.
+        unsafe impl LeScalar for $t {
+            const WIDTH: usize = $n;
+            fn from_le(chunk: &[u8]) -> Self {
+                <$t>::from_le_bytes(chunk.try_into().expect("chunk width"))
+            }
+            fn put_le(self, buf: &mut BytesMut) {
+                buf.$put(self);
+            }
+        }
         impl Storable for $t {
+            const WIRE_SIZE: Option<usize> = Some($n);
+            fn encoded_len(&self) -> usize {
+                $n
+            }
             fn encode(&self, buf: &mut BytesMut) {
                 buf.$put(*self);
             }
@@ -50,8 +165,11 @@ macro_rules! scalar_storable {
                 need(buf, $n)?;
                 Ok(buf.$get())
             }
-            fn approx_bytes(&self) -> usize {
-                $n
+            fn encode_slice(items: &[Self], buf: &mut BytesMut) {
+                encode_le_slice(items, buf);
+            }
+            fn decode_slice(buf: &mut Bytes, n: usize) -> Result<Vec<Self>, JobError> {
+                decode_le_slice(buf, n)
             }
         }
     };
@@ -65,6 +183,11 @@ scalar_storable!(f64, put_f64_le, get_f64_le, 8);
 scalar_storable!(f32, put_f32_le, get_f32_le, 4);
 
 impl Storable for usize {
+    // Always 8 wire bytes regardless of the host's pointer width.
+    const WIRE_SIZE: Option<usize> = Some(8);
+    fn encoded_len(&self) -> usize {
+        8
+    }
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(*self as u64);
     }
@@ -72,22 +195,23 @@ impl Storable for usize {
         need(buf, 8)?;
         Ok(buf.get_u64_le() as usize)
     }
-    fn approx_bytes(&self) -> usize {
-        8
-    }
 }
 
 impl Storable for () {
+    fn encoded_len(&self) -> usize {
+        0
+    }
     fn encode(&self, _buf: &mut BytesMut) {}
     fn decode(_buf: &mut Bytes) -> Result<Self, JobError> {
         Ok(())
     }
-    fn approx_bytes(&self) -> usize {
-        0
-    }
 }
 
 impl Storable for bool {
+    const WIRE_SIZE: Option<usize> = Some(1);
+    fn encoded_len(&self) -> usize {
+        1
+    }
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u8(u8::from(*self));
     }
@@ -95,12 +219,16 @@ impl Storable for bool {
         need(buf, 1)?;
         Ok(buf.get_u8() != 0)
     }
-    fn approx_bytes(&self) -> usize {
-        1
-    }
 }
 
 impl<A: Storable, B: Storable> Storable for (A, B) {
+    const WIRE_SIZE: Option<usize> = match (A::WIRE_SIZE, B::WIRE_SIZE) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    };
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
     fn encode(&self, buf: &mut BytesMut) {
         self.0.encode(buf);
         self.1.encode(buf);
@@ -114,6 +242,13 @@ impl<A: Storable, B: Storable> Storable for (A, B) {
 }
 
 impl<A: Storable, B: Storable, C: Storable> Storable for (A, B, C) {
+    const WIRE_SIZE: Option<usize> = match (A::WIRE_SIZE, B::WIRE_SIZE, C::WIRE_SIZE) {
+        (Some(a), Some(b), Some(c)) => Some(a + b + c),
+        _ => None,
+    };
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
+    }
     fn encode(&self, buf: &mut BytesMut) {
         self.0.encode(buf);
         self.1.encode(buf);
@@ -128,20 +263,20 @@ impl<A: Storable, B: Storable, C: Storable> Storable for (A, B, C) {
 }
 
 impl<T: Storable> Storable for Vec<T> {
+    fn encoded_len(&self) -> usize {
+        8 + match T::WIRE_SIZE {
+            Some(w) => w * self.len(),
+            None => self.iter().map(Storable::encoded_len).sum(),
+        }
+    }
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.len() as u64);
-        for item in self {
-            item.encode(buf);
-        }
+        T::encode_slice(self, buf);
     }
     fn decode(buf: &mut Bytes) -> Result<Self, JobError> {
         need(buf, 8)?;
         let n = buf.get_u64_le() as usize;
-        let mut out = Vec::with_capacity(n.min(1 << 20));
-        for _ in 0..n {
-            out.push(T::decode(buf)?);
-        }
-        Ok(out)
+        T::decode_slice(buf, n)
     }
     fn approx_bytes(&self) -> usize {
         8 + self.iter().map(Storable::approx_bytes).sum::<usize>()
@@ -149,6 +284,9 @@ impl<T: Storable> Storable for Vec<T> {
 }
 
 impl Storable for String {
+    fn encoded_len(&self) -> usize {
+        8 + self.len()
+    }
     fn encode(&self, buf: &mut BytesMut) {
         buf.put_u64_le(self.len() as u64);
         buf.put_slice(self.as_bytes());
@@ -160,12 +298,12 @@ impl Storable for String {
         let raw = buf.split_to(n);
         String::from_utf8(raw.to_vec()).map_err(|e| JobError::Codec(format!("invalid utf8: {e}")))
     }
-    fn approx_bytes(&self) -> usize {
-        8 + self.len()
-    }
 }
 
 impl<T: Storable> Storable for Option<T> {
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Storable::encoded_len)
+    }
     fn encode(&self, buf: &mut BytesMut) {
         match self {
             None => buf.put_u8(0),
@@ -183,11 +321,14 @@ impl<T: Storable> Storable for Option<T> {
             t => Err(JobError::Codec(format!("invalid Option tag {t}"))),
         }
     }
+    fn approx_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, Storable::approx_bytes)
+    }
 }
 
-/// Encode a single value to a frozen buffer.
+/// Encode a single value to a frozen buffer (sized exactly up front).
 pub fn encode_one<T: Storable>(value: &T) -> Bytes {
-    let mut buf = BytesMut::new();
+    let mut buf = BytesMut::with_capacity(value.encoded_len());
     value.encode(&mut buf);
     buf.freeze()
 }
@@ -210,6 +351,7 @@ mod tests {
 
     fn roundtrip<T: Storable + PartialEq + std::fmt::Debug>(v: T) {
         let enc = encode_one(&v);
+        assert_eq!(enc.len(), v.encoded_len(), "encoded_len must be exact");
         let dec: T = decode_one(enc).unwrap();
         assert_eq!(dec, v);
     }
@@ -263,5 +405,55 @@ mod tests {
     fn approx_bytes_matches_encoding_for_dense_data() {
         let v = vec![0.5f64; 1000];
         assert_eq!(v.approx_bytes(), encode_one(&v).len());
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_every_impl() {
+        roundtrip(());
+        roundtrip(Some(8.5f64));
+        roundtrip(vec![String::from("a"), String::from("bcd")]);
+        roundtrip(vec![vec![1u32, 2], vec![], vec![3]]);
+        roundtrip((true, 9u8, -1i64));
+        roundtrip(vec![3.5f32; 31]);
+    }
+
+    #[test]
+    fn wire_size_composes_through_tuples() {
+        assert_eq!(<(usize, u64)>::WIRE_SIZE, Some(16));
+        assert_eq!(<(u8, f32, bool)>::WIRE_SIZE, Some(6));
+        assert_eq!(<(u8, String)>::WIRE_SIZE, None);
+        assert_eq!(<f64 as Storable>::WIRE_SIZE, Some(8));
+        assert_eq!(Vec::<f64>::WIRE_SIZE, None);
+    }
+
+    #[test]
+    fn bulk_slice_encoding_matches_element_wise() {
+        let vals: Vec<f64> = (0..257).map(|i| i as f64 * 0.75 - 3.0).collect();
+        let bulk = encode_one(&vals);
+        let mut element_wise = BytesMut::new();
+        element_wise.put_u64_le(vals.len() as u64);
+        for v in &vals {
+            element_wise.put_f64_le(*v);
+        }
+        assert_eq!(&bulk[..], &element_wise.freeze()[..]);
+        let back: Vec<f64> = decode_one(bulk).unwrap();
+        assert_eq!(back, vals);
+    }
+
+    #[test]
+    fn unaligned_buffers_decode_via_fallback() {
+        let vals: Vec<f64> = (0..64).map(|i| (i * i) as f64).collect();
+        // Plain frame: the f64 run starts 8 bytes in (aligned whenever
+        // the allocation base is 8-aligned).
+        assert_eq!(decode_one::<Vec<f64>>(encode_one(&vals)).unwrap(), vals);
+        // Padded frame: a 1-byte prefix shifts the run to offset 9 —
+        // misaligned whenever the plain run was aligned, so between the
+        // two frames both decode paths execute.
+        let mut framed = BytesMut::new();
+        framed.put_u8(0xEE);
+        vals.encode(&mut framed);
+        let mut view = framed.freeze();
+        assert_eq!(u8::decode(&mut view).unwrap(), 0xEE);
+        assert_eq!(Vec::<f64>::decode(&mut view).unwrap(), vals);
     }
 }

@@ -2,6 +2,7 @@
 //! fixes per cluster (`--num-executors`, `--executor-cores`, RDD
 //! partition count, executor memory).
 
+use crate::payload::Compression;
 use crate::storage::StorageLevel;
 
 /// Configuration of a [`crate::SparkContext`].
@@ -63,6 +64,13 @@ pub struct SparkConf {
     /// outputs trigger a map-stage re-run, Spark-style, rather than a
     /// task retry).
     pub max_fetch_retries: usize,
+    /// Codec applied at the data plane's single seal point — shuffle
+    /// map outputs, disk-tier spills, and broadcast payloads
+    /// (`spark.io.compression.codec`-style). Accounting always uses
+    /// declared (uncompressed) bytes, so turning this on changes wire
+    /// volumes and modeled transfer cost, never the staging ledgers or
+    /// the schedule.
+    pub compression: Compression,
 }
 
 impl Default for SparkConf {
@@ -84,6 +92,7 @@ impl Default for SparkConf {
             max_concurrent_stages: None,
             sim_seed: None,
             max_fetch_retries: 8,
+            compression: Compression::None,
         }
     }
 }
@@ -213,6 +222,13 @@ impl SparkConf {
         self.max_fetch_retries = n;
         self
     }
+
+    /// Set the data-plane compression codec (shuffle, spill,
+    /// broadcast frames).
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +298,18 @@ mod tests {
         let d = SparkConf::default();
         assert_eq!(d.sim_seed, None, "real execution by default");
         assert_eq!(d.max_fetch_retries, 8);
+    }
+
+    #[test]
+    fn compression_knob_composes() {
+        let c = SparkConf::default().with_compression(Compression::Lz4);
+        assert_eq!(c.compression, Compression::Lz4);
+        let d = SparkConf::default();
+        assert_eq!(
+            d.compression,
+            Compression::None,
+            "compression is opt-in: default runs keep byte-identical wire frames"
+        );
     }
 
     #[test]

@@ -126,7 +126,8 @@ impl SparkContext {
                     .name_prefix(format!("exec-{node}"))
                     .clock(Arc::clone(&clock))
                     .build(),
-                store: BlockStore::new(node, conf.executor_memory, conf.disk_capacity),
+                store: BlockStore::new(node, conf.executor_memory, conf.disk_capacity)
+                    .with_compression(conf.compression),
             })
             .collect();
         let shuffle = ShuffleManager::new(conf.executors, conf.staging_capacity);
@@ -200,7 +201,12 @@ impl SparkContext {
     /// transport). Driver traffic is *not* logged here — the CB driver
     /// loop logs it per stage via [`SparkContext::log_driver_traffic`].
     pub fn broadcast<T: Data + Storable>(&self, value: &T) -> Broadcast<T> {
-        Broadcast::create(self.next_id(), value, Arc::clone(&self.inner.bcast))
+        Broadcast::create(
+            self.next_id(),
+            value,
+            Arc::clone(&self.inner.bcast),
+            self.inner.conf.compression,
+        )
     }
 
     /// Append a driver-only pseudo-stage carrying collect/broadcast
@@ -615,30 +621,44 @@ impl TaskContext {
         self.record.lock().kernels.push(inv);
     }
 
-    /// Record shuffle bytes fetched from another node.
-    pub fn add_remote_read(&self, bytes: u64) {
-        self.record.lock().remote_read_bytes += bytes;
+    /// Record shuffle bytes fetched from another node: `bytes` is the
+    /// declared (logical) size that drives all ledgers, `wire` the
+    /// compressed frame size actually moved (0 = uncompressed).
+    pub fn add_remote_read(&self, bytes: u64, wire: u64) {
+        let mut r = self.record.lock();
+        r.remote_read_bytes += bytes;
+        r.remote_read_wire_bytes += wire;
     }
 
-    /// Record bytes read from this node's storage.
-    pub fn add_local_read(&self, bytes: u64) {
-        self.record.lock().local_read_bytes += bytes;
+    /// Record bytes read from this node's storage (declared + wire).
+    pub fn add_local_read(&self, bytes: u64, wire: u64) {
+        let mut r = self.record.lock();
+        r.local_read_bytes += bytes;
+        r.local_read_wire_bytes += wire;
     }
 
-    /// Record map-output bytes staged to local storage.
-    pub fn add_shuffle_write(&self, bytes: u64) {
-        self.record.lock().shuffle_write_bytes += bytes;
+    /// Record map-output bytes staged to local storage (declared +
+    /// wire).
+    pub fn add_shuffle_write(&self, bytes: u64, wire: u64) {
+        let mut r = self.record.lock();
+        r.shuffle_write_bytes += bytes;
+        r.shuffle_write_wire_bytes += wire;
     }
 
     /// Record cached bytes serialized to the disk tier (a spill this
-    /// task triggered, or a `DiskOnly` put).
-    pub fn add_spill_write(&self, bytes: u64) {
-        self.record.lock().spill_write_bytes += bytes;
+    /// task triggered, or a `DiskOnly` put), declared + wire.
+    pub fn add_spill_write(&self, bytes: u64, wire: u64) {
+        let mut r = self.record.lock();
+        r.spill_write_bytes += bytes;
+        r.spill_write_wire_bytes += wire;
     }
 
-    /// Record cached bytes deserialized back from the disk tier.
-    pub fn add_spill_read(&self, bytes: u64) {
-        self.record.lock().spill_read_bytes += bytes;
+    /// Record cached bytes deserialized back from the disk tier
+    /// (declared + wire).
+    pub fn add_spill_read(&self, bytes: u64, wire: u64) {
+        let mut r = self.record.lock();
+        r.spill_read_bytes += bytes;
+        r.spill_read_wire_bytes += wire;
     }
 
     /// Copy of the record so far (tests; the scheduler takes the final).

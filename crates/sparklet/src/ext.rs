@@ -23,6 +23,13 @@ pub enum Either<L, R> {
 }
 
 impl<L: Storable, R: Storable> Storable for Either<L, R> {
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Either::Left(l) => l.encoded_len(),
+            Either::Right(r) => r.encoded_len(),
+        }
+    }
+
     fn encode(&self, buf: &mut BytesMut) {
         match self {
             Either::Left(l) => {

@@ -59,6 +59,7 @@ pub mod error;
 pub mod ext;
 pub mod metrics;
 pub mod partitioner;
+pub mod payload;
 pub mod rdd;
 pub mod scheduler;
 pub mod shuffle;
@@ -74,6 +75,7 @@ pub use error::JobError;
 pub use ext::{Either, RangePartitioner};
 pub use metrics::EventLog;
 pub use partitioner::{GridPartitioner, HashPartitioner, Partitioner};
+pub use payload::{Compression, Payload, PayloadBuilder};
 pub use rdd::Rdd;
 pub use sim::{ChaosEvent, ChaosPolicy};
 pub use storage::{BlockStore, PutOutcome, StorageLevel};

@@ -83,6 +83,28 @@ impl EventLog {
             .sum()
     }
 
+    /// Total measured wire bytes behind shuffle fetches (local +
+    /// remote). Non-zero only when compression is on and the frames
+    /// actually shrank; deliberately NOT part of the sim counter
+    /// fingerprint, which must be identical across codec settings.
+    pub fn total_shuffle_wire_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.record.tasks)
+            .map(|t| t.remote_read_wire_bytes + t.local_read_wire_bytes)
+            .sum()
+    }
+
+    /// Total measured wire bytes behind spill writes and reads.
+    /// Same caveats as [`EventLog::total_shuffle_wire_bytes`].
+    pub fn total_spill_wire_bytes(&self) -> u64 {
+        self.stages
+            .iter()
+            .flat_map(|s| &s.record.tasks)
+            .map(|t| t.spill_write_wire_bytes + t.spill_read_wire_bytes)
+            .sum()
+    }
+
     /// Total driver collect bytes (CB pattern).
     pub fn total_collect_bytes(&self) -> u64 {
         self.stages.iter().map(|s| s.record.collect_bytes).sum()
@@ -214,6 +236,9 @@ mod tests {
                     remote_read_bytes: 10,
                     local_read_bytes: 5,
                     shuffle_write_bytes: 7,
+                    remote_read_wire_bytes: 4,
+                    local_read_wire_bytes: 2,
+                    spill_write_wire_bytes: 3,
                     ..Default::default()
                 }],
                 collect_bytes: 100,
@@ -244,6 +269,8 @@ mod tests {
         assert_eq!(log.total_retries(), 2);
         assert_eq!(log.total_speculative_launches(), 0);
         assert_eq!(log.total_staged_released_bytes(), 30);
+        assert_eq!(log.total_shuffle_wire_bytes(), 6);
+        assert_eq!(log.total_spill_wire_bytes(), 3);
         let taken = log.take();
         assert_eq!(taken.len(), 2);
         assert_eq!(log.stage_count(), 0);

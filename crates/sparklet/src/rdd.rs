@@ -12,13 +12,14 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use bytes::{Buf, BytesMut};
+use bytes::Buf;
 
 use crate::codec::Storable;
 use crate::context::{SparkContext, TaskContext};
 use crate::dag::{self, JobHandle, ShuffleDep};
 use crate::error::JobError;
 use crate::partitioner::Partitioner;
+use crate::payload::PayloadBuilder;
 use crate::scheduler::{StageMeta, TaskFn};
 use crate::storage::StorageLevel;
 use crate::Data;
@@ -105,6 +106,10 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for ParallelizeRdd<K, V> {
         Vec::new()
     }
     fn compute(&self, p: usize, _tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
+        // Driver-source fan-out, not the data plane: compute hands an
+        // owned Vec to the fused narrow chain above it, so the source
+        // partition is cloned per task. Serialized movement (shuffle,
+        // spill, broadcast) shares Payload frames by refcount instead.
         Ok(self.parts[p].clone())
     }
 }
@@ -496,26 +501,32 @@ impl<K: Key, V: ShufVal> ShuffleDep for ShuffledRdd<K, V> {
                 let items = parent.compute(p, tc)?;
                 // Sparse bucket map: most of the (often ~1000) reduce
                 // partitions receive nothing from a given map task.
-                let mut bufs: HashMap<usize, (BytesMut, u64)> = HashMap::new();
+                // Pairs are serialized exactly once, straight into each
+                // bucket's frame-in-progress.
+                let mut bufs: HashMap<usize, (PayloadBuilder, u64)> = HashMap::new();
                 for (k, v) in items {
                     let b = partitioner.partition(&k, partitions);
                     let slot = bufs.entry(b).or_default();
+                    // Declared (logical) bytes: exact encoded size for
+                    // dense types, deliberately larger for virtual
+                    // blocks (their accounting weight is the point).
                     slot.1 += (k.approx_bytes() + v.approx_bytes()) as u64;
-                    k.encode(&mut slot.0);
-                    v.encode(&mut slot.0);
+                    k.encode(slot.0.buf());
+                    v.encode(slot.0.buf());
                 }
                 // Flush in bucket order: HashMap iteration order would
                 // vary the shuffle-write sequence (and thus staging
                 // overflow points) between runs, breaking seeded replay.
-                let mut bufs: Vec<(usize, (BytesMut, u64))> = bufs.into_iter().collect();
+                let mut bufs: Vec<(usize, (PayloadBuilder, u64))> = bufs.into_iter().collect();
                 bufs.sort_unstable_by_key(|&(bucket, _)| bucket);
-                for (bucket, (buf, declared)) in bufs {
+                let compression = inner_ctx.inner.conf.compression;
+                for (bucket, (builder, declared)) in bufs {
                     inner_ctx.inner.shuffle.write(
                         shuffle_id,
                         p,
                         bucket,
                         tc.node(),
-                        buf.freeze(),
+                        builder.seal(compression),
                         declared,
                         tc,
                     )?;
@@ -568,9 +579,12 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for ShuffledRdd<K, V> {
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, V)>, JobError> {
         let ctx = self.parent.ctx();
-        let bufs = ctx.inner.shuffle.fetch(self.shuffle_id, p, tc)?;
+        let payloads = ctx.inner.shuffle.fetch(self.shuffle_id, p, tc)?;
         let mut out = Vec::new();
-        for mut buf in bufs {
+        for payload in payloads {
+            // Uncompressed frames open as a zero-copy view of the
+            // staged allocation; decode consumes the view in place.
+            let mut buf = payload.open()?;
             while buf.has_remaining() {
                 let k = K::decode(&mut buf)?;
                 let v = V::decode(&mut buf)?;
@@ -666,25 +680,28 @@ impl<K: Key, V: ShufVal, C: ShufVal> ShuffleDep for CombinedRdd<K, V, C> {
                         (merge_combiners)(a, b)
                     });
                 let _ = &merge_value; // map-side path creates then merges combiners
-                let mut bufs: HashMap<usize, (BytesMut, u64)> = HashMap::new();
+                let mut bufs: HashMap<usize, (PayloadBuilder, u64)> = HashMap::new();
                 for (k, c) in combined {
                     let b = partitioner.partition(&k, partitions);
                     let slot = bufs.entry(b).or_default();
+                    // Declared bytes follow approx_bytes (see the
+                    // ShuffledRdd map path: virtual blocks stay heavy).
                     slot.1 += (k.approx_bytes() + c.approx_bytes()) as u64;
-                    k.encode(&mut slot.0);
-                    c.encode(&mut slot.0);
+                    k.encode(slot.0.buf());
+                    c.encode(slot.0.buf());
                 }
                 // Flush in bucket order (see ShuffledRdd: deterministic
                 // write sequence for seeded replay).
-                let mut bufs: Vec<(usize, (BytesMut, u64))> = bufs.into_iter().collect();
+                let mut bufs: Vec<(usize, (PayloadBuilder, u64))> = bufs.into_iter().collect();
                 bufs.sort_unstable_by_key(|&(bucket, _)| bucket);
-                for (bucket, (buf, declared)) in bufs {
+                let compression = inner_ctx.inner.conf.compression;
+                for (bucket, (builder, declared)) in bufs {
                     inner_ctx.inner.shuffle.write(
                         shuffle_id,
                         p,
                         bucket,
                         tc.node(),
-                        buf.freeze(),
+                        builder.seal(compression),
                         declared,
                         tc,
                     )?;
@@ -731,9 +748,10 @@ impl<K: Key, V: ShufVal, C: ShufVal> RddOps<K, C> for CombinedRdd<K, V, C> {
     }
     fn compute(&self, p: usize, tc: &TaskContext) -> Result<Vec<(K, C)>, JobError> {
         let ctx = self.parent.ctx();
-        let bufs = ctx.inner.shuffle.fetch(self.shuffle_id, p, tc)?;
+        let payloads = ctx.inner.shuffle.fetch(self.shuffle_id, p, tc)?;
         let mut pairs = Vec::new();
-        for mut buf in bufs {
+        for payload in payloads {
+            let mut buf = payload.open()?;
             while buf.has_remaining() {
                 let k = K::decode(&mut buf)?;
                 let c = C::decode(&mut buf)?;
@@ -813,8 +831,8 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for MaterializedRdd<K, V> {
         if let Some((data, bytes)) = store.get::<Vec<(K, V)>>(self.cache_id, p, Some(tc))? {
             if owner != tc.node() {
                 // Reading a cached partition from another node crosses
-                // the network.
-                tc.add_remote_read(bytes);
+                // the network (in-memory object, no measured wire form).
+                tc.add_remote_read(bytes, 0);
             }
             return Ok((*data).clone());
         }
@@ -832,7 +850,7 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for MaterializedRdd<K, V> {
         let _guard = latch.lock();
         if let Some((data, bytes)) = store.get::<Vec<(K, V)>>(self.cache_id, p, Some(tc))? {
             if owner != tc.node() {
-                tc.add_remote_read(bytes);
+                tc.add_remote_read(bytes, 0);
             }
             return Ok((*data).clone());
         }

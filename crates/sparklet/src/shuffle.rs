@@ -22,11 +22,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use bytes::Bytes;
 use parking_lot::Mutex;
 
 use crate::context::TaskContext;
 use crate::error::JobError;
+use crate::payload::Payload;
 
 /// Identifier of one shuffle (one wide dependency).
 pub type ShuffleId = u64;
@@ -38,12 +38,13 @@ pub struct MapBucket {
     pub origin_node: usize,
     /// Attempt number of the map-task execution that wrote it.
     pub attempt: u64,
-    /// Serialized pairs.
-    pub data: Bytes,
+    /// Sealed frame of serialized pairs. Stored, fetched, and opened
+    /// by refcount — the bucket matrix never copies payload bytes.
+    pub data: Payload,
     /// Accounted ("declared") size: the logical payload size used for
-    /// all byte accounting. Equals `data.len()` for real payloads;
-    /// virtual-mode payloads declare their full-scale size while
-    /// shipping only headers.
+    /// all byte accounting. Equals the frame's raw (uncompressed)
+    /// stream length for real payloads; virtual-mode payloads declare
+    /// their full-scale size while shipping only headers.
     pub declared: u64,
 }
 
@@ -135,13 +136,13 @@ impl ShuffleManager {
         map_task: usize,
         reduce_partition: usize,
         origin_node: usize,
-        data: Bytes,
+        data: Payload,
         declared: u64,
         tc: &TaskContext,
     ) -> Result<(), JobError> {
         // Empty buckets are skipped (map tasks keep the bucket matrix
         // sparse); a `None` slot already reads as "no data".
-        if data.is_empty() && declared == 0 {
+        if data.raw_len() == 0 && declared == 0 {
             return Ok(());
         }
         // A zombie attempt (its partition was committed by a different
@@ -195,6 +196,7 @@ impl ShuffleManager {
         if inner.staged[origin_node] > inner.peak[origin_node] {
             inner.peak[origin_node] = inner.staged[origin_node];
         }
+        let wire = data.wire_hint(declared);
         *slot = Slot::Data(MapBucket {
             origin_node,
             attempt: tc.attempt(),
@@ -202,22 +204,23 @@ impl ShuffleManager {
             declared,
         });
         drop(guard);
-        tc.add_shuffle_write(declared);
+        tc.add_shuffle_write(declared, wire);
         Ok(())
     }
 
     /// Fetch all map buckets for `reduce_partition`, recording
     /// local/remote read bytes on the calling task. Buckets come back
-    /// in map-task order. A [`Slot::Lost`] bucket (its executor died)
-    /// fails the fetch with [`JobError::FetchFailed`] — the reduce
-    /// must not proceed on partial inputs; the driver resubmits the
-    /// producing map stage instead.
+    /// in map-task order as refcounted [`Payload`] frames — the fetch
+    /// path performs no byte copies. A [`Slot::Lost`] bucket (its
+    /// executor died) fails the fetch with [`JobError::FetchFailed`] —
+    /// the reduce must not proceed on partial inputs; the driver
+    /// resubmits the producing map stage instead.
     pub fn fetch(
         &self,
         id: ShuffleId,
         reduce_partition: usize,
         tc: &TaskContext,
-    ) -> Result<Vec<Bytes>, JobError> {
+    ) -> Result<Vec<Payload>, JobError> {
         if tc.take_chaos_fetch_failure() {
             return Err(JobError::FetchFailed {
                 shuffle: id,
@@ -248,14 +251,16 @@ impl ShuffleManager {
                 }
                 Slot::Data(b) => b,
             };
-            if bucket.data.is_empty() {
+            if bucket.data.raw_len() == 0 {
                 continue;
             }
+            let wire = bucket.data.wire_hint(bucket.declared);
             if bucket.origin_node == tc.node() {
-                tc.add_local_read(bucket.declared);
+                tc.add_local_read(bucket.declared, wire);
             } else {
-                tc.add_remote_read(bucket.declared);
+                tc.add_remote_read(bucket.declared, wire);
             }
+            // Refcount bump of the stored frame — never a byte copy.
             out.push(bucket.data.clone());
         }
         Ok(out)
@@ -387,7 +392,19 @@ impl ShuffleManager {
 mod tests {
     use super::*;
     use crate::context::TaskContext;
+    use crate::payload::{Compression, FRAME_HEADER};
+    use bytes::Bytes;
     use std::sync::Arc;
+
+    /// Seal a raw byte run into an uncompressed frame.
+    fn pay(data: &[u8]) -> Payload {
+        Payload::seal(Bytes::copy_from_slice(data), Compression::None)
+    }
+
+    /// The raw streams of fetched frames, for equality assertions.
+    fn opened(got: &[Payload]) -> Vec<Vec<u8>> {
+        got.iter().map(|p| p.open().unwrap().to_vec()).collect()
+    }
 
     #[test]
     fn write_then_fetch_roundtrips_in_map_order() {
@@ -395,24 +412,17 @@ mod tests {
         sm.register(1, 3, 2);
         let tc0 = TaskContext::new(0);
         let tc1 = TaskContext::new(1);
-        sm.write(1, 0, 0, 0, Bytes::from_static(b"aa"), 2, &tc0)
-            .unwrap();
-        sm.write(1, 1, 0, 1, Bytes::from_static(b"bb"), 2, &tc1)
-            .unwrap();
-        sm.write(1, 2, 0, 0, Bytes::from_static(b"cc"), 2, &tc0)
-            .unwrap();
-        sm.write(1, 0, 1, 0, Bytes::new(), 0, &tc0).unwrap();
-        sm.write(1, 1, 1, 1, Bytes::new(), 0, &tc1).unwrap();
-        sm.write(1, 2, 1, 0, Bytes::new(), 0, &tc0).unwrap();
+        sm.write(1, 0, 0, 0, pay(b"aa"), 2, &tc0).unwrap();
+        sm.write(1, 1, 0, 1, pay(b"bb"), 2, &tc1).unwrap();
+        sm.write(1, 2, 0, 0, pay(b"cc"), 2, &tc0).unwrap();
+        sm.write(1, 0, 1, 0, pay(b""), 0, &tc0).unwrap();
+        sm.write(1, 1, 1, 1, pay(b""), 0, &tc1).unwrap();
+        sm.write(1, 2, 1, 0, pay(b""), 0, &tc0).unwrap();
         let reader = TaskContext::new(0);
         let got = sm.fetch(1, 0, &reader).unwrap();
         assert_eq!(
-            got,
-            vec![
-                Bytes::from_static(b"aa"),
-                Bytes::from_static(b"bb"),
-                Bytes::from_static(b"cc")
-            ]
+            opened(&got),
+            vec![b"aa".to_vec(), b"bb".to_vec(), b"cc".to_vec()]
         );
         let rec = reader.snapshot();
         assert_eq!(rec.local_read_bytes, 4); // aa + cc from node 0
@@ -420,15 +430,61 @@ mod tests {
     }
 
     #[test]
+    fn fetch_shares_the_written_frame_zero_copy() {
+        let sm = ShuffleManager::new(1, None);
+        sm.register(11, 1, 1);
+        let tc = TaskContext::new(0);
+        let payload = pay(&[7u8; 1024]);
+        let frame_ptr = payload.frame().as_ptr() as usize;
+        sm.write(11, 0, 0, 0, payload, 1024, &tc).unwrap();
+        let got = sm.fetch(11, 0, &tc).unwrap();
+        assert_eq!(got.len(), 1);
+        // The fetched frame is the written allocation (refcount bump)…
+        assert_eq!(got[0].frame().as_ptr() as usize, frame_ptr);
+        // …and opening it slices that same allocation: the read path
+        // does zero full-buffer copies end to end.
+        let body = got[0].open().unwrap();
+        assert_eq!(body.as_ptr() as usize, frame_ptr + FRAME_HEADER);
+        assert_eq!(body.len(), 1024);
+    }
+
+    #[test]
+    fn compressed_buckets_declare_logical_but_report_wire() {
+        let sm = ShuffleManager::new(2, None);
+        sm.register(12, 1, 1);
+        let tc = TaskContext::new(0);
+        let p = Payload::seal(Bytes::from(vec![0u8; 4096]), Compression::Lz4);
+        assert!(p.is_compressed());
+        let wire = p.wire_len();
+        assert!(wire < 4096);
+        sm.write(12, 0, 0, 0, p, 4096, &tc).unwrap();
+        // The staging ledger runs on declared (logical) bytes — wire
+        // compression never changes capacity or reconciliation math.
+        assert_eq!(sm.staged_bytes(0), 4096);
+        let w = tc.snapshot();
+        assert_eq!(w.shuffle_write_bytes, 4096);
+        assert_eq!(w.shuffle_write_wire_bytes, wire);
+        let remote = TaskContext::new(1);
+        let got = sm.fetch(12, 0, &remote).unwrap();
+        assert_eq!(got[0].open().unwrap(), vec![0u8; 4096]);
+        let r = remote.snapshot();
+        assert_eq!(r.remote_read_bytes, 4096);
+        assert_eq!(r.remote_read_wire_bytes, wire);
+        // Uncompressed frames report no wire hint: the cost model keeps
+        // its assumed-ratio pricing for them.
+        let plain = TaskContext::new(0);
+        sm.register(13, 1, 1);
+        sm.write(13, 0, 0, 0, pay(b"abcd"), 4, &plain).unwrap();
+        assert_eq!(plain.snapshot().shuffle_write_wire_bytes, 0);
+    }
+
+    #[test]
     fn staging_capacity_overflow_fails() {
         let sm = ShuffleManager::new(1, Some(10));
         sm.register(7, 2, 1);
         let tc = TaskContext::new(0);
-        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
-            .unwrap();
-        let err = sm
-            .write(7, 1, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
-            .unwrap_err();
+        sm.write(7, 0, 0, 0, pay(&[0u8; 8]), 8, &tc).unwrap();
+        let err = sm.write(7, 1, 0, 0, pay(&[0u8; 8]), 8, &tc).unwrap_err();
         assert!(matches!(err, JobError::StagingOverflow { node: 0, .. }));
         // The rejected write mutated nothing.
         assert_eq!(sm.staged_bytes(0), 8);
@@ -441,42 +497,24 @@ mod tests {
         let sm = ShuffleManager::new(1, Some(10));
         sm.register(7, 1, 1);
         let tc = TaskContext::new(0);
-        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
-            .unwrap();
-        sm.write(7, 0, 0, 0, Bytes::from(vec![1u8; 8]), 8, &tc)
-            .unwrap();
+        sm.write(7, 0, 0, 0, pay(&[0u8; 8]), 8, &tc).unwrap();
+        sm.write(7, 0, 0, 0, pay(&[1u8; 8]), 8, &tc).unwrap();
         assert_eq!(sm.staged_bytes(0), 8);
         assert_eq!(sm.staged_released_bytes(), 8);
         let got = sm.fetch(7, 0, &TaskContext::new(0)).unwrap();
-        assert_eq!(got, vec![Bytes::from(vec![1u8; 8])]);
+        assert_eq!(opened(&got), vec![vec![1u8; 8]]);
     }
 
     #[test]
     fn rewrite_from_another_node_moves_the_accounting() {
         let sm = ShuffleManager::new(2, None);
         sm.register(9, 1, 1);
-        sm.write(
-            9,
-            0,
-            0,
-            0,
-            Bytes::from_static(b"xyz"),
-            3,
-            &TaskContext::new(0),
-        )
-        .unwrap();
+        sm.write(9, 0, 0, 0, pay(b"xyz"), 3, &TaskContext::new(0))
+            .unwrap();
         assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (3, 0));
         // The retry landed on node 1 (Spark-style placement rotation).
-        sm.write(
-            9,
-            0,
-            0,
-            1,
-            Bytes::from_static(b"xyz"),
-            3,
-            &TaskContext::new(1),
-        )
-        .unwrap();
+        sm.write(9, 0, 0, 1, pay(b"xyz"), 3, &TaskContext::new(1))
+            .unwrap();
         assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (0, 3));
     }
 
@@ -485,7 +523,7 @@ mod tests {
         let sm = ShuffleManager::new(1, Some(4));
         sm.register(5, 2, 1);
         let tc = TaskContext::new(0);
-        sm.write(5, 0, 0, 0, Bytes::new(), 0, &tc).unwrap();
+        sm.write(5, 0, 0, 0, pay(b""), 0, &tc).unwrap();
         assert_eq!(sm.staged_bytes(0), 0);
         assert_eq!(tc.snapshot().shuffle_write_bytes, 0);
         assert!(sm.fetch(5, 0, &tc).unwrap().is_empty());
@@ -497,18 +535,16 @@ mod tests {
         sm.register(2, 1, 1);
         let board = Arc::new(vec![AtomicU64::new(0)]);
         let winner = TaskContext::for_attempt(0, 2, Arc::clone(&board), 0);
-        sm.write(2, 0, 0, 0, Bytes::from_static(b"win"), 3, &winner)
-            .unwrap();
+        sm.write(2, 0, 0, 0, pay(b"win"), 3, &winner).unwrap();
         board[0].store(2, Ordering::Release);
         // Attempt 1 limps in after attempt 2 committed: fenced.
         let zombie = TaskContext::for_attempt(0, 1, Arc::clone(&board), 0);
-        sm.write(2, 0, 0, 0, Bytes::from_static(b"old"), 3, &zombie)
-            .unwrap();
+        sm.write(2, 0, 0, 0, pay(b"old"), 3, &zombie).unwrap();
         assert_eq!(sm.zombie_writes_fenced(), 1);
         assert_eq!(sm.staged_bytes(0), 3);
         assert_eq!(zombie.snapshot().shuffle_write_bytes, 0);
         let got = sm.fetch(2, 0, &TaskContext::new(0)).unwrap();
-        assert_eq!(got, vec![Bytes::from_static(b"win")]);
+        assert_eq!(opened(&got), vec![b"win".to_vec()]);
     }
 
     #[test]
@@ -516,26 +552,10 @@ mod tests {
         let sm = ShuffleManager::new(2, Some(100));
         sm.register(1, 1, 1);
         sm.register(2, 1, 1);
-        sm.write(
-            1,
-            0,
-            0,
-            0,
-            Bytes::from_static(b"aaaa"),
-            4,
-            &TaskContext::new(0),
-        )
-        .unwrap();
-        sm.write(
-            2,
-            0,
-            0,
-            1,
-            Bytes::from_static(b"bb"),
-            2,
-            &TaskContext::new(1),
-        )
-        .unwrap();
+        sm.write(1, 0, 0, 0, pay(b"aaaa"), 4, &TaskContext::new(0))
+            .unwrap();
+        sm.write(2, 0, 0, 1, pay(b"bb"), 2, &TaskContext::new(1))
+            .unwrap();
         sm.release(1);
         assert_eq!((sm.staged_bytes(0), sm.staged_bytes(1)), (0, 2));
         assert_eq!(sm.staged_released_bytes(), 4);
@@ -550,10 +570,8 @@ mod tests {
         let sm = ShuffleManager::new(1, None);
         sm.register(4, 2, 1);
         let tc = TaskContext::new(0);
-        sm.write(4, 0, 0, 0, Bytes::from(vec![0u8; 6]), 6, &tc)
-            .unwrap();
-        sm.write(4, 1, 0, 0, Bytes::from(vec![0u8; 4]), 4, &tc)
-            .unwrap();
+        sm.write(4, 0, 0, 0, pay(&[0u8; 6]), 6, &tc).unwrap();
+        sm.write(4, 1, 0, 0, pay(&[0u8; 4]), 4, &tc).unwrap();
         sm.release(4);
         assert_eq!(sm.staged_bytes(0), 0);
         assert_eq!(sm.peak_staged_bytes(0), 10);
@@ -564,8 +582,7 @@ mod tests {
         let sm = ShuffleManager::new(1, Some(10));
         sm.register(7, 1, 1);
         let tc = TaskContext::new(0);
-        sm.write(7, 0, 0, 0, Bytes::from(vec![0u8; 8]), 8, &tc)
-            .unwrap();
+        sm.write(7, 0, 0, 0, pay(&[0u8; 8]), 8, &tc).unwrap();
         assert_eq!(sm.staged_bytes(0), 8);
         sm.clear();
         assert_eq!(sm.staged_bytes(0), 0);
@@ -576,26 +593,10 @@ mod tests {
     fn lost_buckets_fail_the_fetch_instead_of_reading_as_empty() {
         let sm = ShuffleManager::new(2, None);
         sm.register(1, 2, 1);
-        sm.write(
-            1,
-            0,
-            0,
-            0,
-            Bytes::from_static(b"aa"),
-            2,
-            &TaskContext::new(0),
-        )
-        .unwrap();
-        sm.write(
-            1,
-            1,
-            0,
-            1,
-            Bytes::from_static(b"bb"),
-            2,
-            &TaskContext::new(1),
-        )
-        .unwrap();
+        sm.write(1, 0, 0, 0, pay(b"aa"), 2, &TaskContext::new(0))
+            .unwrap();
+        sm.write(1, 1, 0, 1, pay(b"bb"), 2, &TaskContext::new(1))
+            .unwrap();
         let (buckets, bytes) = sm.drop_node_outputs(1);
         assert_eq!((buckets, bytes), (1, 2));
         assert_eq!(sm.staged_bytes(1), 0);
@@ -615,21 +616,10 @@ mod tests {
         );
         sm.audit().unwrap();
         // A map re-run rewrites the lost bucket; fetch recovers fully.
-        sm.write(
-            1,
-            1,
-            0,
-            0,
-            Bytes::from_static(b"bb"),
-            2,
-            &TaskContext::new(0),
-        )
-        .unwrap();
+        sm.write(1, 1, 0, 0, pay(b"bb"), 2, &TaskContext::new(0))
+            .unwrap();
         let got = sm.fetch(1, 0, &TaskContext::new(0)).unwrap();
-        assert_eq!(
-            got,
-            vec![Bytes::from_static(b"aa"), Bytes::from_static(b"bb")]
-        );
+        assert_eq!(opened(&got), vec![b"aa".to_vec(), b"bb".to_vec()]);
         assert_eq!(sm.staged_bytes(0), 4, "rewrite charges fresh bytes");
         sm.audit().unwrap();
     }
@@ -639,8 +629,7 @@ mod tests {
         let sm = ShuffleManager::new(1, None);
         sm.register(6, 1, 1);
         let writer = TaskContext::new(0);
-        sm.write(6, 0, 0, 0, Bytes::from_static(b"zz"), 2, &writer)
-            .unwrap();
+        sm.write(6, 0, 0, 0, pay(b"zz"), 2, &writer).unwrap();
         let doomed = TaskContext::new(0).with_chaos(Some(&crate::sim::ChaosEvent::FetchFailure));
         let err = sm.fetch(6, 0, &doomed).unwrap_err();
         assert!(matches!(err, JobError::FetchFailed { shuffle: 6, .. }));
@@ -653,9 +642,8 @@ mod tests {
         let sm = ShuffleManager::new(1, None);
         sm.register(3, 2, 1);
         let tc = TaskContext::new(0);
-        sm.write(3, 0, 0, 0, Bytes::from_static(b"x"), 1, &tc)
-            .unwrap();
+        sm.write(3, 0, 0, 0, pay(b"x"), 1, &tc).unwrap();
         let got = sm.fetch(3, 0, &tc).unwrap();
-        assert_eq!(got, vec![Bytes::from_static(b"x")]);
+        assert_eq!(opened(&got), vec![b"x".to_vec()]);
     }
 }

@@ -7,8 +7,9 @@
 //! * **memory** — partitions stored deserialized (`Arc<dyn Any>`),
 //!   accounted against the configured executor memory;
 //! * **disk** — partitions serialized through [`crate::codec`] into
-//!   real bytes, accounted against the node's disk capacity the same
-//!   way shuffle staging is.
+//!   real [`Payload`] frames (optionally compressed at the store's
+//!   configured codec), accounted against the node's disk capacity by
+//!   *declared* bytes the same way shuffle staging is.
 //!
 //! Under memory pressure the store evicts in LRU order: a block whose
 //! [`StorageLevel`] allows disk is *spilled* (serialized and moved to
@@ -29,13 +30,13 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use bytes::Bytes;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
-use crate::codec::{decode_one, encode_one, Storable};
+use crate::codec::{decode_one, Storable};
 use crate::context::TaskContext;
 use crate::error::JobError;
+use crate::payload::{Compression, Payload, PayloadBuilder};
 
 /// Identifier of a cached dataset (one per checkpoint/persist call).
 pub type CacheId = u64;
@@ -86,13 +87,14 @@ pub enum PutOutcome {
 }
 
 type AnyArc = Arc<dyn Any + Send + Sync>;
-type EncodeFn = Box<dyn Fn(&AnyArc) -> Bytes + Send + Sync>;
-type DecodeFn = Box<dyn Fn(&Bytes) -> Result<AnyArc, JobError> + Send + Sync>;
+type EncodeFn = Box<dyn Fn(&AnyArc, Compression) -> Payload + Send + Sync>;
+type DecodeFn = Box<dyn Fn(&Payload) -> Result<AnyArc, JobError> + Send + Sync>;
 type LatchMap = HashMap<(CacheId, usize), Arc<Mutex<()>>>;
 
 /// Type-erased serialize/deserialize pair captured at put time, so the
 /// LRU evictor can spill any memory-resident entry without knowing its
-/// concrete type.
+/// concrete type. Encoding serializes once, straight into the sealed
+/// frame; decoding opens the frame (zero-copy when uncompressed).
 struct EntryCodec {
     encode: EncodeFn,
     decode: DecodeFn,
@@ -100,17 +102,34 @@ struct EntryCodec {
 
 fn codec_for<T: Storable + Send + Sync + 'static>() -> Arc<EntryCodec> {
     Arc::new(EntryCodec {
-        encode: Box::new(|any| {
+        encode: Box::new(|any, compression| {
             let value = any.downcast_ref::<T>().expect("entry codec type");
-            encode_one(value)
+            let mut builder = PayloadBuilder::with_capacity(value.encoded_len());
+            value.encode(builder.buf());
+            builder.seal(compression)
         }),
-        decode: Box::new(|raw| Ok(Arc::new(decode_one::<T>(raw.clone())?) as AnyArc)),
+        decode: Box::new(|payload| Ok(Arc::new(decode_one::<T>(payload.open()?)?) as AnyArc)),
     })
 }
 
 enum Tier {
     Memory(AnyArc),
-    Disk(Bytes),
+    Disk(Payload),
+}
+
+/// Wire bytes to report for spill traffic: the measured frame length
+/// when the body compressed *and* the declared size tracks the real
+/// stream (the encoded `Vec` length prefix accounts for the 8-byte
+/// slack). Inflated declarations — virtual blocks that are heavy in
+/// accounting but tiny on the wire — report 0, keeping the cost
+/// model's ratio-based pricing over declared bytes.
+fn spill_wire(payload: &Payload, declared: u64) -> u64 {
+    let raw = payload.raw_len();
+    if payload.is_compressed() && declared <= raw && raw <= declared + 8 {
+        payload.wire_len()
+    } else {
+        0
+    }
 }
 
 struct Entry {
@@ -144,6 +163,10 @@ pub struct BlockStore {
     inner: Mutex<StoreInner>,
     mem_capacity: Option<u64>,
     disk_capacity: Option<u64>,
+    /// Codec applied when entries are serialized to the disk tier.
+    /// Accounting stays on declared bytes either way; compression only
+    /// changes the measured wire size reported alongside it.
+    compression: Compression,
     /// LRU clock; ticks on every put/get touch.
     clock: AtomicU64,
     mem_hits: AtomicU64,
@@ -172,6 +195,7 @@ impl BlockStore {
             }),
             mem_capacity,
             disk_capacity,
+            compression: Compression::None,
             clock: AtomicU64::new(0),
             mem_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -182,6 +206,12 @@ impl BlockStore {
             fenced_puts: AtomicU64::new(0),
             recompute_latches: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Set the codec used for the disk tier (builder style).
+    pub fn with_compression(mut self, compression: Compression) -> Self {
+        self.compression = compression;
+        self
     }
 
     fn tick(&self) -> u64 {
@@ -317,17 +347,18 @@ impl BlockStore {
                 capacity: self.disk_capacity.unwrap_or(inner.disk_used),
             });
         }
-        let raw = match &entry.tier {
-            Tier::Memory(data) => (entry.codec.encode)(data),
-            Tier::Disk(raw) => raw.clone(),
+        let payload = match &entry.tier {
+            Tier::Memory(data) => (entry.codec.encode)(data, self.compression),
+            Tier::Disk(payload) => payload.clone(),
         };
-        entry.tier = Tier::Disk(raw);
+        let wire = spill_wire(&payload, entry.bytes);
+        entry.tier = Tier::Disk(payload);
         self.remove_reconciled(inner, cache, partition, mem_credit, disk_credit);
         inner.disk_used += entry.bytes;
         inner.disk_peak = inner.disk_peak.max(inner.disk_used);
         self.spilled_bytes.fetch_add(entry.bytes, Ordering::Relaxed);
         if let Some(tc) = tc {
-            tc.add_spill_write(entry.bytes);
+            tc.add_spill_write(entry.bytes, wire);
         }
         inner.entries.insert((cache, partition), entry);
         Ok(PutOutcome::Disk)
@@ -388,19 +419,20 @@ impl BlockStore {
                 if fits_disk {
                     // Spill: serialize and move the block to disk.
                     let bytes = entry.bytes;
-                    let raw = match &entry.tier {
-                        Tier::Memory(data) => (entry.codec.encode)(data),
+                    let payload = match &entry.tier {
+                        Tier::Memory(data) => (entry.codec.encode)(data, self.compression),
                         Tier::Disk(_) => unreachable!("victims are memory-resident"),
                     };
+                    let wire = spill_wire(&payload, bytes);
                     let entry = inner.entries.get_mut(&key).expect("victim present");
-                    entry.tier = Tier::Disk(raw);
+                    entry.tier = Tier::Disk(payload);
                     inner.mem_used -= bytes;
                     inner.disk_used += bytes;
                     inner.disk_peak = inner.disk_peak.max(inner.disk_used);
                     freed += bytes;
                     self.spilled_bytes.fetch_add(bytes, Ordering::Relaxed);
                     if let Some(tc) = tc {
-                        tc.add_spill_write(bytes);
+                        tc.add_spill_write(bytes, wire);
                     }
                     continue;
                 }
@@ -450,12 +482,12 @@ impl BlockStore {
                 self.mem_hits.fetch_add(1, Ordering::Relaxed);
                 Ok(Some((data, entry.bytes)))
             }
-            Tier::Disk(raw) => {
-                let decoded = (entry.codec.decode)(raw)?;
+            Tier::Disk(payload) => {
+                let decoded = (entry.codec.decode)(payload)?;
                 let data = decoded.downcast::<T>().map_err(|_| mismatch())?;
                 self.disk_hits.fetch_add(1, Ordering::Relaxed);
                 if let Some(tc) = tc {
-                    tc.add_spill_read(entry.bytes);
+                    tc.add_spill_read(entry.bytes, spill_wire(payload, entry.bytes));
                 }
                 Ok(Some((data, entry.bytes)))
             }
@@ -861,6 +893,46 @@ mod tests {
         assert_eq!(store.evicted_bytes_total(), 0, "loss is not eviction");
         assert!(store.get::<u64>(1, 0, None).unwrap().is_none());
         store.audit().unwrap();
+    }
+
+    #[test]
+    fn compressed_spill_roundtrips_and_reports_wire_bytes() {
+        let store = BlockStore::new(0, Some(4), Some(10_000)).with_compression(Compression::Lz4);
+        let tc = TaskContext::new(0);
+        let data: Vec<u64> = vec![0; 100];
+        store
+            .put(1, 0, Arc::new(data.clone()), 800, DO, false, Some(&tc))
+            .unwrap();
+        // Ledgers stay on declared bytes no matter what the codec did.
+        assert_eq!(store.disk_used_bytes(), 800);
+        assert_eq!(store.spilled_bytes_total(), 800);
+        let (got, bytes) = store.get::<Vec<u64>>(1, 0, Some(&tc)).unwrap().unwrap();
+        assert_eq!(*got, data);
+        assert_eq!(bytes, 800);
+        let rec = tc.snapshot();
+        assert_eq!(rec.spill_write_bytes, 800);
+        assert_eq!(rec.spill_read_bytes, 800);
+        assert!(
+            rec.spill_write_wire_bytes > 0 && rec.spill_write_wire_bytes < 800,
+            "zeros must compress: wire {}",
+            rec.spill_write_wire_bytes
+        );
+        assert_eq!(rec.spill_read_wire_bytes, rec.spill_write_wire_bytes);
+        store.audit().unwrap();
+    }
+
+    #[test]
+    fn uncompressed_spill_reports_no_wire_bytes() {
+        let store = BlockStore::new(0, Some(4), None);
+        let tc = TaskContext::new(0);
+        store
+            .put(1, 0, Arc::new(vec![1u64, 2, 3]), 24, DO, false, Some(&tc))
+            .unwrap();
+        store.get::<Vec<u64>>(1, 0, Some(&tc)).unwrap().unwrap();
+        let rec = tc.snapshot();
+        assert_eq!((rec.spill_write_bytes, rec.spill_read_bytes), (24, 24));
+        assert_eq!(rec.spill_write_wire_bytes, 0, "raw frames price by ratio");
+        assert_eq!(rec.spill_read_wire_bytes, 0);
     }
 
     #[test]

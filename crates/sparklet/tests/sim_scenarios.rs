@@ -7,7 +7,9 @@ mod sim;
 
 use std::sync::Arc;
 
-use sparklet::{ChaosEvent, ChaosPolicy, HashPartitioner, JobError, SparkContext, StorageLevel};
+use sparklet::{
+    ChaosEvent, ChaosPolicy, Compression, HashPartitioner, JobError, SparkContext, StorageLevel,
+};
 
 #[test]
 fn crash_scenario_sweep() {
@@ -210,6 +212,41 @@ fn clean_schedule_is_bit_identical_across_replays() {
         sim::run_replay_stable("clean-replay", seed, |s| {
             sim::run_scenario(s, None, None, sim::sim_conf(s))
         });
+    }
+}
+
+/// The wire codec must be invisible to everything the simulation
+/// fingerprints: declared-byte accounting (staging, spill, reads),
+/// the seeded schedule, the virtual clock, and of course the data.
+/// Compression only changes the measured wire bytes riding alongside.
+/// Both runs also pass the full invariant set inside `run_scenario` —
+/// in particular, staged bytes reconcile to zero with the codec on.
+#[test]
+fn compression_does_not_change_accounting_or_schedule() {
+    for seed in [11, 4242, 0xbeef] {
+        let chaos = |s: u64| {
+            ChaosPolicy::seeded(s)
+                .with_task_panics(60)
+                .with_fetch_failures(40)
+                .with_disk_full(50)
+        };
+        let conf = |s: u64| sim::sim_conf(s).with_executor_memory(4096);
+        let plain = sim::run_scenario(
+            seed,
+            Some(chaos(seed)),
+            Some(StorageLevel::MemoryAndDisk),
+            conf(seed),
+        );
+        let packed = sim::run_scenario(
+            seed,
+            Some(chaos(seed)),
+            Some(StorageLevel::MemoryAndDisk),
+            conf(seed).with_compression(Compression::Lz4),
+        );
+        assert_eq!(
+            plain, packed,
+            "CHAOS_SEED={seed}: the codec changed an observable of the run"
+        );
     }
 }
 
