@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::spec::ClusterSpec;
+use crate::spec::{ClusterSpec, SpecError};
 
 /// How a task executed its block kernels — the paper's two kernel types.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,8 +158,21 @@ impl Default for TickCharger {
 }
 
 impl TickCharger {
+    /// Check the rates every tick divides by; `Err` names the bad one.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        crate::spec::check_rate("tick.io_bw", self.io_bw)?;
+        crate::spec::check_rate("tick.update_rate", self.update_rate)
+    }
+
     /// Logical milliseconds one task occupies on the virtual clock.
+    ///
+    /// Panics on a zero/non-finite rate: an unchecked division here
+    /// would turn the u64 cast's saturation into a silently absurd
+    /// virtual timeline instead of an error.
     pub fn task_ticks(&self, task: &TaskRecord) -> u64 {
+        if let Err(e) = self.validate() {
+            panic!("TickCharger: {e}");
+        }
         let bytes = task.remote_read_bytes
             + task.local_read_bytes
             + task.shuffle_write_bytes
@@ -253,6 +266,31 @@ impl Default for ModelParams {
     }
 }
 
+impl ModelParams {
+    /// Check every constant the cost terms divide by.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        crate::spec::check_rate("params.base_update_rate", self.base_update_rate)?;
+        crate::spec::check_rate("params.llc_factor", self.llc_factor)?;
+        crate::spec::check_rate("params.dram_factor", self.dram_factor)?;
+        crate::spec::check_rate("params.recursive_factor", self.recursive_factor)?;
+        crate::spec::check_rate("params.serde_bw", self.serde_bw)?;
+        crate::spec::check_rate("params.compression", self.compression)?;
+        if !self.task_overhead.is_finite() || self.task_overhead < 0.0 {
+            return Err(SpecError {
+                field: "params.task_overhead",
+                value: self.task_overhead,
+            });
+        }
+        if !self.stage_overhead.is_finite() || self.stage_overhead < 0.0 {
+            return Err(SpecError {
+                field: "params.stage_overhead",
+                value: self.stage_overhead,
+            });
+        }
+        Ok(())
+    }
+}
+
 /// Side length of the recursion base case actually reached by an r-way
 /// R-DP kernel on a block of side `b` (recursion stops when the side is
 /// ≤ `base` or no longer divisible by `r`).
@@ -278,19 +316,48 @@ pub struct CostModel {
 
 impl CostModel {
     /// Model for `spec` with `executor_cores` task slots per node.
+    ///
+    /// Panics if the spec fails [`ClusterSpec::validate`]; use
+    /// [`CostModel::try_new`] for the typed error.
     pub fn new(spec: ClusterSpec, executor_cores: usize) -> Self {
-        assert!(executor_cores >= 1);
-        CostModel {
-            spec,
-            executor_cores,
-            params: ModelParams::default(),
+        match CostModel::try_new(spec, executor_cores) {
+            Ok(model) => model,
+            Err(e) => panic!("CostModel: {e}"),
         }
     }
 
-    /// Replace the model constants.
-    pub fn with_params(mut self, params: ModelParams) -> Self {
+    /// Model for `spec`, rejecting any spec whose rates would divide
+    /// to inf/NaN (zero or unset bandwidths included).
+    pub fn try_new(spec: ClusterSpec, executor_cores: usize) -> Result<Self, SpecError> {
+        if executor_cores == 0 {
+            return Err(SpecError {
+                field: "executor_cores",
+                value: 0.0,
+            });
+        }
+        spec.validate()?;
+        Ok(CostModel {
+            spec,
+            executor_cores,
+            params: ModelParams::default(),
+        })
+    }
+
+    /// Replace the model constants. Panics on invalid constants; use
+    /// [`CostModel::try_with_params`] for the typed error.
+    pub fn with_params(self, params: ModelParams) -> Self {
+        match self.try_with_params(params) {
+            Ok(model) => model,
+            Err(e) => panic!("CostModel: {e}"),
+        }
+    }
+
+    /// Replace the model constants, rejecting non-finite or
+    /// non-positive rates.
+    pub fn try_with_params(mut self, params: ModelParams) -> Result<Self, SpecError> {
+        params.validate()?;
         self.params = params;
-        self
+        Ok(self)
     }
 
     /// Pure single-core seconds of one invocation: updates divided by
@@ -888,5 +955,74 @@ mod tests {
         let one = m.stage_seconds(&s);
         let job = m.job_seconds(&[s.clone(), s]);
         assert!((job - 2.0 * one).abs() < 1e-9);
+    }
+
+    // Regression: a zero or unset bandwidth used to flow straight into
+    // the division terms and produce inf/NaN estimates that silently
+    // corrupted every downstream ranking. Construction now rejects it
+    // with a typed error naming the field.
+    #[test]
+    fn zero_bandwidth_is_a_typed_error_not_nan() {
+        let mut spec = ClusterSpec::skylake();
+        spec.network_bw = 0.0;
+        let err = CostModel::try_new(spec, 32).unwrap_err();
+        assert_eq!(err.field, "network_bw");
+
+        let mut spec = ClusterSpec::skylake();
+        spec.storage.read_bw = f64::NAN;
+        let err = CostModel::try_new(spec, 32).unwrap_err();
+        assert_eq!(err.field, "storage.read_bw");
+
+        let mut spec = ClusterSpec::skylake();
+        spec.storage.write_bw = -1.0;
+        assert_eq!(spec.validate().unwrap_err().field, "storage.write_bw");
+
+        // Valid paper specs still construct.
+        assert!(CostModel::try_new(ClusterSpec::skylake(), 32).is_ok());
+        assert!(CostModel::try_new(ClusterSpec::haswell(), 20).is_ok());
+        assert_eq!(
+            CostModel::try_new(ClusterSpec::skylake(), 0)
+                .unwrap_err()
+                .field,
+            "executor_cores"
+        );
+    }
+
+    #[test]
+    fn bad_model_params_are_rejected() {
+        let m = model();
+        let p = ModelParams {
+            serde_bw: 0.0,
+            ..ModelParams::default()
+        };
+        let err = m.clone().try_with_params(p).unwrap_err();
+        assert_eq!(err.field, "params.serde_bw");
+        let p = ModelParams {
+            compression: f64::INFINITY,
+            ..ModelParams::default()
+        };
+        assert_eq!(
+            m.try_with_params(p).unwrap_err().field,
+            "params.compression"
+        );
+    }
+
+    #[test]
+    fn tick_charger_rejects_unset_rates() {
+        let good = TickCharger::default();
+        assert!(good.validate().is_ok());
+        let bad = TickCharger {
+            io_bw: 0.0,
+            ..TickCharger::default()
+        };
+        assert_eq!(bad.validate().unwrap_err().field, "tick.io_bw");
+        let t = TaskRecord {
+            remote_read_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let res = std::panic::catch_unwind(|| bad.task_ticks(&t));
+        assert!(res.is_err(), "invalid charger must fail loudly");
+        // A valid charger still prices the same record.
+        assert!(good.task_ticks(&t) > 0);
     }
 }

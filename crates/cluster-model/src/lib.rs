@@ -28,4 +28,4 @@ pub use cost::{
     CostModel, KernelInvocation, KernelType, ModelParams, StageCost, StageRecord, TaskRecord,
     TickCharger,
 };
-pub use spec::{ClusterSpec, NodeSpec, StorageKind, StorageSpec};
+pub use spec::{ClusterSpec, NodeSpec, SpecError, StorageKind, StorageSpec};

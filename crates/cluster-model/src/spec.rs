@@ -2,6 +2,41 @@
 
 use serde::{Deserialize, Serialize};
 
+/// A spec or model rate that would poison cost estimates: a divisor
+/// that is zero, negative, NaN, or infinite turns every downstream
+/// `stage_seconds` into inf/NaN, which silently corrupts tuner and
+/// adaptive-execution rankings instead of failing. Validation surfaces
+/// the offending field by name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpecError {
+    /// Dotted path of the offending field (e.g. `storage.read_bw`).
+    pub field: &'static str,
+    /// The rejected value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid rate `{}` = {}: must be finite and positive",
+            self.field, self.value
+        )
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A divisor must be finite and strictly positive to be usable in a
+/// cost term.
+pub(crate) fn check_rate(field: &'static str, value: f64) -> Result<(), SpecError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(SpecError { field, value })
+    }
+}
+
 /// Per-node compute resources.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NodeSpec {
@@ -118,6 +153,36 @@ impl ClusterSpec {
         assert!(nodes >= 1);
         self.nodes = nodes;
         self
+    }
+
+    /// Check every rate the cost terms divide by. `Err` names the
+    /// first offending field; an unset (zero) or non-finite bandwidth
+    /// would otherwise propagate inf/NaN through every estimate.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        if self.nodes == 0 {
+            return Err(SpecError {
+                field: "nodes",
+                value: 0.0,
+            });
+        }
+        if self.node.cores == 0 {
+            return Err(SpecError {
+                field: "node.cores",
+                value: 0.0,
+            });
+        }
+        check_rate("node.clock_ghz", self.node.clock_ghz)?;
+        check_rate("node.mem_bw", self.node.mem_bw)?;
+        check_rate("storage.read_bw", self.storage.read_bw)?;
+        check_rate("storage.write_bw", self.storage.write_bw)?;
+        check_rate("network_bw", self.network_bw)?;
+        if !self.network_latency.is_finite() || self.network_latency < 0.0 {
+            return Err(SpecError {
+                field: "network_latency",
+                value: self.network_latency,
+            });
+        }
+        Ok(())
     }
 
     /// Total physical cores in the cluster.

@@ -6,14 +6,20 @@
 //! iteration of the real workload (wall-clock, on a throwaway copy of
 //! the table RDD), commits to the fastest, and runs the full solve with
 //! it. The probe measures the *actual* machine and engine — no model.
-//! All candidate probes are submitted as concurrent jobs through
-//! [`JobHandle`]s, so their stages overlap on the executors instead of
-//! running back to back.
+//!
+//! Probes run **one at a time**. An earlier version submitted every
+//! candidate as a concurrent [`sparklet::JobHandle`] job with the
+//! timer inside the closure; the probes then contended for the same
+//! executor slots, so each `probe_seconds` entry measured mostly the
+//! *interference* of the other candidates — the ranking depended on
+//! how many candidates were probed and in what order. A timing probe
+//! is only comparable when each candidate sees the machine the way the
+//! final solve will: alone.
 
 use std::time::Instant;
 
 use gep_kernels::Matrix;
-use sparklet::{JobError, JobHandle, SparkContext};
+use sparklet::{JobError, SparkContext};
 
 use crate::config::{DpConfig, KernelChoice};
 use crate::problem::DpProblem;
@@ -47,29 +53,18 @@ pub fn adaptive_solve<S: DpProblem>(
     // exercises the same per-phase structure at reduced iteration count.
     let probe_n = (probe_phases * cfg.block).min(cfg.n);
     let probe_input = input.copy_block(0, 0, probe_n, probe_n);
-    // Submit every candidate probe at once; each job times its own
-    // solve inside the closure. Waiting on the handles in candidate
-    // order keeps `probe_seconds` aligned with the input slice while
-    // the probes themselves overlap on the executors.
-    let handles: Vec<JobHandle<f64>> = candidates
-        .iter()
-        .map(|candidate| {
-            let probe_cfg = DpConfig::new(probe_n, cfg.block.min(probe_n))
-                .with_strategy(cfg.strategy)
-                .with_kernel(*candidate);
-            let sc = sc.clone();
-            let probe_input = probe_input.clone();
-            JobHandle::spawn(move || {
-                let t0 = Instant::now();
-                let _ = solve::<S>(&sc, &probe_cfg, &probe_input)?;
-                Ok(t0.elapsed().as_secs_f64())
-            })
-        })
-        .collect();
+    // Probe candidates sequentially so each timing sees an idle
+    // engine: concurrent probes would contend for executor slots and
+    // measure interference, not kernel speed.
     let mut probe_seconds = Vec::with_capacity(candidates.len());
     let mut best = (0usize, f64::INFINITY);
-    for (i, handle) in handles.into_iter().enumerate() {
-        let secs = handle.wait()?;
+    for (i, candidate) in candidates.iter().enumerate() {
+        let probe_cfg = DpConfig::new(probe_n, cfg.block.min(probe_n))
+            .with_strategy(cfg.strategy)
+            .with_kernel(*candidate);
+        let t0 = Instant::now();
+        let _ = solve::<S>(sc, &probe_cfg, &probe_input)?;
+        let secs = t0.elapsed().as_secs_f64();
         probe_seconds.push(secs);
         if secs < best.1 {
             best = (i, secs);
@@ -128,6 +123,47 @@ mod tests {
         assert!(candidates.contains(&out.chosen));
         assert_eq!(out.probe_seconds.len(), 2);
         assert!(out.probe_seconds.iter().all(|s| *s > 0.0));
+    }
+
+    #[test]
+    fn probes_run_serially_so_timings_do_not_interfere() {
+        // Regression: probes used to be submitted as concurrent jobs
+        // with the timer inside each closure, so candidates timed each
+        // other's interference and the ranking depended on list size.
+        // With the per-job stage cap at 1, any overlap between probe
+        // jobs is visible in the driver's in-flight gauge: serialized
+        // probes keep it at exactly 1 for the whole run.
+        let n = 12;
+        let input = Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { (i + j) as f64 });
+        let sc = SparkContext::new(
+            SparkConf::default()
+                .with_executors(2)
+                .with_partitions(4)
+                .with_max_concurrent_stages(1),
+        );
+        let candidates = [
+            KernelChoice::Iterative,
+            KernelChoice::Recursive {
+                r_shared: 2,
+                base: 2,
+                threads: 2,
+            },
+            KernelChoice::Iterative,
+        ];
+        let out = adaptive_solve::<Tropical>(
+            &sc,
+            &DpConfig::new(n, 4).with_strategy(Strategy::InMemory),
+            &input,
+            &candidates,
+            1,
+        )
+        .expect("adaptive solve");
+        assert_eq!(out.probe_seconds.len(), 3, "one timing per candidate");
+        let peak = sc.with_event_log(|log| log.max_concurrent_stages());
+        assert_eq!(
+            peak, 1,
+            "probe jobs overlapped: gauge {peak} despite per-job cap 1"
+        );
     }
 
     #[test]

@@ -1,0 +1,660 @@
+//! Adaptive query execution: re-plan the remaining GEP iterations from
+//! live stage metrics.
+//!
+//! Spark 3's AQE re-optimizes a query between stages using runtime
+//! statistics; the analogue for the paper's bounded-iteration DP jobs
+//! is a driver-side loop that, after each iteration commits, feeds the
+//! *measured* event-log records (bytes moved, kernel updates, spill
+//! and eviction counters) into the `cluster-model` cost terms and
+//! decides for the iterations still to run:
+//!
+//! * **partition count** — the GEP active set shrinks phase by phase
+//!   (for Gaussian elimination, phase `k` touches `(g-k)²` blocks), so
+//!   the per-task overhead of a wide partition count eventually
+//!   outweighs its parallelism. The planner prices candidate counts
+//!   (divisors of the current count, so [`sparklet::Rdd::coalesce`]
+//!   stays narrow *and* keeps the partitioner signature, plus one 2×
+//!   split) against the model and coalesces or splits the winner.
+//! * **strategy** — IM's wide shuffles are priced against CB's serial
+//!   driver collect/broadcast phase at the *next* phase's volumes; the
+//!   loop switches when the other pattern wins by a clear margin.
+//! * **kernel shape** — for recursive kernels, `r_shared` is re-picked
+//!   per level from [`cluster_model::CostModel::core_seconds`].
+//! * **storage tier** — observed spills or evictions under
+//!   `MemoryOnly` re-tier the materialization level to
+//!   `MemoryAndDisk` (one-way: never flaps back).
+//!
+//! Every input is a recorded byte count or task count — never host
+//! wall time — so under [`sparklet::SparkConf::with_sim_seed`] the
+//! decision sequence is a pure function of the seed and replays
+//! bit-identically. Each adopted decision is recorded via
+//! [`sparklet::SparkContext::log_adaptive_decision`] and surfaces in
+//! [`crate::SolveReport::adaptive_decisions`].
+
+use cluster_model::{
+    ClusterSpec, CostModel, KernelInvocation, KernelType, StageRecord, TaskRecord,
+};
+use sparklet::{GridPartitioner, HashPartitioner, Partitioner, SparkContext, StorageLevel};
+
+use crate::config::{DpConfig, KernelChoice, Strategy};
+use crate::filters;
+use crate::problem::DpProblem;
+
+/// Wide-ish stages one IM iteration runs (combine ×2 + repartition +
+/// materialize) — overhead multiplier for modeled iteration cost.
+const IM_STAGES_PER_ITER: usize = 4;
+/// Stages one CB iteration runs (collect/broadcast pseudo-stages,
+/// kernel maps, materialize).
+const CB_STAGES_PER_ITER: usize = 6;
+/// Relative improvement a re-plan must promise before it is adopted
+/// (hysteresis against flapping on model noise).
+const REPLAN_MARGIN: f64 = 0.95;
+/// Stronger margin for strategy switches, which change the stage graph
+/// wholesale.
+const STRATEGY_MARGIN: f64 = 0.80;
+
+/// One adopted re-plan step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AqeAction {
+    /// Change the RDD partition count for the remaining iterations
+    /// (coalesce when it shrinks by a divisor, shuffle split otherwise).
+    Repartition(usize),
+    /// Switch the distribution strategy for the remaining iterations.
+    SwitchStrategy(Strategy),
+    /// Change the executor kernel shape for the remaining iterations.
+    Retune(KernelChoice),
+    /// Re-tier the materialization storage level.
+    Retier(StorageLevel),
+}
+
+/// An adopted decision plus its audit strings (what/why), as logged to
+/// the event log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AqeDecision {
+    /// The plan change to apply.
+    pub action: AqeAction,
+    /// Machine-readable label, e.g. `coalesce:64->16`.
+    pub label: String,
+    /// The cost comparison that drove it.
+    pub reason: String,
+}
+
+/// What one iteration measurably did, aggregated from the event-log
+/// records it appended.
+#[derive(Debug, Clone, Copy, Default)]
+struct IterStats {
+    shuffle_bytes: u64,
+    updates: f64,
+    collect_bytes: u64,
+    broadcast_bytes: u64,
+    spilled_bytes: u64,
+    evicted_bytes: u64,
+}
+
+/// Driver-side adaptive planner. One instance lives for the duration
+/// of a solve; it keeps a watermark into the event log so each replan
+/// only reads the records of the iteration that just committed.
+pub struct AqePlanner {
+    model: CostModel,
+    stage_watermark: usize,
+    min_partitions: usize,
+    elem_bytes: usize,
+    retiered: bool,
+}
+
+impl AqePlanner {
+    /// Planner for a run on `sc`, pricing with a model shaped like the
+    /// context (node count, cores) on the reference cluster node.
+    pub fn new(sc: &SparkContext, cfg: &DpConfig, elem_bytes: usize) -> Self {
+        let conf = sc.conf();
+        let spec = ClusterSpec::skylake().with_nodes(conf.executors);
+        AqePlanner {
+            model: CostModel::new(spec, conf.executor_cores),
+            stage_watermark: sc.with_event_log(|log| log.stage_count()),
+            min_partitions: cfg.min_partitions.unwrap_or(conf.executors).max(1),
+            elem_bytes,
+            retiered: false,
+        }
+    }
+
+    /// Planner with an explicit cost model (tests, custom clusters).
+    pub fn with_model(mut self, model: CostModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Model-only plan for iteration 0, taken before anything runs:
+    /// phase volumes are estimated exactly from the problem's filters
+    /// and per-kind update counts (no measurements exist yet), and the
+    /// partition count is re-picked the same way [`Self::replan`]
+    /// does. Measured records then refine the plan every iteration.
+    pub fn plan_initial<S: DpProblem>(
+        &mut self,
+        cfg: &DpConfig,
+        partitions: usize,
+        strategy: Strategy,
+        kernel: KernelChoice,
+    ) -> Vec<AqeDecision> {
+        let g = cfg.grid();
+        let b = cfg.block;
+        let keys = active_keys::<S>(0, g, b);
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        let updates: f64 = keys
+            .iter()
+            .filter_map(|&key| filters::kind_of::<S>(key, 0, b))
+            .map(|kind| S::updates_for(kind, b))
+            .sum();
+        let block_bytes = (b * b * self.elem_bytes) as u64;
+        let nb = count_keys(g, |key| filters::filter_b::<S>(key, 0, b));
+        let nc = count_keys(g, |key| filters::filter_c::<S>(key, 0, b));
+        let nd = count_keys(g, |key| filters::filter_d::<S>(key, 0, b));
+        // IM moves each D block's B and C inputs plus the panels
+        // themselves through the shuffle.
+        let bytes = (2 * nd + nb + nc + 1) as u64 * block_bytes;
+        let part: Box<dyn Partitioner<(usize, usize)>> = if cfg.grid_partitioner {
+            Box::new(GridPartitioner::new(g))
+        } else {
+            Box::new(HashPartitioner)
+        };
+        self.repartition(
+            partitions,
+            &keys,
+            part.as_ref(),
+            bytes,
+            updates,
+            b,
+            strategy,
+            kernel,
+        )
+        .into_iter()
+        .collect()
+    }
+
+    /// Consume the records the finished iteration `k` appended and
+    /// decide the plan for iteration `k + 1`. Returns the adopted
+    /// decisions in application order (storage, partitions, strategy,
+    /// kernel — at most one each).
+    #[allow(clippy::too_many_arguments)]
+    pub fn replan<S: DpProblem>(
+        &mut self,
+        sc: &SparkContext,
+        cfg: &DpConfig,
+        k: usize,
+        partitions: usize,
+        strategy: Strategy,
+        kernel: KernelChoice,
+        level: StorageLevel,
+    ) -> Vec<AqeDecision> {
+        let stats = self.drain_stats(sc);
+        let g = cfg.grid();
+        let b = cfg.block;
+        let active_now = active_blocks::<S>(k, g, b);
+        let next_keys = active_keys::<S>(k + 1, g, b);
+        let active_next = next_keys.len();
+        if active_now == 0 || active_next == 0 {
+            return Vec::new();
+        }
+        let ratio = active_next as f64 / active_now as f64;
+        let next_bytes = (stats.shuffle_bytes as f64 * ratio) as u64;
+        let next_updates = stats.updates * ratio;
+        let part: Box<dyn Partitioner<(usize, usize)>> = if cfg.grid_partitioner {
+            Box::new(GridPartitioner::new(g))
+        } else {
+            Box::new(HashPartitioner)
+        };
+
+        let mut out = Vec::new();
+        if let Some(d) = self.retier(&stats, level) {
+            out.push(d);
+        }
+        let mut partitions = partitions;
+        if let Some(d) = self.repartition(
+            partitions,
+            &next_keys,
+            part.as_ref(),
+            next_bytes,
+            next_updates,
+            b,
+            strategy,
+            kernel,
+        ) {
+            if let AqeAction::Repartition(p) = d.action {
+                partitions = p;
+            }
+            out.push(d);
+        }
+        let loads = placement_loads(&next_keys, part.as_ref(), partitions);
+        if let Some(d) = self.switch_strategy::<S>(
+            k + 1,
+            g,
+            b,
+            &loads,
+            strategy,
+            kernel,
+            next_bytes,
+            next_updates,
+        ) {
+            out.push(d);
+        }
+        if let Some(d) = self.retune(kernel, next_updates, partitions, b) {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Aggregate and consume the event-log delta since the watermark.
+    fn drain_stats(&mut self, sc: &SparkContext) -> IterStats {
+        sc.with_event_log(|log| {
+            let stages = log.stages();
+            let mut s = IterStats::default();
+            for ev in &stages[self.stage_watermark.min(stages.len())..] {
+                s.collect_bytes += ev.record.collect_bytes;
+                s.broadcast_bytes += ev.record.broadcast_bytes;
+                s.spilled_bytes += ev.record.spilled_bytes;
+                s.evicted_bytes += ev.record.evicted_bytes;
+                for t in &ev.record.tasks {
+                    s.shuffle_bytes += t.shuffle_write_bytes;
+                    s.updates += t.kernels.iter().map(|inv| inv.updates).sum::<f64>();
+                }
+            }
+            self.stage_watermark = stages.len();
+            s
+        })
+    }
+
+    /// Synthetic stage record: `bytes` shuffled and `updates` computed
+    /// over `p` tasks placed round-robin across the cluster's nodes.
+    /// `loads` weights each task's share (the candidate partitioner's
+    /// actual per-partition block counts) — uniform spread would hide
+    /// the quantization skew that makes very low partition counts
+    /// straggle, and the planner would over-coalesce.
+    fn synth_stage(
+        &self,
+        loads: &[f64],
+        bytes: u64,
+        updates: f64,
+        b: usize,
+        kernel: KernelType,
+    ) -> StageRecord {
+        let nodes = self.model.spec.nodes.max(1) as u64;
+        let total: f64 = loads.iter().sum::<f64>().max(1.0);
+        let tasks = loads
+            .iter()
+            .enumerate()
+            .map(|(t, share)| {
+                let frac = share / total;
+                let task_bytes = (bytes as f64 * frac) as u64;
+                TaskRecord {
+                    node: t % nodes as usize,
+                    kernels: vec![KernelInvocation {
+                        updates: updates * frac,
+                        block_side: b,
+                        elem_bytes: self.elem_bytes,
+                        kernel,
+                    }],
+                    remote_read_bytes: task_bytes * (nodes - 1) / nodes,
+                    local_read_bytes: task_bytes / nodes,
+                    shuffle_write_bytes: task_bytes,
+                    ..Default::default()
+                }
+            })
+            .collect();
+        StageRecord {
+            tasks,
+            ..Default::default()
+        }
+    }
+
+    /// Overhead-only stage: `p` empty tasks (models the extra stages of
+    /// an iteration beyond its dominant one).
+    fn synth_overhead(&self, p: usize) -> StageRecord {
+        let nodes = self.model.spec.nodes.max(1);
+        StageRecord {
+            tasks: (0..p)
+                .map(|t| TaskRecord {
+                    node: t % nodes,
+                    ..Default::default()
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// Modeled seconds for one IM iteration with per-task `loads`.
+    fn im_iter_seconds(
+        &self,
+        loads: &[f64],
+        bytes: u64,
+        updates: f64,
+        b: usize,
+        kt: KernelType,
+    ) -> f64 {
+        let main = self
+            .model
+            .stage_seconds(&self.synth_stage(loads, bytes, updates, b, kt));
+        let extra = self.model.stage_seconds(&self.synth_overhead(loads.len()));
+        main + extra * (IM_STAGES_PER_ITER - 1) as f64
+    }
+
+    /// Modeled seconds for one CB iteration with per-task `loads` and
+    /// `collect`/`broadcast` driver volume.
+    fn cb_iter_seconds(
+        &self,
+        loads: &[f64],
+        updates: f64,
+        b: usize,
+        kt: KernelType,
+        collect: u64,
+        broadcast: u64,
+    ) -> f64 {
+        let compute = self
+            .model
+            .stage_seconds(&self.synth_stage(loads, 0, updates, b, kt));
+        let driver = self.model.stage_seconds(&StageRecord {
+            collect_bytes: collect,
+            broadcast_bytes: broadcast,
+            ..Default::default()
+        });
+        let extra = self.model.stage_seconds(&self.synth_overhead(loads.len()));
+        compute + driver + extra * (CB_STAGES_PER_ITER - 2) as f64
+    }
+
+    /// Price candidate partition counts for the next iteration and
+    /// adopt the winner if it clears the margin. Candidates are the
+    /// divisors of `current` at or above the floor (narrow,
+    /// signature-preserving coalesce) plus one 2× split. Each
+    /// candidate is priced at the partitioner's *actual* placement of
+    /// the next phase's active keys, so quantization skew at low
+    /// counts is charged honestly.
+    #[allow(clippy::too_many_arguments)]
+    fn repartition(
+        &self,
+        current: usize,
+        next_keys: &[(usize, usize)],
+        part: &dyn Partitioner<(usize, usize)>,
+        bytes: u64,
+        updates: f64,
+        b: usize,
+        strategy: Strategy,
+        kernel: KernelChoice,
+    ) -> Option<AqeDecision> {
+        let active_next = next_keys.len();
+        let kt = kernel.kernel_type();
+        let price = |p: usize| {
+            let loads = placement_loads(next_keys, part, p);
+            match strategy {
+                Strategy::InMemory => self.im_iter_seconds(&loads, bytes, updates, b, kt),
+                Strategy::CollectBroadcast => {
+                    self.cb_iter_seconds(&loads, updates, b, kt, bytes, bytes)
+                }
+            }
+        };
+        let mut candidates: Vec<usize> = (self.min_partitions..=current)
+            .filter(|p| current.is_multiple_of(*p))
+            .collect();
+        if current * 2 <= active_next {
+            candidates.push(current * 2);
+        }
+        let now = price(current);
+        let best = candidates
+            .into_iter()
+            .map(|p| (p, price(p)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        if best.0 == current || best.1 >= now * REPLAN_MARGIN {
+            return None;
+        }
+        let (p, cost) = best;
+        let verb = if p < current { "coalesce" } else { "split" };
+        Some(AqeDecision {
+            action: AqeAction::Repartition(p),
+            label: format!("{verb}:{current}->{p}"),
+            reason: format!(
+                "modeled iter {:.3}s at {p} parts vs {:.3}s at {current} ({active_next} active blocks)",
+                cost, now
+            ),
+        })
+    }
+
+    /// Price IM vs CB at the next phase's volumes and switch if the
+    /// other strategy wins by [`STRATEGY_MARGIN`].
+    #[allow(clippy::too_many_arguments)]
+    fn switch_strategy<S: DpProblem>(
+        &self,
+        k: usize,
+        g: usize,
+        b: usize,
+        loads: &[f64],
+        strategy: Strategy,
+        kernel: KernelChoice,
+        im_bytes: u64,
+        updates: f64,
+    ) -> Option<AqeDecision> {
+        let kt = kernel.kernel_type();
+        // CB moves the A block plus the B/C panels through the driver,
+        // regardless of what IM would shuffle.
+        let panel = 1
+            + count_keys(g, |key| filters::filter_b::<S>(key, k, b))
+            + count_keys(g, |key| filters::filter_c::<S>(key, k, b));
+        let cb_volume = (panel * b * b * self.elem_bytes) as u64;
+        // IM's shuffle volume: measured when we are running IM (scaled
+        // by the caller), reconstructed from the panel volume when we
+        // are running CB (every D block re-fetches its B and C inputs).
+        let d_blocks = count_keys(g, |key| filters::filter_d::<S>(key, k, b));
+        let im_volume = if strategy == Strategy::InMemory {
+            im_bytes
+        } else {
+            ((2 * d_blocks + panel) * b * b * self.elem_bytes) as u64
+        };
+        let im = self.im_iter_seconds(loads, im_volume, updates, b, kt);
+        let cb = self.cb_iter_seconds(loads, updates, b, kt, cb_volume, cb_volume);
+        let (to, ours, theirs) = match strategy {
+            Strategy::InMemory => (Strategy::CollectBroadcast, im, cb),
+            Strategy::CollectBroadcast => (Strategy::InMemory, cb, im),
+        };
+        if theirs >= ours * STRATEGY_MARGIN {
+            return None;
+        }
+        let name = |s: Strategy| match s {
+            Strategy::InMemory => "im",
+            Strategy::CollectBroadcast => "cb",
+        };
+        Some(AqeDecision {
+            action: AqeAction::SwitchStrategy(to),
+            label: format!("strategy:{}->{}", name(strategy), name(to)),
+            reason: format!("modeled iter {theirs:.3}s vs {ours:.3}s staying"),
+        })
+    }
+
+    /// Re-pick `r_shared` for recursive kernels from the compute model
+    /// at the next iteration's update volume.
+    fn retune(
+        &self,
+        kernel: KernelChoice,
+        updates: f64,
+        partitions: usize,
+        b: usize,
+    ) -> Option<AqeDecision> {
+        let KernelChoice::Recursive {
+            r_shared,
+            base,
+            threads,
+        } = kernel
+        else {
+            return None;
+        };
+        let per_task = updates / partitions.max(1) as f64;
+        let price = |r: usize| {
+            self.model.core_seconds(&KernelInvocation {
+                updates: per_task,
+                block_side: b,
+                elem_bytes: self.elem_bytes,
+                kernel: KernelType::Recursive {
+                    r_shared: r,
+                    threads,
+                },
+            })
+        };
+        let now = price(r_shared);
+        let best = [2usize, 4, 8]
+            .into_iter()
+            .filter(|&r| r != r_shared && r <= b)
+            .map(|r| (r, price(r)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))?;
+        if best.1 >= now * REPLAN_MARGIN {
+            return None;
+        }
+        Some(AqeDecision {
+            action: AqeAction::Retune(KernelChoice::Recursive {
+                r_shared: best.0,
+                base,
+                threads,
+            }),
+            label: format!("kernel:r{}->r{}", r_shared, best.0),
+            reason: format!(
+                "modeled task compute {:.4}s vs {:.4}s at r={}",
+                best.1, now, r_shared
+            ),
+        })
+    }
+
+    /// Re-tier `MemoryOnly` to `MemoryAndDisk` once pressure shows up
+    /// in the counters. One-way: never flaps back.
+    fn retier(&mut self, stats: &IterStats, level: StorageLevel) -> Option<AqeDecision> {
+        if self.retiered
+            || level != StorageLevel::MemoryOnly
+            || (stats.spilled_bytes == 0 && stats.evicted_bytes == 0)
+        {
+            return None;
+        }
+        self.retiered = true;
+        Some(AqeDecision {
+            action: AqeAction::Retier(StorageLevel::MemoryAndDisk),
+            label: "storage:memory->memory+disk".into(),
+            reason: format!(
+                "pressure observed: {} spilled, {} evicted bytes",
+                stats.spilled_bytes, stats.evicted_bytes
+            ),
+        })
+    }
+}
+
+/// Blocks phase `k` touches on a `g×g` grid.
+fn active_blocks<S: DpProblem>(k: usize, g: usize, b: usize) -> usize {
+    active_keys::<S>(k, g, b).len()
+}
+
+/// The block keys phase `k` touches, in row-major order.
+fn active_keys<S: DpProblem>(k: usize, g: usize, b: usize) -> Vec<(usize, usize)> {
+    let mut keys = Vec::new();
+    if k >= g {
+        return keys;
+    }
+    for i in 0..g {
+        for j in 0..g {
+            if filters::touched::<S>((i, j), k, b) {
+                keys.push((i, j));
+            }
+        }
+    }
+    keys
+}
+
+/// Per-partition active-block counts under `part` at count `p`.
+fn placement_loads(
+    keys: &[(usize, usize)],
+    part: &dyn Partitioner<(usize, usize)>,
+    p: usize,
+) -> Vec<f64> {
+    let mut loads = vec![0.0; p.max(1)];
+    for key in keys {
+        loads[part.partition(key, p.max(1))] += 1.0;
+    }
+    loads
+}
+
+fn count_keys(g: usize, f: impl Fn((usize, usize)) -> bool) -> usize {
+    let mut n = 0;
+    for i in 0..g {
+        for j in 0..g {
+            if f((i, j)) {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gep_kernels::{GaussianElim, Tropical};
+
+    #[test]
+    fn active_set_shrinks_for_ge_not_fw() {
+        let b = 8;
+        let ge0 = active_blocks::<GaussianElim>(0, 8, b);
+        let ge6 = active_blocks::<GaussianElim>(6, 8, b);
+        assert!(ge6 < ge0, "GE active set must shrink: {ge0} -> {ge6}");
+        assert_eq!(active_blocks::<Tropical>(0, 8, b), 64);
+        assert_eq!(active_blocks::<Tropical>(6, 8, b), 64, "FW touches all");
+        assert_eq!(active_blocks::<GaussianElim>(8, 8, b), 0, "past the end");
+    }
+
+    #[test]
+    fn repartition_prefers_divisors_and_respects_floor() {
+        let sc = SparkContext::new(
+            sparklet::SparkConf::default()
+                .with_executors(4)
+                .with_executor_cores(2)
+                .with_sim_seed(7),
+        );
+        let cfg = DpConfig::new(64, 8);
+        let planner = AqePlanner::new(&sc, &cfg, 8);
+        // A tiny next-phase volume at a huge partition count: overhead
+        // dominates, so the planner must coalesce — and only to a
+        // divisor at or above the 4-executor floor.
+        let keys = [(0, 0), (0, 1), (1, 0), (1, 1)];
+        let d = planner
+            .repartition(
+                96,
+                &keys,
+                &HashPartitioner,
+                1 << 12,
+                1e4,
+                8,
+                Strategy::InMemory,
+                KernelChoice::Iterative,
+            )
+            .expect("overhead-dominated stage must coalesce");
+        let AqeAction::Repartition(p) = d.action else {
+            panic!("expected repartition, got {d:?}");
+        };
+        assert!(96 % p == 0 && p >= 4, "non-divisor or below floor: {p}");
+        assert!(d.label.starts_with("coalesce:96->"), "{}", d.label);
+    }
+
+    #[test]
+    fn retier_fires_once_and_only_under_pressure() {
+        let sc = SparkContext::new(sparklet::SparkConf::default().with_sim_seed(3));
+        let cfg = DpConfig::new(64, 8);
+        let mut planner = AqePlanner::new(&sc, &cfg, 8);
+        let clean = IterStats::default();
+        assert!(planner.retier(&clean, StorageLevel::MemoryOnly).is_none());
+        let pressured = IterStats {
+            spilled_bytes: 1 << 20,
+            ..Default::default()
+        };
+        let d = planner
+            .retier(&pressured, StorageLevel::MemoryOnly)
+            .expect("spill must re-tier");
+        assert_eq!(d.action, AqeAction::Retier(StorageLevel::MemoryAndDisk));
+        assert!(
+            planner
+                .retier(&pressured, StorageLevel::MemoryOnly)
+                .is_none(),
+            "one-way: must not fire twice"
+        );
+    }
+}

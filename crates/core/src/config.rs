@@ -59,6 +59,10 @@ pub struct DpConfig {
     /// RDD partition count (`None` → the context default, which the
     /// paper sets to 2× total cores).
     pub partitions: Option<usize>,
+    /// Floor for adaptive partition coalescing (`None` → the executor
+    /// count). Only consulted when the context runs with
+    /// `SparkConf::with_adaptive_execution`.
+    pub min_partitions: Option<usize>,
     /// Use the locality-aware grid partitioner instead of Spark's
     /// default hash partitioner (the paper's future-work extension).
     pub grid_partitioner: bool,
@@ -84,6 +88,7 @@ impl DpConfig {
             kernel: KernelChoice::Iterative,
             strategy: Strategy::InMemory,
             partitions: None,
+            min_partitions: None,
             grid_partitioner: false,
             virtual_data: false,
             storage_level: None,
@@ -126,6 +131,13 @@ impl DpConfig {
     pub fn with_partitions(mut self, p: usize) -> Self {
         assert!(p >= 1);
         self.partitions = Some(p);
+        self
+    }
+
+    /// Floor adaptive partition coalescing at `p` partitions.
+    pub fn with_min_partitions(mut self, p: usize) -> Self {
+        assert!(p >= 1);
+        self.min_partitions = Some(p);
         self
     }
 
@@ -205,6 +217,17 @@ mod tests {
             base: 4,
             threads: 1,
         });
+    }
+
+    #[test]
+    fn adaptive_knobs_compose() {
+        let c = DpConfig::new(32, 8).with_min_partitions(8);
+        assert_eq!(c.min_partitions, Some(8));
+        assert_eq!(
+            DpConfig::new(32, 8).min_partitions,
+            None,
+            "floor defaults to the executor count at plan time"
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod aqe;
 pub mod beyond;
 pub mod block;
 pub mod cb;
@@ -45,6 +46,7 @@ pub mod solver;
 pub mod tuner;
 
 pub use adaptive::{adaptive_solve, AdaptiveOutcome};
+pub use aqe::{AqeAction, AqeDecision, AqePlanner};
 pub use beyond::{solve_alignment, solve_parenthesis};
 pub use block::{Block, ElemCodec};
 pub use config::{DpConfig, KernelChoice, Strategy};

@@ -7,10 +7,11 @@ use cluster_model::{ClusterSpec, CostModel, ModelParams};
 use gep_kernels::padding::{pad_to_multiple, unpad};
 use gep_kernels::Matrix;
 use sparklet::{
-    ChaosPolicy, GridPartitioner, HashPartitioner, JobError, Partitioner, Rdd, SparkConf,
-    SparkContext,
+    AdaptiveDecision, ChaosPolicy, GridPartitioner, HashPartitioner, JobError, Partitioner, Rdd,
+    SparkConf, SparkContext,
 };
 
+use crate::aqe::{AqeAction, AqePlanner};
 use crate::block::Block;
 use crate::config::{DpConfig, Strategy};
 use crate::problem::DpProblem;
@@ -57,6 +58,9 @@ pub struct SolveReport {
     /// Highest number of stages the DAG scheduler had in flight
     /// simultaneously.
     pub max_concurrent_stages: u64,
+    /// Adaptive re-plan decisions taken mid-job, in order (empty
+    /// unless the context ran with `with_adaptive_execution`).
+    pub adaptive_decisions: Vec<AdaptiveDecision>,
 }
 
 /// Build the run summary from a context's event log.
@@ -78,6 +82,7 @@ fn report_from(sc: &SparkContext) -> SolveReport {
         evicted_bytes: log.total_evicted_bytes(),
         recomputes: log.total_recomputes(),
         max_concurrent_stages: log.max_concurrent_stages(),
+        adaptive_decisions: log.decisions().to_vec(),
     })
 }
 
@@ -90,6 +95,14 @@ fn partitioner_for(cfg: &DpConfig) -> Arc<dyn Partitioner<K>> {
 }
 
 /// Run the distributed GEP loop over an already-created block RDD.
+///
+/// Under `SparkConf::with_adaptive_execution` the loop consults an
+/// [`AqePlanner`] after each iteration commits: the planner reads the
+/// iteration's event-log records and may coalesce/split the partition
+/// count (a divisor-coalesce stays narrow and keeps the partitioner
+/// signature, so the next `partition_by` elides its shuffle), switch
+/// IM↔CB, re-pick the recursive fan-out, or re-tier storage. Every
+/// adopted decision is logged to the event log.
 fn run_loop<S: DpProblem>(
     sc: &SparkContext,
     cfg: &DpConfig,
@@ -97,30 +110,71 @@ fn run_loop<S: DpProblem>(
 ) -> Result<Rdd<K, Block<S::Elem>>, JobError> {
     let g = cfg.grid();
     let b = cfg.block;
-    let partitions = cfg.partitions.unwrap_or(sc.conf().default_partitions);
+    let mut partitions = cfg.partitions.unwrap_or(sc.conf().default_partitions);
+    let mut strategy = cfg.strategy;
+    let mut kernel = cfg.kernel;
     let partitioner = partitioner_for(cfg);
-    let level = cfg.storage_level.unwrap_or_else(|| match cfg.strategy {
+    let mut level = cfg.storage_level.unwrap_or_else(|| match cfg.strategy {
         Strategy::InMemory => im::default_storage_level(),
         Strategy::CollectBroadcast => cb::default_storage_level(),
     });
+    let mut planner = sc
+        .conf()
+        .adaptive_execution
+        .then(|| AqePlanner::new(sc, cfg, std::mem::size_of::<S::Elem>()));
+    // Apply one adopted decision to the loop's mutable plan state and
+    // log it. A divisor shrink goes through `coalesce` (narrow, keeps
+    // the partitioner signature so the next `partition_by` elides its
+    // shuffle); anything else re-shuffles once.
+    let apply = |d: &crate::aqe::AqeDecision,
+                 iteration: u64,
+                 dp: &mut Rdd<K, Block<S::Elem>>,
+                 partitions: &mut usize,
+                 strategy: &mut Strategy,
+                 kernel: &mut crate::config::KernelChoice,
+                 level: &mut sparklet::StorageLevel,
+                 partitioner: &Arc<dyn Partitioner<K>>| {
+        match d.action {
+            AqeAction::Repartition(p) => {
+                *dp = if p < *partitions && partitions.is_multiple_of(p) {
+                    dp.coalesce(p)
+                } else {
+                    dp.partition_by(p, Arc::clone(partitioner))
+                };
+                *partitions = p;
+            }
+            AqeAction::SwitchStrategy(s) => *strategy = s,
+            AqeAction::Retune(kc) => *kernel = kc,
+            AqeAction::Retier(lv) => *level = lv,
+        }
+        sc.log_adaptive_decision(iteration, &d.label, &d.reason);
+    };
+    if let Some(planner) = planner.as_mut() {
+        for d in planner.plan_initial::<S>(cfg, partitions, strategy, kernel) {
+            apply(
+                &d,
+                0,
+                &mut dp,
+                &mut partitions,
+                &mut strategy,
+                &mut kernel,
+                &mut level,
+                &partitioner,
+            );
+        }
+    }
     for k in 0..g {
-        let next = match cfg.strategy {
-            Strategy::InMemory => im::step::<S>(
-                &dp,
-                k,
-                g,
-                b,
-                cfg.kernel,
-                partitions,
-                Arc::clone(&partitioner),
-            )?,
+        let next = match strategy {
+            Strategy::InMemory => {
+                im::step::<S>(&dp, k, g, b, kernel, partitions, Arc::clone(&partitioner))?
+            }
             Strategy::CollectBroadcast => cb::step::<S>(
                 sc,
                 &dp,
                 k,
                 g,
                 b,
-                cfg.kernel,
+                kernel,
                 partitions,
                 Arc::clone(&partitioner),
                 level,
@@ -142,6 +196,22 @@ fn run_loop<S: DpProblem>(
         } else {
             next.checkpoint_with_level(level)?
         };
+        if let Some(planner) = planner.as_mut() {
+            if k + 1 < g {
+                for d in planner.replan::<S>(sc, cfg, k, partitions, strategy, kernel, level) {
+                    apply(
+                        &d,
+                        k as u64,
+                        &mut dp,
+                        &mut partitions,
+                        &mut strategy,
+                        &mut kernel,
+                        &mut level,
+                        &partitioner,
+                    );
+                }
+            }
+        }
     }
     Ok(dp)
 }

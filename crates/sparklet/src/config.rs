@@ -64,6 +64,14 @@ pub struct SparkConf {
     /// outputs trigger a map-stage re-run, Spark-style, rather than a
     /// task retry).
     pub max_fetch_retries: usize,
+    /// Allow mid-job re-planning: a driver-side loop may consult the
+    /// event log between stages and change partition counts, strategy,
+    /// kernel shape, or storage tier for the remaining work
+    /// (`spark.sql.adaptive.enabled`-style). The engine itself only
+    /// carries the flag and records the decisions
+    /// ([`crate::SparkContext::log_adaptive_decision`]); the decision
+    /// logic lives with the workload driver.
+    pub adaptive_execution: bool,
     /// Codec applied at the data plane's single seal point — shuffle
     /// map outputs, disk-tier spills, and broadcast payloads
     /// (`spark.io.compression.codec`-style). Accounting always uses
@@ -92,6 +100,7 @@ impl Default for SparkConf {
             max_concurrent_stages: None,
             sim_seed: None,
             max_fetch_retries: 8,
+            adaptive_execution: false,
             compression: Compression::None,
         }
     }
@@ -223,6 +232,13 @@ impl SparkConf {
         self
     }
 
+    /// Allow adaptive query execution: drivers may re-plan remaining
+    /// stages from live event-log metrics, logging each decision.
+    pub fn with_adaptive_execution(mut self) -> Self {
+        self.adaptive_execution = true;
+        self
+    }
+
     /// Set the data-plane compression codec (shuffle, spill,
     /// broadcast frames).
     pub fn with_compression(mut self, compression: Compression) -> Self {
@@ -309,6 +325,17 @@ mod tests {
             d.compression,
             Compression::None,
             "compression is opt-in: default runs keep byte-identical wire frames"
+        );
+    }
+
+    #[test]
+    fn adaptive_knob_composes() {
+        let c = SparkConf::default().with_adaptive_execution();
+        assert!(c.adaptive_execution);
+        let d = SparkConf::default();
+        assert!(
+            !d.adaptive_execution,
+            "adaptive execution is opt-in: static plans stay static"
         );
     }
 

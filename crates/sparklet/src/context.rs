@@ -224,6 +224,23 @@ impl SparkContext {
         );
     }
 
+    /// Record an adaptive re-plan decision against the next stage
+    /// ordinal: every stage launched after this call ran under the new
+    /// plan. Only meaningful when
+    /// [`crate::SparkConf::adaptive_execution`] is set, but always
+    /// safe to call.
+    pub fn log_adaptive_decision(&self, iteration: u64, action: &str, reason: &str) {
+        self.inner
+            .log
+            .lock()
+            .push_decision(crate::metrics::AdaptiveDecision {
+                at_stage: self.next_stage_ordinal(),
+                iteration,
+                action: action.to_string(),
+                reason: reason.to_string(),
+            });
+    }
+
     /// Run `f` over a snapshot view of the event log.
     pub fn with_event_log<R>(&self, f: impl FnOnce(&EventLog) -> R) -> R {
         f(&self.inner.log.lock())

@@ -73,8 +73,8 @@ pub use context::{Accumulator, ExecutorLoss, SparkContext, StorageTotals, TaskCo
 pub use dag::JobHandle;
 pub use error::JobError;
 pub use ext::{Either, RangePartitioner};
-pub use metrics::EventLog;
-pub use partitioner::{GridPartitioner, HashPartitioner, Partitioner};
+pub use metrics::{AdaptiveDecision, EventLog};
+pub use partitioner::{GridPartitioner, HashPartitioner, Partitioner, SigLayout};
 pub use payload::{Compression, Payload, PayloadBuilder};
 pub use rdd::Rdd;
 pub use sim::{ChaosEvent, ChaosPolicy};

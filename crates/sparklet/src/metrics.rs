@@ -15,10 +15,27 @@ pub struct StageEvent {
     pub wall_seconds: f64,
 }
 
+/// One adaptive re-plan decision, recorded when a driver running under
+/// [`crate::SparkConf::with_adaptive_execution`] changes the remaining
+/// plan from live stage metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveDecision {
+    /// Stage ordinal the decision was taken at: every stage with an id
+    /// `>= at_stage` ran under the new plan.
+    pub at_stage: u64,
+    /// Driver-level step (e.g. DP iteration) the decision follows.
+    pub iteration: u64,
+    /// What changed, machine-readable (e.g. `coalesce:64->16`).
+    pub action: String,
+    /// Why, human-readable (the cost-model comparison that drove it).
+    pub reason: String,
+}
+
 /// Ordered log of every stage a context has executed.
 #[derive(Debug, Default)]
 pub struct EventLog {
     stages: Vec<StageEvent>,
+    decisions: Vec<AdaptiveDecision>,
 }
 
 impl EventLog {
@@ -214,8 +231,19 @@ impl EventLog {
         self.stages.iter().map(|s| s.record.clone()).collect()
     }
 
+    /// Record an adaptive re-plan decision.
+    pub fn push_decision(&mut self, decision: AdaptiveDecision) {
+        self.decisions.push(decision);
+    }
+
+    /// All adaptive re-plan decisions, in the order they were taken.
+    pub fn decisions(&self) -> &[AdaptiveDecision] {
+        &self.decisions
+    }
+
     /// Drain everything (e.g. between benchmark configurations).
     pub fn take(&mut self) -> Vec<StageEvent> {
+        self.decisions.clear();
         std::mem::take(&mut self.stages)
     }
 }
@@ -274,5 +302,27 @@ mod tests {
         let taken = log.take();
         assert_eq!(taken.len(), 2);
         assert_eq!(log.stage_count(), 0);
+    }
+
+    #[test]
+    fn decisions_are_ordered_and_drained_with_take() {
+        let mut log = EventLog::default();
+        log.push_decision(AdaptiveDecision {
+            at_stage: 4,
+            iteration: 1,
+            action: "coalesce:64->16".into(),
+            reason: "modeled 0.8s < 1.3s".into(),
+        });
+        log.push_decision(AdaptiveDecision {
+            at_stage: 9,
+            iteration: 2,
+            action: "storage:memory->memory+disk".into(),
+            reason: "spill observed".into(),
+        });
+        assert_eq!(log.decisions().len(), 2);
+        assert_eq!(log.decisions()[0].at_stage, 4);
+        assert!(log.decisions()[1].action.starts_with("storage:"));
+        log.take();
+        assert!(log.decisions().is_empty(), "take() drains decisions too");
     }
 }

@@ -22,6 +22,31 @@ pub trait Partitioner<K>: Send + Sync {
     fn signature(&self) -> (&'static str, u64);
 }
 
+/// How a signature family lays keys onto partition indices — the fact
+/// a narrow coalesce needs to keep a partitioner signature valid at a
+/// smaller count (see [`crate::Rdd::coalesce`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SigLayout {
+    /// `index % n` placement (hash): grouping parent partitions by
+    /// `p % target` re-derives the same key→group map when `target`
+    /// divides the parent count, since `(i mod c) mod t = i mod t`.
+    Modulo,
+    /// `index * n / total` placement (grid): grouping contiguous runs
+    /// re-derives the map when `target` divides the parent count, by
+    /// the floor identity `⌊⌊i·c/T⌋/m⌋ = ⌊i·c/(T·m)⌋`.
+    Contiguous,
+}
+
+/// Layout family of a signature name, if the algebra above applies.
+/// Unknown families return `None` and coalesce drops the signature.
+pub(crate) fn sig_layout(name: &str) -> Option<SigLayout> {
+    match name {
+        "hash" => Some(SigLayout::Modulo),
+        "grid" => Some(SigLayout::Contiguous),
+        _ => None,
+    }
+}
+
 /// Spark's default: partition by key hash. "Probabilistic" in the
 /// paper's words — no locality guarantee for structured keys.
 #[derive(Debug, Clone, Copy, Default)]

@@ -18,7 +18,7 @@ use crate::codec::Storable;
 use crate::context::{SparkContext, TaskContext};
 use crate::dag::{self, JobHandle, ShuffleDep};
 use crate::error::JobError;
-use crate::partitioner::Partitioner;
+use crate::partitioner::{sig_layout, Partitioner, SigLayout};
 use crate::payload::PayloadBuilder;
 use crate::scheduler::{StageMeta, TaskFn};
 use crate::storage::StorageLevel;
@@ -378,6 +378,10 @@ impl<K1: Key, V1: ShufVal, K2: Key, V2: ShufVal> RddOps<K2, V2>
 struct CoalescedRdd<K: Key, V: ShufVal> {
     parent: Arc<dyn RddOps<K, V>>,
     groups: Vec<Vec<usize>>,
+    /// Partitioner signature the grouping provably preserves (the
+    /// parent's signature at the reduced count), or `None` when keys
+    /// from different buckets now co-reside.
+    sig: Option<PartSig>,
 }
 
 impl<K: Key, V: ShufVal> RddOps<K, V> for CoalescedRdd<K, V> {
@@ -386,6 +390,9 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for CoalescedRdd<K, V> {
     }
     fn num_partitions(&self) -> usize {
         self.groups.len()
+    }
+    fn partitioner_sig(&self) -> Option<PartSig> {
+        self.sig
     }
     fn shuffle_deps(self: Arc<Self>) -> Vec<Arc<dyn ShuffleDep>> {
         Arc::clone(&self.parent).shuffle_deps()
@@ -403,10 +410,14 @@ impl<K: Key, V: ShufVal> RddOps<K, V> for CoalescedRdd<K, V> {
             .and_then(|&pp| self.parent.preferred_node(pp))
     }
     fn explain_into(&self, depth: usize, out: &mut String) {
+        let kept = match self.sig {
+            Some((name, _, _)) => format!(", keeps {name} partitioning"),
+            None => String::new(),
+        };
         write_plan_line(
             out,
             depth,
-            &format!("Coalesce [{} partitions, narrow]", self.groups.len()),
+            &format!("Coalesce [{} partitions, narrow{kept}]", self.groups.len()),
         );
         self.parent.explain_into(depth + 1, out);
     }
@@ -1059,22 +1070,49 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
     }
 
     /// Narrow: reduce the partition count by concatenating groups of
-    /// adjacent partitions (no shuffle; any partitioner knowledge is
-    /// dropped since keys from different hash buckets now co-reside).
+    /// parent partitions (no shuffle).
+    ///
+    /// When the parent carries a known partitioner signature and
+    /// `target` divides the current count, the grouping is chosen to
+    /// match that partitioner's layout family (modulo groups for hash,
+    /// contiguous runs for grid — see [`SigLayout`]) so the signature
+    /// stays valid at the reduced count and a following `partition_by`
+    /// with the same partitioner elides its shuffle. Otherwise keys
+    /// from different buckets co-reside and the signature is dropped.
     pub fn coalesce(&self, target: usize) -> Rdd<K, V> {
         let target = target.max(1);
         let current = self.num_partitions();
         if target >= current {
             return self.clone();
         }
-        let groups: Vec<Vec<usize>> = (0..target)
-            .map(|g| (0..current).filter(|p| p * target / current == g).collect())
-            .collect();
+        let compat = self.ops.partitioner_sig().and_then(|(name, param, n)| {
+            if n == current && current.is_multiple_of(target) {
+                sig_layout(name).map(|layout| ((name, param, target), layout))
+            } else {
+                None
+            }
+        });
+        let contiguous = |g: usize| -> Vec<usize> {
+            (0..current).filter(|p| p * target / current == g).collect()
+        };
+        let (groups, sig): (Vec<Vec<usize>>, Option<PartSig>) = match compat {
+            Some((sig, SigLayout::Modulo)) => (
+                (0..target)
+                    .map(|g| (0..current).filter(|p| p % target == g).collect())
+                    .collect(),
+                Some(sig),
+            ),
+            Some((sig, SigLayout::Contiguous)) => {
+                ((0..target).map(contiguous).collect(), Some(sig))
+            }
+            None => ((0..target).map(contiguous).collect(), None),
+        };
         Rdd {
             ctx: self.ctx.clone(),
             ops: Arc::new(CoalescedRdd {
                 parent: Arc::clone(&self.ops),
                 groups,
+                sig,
             }),
         }
     }

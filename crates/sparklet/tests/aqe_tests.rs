@@ -1,0 +1,122 @@
+//! Engine-level adaptive-execution plumbing: the conf knob, the
+//! decision records in the event log, and their interaction with the
+//! deterministic-simulation guarantees. The decision *logic* lives in
+//! the workload driver (`dp-core`); the engine's contract is that the
+//! flag is carried, decisions are stamped against stage ordinals, and
+//! recording them never perturbs the schedule.
+
+use std::sync::Arc;
+
+use sparklet::{HashPartitioner, SparkConf, SparkContext};
+
+fn pairs(n: usize) -> Vec<(usize, u64)> {
+    (0..n).map(|i| (i, (i * 13) as u64)).collect()
+}
+
+#[test]
+fn adaptive_flag_is_carried_by_the_context() {
+    let sc = SparkContext::new(SparkConf::default().with_adaptive_execution());
+    assert!(sc.conf().adaptive_execution);
+    let sc = SparkContext::new(SparkConf::default());
+    assert!(!sc.conf().adaptive_execution, "opt-in only");
+}
+
+#[test]
+fn decisions_are_stamped_against_the_next_stage_ordinal() {
+    let sc = SparkContext::new(SparkConf::default().with_partitions(4));
+    let rdd = sc.parallelize(pairs(16), Some(4));
+    rdd.count().expect("first job");
+    let boundary = sc.next_stage_ordinal();
+    sc.log_adaptive_decision(0, "coalesce:4->2", "test");
+    rdd.coalesce(2).count().expect("second job");
+    let (decisions, ids) = sc.with_event_log(|log| {
+        (
+            log.decisions().to_vec(),
+            log.stages()
+                .iter()
+                .map(|s| s.record.stage_id)
+                .collect::<Vec<_>>(),
+        )
+    });
+    assert_eq!(decisions.len(), 1);
+    let d = &decisions[0];
+    assert_eq!(d.at_stage, boundary);
+    assert_eq!((d.iteration, d.action.as_str()), (0, "coalesce:4->2"));
+    // The stamp splits the log: every stage of the first job precedes
+    // it, every stage of the second follows it.
+    assert!(ids.iter().any(|&id| id < d.at_stage));
+    assert!(ids.iter().any(|&id| id >= d.at_stage));
+}
+
+#[test]
+fn draining_the_event_log_drops_decisions_too() {
+    let sc = SparkContext::new(SparkConf::default());
+    sc.log_adaptive_decision(0, "a", "r");
+    sc.log_adaptive_decision(1, "b", "r");
+    assert_eq!(sc.with_event_log(|log| log.decisions().len()), 2);
+    sc.take_event_log();
+    assert_eq!(
+        sc.with_event_log(|log| log.decisions().len()),
+        0,
+        "between-benchmark resets must not leak decisions"
+    );
+}
+
+#[test]
+fn logging_decisions_does_not_perturb_the_seeded_schedule() {
+    // The decision log is an annotation, never an input to scheduling:
+    // two equal-seed runs, one logging decisions between jobs, must
+    // produce identical stage fingerprints.
+    let run = |log_decisions: bool| {
+        let sc = SparkContext::new(
+            SparkConf::default()
+                .with_executors(4)
+                .with_executor_cores(2)
+                .with_partitions(8)
+                .with_sim_seed(77)
+                .with_adaptive_execution(),
+        );
+        let wide = sc
+            .parallelize(pairs(64), Some(8))
+            .map(|(k, v)| (k % 11, v))
+            .reduce_by_key(|a, b| a.wrapping_add(b), 8, Arc::new(HashPartitioner));
+        wide.count().expect("first job");
+        if log_decisions {
+            sc.log_adaptive_decision(0, "coalesce:8->4", "shrinking active set");
+        }
+        let mut out = wide
+            .coalesce(4)
+            .partition_by(4, Arc::new(HashPartitioner))
+            .collect()
+            .expect("second job");
+        out.sort_unstable();
+        (out, sc.with_event_log(|log| log.stage_order()))
+    };
+    let (r1, s1) = run(false);
+    let (r2, s2) = run(true);
+    assert_eq!(r1, r2);
+    assert_eq!(s1, s2, "decision records changed the schedule");
+}
+
+#[test]
+fn replan_coalesce_keeps_the_signature_and_elides_the_repartition() {
+    // The cross-layer contract AQE's partition re-plans rely on: a
+    // divisor coalesce of a hash-partitioned RDD stays narrow, keeps
+    // the signature, and the follow-up partition_by at the new count
+    // elides its shuffle entirely.
+    let sc = SparkContext::new(SparkConf::default().with_partitions(8));
+    let plan = sc
+        .parallelize(pairs(64), Some(8))
+        .partition_by(8, Arc::new(HashPartitioner))
+        .coalesce(4)
+        .partition_by(4, Arc::new(HashPartitioner))
+        .explain();
+    assert!(
+        plan.contains("keeps hash partitioning"),
+        "coalesce dropped the signature:\n{plan}"
+    );
+    assert!(
+        plan.contains("[elided: already partitioned by hash into 4]"),
+        "repartition after sig-preserving coalesce must elide:\n{plan}"
+    );
+}

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use sparklet::{HashPartitioner, SparkConf, SparkContext};
+use sparklet::{HashPartitioner, Partitioner, SparkConf, SparkContext};
 
 fn ctx() -> SparkContext {
     SparkContext::new(
@@ -325,4 +325,58 @@ fn explain_notes_elided_shuffles() {
     );
     // The stage graph shows only the one real shuffle.
     assert_eq!(plan.matches("stage shuffle#").count(), 1, "plan:\n{plan}");
+}
+
+#[test]
+fn compatible_coalesce_preserves_partitioner_and_elides_repartition() {
+    let sc = ctx();
+    // 8 hash partitions coalesced to 4 (4 | 8): the modulo grouping
+    // keeps `hash % 4` placement, so repartitioning by the same
+    // signature at the reduced count must not shuffle again.
+    let narrow = sc
+        .parallelize(pairs(64), Some(4))
+        .partition_by(8, Arc::new(HashPartitioner))
+        .coalesce(4)
+        .partition_by(4, Arc::new(HashPartitioner));
+    let plan = narrow.explain();
+    assert!(
+        plan.contains("Coalesce [4 partitions, narrow, keeps hash partitioning]"),
+        "coalesce dropped a preservable signature:\n{plan}"
+    );
+    assert!(
+        plan.contains("[elided: already partitioned by hash into 4]"),
+        "post-coalesce repartition should elide:\n{plan}"
+    );
+    assert_eq!(plan.matches("stage shuffle#").count(), 1, "plan:\n{plan}");
+
+    // Correctness: every key really does sit in the partition the
+    // 4-way hash partitioner assigns, and no element was lost.
+    let tagged = narrow
+        .map_partitions_to(|p, items, _| items.into_iter().map(|(k, v)| (k, (p, v))).collect())
+        .collect()
+        .expect("coalesced job");
+    let mut all = Vec::new();
+    for (k, (p, v)) in tagged {
+        assert_eq!(
+            HashPartitioner.partition(&k, 4),
+            p,
+            "key {k} landed in partition {p}"
+        );
+        all.push((k, v));
+    }
+    assert_eq!(sorted(all), pairs(64));
+
+    // A non-dividing target cannot keep the signature: the follow-up
+    // repartition is a real shuffle.
+    let ragged = sc
+        .parallelize(pairs(64), Some(4))
+        .partition_by(8, Arc::new(HashPartitioner))
+        .coalesce(3)
+        .partition_by(3, Arc::new(HashPartitioner));
+    let plan = ragged.explain();
+    assert!(
+        plan.contains("Coalesce [3 partitions, narrow]"),
+        "3 does not divide 8, signature must drop:\n{plan}"
+    );
+    assert_eq!(plan.matches("stage shuffle#").count(), 2, "plan:\n{plan}");
 }

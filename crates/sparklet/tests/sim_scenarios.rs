@@ -332,3 +332,76 @@ fn scripted_executor_loss_resubmits_the_map_stage() {
         "lost map outputs must be written off, not released"
     );
 }
+
+#[test]
+fn adaptive_replan_scenario_sweep() {
+    // The AQE execution pattern under chaos: a mid-job re-plan — a
+    // signature-preserving coalesce followed by an elided
+    // partition_by, with the decision recorded — must survive seeded
+    // faults with a bit-identical replay, decision records included,
+    // and the same result as the fault-free run.
+    let run_one = |seed: u64, chaos: bool| {
+        let sc = SparkContext::new(sim::sim_conf(seed).with_adaptive_execution());
+        if chaos {
+            sc.install_chaos(
+                ChaosPolicy::seeded(seed)
+                    .with_task_panics(100)
+                    .with_stragglers(100, 200),
+            );
+        }
+        let result = {
+            let wide = sc
+                .parallelize(sim::pairs(96), Some(6))
+                .map(|(k, v)| (k % 17, v))
+                .reduce_by_key(|a, b| a.wrapping_add(b), 8, Arc::new(HashPartitioner));
+            wide.count().map_err(|e| e.to_string()).and_then(|_| {
+                // The "re-plan": shrink for the narrower tail of the job.
+                sc.log_adaptive_decision(0, "coalesce:8->4", "tail of job needs fewer partitions");
+                wide.coalesce(4)
+                    .partition_by(4, Arc::new(HashPartitioner))
+                    .map(|(k, v)| (k, v ^ 1))
+                    .collect()
+                    .map(|mut v| {
+                        v.sort_unstable();
+                        v
+                    })
+                    .map_err(|e| e.to_string())
+            })
+        };
+        sc.clear_chaos();
+        let _ = sc.parallelize(vec![(0usize, 0u64)], Some(1)).count();
+        sim::assert_invariants(&sc, seed);
+        let decisions = sc.with_event_log(|log| {
+            log.decisions()
+                .iter()
+                .map(|d| (d.at_stage, d.iteration, d.action.clone()))
+                .collect::<Vec<_>>()
+        });
+        (
+            sim::SimRun {
+                result,
+                schedule: sc.with_event_log(|log| log.stage_order()),
+                counters: sim::counters(&sc),
+                virtual_ms: sc.now_ms(),
+            },
+            decisions,
+        )
+    };
+    sim::sweep("adaptive replan", 10, |seed| {
+        let (first, d1) = run_one(seed, true);
+        let (second, d2) = run_one(seed, true);
+        assert_eq!(
+            first, second,
+            "CHAOS_SEED={seed}: adaptive run not bit-identical on replay"
+        );
+        assert_eq!(
+            d1, d2,
+            "CHAOS_SEED={seed}: decision records diverged on replay"
+        );
+        assert_eq!(d1.len(), 1, "CHAOS_SEED={seed}: exactly one re-plan logged");
+        let (clean, _) = run_one(seed, false);
+        if let (Ok(got), Ok(want)) = (&first.result, &clean.result) {
+            assert_eq!(got, want, "CHAOS_SEED={seed}: chaos changed the answer");
+        }
+    });
+}
