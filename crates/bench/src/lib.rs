@@ -209,6 +209,66 @@ pub fn write_csv(
     Ok(())
 }
 
+/// One self-timed measurement from a Criterion suite, destined for a
+/// `BENCH_<suite>.json` machine-readable sidecar.
+#[derive(Debug, Clone)]
+pub struct BenchSample {
+    /// Benchmark name (`group/function` style).
+    pub name: String,
+    /// Mean wall time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Bytes moved per iteration (0 when the bench moves none).
+    pub bytes: u64,
+}
+
+/// Time `iters` runs of `body` and return the sample. This rides
+/// alongside Criterion (which owns the statistical run) so the same
+/// bench body also yields a machine-readable mean under `--test` runs
+/// and offline smoke builds, where Criterion executes bodies once.
+pub fn time_sample(name: &str, bytes: u64, iters: u32, mut body: impl FnMut()) -> BenchSample {
+    // One warmup pass so lazy setup (page faults, socket buffers)
+    // stays out of the mean.
+    body();
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    BenchSample {
+        name: name.to_string(),
+        mean_ns: start.elapsed().as_nanos() as f64 / f64::from(iters.max(1)),
+        bytes,
+    }
+}
+
+/// Write `BENCH_<suite>.json` into `$BENCH_OUT` (default `bench-out/`,
+/// which is gitignored): a JSON array of `{bench, mean_ns, bytes}`
+/// rows. Returns the path written.
+pub fn write_bench_json(
+    suite: &str,
+    samples: &[BenchSample],
+) -> std::io::Result<std::path::PathBuf> {
+    use std::io::Write;
+    let dir = std::env::var("BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("bench-out"));
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("BENCH_{suite}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(f, "[")?;
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        writeln!(
+            f,
+            "  {{\"bench\": \"{}\", \"mean_ns\": {:.1}, \"bytes\": {}}}{comma}",
+            s.name.replace('"', "\\\""),
+            s.mean_ns,
+            s.bytes
+        )?;
+    }
+    writeln!(f, "]")?;
+    Ok(path)
+}
+
 /// Directory for CSV output when the user passes `--csv`; `None` when
 /// the flag is absent.
 pub fn csv_dir_from_args() -> Option<std::path::PathBuf> {
@@ -246,5 +306,42 @@ mod csv_tests {
     #[test]
     fn csv_dir_flag_absent_is_none() {
         assert_eq!(csv_dir_from_args(), None);
+    }
+
+    #[test]
+    fn bench_json_is_wellformed() {
+        let dir = std::env::temp_dir().join("dp-bench-json-test");
+        // Env-var override is process-global; write via a direct path
+        // by temporarily pointing BENCH_OUT at the temp dir.
+        std::env::set_var("BENCH_OUT", &dir);
+        let samples = vec![
+            BenchSample {
+                name: "wire/encode".into(),
+                mean_ns: 1234.5,
+                bytes: 65536,
+            },
+            BenchSample {
+                name: "wire/decode".into(),
+                mean_ns: 2345.0,
+                bytes: 65536,
+            },
+        ];
+        let path = write_bench_json("testsuite", &samples).unwrap();
+        std::env::remove_var("BENCH_OUT");
+        assert_eq!(path.file_name().unwrap(), "BENCH_testsuite.json");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            body,
+            "[\n  {\"bench\": \"wire/encode\", \"mean_ns\": 1234.5, \"bytes\": 65536},\n  \
+             {\"bench\": \"wire/decode\", \"mean_ns\": 2345.0, \"bytes\": 65536}\n]\n"
+        );
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn time_sample_times_the_body() {
+        let s = time_sample("noop", 8, 4, || {});
+        assert_eq!((s.name.as_str(), s.bytes), ("noop", 8));
+        assert!(s.mean_ns >= 0.0);
     }
 }

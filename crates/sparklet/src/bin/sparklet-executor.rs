@@ -1,0 +1,48 @@
+//! The executor entrypoint: one subprocess per simulated cluster node.
+//!
+//! Launched by the driver's `ExecutorManager` with two environment
+//! variables: `SPARKLET_NODE` (this executor's node index) and
+//! `SPARKLET_CONNECT` (`tcp:<ip>:<port>` or `unix:<path>`). It
+//! connects back to the driver, handshakes, and serves the wire
+//! protocol until an orderly `Shutdown` (exit 0), driver disconnect
+//! (exit 0), or an I/O failure (exit 1). A `SIGKILL` from the chaos
+//! harness ends it without any exit path at all — which is the point.
+
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::process::ExitCode;
+
+use sparklet::transport::executor::serve;
+
+fn run() -> Result<(), String> {
+    let node: u64 = std::env::var("SPARKLET_NODE")
+        .map_err(|_| "SPARKLET_NODE not set".to_string())?
+        .parse()
+        .map_err(|e| format!("SPARKLET_NODE: {e}"))?;
+    let connect = std::env::var("SPARKLET_CONNECT")
+        .map_err(|_| "SPARKLET_CONNECT not set (tcp:<ip>:<port> or unix:<path>)".to_string())?;
+    if let Some(addr) = connect.strip_prefix("tcp:") {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| format!("executor {node}: connect {addr}: {e}"))?;
+        stream.set_nodelay(true).ok();
+        serve(&mut stream, node).map_err(|e| format!("executor {node}: {e}"))
+    } else if let Some(path) = connect.strip_prefix("unix:") {
+        let mut stream = UnixStream::connect(path)
+            .map_err(|e| format!("executor {node}: connect {path}: {e}"))?;
+        serve(&mut stream, node).map_err(|e| format!("executor {node}: {e}"))
+    } else {
+        Err(format!(
+            "executor {node}: unsupported SPARKLET_CONNECT scheme in {connect:?}"
+        ))
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sparklet-executor: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,6 +16,7 @@ use crate::codec::{decode_one, Storable};
 use crate::context::TaskContext;
 use crate::error::JobError;
 use crate::payload::{Compression, Payload, PayloadBuilder};
+use crate::transport::ExecutorManager;
 use crate::Data;
 
 /// The shared store the driver writes into (one per context).
@@ -52,11 +53,15 @@ impl BroadcastStore {
 struct BroadcastGuard {
     id: u64,
     store: Arc<BroadcastStore>,
+    remote: Option<Arc<ExecutorManager>>,
 }
 
 impl Drop for BroadcastGuard {
     fn drop(&mut self) {
         self.store.remove(self.id);
+        if let Some(manager) = &self.remote {
+            manager.broadcast_remove(self.id);
+        }
     }
 }
 
@@ -65,6 +70,9 @@ pub struct Broadcast<T> {
     id: u64,
     bytes: u64,
     store: Arc<BroadcastStore>,
+    /// Wire transport: each node's executor caches the frame and
+    /// serves its own node's first read.
+    remote: Option<Arc<ExecutorManager>>,
     /// Per-node deserialized cache.
     per_node: Arc<Mutex<HashMap<usize, Arc<T>>>>,
     /// Cleanup on last drop.
@@ -77,6 +85,7 @@ impl<T> Clone for Broadcast<T> {
             id: self.id,
             bytes: self.bytes,
             store: Arc::clone(&self.store),
+            remote: self.remote.clone(),
             per_node: Arc::clone(&self.per_node),
             _guard: Arc::clone(&self._guard),
         }
@@ -89,6 +98,7 @@ impl<T: Data + Storable> Broadcast<T> {
         value: &T,
         store: Arc<BroadcastStore>,
         compression: Compression,
+        remote: Option<Arc<ExecutorManager>>,
     ) -> Self {
         // Serialize exactly once, straight into the sealed frame.
         let mut builder = PayloadBuilder::with_capacity(value.encoded_len());
@@ -97,13 +107,23 @@ impl<T: Data + Storable> Broadcast<T> {
         // Accounting uses the declared (approx) size so virtual-mode
         // payloads price at full scale.
         let bytes = value.approx_bytes() as u64;
+        // With a wire transport the driver pushes the sealed frame
+        // exactly once per executor (Spark's one-shipment-per-node
+        // broadcast); a push failure is tolerated here — the node's
+        // first read falls back to the driver copy and re-pushes.
+        if let Some(manager) = &remote {
+            for node in 0..manager.executors() {
+                let _ = manager.broadcast_put(node, id, encoded.frame());
+            }
+        }
         store.put(id, encoded);
         Broadcast {
             id,
             bytes,
             store: Arc::clone(&store),
+            remote: remote.clone(),
             per_node: Arc::new(Mutex::new(HashMap::new())),
-            _guard: Arc::new(BroadcastGuard { id, store }),
+            _guard: Arc::new(BroadcastGuard { id, store, remote }),
         }
     }
 
@@ -120,8 +140,32 @@ impl<T: Data + Storable> Broadcast<T> {
         if let Some(v) = cache.get(&tc.node()) {
             return Ok(Arc::clone(v));
         }
-        let payload = self.store.get(self.id)?;
-        tc.add_local_read(self.bytes, payload.wire_hint(self.bytes));
+        let payload = match &self.remote {
+            // Wire transport: the node's first read pulls the frame
+            // from its own executor — a measured socket transfer. An
+            // executor that was respawned since the push no longer
+            // holds it; fall back to the driver copy and re-push so
+            // the node's cache is warm again.
+            Some(manager) => match manager.broadcast_get(tc.node(), self.id)? {
+                Some((payload, wire)) => {
+                    tc.add_local_read(self.bytes, wire);
+                    payload
+                }
+                None => {
+                    let payload = self.store.get(self.id)?;
+                    let wire = manager
+                        .broadcast_put(tc.node(), self.id, payload.frame())
+                        .unwrap_or(0);
+                    tc.add_local_read(self.bytes, wire);
+                    payload
+                }
+            },
+            None => {
+                let payload = self.store.get(self.id)?;
+                tc.add_local_read(self.bytes, payload.wire_hint(self.bytes));
+                payload
+            }
+        };
         let value = Arc::new(decode_one::<T>(payload.open()?)?);
         cache.insert(tc.node(), Arc::clone(&value));
         Ok(value)
@@ -135,7 +179,13 @@ mod tests {
     #[test]
     fn broadcast_roundtrips_and_caches_per_node() {
         let store = Arc::new(BroadcastStore::default());
-        let bc = Broadcast::create(9, &vec![1.5f64, 2.5], Arc::clone(&store), Compression::None);
+        let bc = Broadcast::create(
+            9,
+            &vec![1.5f64, 2.5],
+            Arc::clone(&store),
+            Compression::None,
+            None,
+        );
         let tc0 = TaskContext::new(0);
         let v1 = bc.value(&tc0).unwrap();
         let v2 = bc.value(&tc0).unwrap();
@@ -152,7 +202,7 @@ mod tests {
     #[test]
     fn payload_is_reclaimed_when_last_handle_drops() {
         let store = Arc::new(BroadcastStore::default());
-        let bc = Broadcast::create(5, &1u64, Arc::clone(&store), Compression::None);
+        let bc = Broadcast::create(5, &1u64, Arc::clone(&store), Compression::None, None);
         let bc2 = bc.clone();
         drop(bc);
         assert!(store.get(5).is_ok(), "still referenced");
@@ -163,7 +213,7 @@ mod tests {
     #[test]
     fn missing_broadcast_errors() {
         let store = Arc::new(BroadcastStore::default());
-        let bc = Broadcast::create(1, &0u64, Arc::clone(&store), Compression::None);
+        let bc = Broadcast::create(1, &0u64, Arc::clone(&store), Compression::None, None);
         store.remove(1);
         let tc = TaskContext::new(0);
         assert!(bc.value(&tc).is_err());
@@ -173,7 +223,7 @@ mod tests {
     fn compressed_broadcast_roundtrips_and_reports_wire_bytes() {
         let store = Arc::new(BroadcastStore::default());
         let value: Vec<u64> = vec![7; 512];
-        let bc = Broadcast::create(3, &value, Arc::clone(&store), Compression::Lz4);
+        let bc = Broadcast::create(3, &value, Arc::clone(&store), Compression::Lz4, None);
         // Declared size is unchanged by the codec.
         assert_eq!(bc.serialized_bytes(), value.approx_bytes() as u64);
         let tc = TaskContext::new(0);

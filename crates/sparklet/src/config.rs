@@ -4,6 +4,7 @@
 
 use crate::payload::Compression;
 use crate::storage::StorageLevel;
+use crate::transport::TransportMode;
 
 /// Configuration of a [`crate::SparkContext`].
 #[derive(Debug, Clone)]
@@ -79,6 +80,14 @@ pub struct SparkConf {
     /// volumes and modeled transfer cost, never the staging ledgers or
     /// the schedule.
     pub compression: Compression,
+    /// Executor backend: in-process thread pools (the default, and the
+    /// only backend sim mode supports) or real executor subprocesses
+    /// over loopback TCP / Unix sockets
+    /// ([`crate::transport`]). With a wire transport, shuffle buckets
+    /// and broadcasts live in per-node processes, remote fetches move
+    /// measured socket bytes, and chaos executor loss is a real
+    /// `SIGKILL`.
+    pub transport: TransportMode,
 }
 
 impl Default for SparkConf {
@@ -102,6 +111,7 @@ impl Default for SparkConf {
             max_fetch_retries: 8,
             adaptive_execution: false,
             compression: Compression::None,
+            transport: TransportMode::InProcess,
         }
     }
 }
@@ -245,6 +255,22 @@ impl SparkConf {
         self.compression = compression;
         self
     }
+
+    /// Select the executor backend explicitly.
+    pub fn with_transport(mut self, mode: TransportMode) -> Self {
+        self.transport = mode;
+        self
+    }
+
+    /// Run executors as subprocesses connected over loopback TCP.
+    pub fn with_tcp_transport(self) -> Self {
+        self.with_transport(TransportMode::Tcp)
+    }
+
+    /// Run executors as subprocesses connected over a Unix socket.
+    pub fn with_unix_transport(self) -> Self {
+        self.with_transport(TransportMode::Unix)
+    }
 }
 
 #[cfg(test)]
@@ -325,6 +351,20 @@ mod tests {
             d.compression,
             Compression::None,
             "compression is opt-in: default runs keep byte-identical wire frames"
+        );
+    }
+
+    #[test]
+    fn transport_knob_composes() {
+        let c = SparkConf::default().with_tcp_transport();
+        assert_eq!(c.transport, TransportMode::Tcp);
+        let u = SparkConf::default().with_unix_transport();
+        assert_eq!(u.transport, TransportMode::Unix);
+        let d = SparkConf::default();
+        assert_eq!(
+            d.transport,
+            TransportMode::InProcess,
+            "in-process executors by default: sim and tests stay untouched"
         );
     }
 

@@ -18,6 +18,7 @@ use crate::scheduler::FaultPlan;
 use crate::shuffle::ShuffleManager;
 use crate::sim::{ChaosEvent, ChaosPolicy, SimRng};
 use crate::storage::BlockStore;
+use crate::transport::{ExecutorManager, TransportMode};
 use crate::Data;
 
 /// One simulated cluster node: a worker pool plus its block store.
@@ -63,6 +64,10 @@ pub(crate) struct CtxInner {
     pub chaos: Mutex<Option<ChaosPolicy>>,
     /// Whole-job resubmissions taken after fetch failures.
     pub stage_resubmissions: AtomicU64,
+    /// Executor subprocess manager, present iff the conf selects a
+    /// wire transport. Shared with the shuffle manager (remote bucket
+    /// routing) and every broadcast (per-executor distribution).
+    pub remote: Option<Arc<ExecutorManager>>,
 }
 
 /// Deterministic-mode scheduler state: the seeded pick stream and the
@@ -106,9 +111,21 @@ pub struct SparkContext {
 }
 
 impl SparkContext {
-    /// Build a context (spawns the executor pools).
+    /// Build a context (spawns the executor pools, and — under a wire
+    /// transport — the executor subprocesses).
     pub fn new(conf: SparkConf) -> Self {
         assert!(conf.executors >= 1);
+        assert!(
+            conf.transport == TransportMode::InProcess || conf.sim_seed.is_none(),
+            "deterministic simulation requires the in-process transport"
+        );
+        let remote = match conf.transport {
+            TransportMode::InProcess => None,
+            mode => Some(Arc::new(
+                ExecutorManager::launch(mode, conf.executors)
+                    .unwrap_or_else(|e| panic!("launch executor subprocesses: {e}")),
+            )),
+        };
         let vclock = conf.sim_seed.map(|_| Arc::new(VirtualClock::new()));
         let clock: Arc<dyn Clock> = match &vclock {
             Some(v) => Arc::clone(v) as Arc<dyn Clock>,
@@ -130,7 +147,10 @@ impl SparkContext {
                     .with_compression(conf.compression),
             })
             .collect();
-        let shuffle = ShuffleManager::new(conf.executors, conf.staging_capacity);
+        let mut shuffle = ShuffleManager::new(conf.executors, conf.staging_capacity);
+        if let Some(manager) = &remote {
+            shuffle = shuffle.with_remote(Arc::clone(manager));
+        }
         SparkContext {
             inner: Arc::new(CtxInner {
                 executors,
@@ -149,6 +169,7 @@ impl SparkContext {
                 sim,
                 chaos: Mutex::new(None),
                 stage_resubmissions: AtomicU64::new(0),
+                remote,
                 conf,
             }),
         }
@@ -206,6 +227,7 @@ impl SparkContext {
             value,
             Arc::clone(&self.inner.bcast),
             self.inner.conf.compression,
+            self.inner.remote.clone(),
         )
     }
 
@@ -401,9 +423,21 @@ impl SparkContext {
     /// ones recompute from lineage; others surface `MissingBlock`) and
     /// its staged map outputs become unfetchable (reduces see
     /// [`crate::JobError::FetchFailed`], triggering map-stage
-    /// resubmission). The pool itself survives — the model is a
-    /// instantly-restarted executor with empty local state.
+    /// resubmission). In-process, the pool survives — the model is an
+    /// instantly-restarted executor with empty local state. Under a
+    /// wire transport the kill is *real*: the node's subprocess gets a
+    /// `SIGKILL`, is reaped, and a fresh empty executor is spawned and
+    /// handshaken in its place before this returns.
     pub fn kill_executor(&self, node: usize) -> ExecutorLoss {
+        // SIGKILL the subprocess first (no lock interleaving: the slot
+        // lock is never held together with the shuffle lock here), so
+        // by the time the driver ledger marks buckets lost, the bytes
+        // that backed them are genuinely gone.
+        if let Some(manager) = &self.inner.remote {
+            manager
+                .kill_respawn(node)
+                .unwrap_or_else(|e| panic!("kill executor {node}: {e}"));
+        }
         let (cached_mem_bytes, cached_disk_bytes) = self.inner.executors[node].store.wipe();
         let (map_buckets_lost, map_bytes_lost) = self.inner.shuffle.drop_node_outputs(node);
         ExecutorLoss {
@@ -437,7 +471,59 @@ impl SparkContext {
         for (node, ex) in self.inner.executors.iter().enumerate() {
             ex.store.audit().map_err(|e| format!("node {node}: {e}"))?;
         }
+        // Under a wire transport, also verify every executor subprocess
+        // is alive (reaping any that died behind the driver's back) and
+        // that each one's bucket inventory matches the driver ledger.
+        if let Some(manager) = &self.inner.remote {
+            manager.audit(Some(&self.inner.shuffle.bucket_counts()))?;
+        }
         Ok(())
+    }
+
+    /// Shut down executor subprocesses in an orderly way, returning
+    /// each child's exit code (0 = clean). In-process mode has no
+    /// subprocesses and returns an empty list; so does a second call
+    /// (shutdown is idempotent, and dropping the context performs it
+    /// implicitly — no zombies or orphans either way).
+    pub fn shutdown(&self) -> Result<Vec<i32>, String> {
+        match &self.inner.remote {
+            Some(manager) => manager.shutdown(),
+            None => Ok(Vec::new()),
+        }
+    }
+
+    /// Measured `(sent, received)` wire bytes the driver exchanged
+    /// with `node`'s executor subprocess. Zero in in-process mode —
+    /// these counters exist only where a real socket does.
+    pub fn wire_bytes(&self, node: usize) -> (u64, u64) {
+        match &self.inner.remote {
+            Some(manager) => manager.wire_bytes(node),
+            None => (0, 0),
+        }
+    }
+
+    /// Measured `(sent, received)` wire bytes summed over every
+    /// executor subprocess.
+    pub fn total_wire_bytes(&self) -> (u64, u64) {
+        match &self.inner.remote {
+            Some(manager) => manager.total_wire_bytes(),
+            None => (0, 0),
+        }
+    }
+
+    /// Executor subprocesses SIGKILLed and respawned so far (0 in
+    /// in-process mode).
+    pub fn executor_respawns(&self) -> u64 {
+        self.inner.remote.as_ref().map_or(0, |m| m.respawns())
+    }
+
+    /// OS pid of `node`'s executor subprocess (`None` in-process or
+    /// after shutdown). For tests that kill executors externally.
+    pub fn executor_pid(&self, node: usize) -> Option<u32> {
+        self.inner
+            .remote
+            .as_ref()
+            .and_then(|m| m.executor_pid(node))
     }
 
     /// Seeded pick in `0..n` (sim-mode schedulers). Falls back to 0

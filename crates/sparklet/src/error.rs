@@ -59,6 +59,10 @@ pub enum JobError {
     },
     /// Serialization error.
     Codec(String),
+    /// A wire-transport exchange with an executor subprocess failed
+    /// (connection lost, refused put, protocol violation). Retryable at
+    /// task level: the respawned executor serves the retry.
+    Transport(String),
     /// A referenced shuffle/broadcast/cache entry is missing (lineage
     /// was cleared while still referenced, or an engine bug).
     MissingBlock(String),
@@ -103,6 +107,7 @@ impl fmt::Display for JobError {
                 "fetch failed for reduce partition {partition} of shuffle #{shuffle}: {reason}"
             ),
             JobError::Codec(msg) => write!(f, "codec error: {msg}"),
+            JobError::Transport(msg) => write!(f, "transport error: {msg}"),
             JobError::MissingBlock(what) => write!(f, "missing block: {what}"),
             JobError::TypeMismatch(what) => write!(f, "cached block type mismatch: {what}"),
             JobError::Driver(what) => write!(f, "driver job failed: {what}"),

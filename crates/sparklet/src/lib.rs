@@ -42,11 +42,17 @@
 //!   (panics, stragglers, fetch failures, executor loss, full disks)
 //!   so any concurrency bug replays from its `u64` seed.
 //!
-//! The cluster is *simulated within one process*: executors are thread
-//! pools, the "network" is the shuffle manager, and the recorded event
-//! log is mapped to cluster seconds by the `cluster-model` crate. The
-//! dataflow itself — partitioning, stage structure, bytes moved, task
-//! placement — is real, which is what the reproduction needs.
+//! By default the cluster is *simulated within one process*: executors
+//! are thread pools, the "network" is the shuffle manager, and the
+//! recorded event log is mapped to cluster seconds by the
+//! `cluster-model` crate. The dataflow itself — partitioning, stage
+//! structure, bytes moved, task placement — is real, which is what the
+//! reproduction needs. [`SparkConf::with_tcp_transport`] (or
+//! `with_unix_transport`) upgrades the data plane to *real executor
+//! subprocesses* behind a length-prefixed wire protocol
+//! ([`crate::transport`]): shuffle buckets and broadcasts live in
+//! per-node processes, remote fetches are measured socket traffic, and
+//! the chaos harness's executor loss becomes a genuine `SIGKILL`.
 
 #![warn(missing_docs)]
 
@@ -65,6 +71,7 @@ pub mod scheduler;
 pub mod shuffle;
 pub mod sim;
 pub mod storage;
+pub mod transport;
 
 pub use broadcast::Broadcast;
 pub use codec::Storable;
@@ -79,6 +86,7 @@ pub use payload::{Compression, Payload, PayloadBuilder};
 pub use rdd::Rdd;
 pub use sim::{ChaosEvent, ChaosPolicy};
 pub use storage::{BlockStore, PutOutcome, StorageLevel};
+pub use transport::TransportMode;
 
 /// Bound for anything that flows through an RDD.
 pub trait Data: Clone + Send + Sync + 'static {}

@@ -276,6 +276,13 @@ impl SparkContext {
                 ));
                 return;
             }
+            // Under a wire transport the owning executor subprocess is
+            // told about every launch and completion (fire-and-forget
+            // lifecycle messages — its heartbeat counters report them).
+            let remote = self.inner.remote.clone();
+            if let Some(manager) = &remote {
+                manager.notify_task_launch(node, stage, p as u64, attempt);
+            }
             let work = Arc::clone(&work);
             let tx = tx.clone();
             let board = Arc::clone(&board);
@@ -285,6 +292,9 @@ impl SparkContext {
                 let (outcome, record) = run_task_attempt(
                     &label, p, attempt, node, &board, &work, injected, chaos, &clock,
                 );
+                if let Some(manager) = &remote {
+                    manager.notify_task_done(node, stage, p as u64, attempt, outcome.is_ok());
+                }
                 // Release the task's lineage references *before*
                 // reporting: once the driver has seen every task of a
                 // stage, no executor-side `Arc` clones may keep the

@@ -21,12 +21,14 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::context::TaskContext;
 use crate::error::JobError;
 use crate::payload::Payload;
+use crate::transport::ExecutorManager;
 
 /// Identifier of one shuffle (one wide dependency).
 pub type ShuffleId = u64;
@@ -95,6 +97,14 @@ pub struct ShuffleManager {
     /// Bytes written off when their executor died (distinct from
     /// orderly releases — these were destroyed, not reconciled).
     staged_lost: AtomicU64,
+    /// Wire transport to executor subprocesses. When set, the bucket
+    /// matrix stays the authoritative *ledger* (origin, attempt,
+    /// declared bytes — and the driver-side frame, which doubles as
+    /// the node's "local disk image" for same-node fetches), but the
+    /// remote data path is real: a write ships the frame to the origin
+    /// executor and a cross-node fetch pulls it back over the socket,
+    /// with measured wire bytes recorded on the task.
+    remote: Option<Arc<ExecutorManager>>,
 }
 
 impl ShuffleManager {
@@ -110,7 +120,14 @@ impl ShuffleManager {
             zombie_writes_fenced: AtomicU64::new(0),
             staged_released: AtomicU64::new(0),
             staged_lost: AtomicU64::new(0),
+            remote: None,
         }
+    }
+
+    /// Route the remote data path through executor subprocesses.
+    pub(crate) fn with_remote(mut self, manager: Arc<ExecutorManager>) -> Self {
+        self.remote = Some(manager);
+        self
     }
 
     /// Create the bucket matrix for a shuffle.
@@ -188,6 +205,29 @@ impl ShuffleManager {
                 });
             }
         }
+        // With a wire transport, stage the frame on the origin node's
+        // executor *before* committing the slot: a failed ship mutates
+        // nothing (the task attempt fails with a retryable transport
+        // error, and the retry re-stages). The measured socket bytes
+        // replace the compression-only wire hint.
+        let mut wire = data.wire_hint(declared);
+        if let Some(manager) = &self.remote {
+            wire = manager.put_block(
+                origin_node,
+                id,
+                map_task as u64,
+                reduce_partition as u64,
+                data.frame(),
+            )?;
+            // A retry that moved to another node strands the previous
+            // attempt's copy on the old executor: drop it there so
+            // executor inventories keep matching this ledger.
+            if let Some((prev_node, _)) = prev {
+                if prev_node != origin_node {
+                    manager.remove_block(prev_node, id, map_task as u64, reduce_partition as u64);
+                }
+            }
+        }
         if let Some((node, bytes)) = prev {
             inner.staged[node] -= bytes;
             self.staged_released.fetch_add(bytes, Ordering::Relaxed);
@@ -196,7 +236,6 @@ impl ShuffleManager {
         if inner.staged[origin_node] > inner.peak[origin_node] {
             inner.peak[origin_node] = inner.staged[origin_node];
         }
-        let wire = data.wire_hint(declared);
         *slot = Slot::Data(MapBucket {
             origin_node,
             attempt: tc.attempt(),
@@ -254,14 +293,53 @@ impl ShuffleManager {
             if bucket.data.raw_len() == 0 {
                 continue;
             }
-            let wire = bucket.data.wire_hint(bucket.declared);
             if bucket.origin_node == tc.node() {
-                tc.add_local_read(bucket.declared, wire);
+                // Local fetch: the node reads its own staged output — a
+                // refcount bump of the driver-held frame in every mode
+                // (the executor's copy is the same bytes; re-shipping
+                // them to ourselves would model a network hop that the
+                // real system doesn't take either).
+                tc.add_local_read(bucket.declared, bucket.data.wire_hint(bucket.declared));
+                out.push(bucket.data.clone());
+            } else if let Some(manager) = &self.remote {
+                // Remote fetch: a real frame handoff from the origin
+                // node's executor. A miss means that executor died and
+                // was respawned empty since the write — the same
+                // condition [`Slot::Lost`] models — so it fails the
+                // fetch the same way, driving map-stage resubmission.
+                match manager.fetch_block(
+                    bucket.origin_node,
+                    id,
+                    map_task as u64,
+                    reduce_partition as u64,
+                ) {
+                    Ok(Some((payload, wire))) => {
+                        tc.add_remote_read(bucket.declared, wire);
+                        out.push(payload);
+                    }
+                    Ok(None) => {
+                        return Err(JobError::FetchFailed {
+                            shuffle: id,
+                            partition: reduce_partition,
+                            reason: format!(
+                                "executor {} no longer holds map output {map_task}",
+                                bucket.origin_node
+                            ),
+                        });
+                    }
+                    Err(e) => {
+                        return Err(JobError::FetchFailed {
+                            shuffle: id,
+                            partition: reduce_partition,
+                            reason: format!("fetch from executor {}: {e}", bucket.origin_node),
+                        });
+                    }
+                }
             } else {
-                tc.add_remote_read(bucket.declared, wire);
+                tc.add_remote_read(bucket.declared, bucket.data.wire_hint(bucket.declared));
+                // Refcount bump of the stored frame — never a byte copy.
+                out.push(bucket.data.clone());
             }
-            // Refcount bump of the stored frame — never a byte copy.
-            out.push(bucket.data.clone());
         }
         Ok(out)
     }
@@ -361,6 +439,9 @@ impl ShuffleManager {
         let Some(data) = inner.shuffles.remove(&id) else {
             return;
         };
+        if let Some(manager) = &self.remote {
+            manager.shuffle_release(id);
+        }
         let mut released = 0u64;
         for row in data.buckets {
             for slot in row {
@@ -385,6 +466,27 @@ impl ShuffleManager {
         for b in inner.staged.iter_mut() {
             *b = 0;
         }
+        if let Some(manager) = &self.remote {
+            manager.shuffle_clear();
+        }
+    }
+
+    /// Number of stored [`Slot::Data`] buckets per origin node — the
+    /// driver-side inventory an executor audit checks each subprocess
+    /// against.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        let inner = self.inner.lock();
+        let mut counts = vec![0u64; inner.staged.len()];
+        for data in inner.shuffles.values() {
+            for row in &data.buckets {
+                for slot in row {
+                    if let Slot::Data(b) = slot {
+                        counts[b.origin_node] += 1;
+                    }
+                }
+            }
+        }
+        counts
     }
 }
 

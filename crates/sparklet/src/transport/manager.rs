@@ -1,0 +1,715 @@
+//! Driver-side executor management: subprocess lifecycle and the
+//! request/reply client over the wire protocol.
+//!
+//! The [`ExecutorManager`] spawns one `sparklet-executor` subprocess
+//! per node, accepts their connections on a loopback TCP listener (or
+//! a Unix socket), and multiplexes the driver's data-plane traffic to
+//! them: shuffle bucket staging and fetch, broadcast distribution,
+//! task lifecycle notifications, and heartbeats. Every byte in either
+//! direction is counted per node — these are the measured wire-byte
+//! counters that feed the cluster model's transfer terms.
+//!
+//! All traffic to one executor is serialized under that node's mutex,
+//! and the protocol pairs each request with exactly one reply (fire-
+//! and-forget lifecycle messages have none), so the stream never
+//! desynchronizes. Killing an executor ([`ExecutorManager::kill_respawn`])
+//! is a real `SIGKILL`: the child is reaped, a replacement is spawned
+//! and handshaken, and whatever the dead process held is genuinely
+//! gone — a later fetch for its blocks misses for real.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use super::wire::{read_msg, write_msg, WireMsg};
+use super::TransportMode;
+use crate::error::JobError;
+use crate::payload::Payload;
+
+/// How long the driver waits for executor connections/handshakes.
+const ACCEPT_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// A connected byte stream to one executor (TCP or Unix).
+trait Conn: Read + Write + Send {}
+impl Conn for TcpStream {}
+impl Conn for UnixStream {}
+
+enum Listener {
+    Tcp(TcpListener),
+    /// The Unix listener plus its socket path, unlinked on drop.
+    Unix(UnixListener, PathBuf),
+}
+
+impl Listener {
+    /// The address executors are told to connect to
+    /// (`tcp:<ip>:<port>` or `unix:<path>`).
+    fn connect_addr(&self) -> String {
+        match self {
+            Listener::Tcp(l) => format!("tcp:{}", l.local_addr().expect("bound listener")),
+            Listener::Unix(_, path) => format!("unix:{}", path.display()),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true).ok();
+                s.set_nonblocking(false)?;
+                Ok(Box::new(s))
+            }
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Box::new(s))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One live executor subprocess and its connection.
+struct Worker {
+    child: Child,
+    conn: Box<dyn Conn>,
+}
+
+/// Per-node slot: `None` once the manager has shut the executor down.
+struct Slot {
+    worker: Option<Worker>,
+}
+
+/// An executor's self-reported state from a heartbeat reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HeartbeatInfo {
+    /// Shuffle buckets the executor holds.
+    pub buckets: u64,
+    /// Total stored bucket frame bytes.
+    pub bucket_bytes: u64,
+    /// Broadcast payloads the executor holds.
+    pub broadcasts: u64,
+    /// Task launches it has observed (lifetime of the process).
+    pub tasks_launched: u64,
+    /// Task completions it has observed.
+    pub tasks_done: u64,
+}
+
+/// Driver-side manager of N executor subprocesses.
+pub struct ExecutorManager {
+    mode: TransportMode,
+    listener: Mutex<Listener>,
+    slots: Vec<Mutex<Slot>>,
+    /// Bytes sent to each executor over its connection's lifetime
+    /// (survives respawn — it counts the node, not the process).
+    tx_bytes: Vec<AtomicU64>,
+    /// Bytes received from each executor.
+    rx_bytes: Vec<AtomicU64>,
+    /// SIGKILL + respawn cycles taken.
+    respawns: AtomicU64,
+    /// Set once an orderly shutdown has reaped every child.
+    done: Mutex<bool>,
+}
+
+impl std::fmt::Debug for ExecutorManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorManager")
+            .field("mode", &self.mode)
+            .field("executors", &self.slots.len())
+            .field("respawns", &self.respawns.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+/// Locate the `sparklet-executor` binary: the `SPARKLET_EXECUTOR_BIN`
+/// env var wins; otherwise walk up from the current executable (a test
+/// binary lives in `target/<profile>/deps/`, the executor next to it
+/// in `target/<profile>/`).
+fn executor_binary() -> Result<PathBuf, JobError> {
+    if let Ok(p) = std::env::var("SPARKLET_EXECUTOR_BIN") {
+        let p = PathBuf::from(p);
+        if p.is_file() {
+            return Ok(p);
+        }
+        return Err(JobError::Transport(format!(
+            "SPARKLET_EXECUTOR_BIN points at {}, which does not exist",
+            p.display()
+        )));
+    }
+    let exe = std::env::current_exe()
+        .map_err(|e| JobError::Transport(format!("cannot locate current executable: {e}")))?;
+    for dir in exe.ancestors().skip(1) {
+        let cand = dir.join("sparklet-executor");
+        if cand.is_file() {
+            return Ok(cand);
+        }
+    }
+    Err(JobError::Transport(
+        "sparklet-executor binary not found near the current executable; \
+         build it with `cargo build -p sparklet` (a workspace `cargo test` \
+         does this automatically) or set SPARKLET_EXECUTOR_BIN"
+            .into(),
+    ))
+}
+
+/// Unique-per-call Unix socket path under the system temp dir.
+fn unix_socket_path() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("sparklet-{}-{}.sock", std::process::id(), seq))
+}
+
+impl ExecutorManager {
+    /// Spawn `executors` subprocesses and handshake each one. The
+    /// returned manager owns the children; dropping it (or calling
+    /// [`ExecutorManager::shutdown`]) reaps them all.
+    pub fn launch(mode: TransportMode, executors: usize) -> Result<Self, JobError> {
+        assert!(executors >= 1);
+        assert!(
+            mode != TransportMode::InProcess,
+            "InProcess mode has no executor subprocesses"
+        );
+        let listener = match mode {
+            TransportMode::Tcp => Listener::Tcp(
+                TcpListener::bind("127.0.0.1:0")
+                    .map_err(|e| JobError::Transport(format!("bind loopback listener: {e}")))?,
+            ),
+            TransportMode::Unix => {
+                let path = unix_socket_path();
+                Listener::Unix(
+                    UnixListener::bind(&path).map_err(|e| {
+                        JobError::Transport(format!("bind unix socket {}: {e}", path.display()))
+                    })?,
+                    path,
+                )
+            }
+            TransportMode::InProcess => unreachable!(),
+        };
+        let bin = executor_binary()?;
+        let addr = listener.connect_addr();
+        let mut children: Vec<Option<Child>> = Vec::with_capacity(executors);
+        for node in 0..executors {
+            children.push(Some(spawn_executor(&bin, &addr, node)?));
+        }
+        // Accept and handshake every child; `Hello{node}` tells us
+        // which slot each connection belongs to.
+        let mut workers: Vec<Option<Worker>> = (0..executors).map(|_| None).collect();
+        for _ in 0..executors {
+            let (node, conn) = accept_handshake(&listener, &mut children)?;
+            if node >= executors || workers[node].is_some() {
+                return Err(JobError::Transport(format!(
+                    "executor handshake for unexpected node {node}"
+                )));
+            }
+            let child = children[node]
+                .take()
+                .expect("child pending for handshaken node");
+            workers[node] = Some(Worker { child, conn });
+        }
+        Ok(ExecutorManager {
+            mode,
+            listener: Mutex::new(listener),
+            slots: workers
+                .into_iter()
+                .map(|w| Mutex::new(Slot { worker: w }))
+                .collect(),
+            tx_bytes: (0..executors).map(|_| AtomicU64::new(0)).collect(),
+            rx_bytes: (0..executors).map(|_| AtomicU64::new(0)).collect(),
+            respawns: AtomicU64::new(0),
+            done: Mutex::new(false),
+        })
+    }
+
+    /// The transport this manager runs on.
+    pub fn mode(&self) -> TransportMode {
+        self.mode
+    }
+
+    /// Number of executor subprocesses.
+    pub fn executors(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Measured `(sent, received)` wire bytes exchanged with `node`
+    /// over the manager's lifetime (counted across respawns).
+    pub fn wire_bytes(&self, node: usize) -> (u64, u64) {
+        (
+            self.tx_bytes[node].load(Ordering::Relaxed),
+            self.rx_bytes[node].load(Ordering::Relaxed),
+        )
+    }
+
+    /// Measured `(sent, received)` wire bytes summed over all nodes.
+    pub fn total_wire_bytes(&self) -> (u64, u64) {
+        let tx = self
+            .tx_bytes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        let rx = self
+            .rx_bytes
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum();
+        (tx, rx)
+    }
+
+    /// SIGKILL + respawn cycles taken so far.
+    pub fn respawns(&self) -> u64 {
+        self.respawns.load(Ordering::Relaxed)
+    }
+
+    /// OS pid of `node`'s current executor subprocess (`None` after
+    /// shutdown). Tests use this to kill an executor *behind the
+    /// driver's back* and assert the audit notices.
+    pub fn executor_pid(&self, node: usize) -> Option<u32> {
+        self.slots[node]
+            .lock()
+            .worker
+            .as_ref()
+            .map(|w| w.child.id())
+    }
+
+    /// One request/reply (or fire-and-forget when `expect_reply` is
+    /// false) under the node's slot lock. Returns the reply (if any)
+    /// with the measured `(sent, received)` bytes of this exchange.
+    fn exchange(
+        &self,
+        node: usize,
+        msg: &WireMsg,
+        expect_reply: bool,
+    ) -> Result<(Option<WireMsg>, u64, u64), JobError> {
+        let mut slot = self.slots[node].lock();
+        let worker = slot
+            .worker
+            .as_mut()
+            .ok_or_else(|| JobError::Transport(format!("executor {node} is shut down")))?;
+        let sent = write_msg(&mut worker.conn, msg)
+            .map_err(|e| JobError::Transport(format!("send to executor {node}: {e}")))?;
+        self.tx_bytes[node].fetch_add(sent, Ordering::Relaxed);
+        if !expect_reply {
+            return Ok((None, sent, 0));
+        }
+        let (reply, got) = read_msg(&mut worker.conn)
+            .map_err(|e| JobError::Transport(format!("reply from executor {node}: {e}")))?;
+        self.rx_bytes[node].fetch_add(got, Ordering::Relaxed);
+        Ok((Some(reply), sent, got))
+    }
+
+    /// Stage a bucket frame on `node`'s executor. Returns the bytes put
+    /// on the wire. Failure means the bucket is *not* staged remotely —
+    /// the caller must not commit it.
+    pub fn put_block(
+        &self,
+        node: usize,
+        shuffle: u64,
+        map_task: u64,
+        reduce: u64,
+        frame: Bytes,
+    ) -> Result<u64, JobError> {
+        let (reply, sent, _) = self.exchange(
+            node,
+            &WireMsg::ShufflePut {
+                shuffle,
+                map_task,
+                reduce,
+                frame,
+            },
+            true,
+        )?;
+        match reply {
+            Some(WireMsg::Ack) => Ok(sent),
+            other => Err(JobError::Transport(format!(
+                "executor {node} refused shuffle put: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch a bucket frame from `node`'s executor. `Ok(None)` means
+    /// the executor holds no such block (it restarted and lost it);
+    /// `Ok(Some((payload, wire)))` carries the rehydrated payload and
+    /// the measured bytes taken off the wire.
+    pub fn fetch_block(
+        &self,
+        node: usize,
+        shuffle: u64,
+        map_task: u64,
+        reduce: u64,
+    ) -> Result<Option<(Payload, u64)>, JobError> {
+        let (reply, _, got) = self.exchange(
+            node,
+            &WireMsg::ShuffleGet {
+                shuffle,
+                map_task,
+                reduce,
+            },
+            true,
+        )?;
+        match reply {
+            Some(WireMsg::Block { frame: Some(frame) }) => {
+                Ok(Some((Payload::from_frame(frame)?, got)))
+            }
+            Some(WireMsg::Block { frame: None }) => Ok(None),
+            other => Err(JobError::Transport(format!(
+                "executor {node} answered a fetch with {other:?}"
+            ))),
+        }
+    }
+
+    /// Drop one stranded bucket copy on `node` (fire-and-forget;
+    /// errors ignored — a dead executor holds nothing anyway).
+    pub fn remove_block(&self, node: usize, shuffle: u64, map_task: u64, reduce: u64) {
+        let _ = self.exchange(
+            node,
+            &WireMsg::ShuffleRemove {
+                shuffle,
+                map_task,
+                reduce,
+            },
+            false,
+        );
+    }
+
+    /// Propagate a per-shuffle release to every executor.
+    pub fn shuffle_release(&self, shuffle: u64) {
+        for node in 0..self.slots.len() {
+            let _ = self.exchange(node, &WireMsg::ShuffleRelease { shuffle }, false);
+        }
+    }
+
+    /// Propagate a wholesale shuffle clear to every executor.
+    pub fn shuffle_clear(&self) {
+        for node in 0..self.slots.len() {
+            let _ = self.exchange(node, &WireMsg::ShuffleClear, false);
+        }
+    }
+
+    /// Push a broadcast frame to `node`'s executor. Returns the bytes
+    /// put on the wire.
+    pub fn broadcast_put(&self, node: usize, id: u64, frame: Bytes) -> Result<u64, JobError> {
+        let (reply, sent, _) = self.exchange(node, &WireMsg::BroadcastPut { id, frame }, true)?;
+        match reply {
+            Some(WireMsg::Ack) => Ok(sent),
+            other => Err(JobError::Transport(format!(
+                "executor {node} refused broadcast put: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch a broadcast frame from `node`'s executor. `Ok(None)` when
+    /// the executor does not hold it (e.g. it was respawned).
+    pub fn broadcast_get(&self, node: usize, id: u64) -> Result<Option<(Payload, u64)>, JobError> {
+        let (reply, _, got) = self.exchange(node, &WireMsg::BroadcastGet { id }, true)?;
+        match reply {
+            Some(WireMsg::Block { frame: Some(frame) }) => {
+                Ok(Some((Payload::from_frame(frame)?, got)))
+            }
+            Some(WireMsg::Block { frame: None }) => Ok(None),
+            other => Err(JobError::Transport(format!(
+                "executor {node} answered a broadcast get with {other:?}"
+            ))),
+        }
+    }
+
+    /// Drop a broadcast on every executor (fire-and-forget).
+    pub fn broadcast_remove(&self, id: u64) {
+        for node in 0..self.slots.len() {
+            let _ = self.exchange(node, &WireMsg::BroadcastRemove { id }, false);
+        }
+    }
+
+    /// Notify `node`'s executor of a task launch (fire-and-forget; a
+    /// send failure never blocks scheduling).
+    pub fn notify_task_launch(&self, node: usize, stage: u64, partition: u64, attempt: u64) {
+        let _ = self.exchange(
+            node,
+            &WireMsg::TaskLaunch {
+                stage,
+                partition,
+                attempt,
+            },
+            false,
+        );
+    }
+
+    /// Notify `node`'s executor of a task completion (fire-and-forget).
+    pub fn notify_task_done(
+        &self,
+        node: usize,
+        stage: u64,
+        partition: u64,
+        attempt: u64,
+        ok: bool,
+    ) {
+        let _ = self.exchange(
+            node,
+            &WireMsg::TaskDone {
+                stage,
+                partition,
+                attempt,
+                ok,
+            },
+            false,
+        );
+    }
+
+    /// Probe `node`'s executor for liveness and its self-reported
+    /// state.
+    pub fn heartbeat(&self, node: usize, seq: u64) -> Result<HeartbeatInfo, JobError> {
+        match self.exchange(node, &WireMsg::Heartbeat { seq }, true)?.0 {
+            Some(WireMsg::HeartbeatAck {
+                seq: got,
+                buckets,
+                bucket_bytes,
+                broadcasts,
+                tasks_launched,
+                tasks_done,
+            }) if got == seq => Ok(HeartbeatInfo {
+                buckets,
+                bucket_bytes,
+                broadcasts,
+                tasks_launched,
+                tasks_done,
+            }),
+            other => Err(JobError::Transport(format!(
+                "executor {node} answered heartbeat {seq} with {other:?}"
+            ))),
+        }
+    }
+
+    /// SIGKILL `node`'s executor, reap it, and spawn + handshake a
+    /// replacement. The new process starts empty: every block the dead
+    /// one held is genuinely unfetchable afterwards. Returns the
+    /// signal-death status description of the killed process.
+    pub fn kill_respawn(&self, node: usize) -> Result<String, JobError> {
+        let mut slot = self.slots[node].lock();
+        let worker = slot
+            .worker
+            .as_mut()
+            .ok_or_else(|| JobError::Transport(format!("executor {node} is shut down")))?;
+        worker
+            .child
+            .kill()
+            .map_err(|e| JobError::Transport(format!("SIGKILL executor {node}: {e}")))?;
+        let status = worker
+            .child
+            .wait()
+            .map_err(|e| JobError::Transport(format!("reap executor {node}: {e}")))?;
+        // Replace the dead worker before releasing the slot lock so a
+        // concurrent put/fetch blocks until the respawn completes
+        // instead of hitting a dead socket.
+        let listener = self.listener.lock();
+        let bin = executor_binary()?;
+        let mut pending = vec![Some(spawn_executor(&bin, &listener.connect_addr(), node)?)];
+        let (hello_node, conn) = accept_handshake(&listener, &mut pending)?;
+        if hello_node != node {
+            return Err(JobError::Transport(format!(
+                "respawned executor said node {hello_node}, expected {node}"
+            )));
+        }
+        let child = pending[0].take().expect("respawned child");
+        slot.worker = Some(Worker { child, conn });
+        self.respawns.fetch_add(1, Ordering::Relaxed);
+        Ok(format!("{status}"))
+    }
+
+    /// Verify every executor subprocess is alive and, when
+    /// `expected_buckets` is given, that each one's self-reported
+    /// bucket count matches the driver's ledger for that node. An
+    /// executor that died behind the driver's back is reaped here and
+    /// reported (no zombie survives an audit).
+    pub fn audit(&self, expected_buckets: Option<&[u64]>) -> Result<(), String> {
+        if *self.done.lock() {
+            return Ok(());
+        }
+        for node in 0..self.slots.len() {
+            {
+                let mut slot = self.slots[node].lock();
+                let Some(worker) = slot.worker.as_mut() else {
+                    return Err(format!("executor {node} shut down mid-run"));
+                };
+                match worker.child.try_wait() {
+                    Ok(None) => {}
+                    Ok(Some(status)) => {
+                        // Reaped just now — record the unexpected death.
+                        slot.worker = None;
+                        return Err(format!("executor {node} died unexpectedly ({status})"));
+                    }
+                    Err(e) => return Err(format!("poll executor {node}: {e}")),
+                }
+            }
+            let hb = match self.heartbeat(node, 0xA0D17 + node as u64) {
+                Ok(hb) => hb,
+                Err(e) => {
+                    // A killed executor's socket dies before its exit
+                    // status becomes observable; give the corpse a
+                    // moment to land so this audit reaps it instead of
+                    // leaving it as a zombie for shutdown.
+                    let deadline = Instant::now() + Duration::from_millis(500);
+                    loop {
+                        let mut slot = self.slots[node].lock();
+                        if let Some(worker) = slot.worker.as_mut() {
+                            if let Ok(Some(status)) = worker.child.try_wait() {
+                                slot.worker = None;
+                                return Err(format!(
+                                    "executor {node} died unexpectedly ({status})"
+                                ));
+                            }
+                        }
+                        drop(slot);
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    return Err(format!("audit heartbeat: {e}"));
+                }
+            };
+            if let Some(expected) = expected_buckets {
+                if hb.buckets != expected[node] {
+                    return Err(format!(
+                        "executor {node} holds {} buckets, driver ledger says {}",
+                        hb.buckets, expected[node]
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Orderly shutdown: `Shutdown` → `ShutdownAck` → reap, per
+    /// executor; a child that ignores the protocol is killed. Returns
+    /// each child's exit code (0 = clean; killed children report -1).
+    /// Idempotent — the second call returns an empty list.
+    pub fn shutdown(&self) -> Result<Vec<i32>, String> {
+        let mut done = self.done.lock();
+        if *done {
+            return Ok(Vec::new());
+        }
+        *done = true;
+        let mut codes = Vec::with_capacity(self.slots.len());
+        for (node, slot) in self.slots.iter().enumerate() {
+            let mut slot = slot.lock();
+            let Some(mut worker) = slot.worker.take() else {
+                continue;
+            };
+            let tx = write_msg(&mut worker.conn, &WireMsg::Shutdown);
+            if let Ok(sent) = tx {
+                self.tx_bytes[node].fetch_add(sent, Ordering::Relaxed);
+                if let Ok((reply, got)) = read_msg(&mut worker.conn) {
+                    self.rx_bytes[node].fetch_add(got, Ordering::Relaxed);
+                    debug_assert_eq!(reply, WireMsg::ShutdownAck);
+                }
+            }
+            // The ack (or a failed send) precedes exit; wait() reaps.
+            // An executor that wedges anyway is killed so shutdown
+            // always returns with zero children left.
+            let status = match worker.child.wait() {
+                Ok(s) => s,
+                Err(e) => return Err(format!("reap executor {node}: {e}")),
+            };
+            codes.push(status.code().unwrap_or(-1));
+        }
+        Ok(codes)
+    }
+}
+
+impl Drop for ExecutorManager {
+    fn drop(&mut self) {
+        // Best-effort: never leave orphans or zombies behind, even when
+        // the owner forgot an explicit shutdown.
+        let _ = self.shutdown();
+    }
+}
+
+fn spawn_executor(bin: &std::path::Path, addr: &str, node: usize) -> Result<Child, JobError> {
+    Command::new(bin)
+        .env("SPARKLET_NODE", node.to_string())
+        .env("SPARKLET_CONNECT", addr)
+        .stdin(Stdio::null())
+        .spawn()
+        .map_err(|e| JobError::Transport(format!("spawn executor {node} ({}): {e}", bin.display())))
+}
+
+/// Accept one connection and run the driver side of the handshake.
+/// Polls non-blockingly so a child that died before connecting is
+/// detected (and reaped) instead of hanging the accept forever.
+fn accept_handshake(
+    listener: &Listener,
+    children: &mut [Option<Child>],
+) -> Result<(usize, Box<dyn Conn>), JobError> {
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| JobError::Transport(format!("listener nonblocking: {e}")))?;
+    let deadline = Instant::now() + ACCEPT_TIMEOUT;
+    let mut conn = loop {
+        match listener.accept() {
+            Ok(conn) => break conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                let mut dead = None;
+                for (node, child) in children.iter_mut().enumerate() {
+                    if let Some(c) = child.as_mut() {
+                        if let Ok(Some(status)) = c.try_wait() {
+                            dead = Some((node, status));
+                            break;
+                        }
+                    }
+                }
+                if let Some((node, status)) = dead {
+                    let _ = listener.set_nonblocking(false);
+                    children[node] = None; // already reaped by try_wait
+                    return Err(JobError::Transport(format!(
+                        "executor {node} exited before connecting ({status})"
+                    )));
+                }
+                if Instant::now() >= deadline {
+                    let _ = listener.set_nonblocking(false);
+                    return Err(JobError::Transport(
+                        "timed out waiting for executor connections".into(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => {
+                let _ = listener.set_nonblocking(false);
+                return Err(JobError::Transport(format!("accept executor: {e}")));
+            }
+        }
+    };
+    listener
+        .set_nonblocking(false)
+        .map_err(|e| JobError::Transport(format!("listener nonblocking: {e}")))?;
+    let (hello, _) = read_msg(&mut conn)
+        .map_err(|e| JobError::Transport(format!("executor handshake read: {e}")))?;
+    let node = match hello {
+        WireMsg::Hello { node } => node as usize,
+        other => {
+            return Err(JobError::Transport(format!(
+                "expected Hello, got {other:?}"
+            )))
+        }
+    };
+    write_msg(&mut conn, &WireMsg::HelloAck { node: node as u64 })
+        .map_err(|e| JobError::Transport(format!("executor handshake ack: {e}")))?;
+    Ok((node, conn))
+}

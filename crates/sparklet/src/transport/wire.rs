@@ -1,0 +1,599 @@
+//! The wire protocol: length-prefixed message frames over a byte
+//! stream, with sealed [`Payload`] frames embedded verbatim.
+//!
+//! Every message — task launch/completion, shuffle block put/fetch,
+//! broadcast distribution, heartbeat/metrics, shutdown — travels as
+//! one frame: a 4-byte little-endian body length followed by the body,
+//! whose first byte is the message tag. Data-bearing messages carry a
+//! [`Payload`] frame byte-for-byte as produced by
+//! [`crate::PayloadBuilder::seal`]; the receiving side rehydrates it
+//! with [`Payload::from_frame`], so the zero-copy frame of PR 5 *is*
+//! the wire format and no re-serialization happens at the boundary.
+//!
+//! Decoding is defensive end to end: truncated bodies, unknown tags,
+//! lying length prefixes, and oversized frames all surface as
+//! [`JobError::Codec`] (or `io::Error` at the socket layer), never a
+//! panic and never an unbounded allocation — the length prefix is
+//! validated against [`MAX_FRAME`] *before* any buffer is reserved.
+
+use std::io::{Read, Write};
+
+use bytes::Bytes;
+
+use crate::error::JobError;
+use crate::payload::Payload;
+
+/// Hard cap on one wire frame's body length. A length prefix above
+/// this is rejected before allocation, bounding what a corrupt or
+/// hostile peer can make the decoder reserve.
+pub const MAX_FRAME: u32 = 1 << 28; // 256 MiB
+
+/// One protocol message. Fixed-width little-endian integers; payloads
+/// are embedded as their sealed frame bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// Executor → driver greeting carrying its assigned node index.
+    Hello {
+        /// Node index the executor was launched for.
+        node: u64,
+    },
+    /// Driver → executor handshake confirmation.
+    HelloAck {
+        /// Echoed node index.
+        node: u64,
+    },
+    /// A task attempt was placed on this executor (lifecycle metric;
+    /// fire-and-forget).
+    TaskLaunch {
+        /// Stage ordinal of the attempt.
+        stage: u64,
+        /// Partition the attempt computes.
+        partition: u64,
+        /// 1-based attempt number.
+        attempt: u64,
+    },
+    /// A task attempt finished (lifecycle metric; fire-and-forget).
+    TaskDone {
+        /// Stage ordinal of the attempt.
+        stage: u64,
+        /// Partition the attempt computed.
+        partition: u64,
+        /// 1-based attempt number.
+        attempt: u64,
+        /// Whether the attempt succeeded.
+        ok: bool,
+    },
+    /// Stage a map-output bucket on the executor (answered by
+    /// [`WireMsg::Ack`]).
+    ShufflePut {
+        /// Shuffle the bucket belongs to.
+        shuffle: u64,
+        /// Map task that produced the bucket.
+        map_task: u64,
+        /// Reduce partition the bucket feeds.
+        reduce: u64,
+        /// The sealed payload frame, verbatim.
+        frame: Bytes,
+    },
+    /// Fetch a staged bucket (answered by [`WireMsg::Block`]).
+    ShuffleGet {
+        /// Shuffle the bucket belongs to.
+        shuffle: u64,
+        /// Map task that produced the bucket.
+        map_task: u64,
+        /// Reduce partition the bucket feeds.
+        reduce: u64,
+    },
+    /// Reply to a get: the stored frame, or `None` when the executor
+    /// holds no such block (e.g. it restarted and lost its state).
+    Block {
+        /// The sealed payload frame, when present.
+        frame: Option<Bytes>,
+    },
+    /// Drop one staged bucket (a retry moved the bucket's origin to a
+    /// different node, stranding this copy; fire-and-forget).
+    ShuffleRemove {
+        /// Shuffle the bucket belongs to.
+        shuffle: u64,
+        /// Map task that produced the bucket.
+        map_task: u64,
+        /// Reduce partition the bucket feeds.
+        reduce: u64,
+    },
+    /// Drop every bucket of one shuffle (per-shuffle GC;
+    /// fire-and-forget).
+    ShuffleRelease {
+        /// Shuffle being released.
+        shuffle: u64,
+    },
+    /// Drop all shuffle state (benchmark reset; fire-and-forget).
+    ShuffleClear,
+    /// Push a broadcast payload to the executor (answered by
+    /// [`WireMsg::Ack`]).
+    BroadcastPut {
+        /// Broadcast id.
+        id: u64,
+        /// The sealed payload frame, verbatim.
+        frame: Bytes,
+    },
+    /// Fetch a broadcast payload (answered by [`WireMsg::Block`]).
+    BroadcastGet {
+        /// Broadcast id.
+        id: u64,
+    },
+    /// Drop a broadcast payload (fire-and-forget).
+    BroadcastRemove {
+        /// Broadcast id.
+        id: u64,
+    },
+    /// Liveness + metrics probe (answered by [`WireMsg::HeartbeatAck`]).
+    Heartbeat {
+        /// Correlation sequence number, echoed in the ack.
+        seq: u64,
+    },
+    /// Heartbeat reply carrying the executor's self-reported state.
+    HeartbeatAck {
+        /// Echoed sequence number.
+        seq: u64,
+        /// Shuffle buckets currently held.
+        buckets: u64,
+        /// Total stored bucket frame bytes.
+        bucket_bytes: u64,
+        /// Broadcast payloads currently held.
+        broadcasts: u64,
+        /// Task launches seen over this executor's lifetime.
+        tasks_launched: u64,
+        /// Task completions seen over this executor's lifetime.
+        tasks_done: u64,
+    },
+    /// Generic success reply to a put.
+    Ack,
+    /// Orderly termination request (answered by
+    /// [`WireMsg::ShutdownAck`], then the executor exits 0).
+    Shutdown,
+    /// Last message an executor sends before exiting cleanly.
+    ShutdownAck,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_HELLO_ACK: u8 = 2;
+const TAG_TASK_LAUNCH: u8 = 3;
+const TAG_TASK_DONE: u8 = 4;
+const TAG_SHUFFLE_PUT: u8 = 5;
+const TAG_SHUFFLE_GET: u8 = 6;
+const TAG_BLOCK: u8 = 7;
+const TAG_SHUFFLE_RELEASE: u8 = 8;
+const TAG_SHUFFLE_CLEAR: u8 = 9;
+const TAG_BROADCAST_PUT: u8 = 10;
+const TAG_BROADCAST_GET: u8 = 11;
+const TAG_BROADCAST_REMOVE: u8 = 12;
+const TAG_HEARTBEAT: u8 = 13;
+const TAG_HEARTBEAT_ACK: u8 = 14;
+const TAG_ACK: u8 = 15;
+const TAG_SHUTDOWN: u8 = 16;
+const TAG_SHUTDOWN_ACK: u8 = 17;
+const TAG_SHUFFLE_REMOVE: u8 = 18;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode a message body (everything after the 4-byte length prefix).
+pub fn encode_body(msg: &WireMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    match msg {
+        WireMsg::Hello { node } => {
+            out.push(TAG_HELLO);
+            put_u64(&mut out, *node);
+        }
+        WireMsg::HelloAck { node } => {
+            out.push(TAG_HELLO_ACK);
+            put_u64(&mut out, *node);
+        }
+        WireMsg::TaskLaunch {
+            stage,
+            partition,
+            attempt,
+        } => {
+            out.push(TAG_TASK_LAUNCH);
+            put_u64(&mut out, *stage);
+            put_u64(&mut out, *partition);
+            put_u64(&mut out, *attempt);
+        }
+        WireMsg::TaskDone {
+            stage,
+            partition,
+            attempt,
+            ok,
+        } => {
+            out.push(TAG_TASK_DONE);
+            put_u64(&mut out, *stage);
+            put_u64(&mut out, *partition);
+            put_u64(&mut out, *attempt);
+            out.push(u8::from(*ok));
+        }
+        WireMsg::ShufflePut {
+            shuffle,
+            map_task,
+            reduce,
+            frame,
+        } => {
+            out.push(TAG_SHUFFLE_PUT);
+            put_u64(&mut out, *shuffle);
+            put_u64(&mut out, *map_task);
+            put_u64(&mut out, *reduce);
+            out.extend_from_slice(frame);
+        }
+        WireMsg::ShuffleGet {
+            shuffle,
+            map_task,
+            reduce,
+        } => {
+            out.push(TAG_SHUFFLE_GET);
+            put_u64(&mut out, *shuffle);
+            put_u64(&mut out, *map_task);
+            put_u64(&mut out, *reduce);
+        }
+        WireMsg::Block { frame } => {
+            out.push(TAG_BLOCK);
+            match frame {
+                Some(f) => {
+                    out.push(1);
+                    out.extend_from_slice(f);
+                }
+                None => out.push(0),
+            }
+        }
+        WireMsg::ShuffleRemove {
+            shuffle,
+            map_task,
+            reduce,
+        } => {
+            out.push(TAG_SHUFFLE_REMOVE);
+            put_u64(&mut out, *shuffle);
+            put_u64(&mut out, *map_task);
+            put_u64(&mut out, *reduce);
+        }
+        WireMsg::ShuffleRelease { shuffle } => {
+            out.push(TAG_SHUFFLE_RELEASE);
+            put_u64(&mut out, *shuffle);
+        }
+        WireMsg::ShuffleClear => out.push(TAG_SHUFFLE_CLEAR),
+        WireMsg::BroadcastPut { id, frame } => {
+            out.push(TAG_BROADCAST_PUT);
+            put_u64(&mut out, *id);
+            out.extend_from_slice(frame);
+        }
+        WireMsg::BroadcastGet { id } => {
+            out.push(TAG_BROADCAST_GET);
+            put_u64(&mut out, *id);
+        }
+        WireMsg::BroadcastRemove { id } => {
+            out.push(TAG_BROADCAST_REMOVE);
+            put_u64(&mut out, *id);
+        }
+        WireMsg::Heartbeat { seq } => {
+            out.push(TAG_HEARTBEAT);
+            put_u64(&mut out, *seq);
+        }
+        WireMsg::HeartbeatAck {
+            seq,
+            buckets,
+            bucket_bytes,
+            broadcasts,
+            tasks_launched,
+            tasks_done,
+        } => {
+            out.push(TAG_HEARTBEAT_ACK);
+            put_u64(&mut out, *seq);
+            put_u64(&mut out, *buckets);
+            put_u64(&mut out, *bucket_bytes);
+            put_u64(&mut out, *broadcasts);
+            put_u64(&mut out, *tasks_launched);
+            put_u64(&mut out, *tasks_done);
+        }
+        WireMsg::Ack => out.push(TAG_ACK),
+        WireMsg::Shutdown => out.push(TAG_SHUTDOWN),
+        WireMsg::ShutdownAck => out.push(TAG_SHUTDOWN_ACK),
+    }
+    out
+}
+
+/// Bounds-checked cursor over a message body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, JobError> {
+        let b = *self
+            .buf
+            .get(self.at)
+            .ok_or_else(|| JobError::Codec("wire message truncated".into()))?;
+        self.at += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, JobError> {
+        let end = self
+            .at
+            .checked_add(8)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| JobError::Codec("wire message truncated".into()))?;
+        let mut n = [0u8; 8];
+        n.copy_from_slice(&self.buf[self.at..end]);
+        self.at = end;
+        Ok(u64::from_le_bytes(n))
+    }
+
+    /// Remaining bytes as an owned embedded payload frame, validated
+    /// against the frame's own header before it travels further: a
+    /// tail shorter than the sealed header, an unknown payload tag, or
+    /// a raw body that disagrees with its declared length is a
+    /// truncated/corrupt message, not a frame. (A compressed body can
+    /// only be fully checked by inflating, which `open()` does,
+    /// bounds-checked, at the consumer.)
+    fn frame(&mut self) -> Result<Bytes, JobError> {
+        let b = Bytes::copy_from_slice(&self.buf[self.at..]);
+        self.at = self.buf.len();
+        Payload::from_frame(b.clone())?;
+        Ok(b)
+    }
+
+    fn done(&self) -> Result<(), JobError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(JobError::Codec(format!(
+                "wire message carries {} trailing bytes",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+/// Decode a message body. Any malformed input — truncation, unknown
+/// tag, trailing garbage — yields [`JobError::Codec`], never a panic.
+pub fn decode_body(body: &[u8]) -> Result<WireMsg, JobError> {
+    let mut c = Cursor { buf: body, at: 0 };
+    let msg = match c.u8()? {
+        TAG_HELLO => WireMsg::Hello { node: c.u64()? },
+        TAG_HELLO_ACK => WireMsg::HelloAck { node: c.u64()? },
+        TAG_TASK_LAUNCH => WireMsg::TaskLaunch {
+            stage: c.u64()?,
+            partition: c.u64()?,
+            attempt: c.u64()?,
+        },
+        TAG_TASK_DONE => WireMsg::TaskDone {
+            stage: c.u64()?,
+            partition: c.u64()?,
+            attempt: c.u64()?,
+            ok: c.u8()? != 0,
+        },
+        TAG_SHUFFLE_PUT => WireMsg::ShufflePut {
+            shuffle: c.u64()?,
+            map_task: c.u64()?,
+            reduce: c.u64()?,
+            frame: c.frame()?,
+        },
+        TAG_SHUFFLE_GET => WireMsg::ShuffleGet {
+            shuffle: c.u64()?,
+            map_task: c.u64()?,
+            reduce: c.u64()?,
+        },
+        TAG_BLOCK => {
+            let present = c.u8()?;
+            match present {
+                0 => {
+                    // An absent block must end the body: anything after
+                    // the flag is garbage, not a frame.
+                    c.done()?;
+                    WireMsg::Block { frame: None }
+                }
+                1 => WireMsg::Block {
+                    frame: Some(c.frame()?),
+                },
+                other => {
+                    return Err(JobError::Codec(format!(
+                        "block presence flag must be 0/1, got {other}"
+                    )))
+                }
+            }
+        }
+        TAG_SHUFFLE_REMOVE => WireMsg::ShuffleRemove {
+            shuffle: c.u64()?,
+            map_task: c.u64()?,
+            reduce: c.u64()?,
+        },
+        TAG_SHUFFLE_RELEASE => WireMsg::ShuffleRelease { shuffle: c.u64()? },
+        TAG_SHUFFLE_CLEAR => WireMsg::ShuffleClear,
+        TAG_BROADCAST_PUT => WireMsg::BroadcastPut {
+            id: c.u64()?,
+            frame: c.frame()?,
+        },
+        TAG_BROADCAST_GET => WireMsg::BroadcastGet { id: c.u64()? },
+        TAG_BROADCAST_REMOVE => WireMsg::BroadcastRemove { id: c.u64()? },
+        TAG_HEARTBEAT => WireMsg::Heartbeat { seq: c.u64()? },
+        TAG_HEARTBEAT_ACK => WireMsg::HeartbeatAck {
+            seq: c.u64()?,
+            buckets: c.u64()?,
+            bucket_bytes: c.u64()?,
+            broadcasts: c.u64()?,
+            tasks_launched: c.u64()?,
+            tasks_done: c.u64()?,
+        },
+        TAG_ACK => WireMsg::Ack,
+        TAG_SHUTDOWN => WireMsg::Shutdown,
+        TAG_SHUTDOWN_ACK => WireMsg::ShutdownAck,
+        other => return Err(JobError::Codec(format!("unknown wire tag {other}"))),
+    };
+    c.done()?;
+    Ok(msg)
+}
+
+/// Write one framed message; returns the total bytes put on the wire
+/// (length prefix + body).
+pub fn write_msg<W: Write>(w: &mut W, msg: &WireMsg) -> std::io::Result<u64> {
+    let body = encode_body(msg);
+    debug_assert!(body.len() as u64 <= MAX_FRAME as u64);
+    let len = body.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&body)?;
+    w.flush()?;
+    Ok(4 + body.len() as u64)
+}
+
+/// Read one framed message; returns it with the total bytes taken off
+/// the wire. A length prefix above [`MAX_FRAME`] is rejected *before*
+/// any allocation; a malformed body surfaces as
+/// `io::ErrorKind::InvalidData` carrying the codec error.
+pub fn read_msg<R: Read>(r: &mut R) -> std::io::Result<(WireMsg, u64)> {
+    let mut len_bytes = [0u8; 4];
+    r.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("wire frame of {len} bytes exceeds MAX_FRAME {MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    let msg = decode_body(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    Ok((msg, 4 + len as u64))
+}
+
+/// Rehydrate an embedded payload frame, mapping header violations to
+/// [`JobError::Codec`].
+pub fn payload_from_wire(frame: Bytes) -> Result<Payload, JobError> {
+    Payload::from_frame(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::{Compression, Payload};
+
+    fn all_messages() -> Vec<WireMsg> {
+        let frame = Payload::seal(Bytes::from_static(b"bucket"), Compression::None).frame();
+        vec![
+            WireMsg::Hello { node: 3 },
+            WireMsg::HelloAck { node: 3 },
+            WireMsg::TaskLaunch {
+                stage: 7,
+                partition: 2,
+                attempt: 1,
+            },
+            WireMsg::TaskDone {
+                stage: 7,
+                partition: 2,
+                attempt: 1,
+                ok: true,
+            },
+            WireMsg::ShufflePut {
+                shuffle: 9,
+                map_task: 1,
+                reduce: 4,
+                frame: frame.clone(),
+            },
+            WireMsg::ShuffleGet {
+                shuffle: 9,
+                map_task: 1,
+                reduce: 4,
+            },
+            WireMsg::Block {
+                frame: Some(frame.clone()),
+            },
+            WireMsg::Block { frame: None },
+            WireMsg::ShuffleRemove {
+                shuffle: 9,
+                map_task: 1,
+                reduce: 4,
+            },
+            WireMsg::ShuffleRelease { shuffle: 9 },
+            WireMsg::ShuffleClear,
+            WireMsg::BroadcastPut { id: 5, frame },
+            WireMsg::BroadcastGet { id: 5 },
+            WireMsg::BroadcastRemove { id: 5 },
+            WireMsg::Heartbeat { seq: 11 },
+            WireMsg::HeartbeatAck {
+                seq: 11,
+                buckets: 2,
+                bucket_bytes: 64,
+                broadcasts: 1,
+                tasks_launched: 12,
+                tasks_done: 10,
+            },
+            WireMsg::Ack,
+            WireMsg::Shutdown,
+            WireMsg::ShutdownAck,
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in all_messages() {
+            let body = encode_body(&msg);
+            assert_eq!(decode_body(&body).unwrap(), msg, "{msg:?}");
+        }
+    }
+
+    #[test]
+    fn streamed_roundtrip_counts_wire_bytes() {
+        let mut buf = Vec::new();
+        let mut sent = 0;
+        for msg in all_messages() {
+            sent += write_msg(&mut buf, &msg).unwrap();
+        }
+        assert_eq!(sent as usize, buf.len());
+        let mut r = &buf[..];
+        let mut got = 0;
+        for msg in all_messages() {
+            let (back, n) = read_msg(&mut r).unwrap();
+            assert_eq!(back, msg);
+            got += n;
+        }
+        assert_eq!(got, sent);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn truncated_bodies_error_never_panic() {
+        for msg in all_messages() {
+            let body = encode_body(&msg);
+            for cut in 0..body.len() {
+                assert!(decode_body(&body[..cut]).is_err(), "{msg:?} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn embedded_payload_frames_survive_verbatim() {
+        let p = Payload::seal(Bytes::from(vec![42u8; 300]), Compression::Lz4);
+        let body = encode_body(&WireMsg::ShufflePut {
+            shuffle: 1,
+            map_task: 0,
+            reduce: 0,
+            frame: p.frame(),
+        });
+        match decode_body(&body).unwrap() {
+            WireMsg::ShufflePut { frame, .. } => {
+                assert_eq!(frame, p.frame());
+                let back = payload_from_wire(frame).unwrap();
+                assert_eq!(back.open().unwrap(), p.open().unwrap());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut framed = Vec::new();
+        framed.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+        framed.extend_from_slice(&[0u8; 16]);
+        let err = read_msg(&mut &framed[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -7,6 +7,8 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sparklet::codec::{decode_le_slice, decode_one, encode_le_slice, encode_one};
+use sparklet::transport::wire::{decode_body, encode_body, read_msg, write_msg, WireMsg};
+use sparklet::transport::MAX_FRAME;
 use sparklet::{Compression, Either, JobError, Payload, Storable};
 
 /// Minimal seeded xorshift so failures replay from a printed seed.
@@ -237,5 +239,131 @@ fn corrupted_payload_frames_error_and_never_panic() {
                 let _ = p.open();
             }
         }
+    }
+}
+
+// ---- Transport wire boundary ------------------------------------------
+//
+// The same hostile-input discipline, pushed one layer down to the
+// length-prefixed socket protocol: whatever a peer writes, the decoder
+// answers with `JobError::Codec` / `io::Error` — never a panic, never
+// an unbounded allocation.
+
+/// A representative message of every shape the protocol carries,
+/// including an embedded sealed payload frame. Raw-sealed on purpose:
+/// a raw frame's declared length is checked structurally at decode, so
+/// *every* truncation is detectable without inflating anything (an Lz4
+/// body is only fully checkable by `open()`, at the consumer).
+fn sample_msgs(rng: &mut Rng) -> Vec<WireMsg> {
+    let body: Vec<u8> = (0..rng.below(200)).map(|_| rng.next() as u8).collect();
+    let frame = Payload::seal(Bytes::from(body), Compression::None).frame();
+    vec![
+        WireMsg::Hello { node: rng.next() },
+        WireMsg::TaskLaunch {
+            stage: rng.next(),
+            partition: rng.next(),
+            attempt: rng.next(),
+        },
+        WireMsg::ShufflePut {
+            shuffle: rng.next(),
+            map_task: rng.next(),
+            reduce: rng.next(),
+            frame: frame.clone(),
+        },
+        WireMsg::ShuffleGet {
+            shuffle: rng.next(),
+            map_task: rng.next(),
+            reduce: rng.next(),
+        },
+        WireMsg::Block { frame: Some(frame) },
+        WireMsg::Block { frame: None },
+        WireMsg::BroadcastPut {
+            id: rng.next(),
+            frame: Payload::seal(Bytes::from_static(b"bcast"), Compression::None).frame(),
+        },
+        WireMsg::Heartbeat { seq: rng.next() },
+        WireMsg::Shutdown,
+    ]
+}
+
+#[test]
+fn truncated_wire_bodies_error_and_never_panic() {
+    let mut rng = Rng::new(0xbead);
+    for msg in sample_msgs(&mut rng) {
+        let body = encode_body(&msg);
+        assert_eq!(decode_body(&body).unwrap(), msg, "clean body roundtrips");
+        for cut in 0..body.len() {
+            assert!(
+                matches!(decode_body(&body[..cut]), Err(JobError::Codec(_))),
+                "truncation at {cut}/{} must be a codec error, not a panic",
+                body.len()
+            );
+        }
+        // Trailing garbage is an error too — a peer that frames
+        // sloppily is corrupt, not "close enough".
+        let mut long = body.clone();
+        long.push(0);
+        assert!(matches!(decode_body(&long), Err(JobError::Codec(_))));
+    }
+}
+
+#[test]
+fn corrupted_wire_bodies_error_or_misparse_but_never_panic() {
+    let mut rng = Rng::new(0xbadd);
+    let msgs = sample_msgs(&mut rng);
+    for _ in 0..600 {
+        let msg = &msgs[rng.below(msgs.len() as u64) as usize];
+        let mut bad = encode_body(msg);
+        for _ in 0..=rng.below(4) {
+            let at = rng.below(bad.len() as u64) as usize;
+            bad[at] ^= rng.next() as u8;
+        }
+        // A flipped tag, length, or embedded frame byte may decode to a
+        // different-but-valid message; it must never panic, and any
+        // embedded payload it yields must still open or error cleanly.
+        if let Ok(
+            WireMsg::ShufflePut { frame, .. }
+            | WireMsg::BroadcastPut { frame, .. }
+            | WireMsg::Block { frame: Some(frame) },
+        ) = decode_body(&bad)
+        {
+            if let Ok(p) = Payload::from_frame(frame) {
+                let _ = p.open();
+            }
+        }
+    }
+}
+
+#[test]
+fn truncated_wire_streams_error_at_the_socket_boundary() {
+    let mut rng = Rng::new(0xfeed);
+    for msg in sample_msgs(&mut rng) {
+        let mut stream = Vec::new();
+        let wrote = write_msg(&mut stream, &msg).unwrap();
+        assert_eq!(wrote as usize, stream.len());
+        // Every proper prefix of the stream — including a cut inside
+        // the length prefix itself — is an io::Error, never a panic.
+        for cut in 0..stream.len() {
+            let mut r = &stream[..cut];
+            assert!(
+                read_msg(&mut r).is_err(),
+                "stream cut at {cut}/{} must error",
+                stream.len()
+            );
+        }
+        let mut r = stream.as_slice();
+        assert_eq!(read_msg(&mut r).unwrap().0, msg);
+    }
+}
+
+#[test]
+fn oversized_wire_length_prefixes_are_rejected_before_allocation() {
+    for len in [MAX_FRAME + 1, u32::MAX] {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&len.to_le_bytes());
+        stream.extend_from_slice(b"\0\0\0\0");
+        let mut r = stream.as_slice();
+        let err = read_msg(&mut r).expect_err("oversized frame must be refused");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
     }
 }
