@@ -3,7 +3,7 @@
 //! end-to-end distributed solve per strategy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dp_core::{solve, Block, DpConfig, KernelChoice, Strategy};
+use dp_core::{solve, Block, DpConfig, KernelSpec, Strategy};
 use gep_kernels::{Matrix, Tropical};
 use sparklet::codec::{decode_one, encode_one};
 use sparklet::{GridPartitioner, HashPartitioner, Partitioner, SparkConf, SparkContext};
@@ -67,13 +67,9 @@ fn bench_end_to_end(c: &mut Criterion) {
                         .with_executor_cores(2)
                         .with_partitions(8),
                 );
-                let cfg = DpConfig::new(64, 16).with_strategy(strategy).with_kernel(
-                    KernelChoice::Recursive {
-                        r_shared: 2,
-                        base: 8,
-                        threads: 2,
-                    },
-                );
+                let cfg = DpConfig::new(64, 16)
+                    .with_strategy(strategy)
+                    .with_kernel(KernelSpec::recursive(2, 8, 2));
                 solve::<Tropical>(&sc, &cfg, &input).unwrap()
             });
         });

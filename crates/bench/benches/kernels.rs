@@ -3,13 +3,27 @@
 //! simulated) — iterative block kernels lose temporal locality as the
 //! block outgrows cache while r-way R-DP kernels stay flat, and the
 //! `r_shared` fan-out trades recursion overhead against base-case size.
+//!
+//! Besides the Criterion groups, the suite times every registered
+//! backend × GEP kind through the registry's `run` entry point and
+//! writes `BENCH_kernels.json` (bench name, mean ns, bytes touched) so
+//! CI can track per-backend kernel throughput without parsing
+//! Criterion's output directory.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
+use dp_bench::{time_sample, write_bench_json, BenchSample};
+use dp_core::{registry, KernelParams};
 use gep_kernels::gep::Kind;
 use gep_kernels::iterative::block_kernel;
 use gep_kernels::recursive::{rec_kernel, RecConfig};
 use gep_kernels::{GaussianElim, Matrix, Tropical};
 use par_pool::Pool;
+
+static SAMPLES: std::sync::Mutex<Vec<BenchSample>> = std::sync::Mutex::new(Vec::new());
+
+fn record(sample: BenchSample) {
+    SAMPLES.lock().expect("samples").push(sample);
+}
 
 fn dist_matrix(n: usize, seed: u64) -> Matrix<f64> {
     let mut state = seed | 1;
@@ -171,11 +185,74 @@ fn bench_d_kernel(c: &mut Criterion) {
     group.finish();
 }
 
+/// Every registered real backend through the registry's own `run`
+/// entry point, per GEP kind, on min-plus tiles. Operands follow the
+/// solver's raw convention: A updates the diagonal in place, B/C see
+/// the diagonal as `w`, D gets the column/row panels (`w` elided —
+/// min-plus is `!USES_W`). Samples land in `BENCH_kernels.json` as
+/// `backend_kernel/<backend>/<kind>` rows.
+fn bench_backend_matrix(_c: &mut Criterion) {
+    let b = 128;
+    let params = KernelParams {
+        r_shared: 4,
+        base: 32,
+        threads: 2,
+    };
+    let diag = dist_matrix(b, 21);
+    let panel_u = dist_matrix(b, 22);
+    let panel_v = dist_matrix(b, 23);
+    let bytes = (b * b * 8) as u64;
+    let reg = registry::<Tropical>();
+    for backend in reg.backends().iter() {
+        if !backend.available() || backend.name() == dp_core::backend::SIMULATE {
+            continue;
+        }
+        let name = backend.name();
+        for kind in [Kind::A, Kind::B, Kind::C, Kind::D] {
+            let label = format!("backend_kernel/{name}/{kind:?}");
+            let mut x = match kind {
+                Kind::A => diag.clone(),
+                Kind::B => panel_v.clone(),
+                Kind::C => panel_u.clone(),
+                Kind::D => dist_matrix(b, 24),
+            };
+            record(time_sample(&label, bytes, 5, || match kind {
+                Kind::A => backend.run(kind, &params, &mut x.view_mut(), None, None, None),
+                Kind::B | Kind::C => backend.run(
+                    kind,
+                    &params,
+                    &mut x.view_mut(),
+                    None,
+                    None,
+                    Some(diag.view()),
+                ),
+                Kind::D => backend.run(
+                    kind,
+                    &params,
+                    &mut x.view_mut(),
+                    Some(panel_u.view()),
+                    Some(panel_v.view()),
+                    None,
+                ),
+            }));
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_block_size_crossover,
     bench_r_shared,
     bench_base_case,
-    bench_d_kernel
+    bench_d_kernel,
+    bench_backend_matrix
 );
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let samples = SAMPLES.lock().expect("samples").clone();
+    match write_bench_json("kernels", &samples) {
+        Ok(path) => eprintln!("wrote {} samples to {}", samples.len(), path.display()),
+        Err(e) => eprintln!("BENCH_kernels.json not written: {e}"),
+    }
+}

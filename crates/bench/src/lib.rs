@@ -10,7 +10,7 @@
 //! cluster-hours into seconds.
 
 use cluster_model::{ClusterSpec, CostModel, KernelType, StageRecord};
-use dp_core::{solve_virtual, DpConfig, DpProblem, KernelChoice, Strategy};
+use dp_core::{solve_virtual, DpConfig, DpProblem, KernelSpec, Strategy};
 use sparklet::{JobError, SparkConf, SparkContext};
 
 /// Run one virtual dataflow on a context shaped like `cluster` and
@@ -70,7 +70,7 @@ pub const TIMEOUT_SECS: f64 = 8.0 * 3600.0;
 #[derive(Debug, Clone)]
 pub struct Variant {
     pub name: String,
-    pub kernel: KernelChoice,
+    pub kernel: KernelSpec,
 }
 
 /// The kernel variants Fig. 6 compares per (strategy, block size):
@@ -79,16 +79,12 @@ pub struct Variant {
 pub fn fig6_variants(threads: usize) -> Vec<Variant> {
     let mut v = vec![Variant {
         name: "iter".into(),
-        kernel: KernelChoice::Iterative,
+        kernel: KernelSpec::iterative(),
     }];
     for r in R_SHARED {
         v.push(Variant {
             name: format!("{r}-way"),
-            kernel: KernelChoice::Recursive {
-                r_shared: r,
-                base: 64,
-                threads,
-            },
+            kernel: KernelSpec::recursive(r, 64, threads),
         });
     }
     v

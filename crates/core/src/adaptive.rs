@@ -21,7 +21,8 @@ use std::time::Instant;
 use gep_kernels::Matrix;
 use sparklet::{JobError, SparkContext};
 
-use crate::config::{DpConfig, KernelChoice};
+use crate::backend::{registry, KernelSpec, SIMULATE};
+use crate::config::DpConfig;
 use crate::problem::DpProblem;
 use crate::solver::solve;
 
@@ -31,7 +32,7 @@ pub struct AdaptiveOutcome<E> {
     /// The solved table.
     pub result: Matrix<E>,
     /// The kernel the probe committed to.
-    pub chosen: KernelChoice,
+    pub chosen: KernelSpec,
     /// Probe wall-times (seconds) per candidate, same order as input.
     pub probe_seconds: Vec<f64>,
 }
@@ -43,7 +44,7 @@ pub fn adaptive_solve<S: DpProblem>(
     sc: &SparkContext,
     cfg: &DpConfig,
     input: &Matrix<S::Elem>,
-    candidates: &[KernelChoice],
+    candidates: &[KernelSpec],
     probe_phases: usize,
 ) -> Result<AdaptiveOutcome<S::Elem>, JobError> {
     assert!(!candidates.is_empty(), "need at least one candidate");
@@ -61,7 +62,7 @@ pub fn adaptive_solve<S: DpProblem>(
     for (i, candidate) in candidates.iter().enumerate() {
         let probe_cfg = DpConfig::new(probe_n, cfg.block.min(probe_n))
             .with_strategy(cfg.strategy)
-            .with_kernel(*candidate);
+            .with_kernel(candidate.clone());
         let t0 = Instant::now();
         let _ = solve::<S>(sc, &probe_cfg, &probe_input)?;
         let secs = t0.elapsed().as_secs_f64();
@@ -70,14 +71,36 @@ pub fn adaptive_solve<S: DpProblem>(
             best = (i, secs);
         }
     }
-    let chosen = candidates[best.0];
-    let final_cfg = cfg.clone().with_kernel(chosen);
+    let chosen = candidates[best.0].clone();
+    let final_cfg = cfg.clone().with_kernel(chosen.clone());
     let result = solve::<S>(sc, &final_cfg, input)?;
     Ok(AdaptiveOutcome {
         result,
         chosen,
         probe_seconds,
     })
+}
+
+/// Like [`adaptive_solve`], but the candidate list comes from the
+/// backend registry: every available registered backend except the
+/// cost-accounting `simulate` one, in registration order (so the probe
+/// sequence — and therefore the tie-break — is deterministic), each
+/// carrying `cfg`'s kernel params. Registering a new backend makes it
+/// a probe candidate with no call-site changes.
+pub fn adaptive_solve_registry<S: DpProblem>(
+    sc: &SparkContext,
+    cfg: &DpConfig,
+    input: &Matrix<S::Elem>,
+    probe_phases: usize,
+) -> Result<AdaptiveOutcome<S::Elem>, JobError> {
+    let reg = registry::<S>();
+    let candidates: Vec<KernelSpec> = reg
+        .backends()
+        .iter()
+        .filter(|b| b.available() && b.name() != SIMULATE)
+        .map(|b| KernelSpec::named(b.name()).with_params(cfg.kernel.params))
+        .collect();
+    adaptive_solve::<S>(sc, cfg, input, &candidates, probe_phases)
 }
 
 #[cfg(test)]
@@ -103,14 +126,7 @@ mod tests {
         let mut reference = input.clone();
         gep_reference::<Tropical>(&mut reference);
         let sc = SparkContext::new(SparkConf::default().with_executors(2).with_partitions(6));
-        let candidates = [
-            KernelChoice::Iterative,
-            KernelChoice::Recursive {
-                r_shared: 2,
-                base: 2,
-                threads: 2,
-            },
-        ];
+        let candidates = [KernelSpec::iterative(), KernelSpec::recursive(2, 2, 2)];
         let out = adaptive_solve::<Tropical>(
             &sc,
             &DpConfig::new(n, 6).with_strategy(Strategy::InMemory),
@@ -142,13 +158,9 @@ mod tests {
                 .with_max_concurrent_stages(1),
         );
         let candidates = [
-            KernelChoice::Iterative,
-            KernelChoice::Recursive {
-                r_shared: 2,
-                base: 2,
-                threads: 2,
-            },
-            KernelChoice::Iterative,
+            KernelSpec::iterative(),
+            KernelSpec::recursive(2, 2, 2),
+            KernelSpec::iterative(),
         ];
         let out = adaptive_solve::<Tropical>(
             &sc,
@@ -164,6 +176,27 @@ mod tests {
             peak, 1,
             "probe jobs overlapped: gauge {peak} despite per-job cap 1"
         );
+    }
+
+    #[test]
+    fn registry_candidates_probe_every_real_backend() {
+        let n = 12;
+        let input = Matrix::from_fn(n, n, |i, j| if i == j { 0.0 } else { (i + j) as f64 });
+        let mut reference = input.clone();
+        gep_reference::<Tropical>(&mut reference);
+        let sc = SparkContext::new(SparkConf::default().with_executors(2).with_partitions(4));
+        let out = adaptive_solve_registry::<Tropical>(
+            &sc,
+            &DpConfig::new(n, 4).with_strategy(Strategy::InMemory),
+            &input,
+            1,
+        )
+        .expect("adaptive solve");
+        assert_eq!(out.result.first_difference(&reference), None);
+        let reg = crate::backend::registry::<Tropical>();
+        let real: Vec<_> = reg.names().into_iter().filter(|n| *n != SIMULATE).collect();
+        assert_eq!(out.probe_seconds.len(), real.len(), "one probe per backend");
+        assert!(real.contains(&out.chosen.backend.as_str()));
     }
 
     #[test]

@@ -36,7 +36,8 @@ use cluster_model::{
 };
 use sparklet::{GridPartitioner, HashPartitioner, Partitioner, SparkContext, StorageLevel};
 
-use crate::config::{DpConfig, KernelChoice, Strategy};
+use crate::backend::{registry, KernelBackend, KernelSpec};
+use crate::config::{DpConfig, Strategy};
 use crate::filters;
 use crate::problem::DpProblem;
 
@@ -62,7 +63,7 @@ pub enum AqeAction {
     /// Switch the distribution strategy for the remaining iterations.
     SwitchStrategy(Strategy),
     /// Change the executor kernel shape for the remaining iterations.
-    Retune(KernelChoice),
+    Retune(KernelSpec),
     /// Re-tier the materialization storage level.
     Retier(StorageLevel),
 }
@@ -133,8 +134,12 @@ impl AqePlanner {
         cfg: &DpConfig,
         partitions: usize,
         strategy: Strategy,
-        kernel: KernelChoice,
+        kernel: &KernelSpec,
     ) -> Vec<AqeDecision> {
+        let backend = registry::<S>()
+            .resolve(kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let kt = backend.kernel_type(&kernel.params);
         let g = cfg.grid();
         let b = cfg.block;
         let keys = active_keys::<S>(0, g, b);
@@ -166,7 +171,7 @@ impl AqePlanner {
             updates,
             b,
             strategy,
-            kernel,
+            kt,
         )
         .into_iter()
         .collect()
@@ -184,9 +189,13 @@ impl AqePlanner {
         k: usize,
         partitions: usize,
         strategy: Strategy,
-        kernel: KernelChoice,
+        kernel: &KernelSpec,
         level: StorageLevel,
     ) -> Vec<AqeDecision> {
+        let backend = registry::<S>()
+            .resolve(kernel)
+            .unwrap_or_else(|e| panic!("{e}"));
+        let kt = backend.kernel_type(&kernel.params);
         let stats = self.drain_stats(sc);
         let g = cfg.grid();
         let b = cfg.block;
@@ -218,7 +227,7 @@ impl AqePlanner {
             next_updates,
             b,
             strategy,
-            kernel,
+            kt,
         ) {
             if let AqeAction::Repartition(p) = d.action {
                 partitions = p;
@@ -226,19 +235,12 @@ impl AqePlanner {
             out.push(d);
         }
         let loads = placement_loads(&next_keys, part.as_ref(), partitions);
-        if let Some(d) = self.switch_strategy::<S>(
-            k + 1,
-            g,
-            b,
-            &loads,
-            strategy,
-            kernel,
-            next_bytes,
-            next_updates,
-        ) {
+        if let Some(d) =
+            self.switch_strategy::<S>(k + 1, g, b, &loads, strategy, kt, next_bytes, next_updates)
+        {
             out.push(d);
         }
-        if let Some(d) = self.retune(kernel, next_updates, partitions, b) {
+        if let Some(d) = self.retune(backend.as_ref(), kernel, next_updates, partitions, b) {
             out.push(d);
         }
         out
@@ -378,10 +380,9 @@ impl AqePlanner {
         updates: f64,
         b: usize,
         strategy: Strategy,
-        kernel: KernelChoice,
+        kt: KernelType,
     ) -> Option<AqeDecision> {
         let active_next = next_keys.len();
-        let kt = kernel.kernel_type();
         let price = |p: usize| {
             let loads = placement_loads(next_keys, part, p);
             match strategy {
@@ -427,11 +428,10 @@ impl AqePlanner {
         b: usize,
         loads: &[f64],
         strategy: Strategy,
-        kernel: KernelChoice,
+        kt: KernelType,
         im_bytes: u64,
         updates: f64,
     ) -> Option<AqeDecision> {
-        let kt = kernel.kernel_type();
         // CB moves the A block plus the B/C panels through the driver,
         // regardless of what IM would shuffle.
         let panel = 1
@@ -467,33 +467,32 @@ impl AqePlanner {
         })
     }
 
-    /// Re-pick `r_shared` for recursive kernels from the compute model
-    /// at the next iteration's update volume.
-    fn retune(
+    /// Re-pick `r_shared` for fan-out-parametric backends (the
+    /// recursive family) from the compute model at the next
+    /// iteration's update volume. Backends whose shape has no fan-out
+    /// knob ([`KernelBackend::fanout_parametric`] is `false`) are left
+    /// alone.
+    fn retune<S: DpProblem>(
         &self,
-        kernel: KernelChoice,
+        backend: &dyn KernelBackend<S>,
+        kernel: &KernelSpec,
         updates: f64,
         partitions: usize,
         b: usize,
     ) -> Option<AqeDecision> {
-        let KernelChoice::Recursive {
-            r_shared,
-            base,
-            threads,
-        } = kernel
-        else {
+        if !backend.fanout_parametric() {
             return None;
-        };
+        }
+        let r_shared = kernel.params.r_shared;
         let per_task = updates / partitions.max(1) as f64;
         let price = |r: usize| {
+            let mut params = kernel.params;
+            params.r_shared = r;
             self.model.core_seconds(&KernelInvocation {
                 updates: per_task,
                 block_side: b,
                 elem_bytes: self.elem_bytes,
-                kernel: KernelType::Recursive {
-                    r_shared: r,
-                    threads,
-                },
+                kernel: backend.kernel_type(&params),
             })
         };
         let now = price(r_shared);
@@ -505,12 +504,10 @@ impl AqePlanner {
         if best.1 >= now * REPLAN_MARGIN {
             return None;
         }
+        let mut retuned = kernel.clone();
+        retuned.params.r_shared = best.0;
         Some(AqeDecision {
-            action: AqeAction::Retune(KernelChoice::Recursive {
-                r_shared: best.0,
-                base,
-                threads,
-            }),
+            action: AqeAction::Retune(retuned),
             label: format!("kernel:r{}->r{}", r_shared, best.0),
             reason: format!(
                 "modeled task compute {:.4}s vs {:.4}s at r={}",
@@ -625,7 +622,7 @@ mod tests {
                 1e4,
                 8,
                 Strategy::InMemory,
-                KernelChoice::Iterative,
+                KernelType::Iterative,
             )
             .expect("overhead-dominated stage must coalesce");
         let AqeAction::Repartition(p) = d.action else {

@@ -14,8 +14,8 @@ use std::sync::Arc;
 use gep_kernels::gep::Kind;
 use sparklet::{JobError, Partitioner, Rdd, SparkContext, Storable, StorageLevel};
 
+use crate::backend::KernelSpec;
 use crate::block::Block;
-use crate::config::KernelChoice;
 use crate::filters;
 use crate::kernels::apply_kernel;
 use crate::problem::DpProblem;
@@ -46,13 +46,15 @@ pub fn step<S: DpProblem>(
     k: usize,
     _g: usize,
     b: usize,
-    kernel: KernelChoice,
+    kernel: KernelSpec,
     partitions: usize,
     partitioner: Arc<dyn Partitioner<K>>,
     level: StorageLevel,
     keep_lineage: bool,
 ) -> Result<Rdd<K, Block<S::Elem>>, JobError> {
-    let kc = kernel;
+    let kc = kernel.clone();
+    let kc_bc = kernel.clone();
+    let kc_d = kernel;
 
     // ---- Stage 1: A kernel, collect to driver, broadcast ------------
     let a_up = dp
@@ -88,7 +90,7 @@ pub fn step<S: DpProblem>(
                 .into_iter()
                 .map(|(key, mut blk)| {
                     let kind = if key.0 == k { Kind::B } else { Kind::C };
-                    apply_kernel::<S>(kind, key, k, &mut blk, None, None, Some(diag), &kc, tc);
+                    apply_kernel::<S>(kind, key, k, &mut blk, None, None, Some(diag), &kc_bc, tc);
                     (key, blk)
                 })
                 .collect()
@@ -136,7 +138,7 @@ pub fn step<S: DpProblem>(
                         Some(u),
                         Some(v),
                         Some(diag),
-                        &kc,
+                        &kc_d,
                         tc,
                     );
                     ((i, j), blk)

@@ -4,8 +4,19 @@
 use serde::{Deserialize, Serialize};
 use sparklet::StorageLevel;
 
+use crate::backend::{ConfigError, KernelParams, KernelSpec, RECURSIVE};
+
 /// Which kernel runs inside executor tasks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// **Deprecation shim.** Kernel selection is now a [`KernelSpec`]
+/// (backend name + fallback chain + [`KernelParams`]) resolved through
+/// the [`crate::backend::BackendRegistry`]; this enum survives only so
+/// pre-registry call sites keep compiling. Each variant converts into
+/// the equivalent spec via `From`.
+#[deprecated(
+    note = "use KernelSpec (DpConfig::with_kernel accepts both) or DpConfig::with_backend"
+)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum KernelChoice {
     /// Loop-based block kernel (the Numba-baseline analogue).
     Iterative,
@@ -21,6 +32,7 @@ pub enum KernelChoice {
     },
 }
 
+#[allow(deprecated)]
 impl KernelChoice {
     /// The cost-model descriptor of this kernel choice.
     pub fn kernel_type(&self) -> cluster_model::KernelType {
@@ -29,6 +41,20 @@ impl KernelChoice {
             KernelChoice::Recursive {
                 r_shared, threads, ..
             } => cluster_model::KernelType::Recursive { r_shared, threads },
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<KernelChoice> for KernelSpec {
+    fn from(k: KernelChoice) -> KernelSpec {
+        match k {
+            KernelChoice::Iterative => KernelSpec::iterative(),
+            KernelChoice::Recursive {
+                r_shared,
+                base,
+                threads,
+            } => KernelSpec::recursive(r_shared, base, threads),
         }
     }
 }
@@ -52,8 +78,9 @@ pub struct DpConfig {
     /// Block side `b`; the Spark-level decomposition parameter is then
     /// `r = ⌈n/b⌉` (the paper's top-level `r`).
     pub block: usize,
-    /// Kernel type run inside executor tasks.
-    pub kernel: KernelChoice,
+    /// Kernel backend selector + parameters for executor tasks,
+    /// resolved against the [`crate::backend::BackendRegistry`].
+    pub kernel: KernelSpec,
     /// Distribution strategy (IM or CB).
     pub strategy: Strategy,
     /// RDD partition count (`None` → the context default, which the
@@ -85,7 +112,7 @@ impl DpConfig {
         DpConfig {
             n,
             block,
-            kernel: KernelChoice::Iterative,
+            kernel: KernelSpec::iterative(),
             strategy: Strategy::InMemory,
             partitions: None,
             min_partitions: None,
@@ -106,19 +133,57 @@ impl DpConfig {
         self.grid() * self.block
     }
 
-    /// Set the executor kernel.
-    pub fn with_kernel(mut self, k: KernelChoice) -> Self {
-        if let KernelChoice::Recursive {
+    /// Set the executor kernel; accepts a [`KernelSpec`] or (via the
+    /// deprecation shim) a `KernelChoice`. Panics on invalid
+    /// parameters — use [`DpConfig::try_with_kernel`] for the typed
+    /// error.
+    pub fn with_kernel(self, k: impl Into<KernelSpec>) -> Self {
+        self.try_with_kernel(k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Set the executor kernel, reporting invalid parameters as a
+    /// typed [`ConfigError`] instead of panicking.
+    pub fn try_with_kernel(mut self, k: impl Into<KernelSpec>) -> Result<Self, ConfigError> {
+        self.kernel = k.into();
+        self.validate()?;
+        Ok(self)
+    }
+
+    /// Select the kernel backend by registry name, keeping the current
+    /// parameters and fallback chain.
+    pub fn with_backend(mut self, name: &str) -> Self {
+        self.kernel.backend = name.to_string();
+        self.validate().unwrap_or_else(|e| panic!("{e}"));
+        self
+    }
+
+    /// Validate the kernel parameterization against this config
+    /// (config-time checks; backend-name resolution happens per
+    /// problem type at solve time).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let KernelParams {
             r_shared,
             base,
             threads,
-        } = k
-        {
-            assert!(r_shared >= 2, "r_shared must be ≥ 2");
-            assert!(base >= 1 && threads >= 1);
+        } = self.kernel.params;
+        if r_shared < 2 {
+            return Err(ConfigError::DegenerateFanout { r_shared });
         }
-        self.kernel = k;
-        self
+        if base < 1 {
+            return Err(ConfigError::ZeroParam("base"));
+        }
+        if threads < 1 {
+            return Err(ConfigError::ZeroParam("threads"));
+        }
+        // A fan-out wider than the block could never split even once;
+        // only meaningful for the fan-out-parametric backend.
+        if self.kernel.backend == RECURSIVE && r_shared > self.block {
+            return Err(ConfigError::FanoutExceedsBlock {
+                r_shared,
+                block: self.block,
+            });
+        }
+        Ok(())
     }
 
     /// Set the distribution strategy.
@@ -166,25 +231,20 @@ impl DpConfig {
         self
     }
 
-    /// Short human-readable label, e.g. `IM/rec4x8/b1024`.
+    /// Short human-readable label, e.g. `IM/rec4x8t/b1024`.
     pub fn label(&self) -> String {
         let strat = match self.strategy {
             Strategy::InMemory => "IM",
             Strategy::CollectBroadcast => "CB",
         };
-        let kernel = match self.kernel {
-            KernelChoice::Iterative => "iter".to_string(),
-            KernelChoice::Recursive {
-                r_shared, threads, ..
-            } => format!("rec{r_shared}x{threads}t"),
-        };
-        format!("{strat}/{kernel}/b{}", self.block)
+        format!("{strat}/{}/b{}", self.kernel.label(), self.block)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BLOCKED;
 
     #[test]
     fn grid_and_padding() {
@@ -200,23 +260,59 @@ mod tests {
     fn labels_are_stable() {
         let c = DpConfig::new(1024, 256)
             .with_strategy(Strategy::CollectBroadcast)
-            .with_kernel(KernelChoice::Recursive {
-                r_shared: 4,
-                base: 64,
-                threads: 8,
-            });
+            .with_kernel(KernelSpec::recursive(4, 64, 8));
         assert_eq!(c.label(), "CB/rec4x8t/b256");
         assert_eq!(DpConfig::new(8, 4).label(), "IM/iter/b4");
+        assert_eq!(
+            DpConfig::new(8, 4).with_backend(BLOCKED).label(),
+            "IM/blocked/b4"
+        );
     }
 
     #[test]
     #[should_panic(expected = "r_shared must be")]
     fn rejects_degenerate_recursion() {
-        let _ = DpConfig::new(8, 4).with_kernel(KernelChoice::Recursive {
-            r_shared: 1,
-            base: 4,
-            threads: 1,
-        });
+        let _ = DpConfig::new(8, 4).with_kernel(KernelSpec::recursive(1, 4, 1));
+    }
+
+    #[test]
+    fn typed_errors_for_invalid_kernel_params() {
+        assert_eq!(
+            DpConfig::new(8, 4)
+                .try_with_kernel(KernelSpec::recursive(1, 4, 1))
+                .unwrap_err(),
+            ConfigError::DegenerateFanout { r_shared: 1 }
+        );
+        assert_eq!(
+            DpConfig::new(32, 4)
+                .try_with_kernel(KernelSpec::recursive(8, 2, 1))
+                .unwrap_err(),
+            ConfigError::FanoutExceedsBlock {
+                r_shared: 8,
+                block: 4
+            }
+        );
+        assert_eq!(
+            DpConfig::new(8, 4)
+                .try_with_kernel(KernelSpec::recursive(2, 0, 1))
+                .unwrap_err(),
+            ConfigError::ZeroParam("base")
+        );
+        assert_eq!(
+            DpConfig::new(8, 4)
+                .try_with_kernel(KernelSpec::recursive(2, 2, 0))
+                .unwrap_err(),
+            ConfigError::ZeroParam("threads")
+        );
+        // The fan-out cap applies to the recursive backend only: the
+        // same params under `iterative` or `blocked` are inert.
+        assert!(DpConfig::new(32, 4)
+            .try_with_kernel(KernelSpec::iterative().with_params(KernelParams {
+                r_shared: 8,
+                base: 2,
+                threads: 1
+            }))
+            .is_ok());
     }
 
     #[test]
@@ -243,7 +339,28 @@ mod tests {
     }
 
     #[test]
-    fn kernel_type_mapping() {
+    #[allow(deprecated)]
+    fn kernel_choice_shim_converts() {
+        // The deprecated enum still compiles and converts into the
+        // equivalent spec (including through with_kernel).
+        assert_eq!(
+            KernelSpec::from(KernelChoice::Iterative),
+            KernelSpec::iterative()
+        );
+        assert_eq!(
+            KernelSpec::from(KernelChoice::Recursive {
+                r_shared: 4,
+                base: 32,
+                threads: 8
+            }),
+            KernelSpec::recursive(4, 32, 8)
+        );
+        let c = DpConfig::new(32, 8).with_kernel(KernelChoice::Recursive {
+            r_shared: 4,
+            base: 4,
+            threads: 2,
+        });
+        assert_eq!(c.kernel, KernelSpec::recursive(4, 4, 2));
         assert_eq!(
             KernelChoice::Iterative.kernel_type(),
             cluster_model::KernelType::Iterative

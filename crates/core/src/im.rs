@@ -22,8 +22,8 @@ use std::sync::Arc;
 use gep_kernels::gep::Kind;
 use sparklet::{JobError, Partitioner, Rdd, StorageLevel};
 
+use crate::backend::KernelSpec;
 use crate::block::Block;
-use crate::config::KernelChoice;
 use crate::filters;
 use crate::kernels::apply_kernel;
 use crate::problem::DpProblem;
@@ -61,12 +61,14 @@ pub fn step<S: DpProblem>(
     k: usize,
     g: usize,
     b: usize,
-    kernel: KernelChoice,
+    kernel: KernelSpec,
     partitions: usize,
     partitioner: Arc<dyn Partitioner<K>>,
 ) -> Result<Rdd<K, Block<S::Elem>>, JobError> {
     // ---- Stage 1: A kernel + copies to every consumer --------------
-    let kc = kernel;
+    let kc = kernel.clone();
+    let kc_bc = kernel.clone();
+    let kc_d = kernel;
     let a_all = dp
         .filter(move |key, _| filters::filter_a(*key, k))
         .map_partitions_to(move |_p, items, tc| {
@@ -120,7 +122,17 @@ pub fn step<S: DpProblem>(
                 let diag = group.swap_remove(d).1;
                 let m = pick(&group, ROLE_MAIN).expect("B main present");
                 let mut blk = group.swap_remove(m).1;
-                apply_kernel::<S>(Kind::B, key, k, &mut blk, None, None, Some(&diag), &kc, tc);
+                apply_kernel::<S>(
+                    Kind::B,
+                    key,
+                    k,
+                    &mut blk,
+                    None,
+                    None,
+                    Some(&diag),
+                    &kc_bc,
+                    tc,
+                );
                 // Copies toward the D consumers in this block column.
                 let j = key.1;
                 for i in 0..g {
@@ -134,7 +146,17 @@ pub fn step<S: DpProblem>(
                 let diag = group.swap_remove(d).1;
                 let m = pick(&group, ROLE_MAIN).expect("C main present");
                 let mut blk = group.swap_remove(m).1;
-                apply_kernel::<S>(Kind::C, key, k, &mut blk, None, None, Some(&diag), &kc, tc);
+                apply_kernel::<S>(
+                    Kind::C,
+                    key,
+                    k,
+                    &mut blk,
+                    None,
+                    None,
+                    Some(&diag),
+                    &kc_bc,
+                    tc,
+                );
                 let i = key.0;
                 for j in 0..g {
                     if filters::filter_d::<S>((i, j), k, b) {
@@ -185,7 +207,7 @@ pub fn step<S: DpProblem>(
                     Some(&u_blk),
                     Some(&v_blk),
                     w_blk.as_ref(),
-                    &kc,
+                    &kc_d,
                     tc,
                 );
                 out.push((key, blk));
@@ -234,7 +256,7 @@ mod tests {
         }
         let partitioner: Arc<dyn Partitioner<K>> = Arc::new(GridPartitioner::new(g));
         let dp = sc.parallelize_with(blocks, parts, Arc::clone(&partitioner));
-        let next = step::<Tropical>(&dp, 1, g, b, KernelChoice::Iterative, parts, partitioner)
+        let next = step::<Tropical>(&dp, 1, g, b, KernelSpec::iterative(), parts, partitioner)
             .expect("IM iterations build lazily");
         let plan = next.explain();
         let expected = "\

@@ -2,43 +2,68 @@
 //! `CRecGE`/`DRecGE` and their iterative counterparts).
 //!
 //! Every application records a [`cluster_model::KernelInvocation`] on
-//! the task so the cost model can price the compute; real blocks then
-//! run the actual kernel (iterative loop or parallel r-way R-DP on the
-//! OpenMP-substitute pool), virtual blocks stop at the accounting.
+//! the task so the cost model can price the compute; the kernel itself
+//! is resolved through the [`crate::backend::BackendRegistry`] — real
+//! blocks run the resolved backend, virtual blocks flow through its
+//! cost-accounting `simulate` hook.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use cluster_model::KernelInvocation;
 use gep_kernels::gep::Kind;
-use gep_kernels::iterative::block_kernel;
-use gep_kernels::recursive::{rec_kernel, RecConfig};
 use par_pool::Pool;
 use parking_lot::Mutex;
 use sparklet::TaskContext;
 
+use crate::backend::{registry, KernelSpec};
 use crate::block::Block;
-use crate::config::KernelChoice;
 use crate::problem::DpProblem;
+
+/// Cap on distinct pool sizes the shared "OpenMP runtime" keeps alive.
+/// Past the cap, requests reuse the nearest-size existing team instead
+/// of spawning yet another thread pool.
+const MAX_POOLS: usize = 8;
 
 /// Shared "OpenMP runtime": one pool per requested thread count,
 /// created lazily and reused across tasks (a task's kernel joins the
-/// team sized like its `OMP_NUM_THREADS`).
+/// team sized like its `OMP_NUM_THREADS`). The pool map is bounded by
+/// [`MAX_POOLS`]; once full, the nearest-size pool is reused — tuning
+/// sweeps over many thread counts no longer accrete one OS thread team
+/// per distinct value for the life of the process.
 pub fn omp_pool(threads: usize) -> Arc<Pool> {
-    static POOLS: Mutex<Option<HashMap<usize, Arc<Pool>>>> = Mutex::new(None);
+    static POOLS: Mutex<Option<BTreeMap<usize, Arc<Pool>>>> = Mutex::new(None);
     let mut guard = POOLS.lock();
-    let pools = guard.get_or_insert_with(HashMap::new);
-    Arc::clone(pools.entry(threads.max(1)).or_insert_with(|| {
-        Arc::new(
-            Pool::builder()
-                .threads(threads.max(1))
-                .name_prefix(format!("omp-{threads}"))
-                .build(),
-        )
-    }))
+    pool_for(guard.get_or_insert_with(BTreeMap::new), threads, MAX_POOLS)
 }
 
-/// Run (or account) one block kernel.
+/// The capped lookup behind [`omp_pool`], factored over an explicit
+/// map so the reuse policy is testable without the global.
+fn pool_for(pools: &mut BTreeMap<usize, Arc<Pool>>, threads: usize, cap: usize) -> Arc<Pool> {
+    let want = threads.max(1);
+    if let Some(p) = pools.get(&want) {
+        return Arc::clone(p);
+    }
+    if pools.len() < cap {
+        let p = Arc::new(
+            Pool::builder()
+                .threads(want)
+                .name_prefix(format!("omp-{want}"))
+                .build(),
+        );
+        pools.insert(want, Arc::clone(&p));
+        return p;
+    }
+    // At capacity: reuse the nearest-size team (deterministic
+    // tie-break toward the smaller size).
+    let (_, p) = pools
+        .iter()
+        .min_by_key(|&(&size, _)| (size.abs_diff(want), size))
+        .expect("cap ≥ 1, so a pool exists");
+    Arc::clone(p)
+}
+
+/// Run (or account) one block kernel through the backend registry.
 ///
 /// * `kind` — which GEP kernel;
 /// * `key` — the block's grid coordinate `(bi, bj)`;
@@ -46,6 +71,10 @@ pub fn omp_pool(threads: usize) -> Arc<Pool> {
 /// * `x` — the block to update;
 /// * `u`/`v` — column-/row-panel operand blocks (kind D only);
 /// * `w` — the diagonal block (kinds B, C, D).
+///
+/// The spec's backend + fallback chain is resolved deterministically;
+/// an exhausted chain is a configuration bug and panics with the typed
+/// error's message (task-level recovery cannot repair a bad config).
 #[allow(clippy::too_many_arguments)]
 pub fn apply_kernel<S: DpProblem>(
     kind: Kind,
@@ -55,20 +84,24 @@ pub fn apply_kernel<S: DpProblem>(
     u: Option<&Block<S::Elem>>,
     v: Option<&Block<S::Elem>>,
     w: Option<&Block<S::Elem>>,
-    kernel: &KernelChoice,
+    kernel: &KernelSpec,
     tc: &TaskContext,
 ) {
     let b = x.rows();
     assert_eq!(x.cols(), b, "blocks are square");
+    let backend = registry::<S>()
+        .resolve(kernel)
+        .unwrap_or_else(|e| panic!("{e}"));
     tc.record_kernel(KernelInvocation {
         updates: S::updates_for(kind, b),
         block_side: b,
         elem_bytes: std::mem::size_of::<S::Elem>(),
-        kernel: kernel.kernel_type(),
+        kernel: backend.kernel_type(&kernel.params),
     });
     if x.is_virtual() {
         debug_assert!(u.is_none_or(Block::is_virtual));
         debug_assert!(w.is_none_or(Block::is_virtual));
+        backend.simulate(kind, &kernel.params, b);
         return;
     }
     let (bi, bj) = key;
@@ -89,32 +122,13 @@ pub fn apply_kernel<S: DpProblem>(
             debug_assert!(w.is_some() || !S::USES_W);
         }
     }
-    match *kernel {
-        KernelChoice::Iterative => {
-            // Iterative kernels take the aliasing-resolved operand set.
-            let (ku, kv, kw) = match kind {
-                Kind::A => (None, None, None),
-                Kind::B => (wv, None, wv),
-                Kind::C => (None, wv, wv),
-                Kind::D => (uv, vv, wv),
-            };
-            block_kernel::<S>(kind, &mut xv, ku, kv, kw);
-        }
-        KernelChoice::Recursive {
-            r_shared,
-            base,
-            threads,
-        } => {
-            let pool = omp_pool(threads);
-            let cfg = RecConfig::new(r_shared, base);
-            rec_kernel::<S>(&pool, &cfg, kind, xv, uv, vv, wv);
-        }
-    }
+    backend.run(kind, &kernel.params, &mut xv, uv, vv, wv);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::BLOCKED;
     use gep_kernels::gep::gep_reference;
     use gep_kernels::{GaussianElim, Matrix, Tropical};
 
@@ -143,7 +157,7 @@ mod tests {
     fn run_blocked<S: DpProblem<Elem = f64>>(
         m: &Matrix<f64>,
         g: usize,
-        kernel: &KernelChoice,
+        kernel: &KernelSpec,
     ) -> Matrix<f64> {
         use crate::filters;
         let b = m.rows() / g;
@@ -247,13 +261,13 @@ mod tests {
     fn blocked_apply_kernel_iterative_matches_reference() {
         for g in [2usize, 4] {
             let m = dd_matrix(16);
-            let out = run_blocked::<GaussianElim>(&m, g, &KernelChoice::Iterative);
+            let out = run_blocked::<GaussianElim>(&m, g, &KernelSpec::iterative());
             let mut reference = m.clone();
             gep_reference::<GaussianElim>(&mut reference);
             assert_eq!(out.first_difference(&reference), None, "g={g}");
 
             let d = dist_matrix(16);
-            let out = run_blocked::<Tropical>(&d, g, &KernelChoice::Iterative);
+            let out = run_blocked::<Tropical>(&d, g, &KernelSpec::iterative());
             let mut reference = d.clone();
             gep_reference::<Tropical>(&mut reference);
             assert_eq!(out.first_difference(&reference), None, "fw g={g}");
@@ -262,11 +276,7 @@ mod tests {
 
     #[test]
     fn blocked_apply_kernel_recursive_matches_reference() {
-        let kernel = KernelChoice::Recursive {
-            r_shared: 2,
-            base: 2,
-            threads: 3,
-        };
+        let kernel = KernelSpec::recursive(2, 2, 3);
         let m = dd_matrix(16);
         let out = run_blocked::<GaussianElim>(&m, 2, &kernel);
         let mut reference = m.clone();
@@ -275,6 +285,28 @@ mod tests {
 
         let d = dist_matrix(16);
         let out = run_blocked::<Tropical>(&d, 4, &kernel);
+        let mut reference = d.clone();
+        gep_reference::<Tropical>(&mut reference);
+        assert_eq!(out.first_difference(&reference), None);
+    }
+
+    #[test]
+    fn blocked_backend_via_registry_matches_reference() {
+        let kernel = KernelSpec::named(BLOCKED);
+        let m = dd_matrix(16);
+        let out = run_blocked::<GaussianElim>(&m, 2, &kernel);
+        let mut reference = m.clone();
+        gep_reference::<GaussianElim>(&mut reference);
+        assert_eq!(out.first_difference(&reference), None);
+    }
+
+    #[test]
+    fn fallback_chain_reaches_a_real_backend() {
+        // An unregistered primary falls through to the iterative
+        // fallback and still computes the right answer.
+        let kernel = KernelSpec::named("not-registered").with_fallback("iterative");
+        let d = dist_matrix(16);
+        let out = run_blocked::<Tropical>(&d, 2, &kernel);
         let mut reference = d.clone();
         gep_reference::<Tropical>(&mut reference);
         assert_eq!(out.first_difference(&reference), None);
@@ -292,7 +324,7 @@ mod tests {
             None,
             None,
             None,
-            &KernelChoice::Iterative,
+            &KernelSpec::iterative(),
             &tc,
         );
         let rec = tc.snapshot();
@@ -308,5 +340,32 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.threads(), 3);
         assert_eq!(omp_pool(0).threads(), 1);
+    }
+
+    #[test]
+    fn omp_pool_map_is_capped_and_reuses_nearest() {
+        // Exercise the policy on a local map so the process-global
+        // runtime is untouched.
+        let mut pools = BTreeMap::new();
+        for t in [1usize, 2, 4, 8] {
+            let p = pool_for(&mut pools, t, 4);
+            assert_eq!(p.threads(), t);
+        }
+        assert_eq!(pools.len(), 4);
+        // At cap: a fresh size allocates nothing and reuses the
+        // nearest team (6 → tie between 4 and 8 → smaller wins).
+        let p = pool_for(&mut pools, 6, 4);
+        assert_eq!(pools.len(), 4, "cap holds: no new pool");
+        assert_eq!(p.threads(), 4);
+        assert!(Arc::ptr_eq(&p, pools.get(&4).unwrap()));
+        // 100 → nearest is 8.
+        assert_eq!(pool_for(&mut pools, 100, 4).threads(), 8);
+        // Exact sizes still hit their own pool.
+        assert_eq!(pool_for(&mut pools, 2, 4).threads(), 2);
+        // Repeat lookups are stable (deterministic reuse).
+        assert!(Arc::ptr_eq(
+            &pool_for(&mut pools, 6, 4),
+            &pool_for(&mut pools, 6, 4)
+        ));
     }
 }

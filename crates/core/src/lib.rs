@@ -6,12 +6,18 @@
 //! `b×b` blocks, this crate provides the paper's four implementation
 //! variants:
 //!
-//! | strategy | kernel | paper name |
+//! | strategy | kernel backend | paper name |
 //! |---|---|---|
-//! | [`Strategy::InMemory`] | [`KernelChoice::Iterative`] | IM, iterative |
-//! | [`Strategy::InMemory`] | [`KernelChoice::Recursive`] | IM, r-way R-DP |
-//! | [`Strategy::CollectBroadcast`] | [`KernelChoice::Iterative`] | CB, iterative |
-//! | [`Strategy::CollectBroadcast`] | [`KernelChoice::Recursive`] | CB, r-way R-DP |
+//! | [`Strategy::InMemory`] | `iterative` | IM, iterative |
+//! | [`Strategy::InMemory`] | `recursive` | IM, r-way R-DP |
+//! | [`Strategy::CollectBroadcast`] | `iterative` | CB, iterative |
+//! | [`Strategy::CollectBroadcast`] | `recursive` | CB, r-way R-DP |
+//!
+//! Kernel execution is dispatched through a [`backend::BackendRegistry`]
+//! of named [`backend::KernelBackend`]s (the table above plus a
+//! cache-blocked `blocked` backend and the cost-accounting `simulate`
+//! backend); a [`KernelSpec`] names the backend, an optional fallback
+//! chain, and the shape params.
 //!
 //! **IM** (Listing 1) keeps everything in RDDs: each iteration runs the
 //! A kernel, flat-maps copies of updated blocks to their consumers,
@@ -33,6 +39,7 @@
 
 pub mod adaptive;
 pub mod aqe;
+pub mod backend;
 pub mod beyond;
 pub mod block;
 pub mod cb;
@@ -45,11 +52,17 @@ pub mod problem;
 pub mod solver;
 pub mod tuner;
 
-pub use adaptive::{adaptive_solve, AdaptiveOutcome};
+pub use adaptive::{adaptive_solve, adaptive_solve_registry, AdaptiveOutcome};
 pub use aqe::{AqeAction, AqeDecision, AqePlanner};
+pub use backend::{
+    register_backend, registry, BackendRegistry, ConfigError, KernelBackend, KernelParams,
+    KernelSpec, ThreadModel,
+};
 pub use beyond::{solve_alignment, solve_parenthesis};
 pub use block::{Block, ElemCodec};
-pub use config::{DpConfig, KernelChoice, Strategy};
+#[allow(deprecated)]
+pub use config::KernelChoice;
+pub use config::{DpConfig, Strategy};
 pub use linsys::solve_linear_system;
 pub use problem::DpProblem;
 pub use solver::{

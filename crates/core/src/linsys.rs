@@ -31,7 +31,8 @@ pub fn solve_linear_system(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{KernelChoice, Strategy};
+    use crate::backend::KernelSpec;
+    use crate::config::Strategy;
     use sparklet::SparkConf;
 
     fn dd_system(m: usize, seed: u64) -> (Matrix<f64>, Vec<f64>, Vec<f64>) {
@@ -59,11 +60,7 @@ mod tests {
         let sc = SparkContext::new(SparkConf::default().with_executors(3).with_partitions(9));
         let template = DpConfig::new(1, 8)
             .with_strategy(Strategy::CollectBroadcast)
-            .with_kernel(KernelChoice::Recursive {
-                r_shared: 2,
-                base: 2,
-                threads: 2,
-            });
+            .with_kernel(KernelSpec::recursive(2, 2, 2));
         let x = solve_linear_system(&sc, &template, &a, &b).expect("solve");
         for i in 0..31 {
             assert!((x[i] - x_true[i]).abs() < 1e-9, "x[{i}]");

@@ -108,11 +108,20 @@ fn run_loop<S: DpProblem>(
     cfg: &DpConfig,
     mut dp: Rdd<K, Block<S::Elem>>,
 ) -> Result<Rdd<K, Block<S::Elem>>, JobError> {
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid DpConfig: {e}"));
     let g = cfg.grid();
     let b = cfg.block;
     let mut partitions = cfg.partitions.unwrap_or(sc.conf().default_partitions);
     let mut strategy = cfg.strategy;
-    let mut kernel = cfg.kernel;
+    let mut kernel = cfg.kernel.clone();
+    // A context-level backend override (e.g. `DP_KERNEL_BACKEND` via
+    // the sparklet conf) rebinds the spec's primary backend while
+    // keeping its params and fallback chain — the hook the CI matrix
+    // uses to run the whole suite per backend.
+    if let Some(name) = sc.conf().kernel_backend.as_deref() {
+        kernel.backend = name.to_string();
+    }
     let partitioner = partitioner_for(cfg);
     let mut level = cfg.storage_level.unwrap_or_else(|| match cfg.strategy {
         Strategy::InMemory => im::default_storage_level(),
@@ -131,11 +140,12 @@ fn run_loop<S: DpProblem>(
                  dp: &mut Rdd<K, Block<S::Elem>>,
                  partitions: &mut usize,
                  strategy: &mut Strategy,
-                 kernel: &mut crate::config::KernelChoice,
+                 kernel: &mut crate::backend::KernelSpec,
                  level: &mut sparklet::StorageLevel,
                  partitioner: &Arc<dyn Partitioner<K>>| {
-        match d.action {
+        match &d.action {
             AqeAction::Repartition(p) => {
+                let p = *p;
                 *dp = if p < *partitions && partitions.is_multiple_of(p) {
                     dp.coalesce(p)
                 } else {
@@ -143,14 +153,14 @@ fn run_loop<S: DpProblem>(
                 };
                 *partitions = p;
             }
-            AqeAction::SwitchStrategy(s) => *strategy = s,
-            AqeAction::Retune(kc) => *kernel = kc,
-            AqeAction::Retier(lv) => *level = lv,
+            AqeAction::SwitchStrategy(s) => *strategy = *s,
+            AqeAction::Retune(spec) => *kernel = spec.clone(),
+            AqeAction::Retier(lv) => *level = *lv,
         }
         sc.log_adaptive_decision(iteration, &d.label, &d.reason);
     };
     if let Some(planner) = planner.as_mut() {
-        for d in planner.plan_initial::<S>(cfg, partitions, strategy, kernel) {
+        for d in planner.plan_initial::<S>(cfg, partitions, strategy, &kernel) {
             apply(
                 &d,
                 0,
@@ -165,16 +175,22 @@ fn run_loop<S: DpProblem>(
     }
     for k in 0..g {
         let next = match strategy {
-            Strategy::InMemory => {
-                im::step::<S>(&dp, k, g, b, kernel, partitions, Arc::clone(&partitioner))?
-            }
+            Strategy::InMemory => im::step::<S>(
+                &dp,
+                k,
+                g,
+                b,
+                kernel.clone(),
+                partitions,
+                Arc::clone(&partitioner),
+            )?,
             Strategy::CollectBroadcast => cb::step::<S>(
                 sc,
                 &dp,
                 k,
                 g,
                 b,
-                kernel,
+                kernel.clone(),
                 partitions,
                 Arc::clone(&partitioner),
                 level,
@@ -198,7 +214,7 @@ fn run_loop<S: DpProblem>(
         };
         if let Some(planner) = planner.as_mut() {
             if k + 1 < g {
-                for d in planner.replan::<S>(sc, cfg, k, partitions, strategy, kernel, level) {
+                for d in planner.replan::<S>(sc, cfg, k, partitions, strategy, &kernel, level) {
                     apply(
                         &d,
                         k as u64,

@@ -12,7 +12,8 @@
 use cluster_model::ClusterSpec;
 use sparklet::JobError;
 
-use crate::config::{DpConfig, KernelChoice, Strategy};
+use crate::backend::{registry, KernelParams, KernelSpec, ITERATIVE, SIMULATE};
+use crate::config::{DpConfig, Strategy};
 use crate::problem::DpProblem;
 use crate::solver::simulate_seconds;
 
@@ -57,46 +58,68 @@ impl Default for TuneSpace {
 /// Exhaustively evaluate the space on `cluster` for problem size `n`,
 /// returning candidates sorted fastest-first. Virtual runs only — no
 /// numeric data is touched.
+///
+/// The kernel axis of the grid is the backend registry itself, walked
+/// in registration order (deterministic): every available backend
+/// except the cost-accounting `simulate` one is evaluated, with the
+/// `iterative` baseline gated by [`TuneSpace::include_iterative`].
+/// Fan-out-parametric backends (the recursive family) expand into the
+/// `r_shared × threads` grid; fixed-shape backends are priced once at
+/// default params. Registering a new backend adds it to every tuning
+/// sweep with no tuner changes.
 pub fn tune<S: DpProblem>(
     cluster: &ClusterSpec,
     n: usize,
     space: &TuneSpace,
 ) -> Result<Vec<TuneResult>, JobError> {
+    let reg = registry::<S>();
     let mut results = Vec::new();
     for &block in &space.blocks {
         if block >= n {
             continue;
         }
         for &strategy in &space.strategies {
-            if space.include_iterative {
-                let cfg = DpConfig::new(n, block)
-                    .with_strategy(strategy)
-                    .with_kernel(KernelChoice::Iterative)
-                    .virtual_mode();
-                let secs = simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
-                results.push(TuneResult {
-                    config: cfg,
-                    omp_threads: 1,
-                    seconds: secs,
-                });
-            }
-            for &r_shared in &space.r_shared {
-                if r_shared >= block {
+            for backend in reg.backends() {
+                if !backend.available() || backend.name() == SIMULATE {
                     continue;
                 }
-                for &threads in &space.threads {
+                if backend.name() == ITERATIVE && !space.include_iterative {
+                    continue;
+                }
+                if backend.fanout_parametric() {
+                    for &r_shared in &space.r_shared {
+                        if r_shared >= block {
+                            continue;
+                        }
+                        for &threads in &space.threads {
+                            let spec =
+                                KernelSpec::named(backend.name()).with_params(KernelParams {
+                                    r_shared,
+                                    base: 64,
+                                    threads,
+                                });
+                            let cfg = DpConfig::new(n, block)
+                                .with_strategy(strategy)
+                                .with_kernel(spec)
+                                .virtual_mode();
+                            let secs =
+                                simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
+                            results.push(TuneResult {
+                                config: cfg,
+                                omp_threads: threads,
+                                seconds: secs,
+                            });
+                        }
+                    }
+                } else {
                     let cfg = DpConfig::new(n, block)
                         .with_strategy(strategy)
-                        .with_kernel(KernelChoice::Recursive {
-                            r_shared,
-                            base: 64,
-                            threads,
-                        })
+                        .with_kernel(KernelSpec::named(backend.name()))
                         .virtual_mode();
                     let secs = simulate_seconds::<S>(cluster, cluster.node.cores, &cfg, None)?;
                     results.push(TuneResult {
                         config: cfg,
-                        omp_threads: threads,
+                        omp_threads: 1,
                         seconds: secs,
                     });
                 }

@@ -2,7 +2,7 @@
 //! kernel combination must reproduce the sequential Fig. 1 reference
 //! bitwise (GE always; FW/TC on exact-arithmetic inputs).
 
-use dp_core::{solve, solve_virtual, DpConfig, KernelChoice, Strategy};
+use dp_core::{solve, solve_virtual, DpConfig, KernelSpec, Strategy};
 use gep_kernels::gep::gep_reference;
 use gep_kernels::{GaussianElim, Matrix, TransitiveClosure, Tropical};
 use sparklet::{SparkConf, SparkContext};
@@ -51,26 +51,14 @@ fn dist_matrix(n: usize, seed: u64) -> Matrix<f64> {
     })
 }
 
-fn all_variants() -> Vec<(Strategy, KernelChoice)> {
+fn all_variants() -> Vec<(Strategy, KernelSpec)> {
     vec![
-        (Strategy::InMemory, KernelChoice::Iterative),
-        (
-            Strategy::InMemory,
-            KernelChoice::Recursive {
-                r_shared: 2,
-                base: 2,
-                threads: 2,
-            },
-        ),
-        (Strategy::CollectBroadcast, KernelChoice::Iterative),
-        (
-            Strategy::CollectBroadcast,
-            KernelChoice::Recursive {
-                r_shared: 4,
-                base: 2,
-                threads: 3,
-            },
-        ),
+        (Strategy::InMemory, KernelSpec::iterative()),
+        (Strategy::InMemory, KernelSpec::recursive(2, 2, 2)),
+        (Strategy::InMemory, KernelSpec::named("blocked")),
+        (Strategy::CollectBroadcast, KernelSpec::iterative()),
+        (Strategy::CollectBroadcast, KernelSpec::recursive(4, 2, 3)),
+        (Strategy::CollectBroadcast, KernelSpec::named("blocked")),
     ]
 }
 
@@ -152,11 +140,7 @@ fn grid_partitioner_variant_matches_reference() {
 fn fw_apsp_agrees_with_dijkstra_on_random_graph() {
     let adj = gep_kernels::graph::erdos_renyi(20, 0.3, 1.0, 9.0, 11);
     let sc = ctx();
-    let cfg = DpConfig::new(20, 5).with_kernel(KernelChoice::Recursive {
-        r_shared: 2,
-        base: 2,
-        threads: 2,
-    });
+    let cfg = DpConfig::new(20, 5).with_kernel(KernelSpec::recursive(2, 2, 2));
     let out = solve::<Tropical>(&sc, &cfg, &adj).expect("solve");
     assert_eq!(gep_kernels::graph::check_apsp(&adj, &out, 1e-9), None);
 }

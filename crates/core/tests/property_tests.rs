@@ -3,7 +3,7 @@
 //! and cluster shapes, the distributed result equals the sequential
 //! reference exactly.
 
-use dp_core::{solve, DpConfig, KernelChoice, Strategy as DpStrategy};
+use dp_core::{solve, DpConfig, KernelSpec, Strategy as DpStrategy};
 use gep_kernels::gep::gep_reference;
 use gep_kernels::{GaussianElim, Matrix, TransitiveClosure, Tropical};
 use proptest::prelude::*;
@@ -43,17 +43,23 @@ fn dist_matrix(n: usize, seed: u64) -> Matrix<f64> {
     })
 }
 
-fn any_kernel() -> impl proptest::strategy::Strategy<Value = KernelChoice> {
+fn any_kernel() -> impl proptest::strategy::Strategy<Value = KernelSpec> {
     prop_oneof![
-        Just(KernelChoice::Iterative),
-        (2usize..=4, 1usize..=4, 1usize..=3).prop_map(|(r, base, threads)| {
-            KernelChoice::Recursive {
-                r_shared: r,
-                base,
-                threads,
-            }
-        }),
+        Just(KernelSpec::iterative()),
+        Just(KernelSpec::named("blocked")),
+        (2usize..=4, 1usize..=4, 1usize..=3)
+            .prop_map(|(r, base, threads)| KernelSpec::recursive(r, base, threads)),
     ]
+}
+
+/// Smallest block a spec is valid at: the recursive backend requires
+/// `r_shared <= block`.
+fn legal_block(block: usize, kernel: &KernelSpec) -> usize {
+    if kernel.backend == "recursive" {
+        block.max(kernel.params.r_shared)
+    } else {
+        block
+    }
 }
 
 fn any_strategy() -> impl proptest::strategy::Strategy<Value = DpStrategy> {
@@ -86,7 +92,7 @@ proptest! {
                 .with_executors(executors)
                 .with_partitions(partitions.max(1)),
         );
-        let cfg = DpConfig::new(n, block)
+        let cfg = DpConfig::new(n, legal_block(block, &kernel))
             .with_kernel(kernel)
             .with_strategy(strategy)
             .with_partitions(partitions.max(1))
@@ -109,7 +115,7 @@ proptest! {
         let sc = SparkContext::new(
             SparkConf::default().with_executors(3).with_partitions(7),
         );
-        let cfg = DpConfig::new(n, block.min(n))
+        let cfg = DpConfig::new(n, legal_block(block.min(n), &kernel))
             .with_kernel(kernel)
             .with_strategy(strategy);
         let out = solve::<Tropical>(&sc, &cfg, &input).expect("solve");

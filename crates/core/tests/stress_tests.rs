@@ -3,7 +3,7 @@
 //! executors, deeper recursion — the soak coverage a release build
 //! should pass.
 
-use dp_core::{solve, solve_parenthesis, DpConfig, KernelChoice, Strategy};
+use dp_core::{solve, solve_parenthesis, DpConfig, KernelSpec, Strategy};
 use gep_kernels::gep::gep_reference;
 use gep_kernels::graph::{check_apsp, erdos_renyi};
 use gep_kernels::parenthesis::{solve_reference, ParenWeight};
@@ -25,23 +25,10 @@ fn large_fw_apsp_all_variants() {
     let n = 512;
     let adj = erdos_renyi(n, 0.01, 1.0, 10.0, 99);
     for (strategy, kernel) in [
-        (Strategy::InMemory, KernelChoice::Iterative),
-        (
-            Strategy::InMemory,
-            KernelChoice::Recursive {
-                r_shared: 4,
-                base: 32,
-                threads: 2,
-            },
-        ),
-        (
-            Strategy::CollectBroadcast,
-            KernelChoice::Recursive {
-                r_shared: 8,
-                base: 16,
-                threads: 2,
-            },
-        ),
+        (Strategy::InMemory, KernelSpec::iterative()),
+        (Strategy::InMemory, KernelSpec::recursive(4, 32, 2)),
+        (Strategy::InMemory, KernelSpec::named("blocked")),
+        (Strategy::CollectBroadcast, KernelSpec::recursive(8, 16, 2)),
     ] {
         let sc = big_ctx();
         let cfg = DpConfig::new(n, 128)
@@ -73,11 +60,7 @@ fn large_ge_bitwise_grid() {
         let sc = big_ctx();
         let cfg = DpConfig::new(n, block)
             .with_strategy(Strategy::CollectBroadcast)
-            .with_kernel(KernelChoice::Recursive {
-                r_shared,
-                base,
-                threads: 2,
-            });
+            .with_kernel(KernelSpec::recursive(r_shared, base, 2));
         let out = solve::<GaussianElim>(&sc, &cfg, &input).expect("solve");
         assert_eq!(out.first_difference(&reference), None, "{}", cfg.label());
     }
@@ -111,11 +94,7 @@ fn paper_scale_virtual_smoke() {
     for strategy in [Strategy::InMemory, Strategy::CollectBroadcast] {
         let cfg = DpConfig::new(32 * 1024, 2048)
             .with_strategy(strategy)
-            .with_kernel(KernelChoice::Recursive {
-                r_shared: 4,
-                base: 64,
-                threads: 8,
-            })
+            .with_kernel(KernelSpec::recursive(4, 64, 8))
             .virtual_mode();
         let secs = simulate_seconds::<Tropical>(&cluster, 32, &cfg, None).expect("simulate");
         assert!(secs > 10.0 && secs < 8.0 * 3600.0, "{strategy:?}: {secs}");

@@ -6,7 +6,7 @@
 //! cargo run --release --example adaptive
 //! ```
 
-use dp_core::{adaptive_solve, DpConfig, KernelChoice, Strategy};
+use dp_core::{adaptive_solve, DpConfig, KernelSpec, Strategy};
 use gep_kernels::graph::{check_apsp, erdos_renyi};
 use gep_kernels::Tropical;
 use sparklet::{SparkConf, SparkContext};
@@ -23,17 +23,10 @@ fn main() {
     );
     let cfg = DpConfig::new(n, 128).with_strategy(Strategy::InMemory);
     let candidates = [
-        KernelChoice::Iterative,
-        KernelChoice::Recursive {
-            r_shared: 2,
-            base: 32,
-            threads: 2,
-        },
-        KernelChoice::Recursive {
-            r_shared: 4,
-            base: 32,
-            threads: 4,
-        },
+        KernelSpec::iterative(),
+        KernelSpec::named("blocked"),
+        KernelSpec::recursive(2, 32, 2),
+        KernelSpec::recursive(4, 32, 4),
     ];
 
     println!(
@@ -42,9 +35,9 @@ fn main() {
     );
     let out = adaptive_solve::<Tropical>(&sc, &cfg, &adj, &candidates, 1).expect("adaptive solve");
     for (c, secs) in candidates.iter().zip(&out.probe_seconds) {
-        println!("  {c:?}: {secs:.3} s");
+        println!("  {}: {secs:.3} s", c.label());
     }
-    println!("chosen: {:?}", out.chosen);
+    println!("chosen: {}", out.chosen.label());
 
     assert_eq!(check_apsp(&adj, &out.result, 1e-9), None);
     println!("validated: full solve with the chosen kernel matches Dijkstra");

@@ -11,7 +11,7 @@
 //! driver-side back-substitution — checks the residual, and also
 //! extracts the LU factors.
 
-use dp_core::{solve_linear_system, DpConfig, KernelChoice, Strategy};
+use dp_core::{solve_linear_system, DpConfig, KernelSpec, Strategy};
 use gep_kernels::gep::gep_reference;
 use gep_kernels::linalg::{lu_factors, matmul};
 use gep_kernels::{GaussianElim, Matrix};
@@ -51,11 +51,7 @@ fn main() {
     );
     let template = DpConfig::new(1, 64)
         .with_strategy(Strategy::CollectBroadcast)
-        .with_kernel(KernelChoice::Recursive {
-            r_shared: 4,
-            base: 16,
-            threads: 2,
-        });
+        .with_kernel(KernelSpec::recursive(4, 16, 2));
 
     println!(
         "solving a {unknowns}-unknown system as {} …",

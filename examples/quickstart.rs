@@ -8,7 +8,7 @@
 //! strategy and a parallel 4-way recursive kernel, validates against
 //! Dijkstra, and prints what the engine did.
 
-use dp_core::{solve, DpConfig, KernelChoice, Strategy};
+use dp_core::{solve, DpConfig, KernelSpec, Strategy};
 use gep_kernels::graph::{check_apsp, erdos_renyi};
 use gep_kernels::Tropical;
 use sparklet::{SparkConf, SparkContext};
@@ -31,11 +31,7 @@ fn main() {
     // kernels with 4 "OpenMP" threads inside each task.
     let cfg = DpConfig::new(n, 64)
         .with_strategy(Strategy::InMemory)
-        .with_kernel(KernelChoice::Recursive {
-            r_shared: 4,
-            base: 16,
-            threads: 4,
-        });
+        .with_kernel(KernelSpec::recursive(4, 16, 4));
 
     println!("solving {n}×{n} FW-APSP as {} …", cfg.label());
     let t0 = std::time::Instant::now();

@@ -11,7 +11,7 @@
 //! queries: worst-case commute, network diameter, and the average
 //! travel time from a depot.
 
-use dp_core::{solve, DpConfig, KernelChoice, Strategy};
+use dp_core::{solve, DpConfig, KernelSpec, Strategy};
 use gep_kernels::graph::{check_apsp, grid_network};
 use gep_kernels::Tropical;
 use sparklet::{SparkConf, SparkContext};
@@ -31,11 +31,7 @@ fn main() {
     // CB suits the lighter per-iteration traffic of a small cluster.
     let cfg = DpConfig::new(n, 64)
         .with_strategy(Strategy::CollectBroadcast)
-        .with_kernel(KernelChoice::Recursive {
-            r_shared: 2,
-            base: 16,
-            threads: 2,
-        });
+        .with_kernel(KernelSpec::recursive(2, 16, 2));
 
     println!("computing all-pairs travel times for a {rows}×{cols} street grid …");
     let times = solve::<Tropical>(&sc, &cfg, &roads).expect("distributed solve");

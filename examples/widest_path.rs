@@ -10,7 +10,7 @@
 //! gives, for every pair, the largest bandwidth guaranteed along some
 //! path (the bottleneck of its narrowest link, maximized over paths).
 
-use dp_core::{solve, DpConfig, KernelChoice, Strategy};
+use dp_core::{solve, DpConfig, KernelSpec, Strategy};
 use gep_kernels::gep::SemiringPaths;
 use gep_kernels::semiring::{MaxMin, Semiring};
 use gep_kernels::Matrix;
@@ -51,11 +51,7 @@ fn main() {
     );
     let cfg = DpConfig::new(n, 40)
         .with_strategy(Strategy::InMemory)
-        .with_kernel(KernelChoice::Recursive {
-            r_shared: 2,
-            base: 10,
-            threads: 2,
-        });
+        .with_kernel(KernelSpec::recursive(2, 10, 2));
 
     println!("computing all-pairs widest paths for a {n}-node network …");
     let widest = solve::<SemiringPaths<MaxMin>>(&sc, &cfg, &caps).expect("distributed closure");

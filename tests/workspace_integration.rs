@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use cluster_model::{ClusterSpec, CostModel};
 use dp_core::tuner::TuneSpace;
-use dp_core::{solve, solve_virtual, tune, DpConfig, KernelChoice, Strategy};
+use dp_core::{solve, solve_virtual, tune, DpConfig, KernelSpec, Strategy};
 use gep_kernels::gep::gep_reference;
 use gep_kernels::graph::{check_apsp, erdos_renyi, grid_network, reachability_of};
 use gep_kernels::{GaussianElim, Matrix, TransitiveClosure, Tropical};
@@ -29,11 +29,7 @@ fn full_stack_apsp_on_road_network() {
     let sc = ctx();
     let cfg = DpConfig::new(36, 9)
         .with_strategy(Strategy::InMemory)
-        .with_kernel(KernelChoice::Recursive {
-            r_shared: 3,
-            base: 3,
-            threads: 2,
-        });
+        .with_kernel(KernelSpec::recursive(3, 3, 2));
     let times = solve::<Tropical>(&sc, &cfg, &roads).expect("solve");
     assert_eq!(check_apsp(&roads, &times, 1e-9), None);
     sc.with_event_log(|log| {
@@ -162,8 +158,8 @@ fn tuner_prefers_reasonable_configurations() {
     assert!(!results.is_empty());
     let best = &results[0];
     // A threaded recursive kernel must be on top, not 1-thread iterative.
-    assert!(
-        matches!(best.config.kernel, KernelChoice::Recursive { .. }),
+    assert_eq!(
+        best.config.kernel.backend, "recursive",
         "best = {:?}",
         best.config.kernel
     );
