@@ -1,0 +1,132 @@
+//! Job-service throughput smoke: jobs/sec for a batch of small APSP
+//! queries submitted by one tenant versus spread across four tenants.
+//! Besides the Criterion run, the suite writes `BENCH_service.json`
+//! (bench name, mean ns per batch, input bytes) so CI can track the
+//! service's scheduling overhead without parsing Criterion output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use bytes::Bytes;
+use cluster_model::{ClusterSpec, CostModel};
+use criterion::{black_box, criterion_group, Criterion};
+use dp_bench::{time_sample, write_bench_json, BenchSample};
+use dp_core::jobs::{DpJobRequest, DpJobRunner};
+use dp_core::DpConfig;
+use gep_kernels::Matrix;
+use sparklet::service::JobService;
+use sparklet::{JobState, ServiceConfig, SparkConf, SparkContext};
+
+const BATCH: u64 = 8;
+const N: usize = 16;
+const BLOCK: usize = 8;
+
+static SAMPLES: std::sync::Mutex<Vec<BenchSample>> = std::sync::Mutex::new(Vec::new());
+static SEED: AtomicU64 = AtomicU64::new(1);
+
+fn record(sample: BenchSample) {
+    SAMPLES.lock().expect("samples").push(sample);
+}
+
+fn ctx() -> SparkContext {
+    SparkContext::new(
+        SparkConf::default()
+            .with_executors(2)
+            .with_executor_cores(2)
+            .with_worker_threads(2)
+            .with_partitions(4),
+    )
+}
+
+fn svc() -> JobService {
+    let svc = JobService::new(
+        ctx(),
+        // Cache off: the bench measures scheduling + execution, and
+        // every job is a distinct graph anyway.
+        ServiceConfig::default()
+            .with_inflight(4, 4)
+            .with_cache_capacity(0),
+        DpJobRunner::new(
+            CostModel::new(ClusterSpec::skylake(), 4),
+            DpConfig::new(1, 1),
+        ),
+    );
+    svc.start_workers(4);
+    svc
+}
+
+fn apsp_body(seed: u64) -> Bytes {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let dist = Matrix::from_fn(N, N, |i, j| {
+        if i == j {
+            0.0
+        } else if next() % 5 < 2 {
+            1.0 + (next() % 9) as f64
+        } else {
+            f64::INFINITY
+        }
+    });
+    DpJobRequest::Apsp {
+        dist,
+        block: BLOCK,
+        sources: None,
+    }
+    .encode()
+}
+
+/// Submit one batch of fresh APSP jobs across `tenants` tenants and
+/// wait for all of them; returns the input bytes submitted.
+fn run_batch(svc: &JobService, tenants: u64) -> u64 {
+    let mut bytes = 0;
+    let jobs: Vec<_> = (0..BATCH)
+        .map(|i| {
+            let body = apsp_body(SEED.fetch_add(1, Ordering::Relaxed));
+            bytes += body.len() as u64;
+            svc.submit(1 + i % tenants, body).expect("admitted")
+        })
+        .collect();
+    for job in jobs {
+        let view = svc.wait(job).expect("known");
+        assert_eq!(view.state, JobState::Done, "{:?}", view.error);
+    }
+    bytes
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service");
+    group.sample_size(10);
+
+    let single = svc();
+    group.bench_function("batch8/1-tenant", |b| b.iter(|| run_batch(&single, 1)));
+    let moved = run_batch(&single, 1);
+    record(time_sample("service/batch8_1tenant", moved, 5, || {
+        black_box(run_batch(&single, 1));
+    }));
+    single.stop();
+
+    let multi = svc();
+    group.bench_function("batch8/4-tenants", |b| b.iter(|| run_batch(&multi, 4)));
+    let moved = run_batch(&multi, 4);
+    record(time_sample("service/batch8_4tenants", moved, 5, || {
+        black_box(run_batch(&multi, 4));
+    }));
+    multi.stop();
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_throughput);
+
+fn main() {
+    benches();
+    let samples = SAMPLES.lock().expect("samples").clone();
+    match write_bench_json("service", &samples) {
+        Ok(path) => eprintln!("wrote {} samples to {}", samples.len(), path.display()),
+        Err(e) => eprintln!("BENCH_service.json not written: {e}"),
+    }
+}

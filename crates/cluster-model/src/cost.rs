@@ -394,6 +394,20 @@ impl CostModel {
         inv.updates / rate
     }
 
+    /// Coarse whole-job pricing for service admission control: modeled
+    /// wall seconds assuming the job's update volume spreads perfectly
+    /// over every task slot in the cluster, plus one pass of its input
+    /// bytes through a node NIC. Deliberately much cheaper (and
+    /// coarser) than [`CostModel::stage_seconds`] — admission prices
+    /// jobs *before* any stage graph exists, and only relative order
+    /// matters to the budget check. Pure: same inputs, same price.
+    pub fn admission_seconds(&self, inv: &KernelInvocation, input_bytes: u64) -> f64 {
+        let slots = (self.spec.nodes * self.executor_cores).max(1) as f64;
+        let compute = self.core_seconds(inv) / slots;
+        let transfer = input_bytes as f64 / self.spec.network_bw + self.spec.network_latency;
+        compute + transfer
+    }
+
     /// Maximum speedup one task can reach when it has the node to
     /// itself (the straggler bound): its thread team, nothing more.
     fn task_max_speedup(&self, kernel: &KernelType) -> f64 {
@@ -1005,6 +1019,26 @@ mod tests {
             m.try_with_params(p).unwrap_err().field,
             "params.compression"
         );
+    }
+
+    #[test]
+    fn admission_pricing_is_pure_and_monotone() {
+        let m = CostModel::new(ClusterSpec::skylake(), 4);
+        let inv = |updates: f64| KernelInvocation {
+            updates,
+            block_side: 256,
+            elem_bytes: 8,
+            kernel: KernelType::Iterative,
+        };
+        let a = m.admission_seconds(&inv(1e9), 1 << 20);
+        let b = m.admission_seconds(&inv(1e9), 1 << 20);
+        assert_eq!(a.to_bits(), b.to_bits(), "pricing must be pure");
+        assert!(a.is_finite() && a > 0.0);
+        // More updates or more bytes never price cheaper.
+        assert!(m.admission_seconds(&inv(2e9), 1 << 20) > a);
+        assert!(m.admission_seconds(&inv(1e9), 1 << 24) > a);
+        // Whole-cluster parallelism: far below one core's seconds.
+        assert!(a < m.core_seconds(&inv(1e9)));
     }
 
     #[test]

@@ -1,0 +1,726 @@
+//! DP job descriptors for the multi-tenant job service — the dp-core
+//! side of `sparklet::service`'s [`JobRunner`] binding.
+//!
+//! A [`DpJobRequest`] is a self-contained, byte-encodable description
+//! of one DP query: problem kind, canonical input, and the execution
+//! knobs a tenant may override (block size). [`DpJobRunner`] implements
+//! the service's [`JobRunner`] trait over these descriptors:
+//!
+//! * **admission pricing** via the cluster model's coarse
+//!   [`CostModel::admission_seconds`] (update volume over all task
+//!   slots + one NIC pass of the input bytes);
+//! * **lineage keying** that digests only the *logical* computation —
+//!   problem kind + canonical input. Execution knobs (block size) are
+//!   excluded because every engine path is validated bitwise-identical,
+//!   and the APSP source set is excluded because the cacheable result
+//!   is the full table: "same graph, different sources" is one cache
+//!   entry with per-request row projection;
+//! * **execution** through the ordinary dp-core entry points
+//!   ([`crate::solver::solve`], [`crate::beyond::solve_alignment`],
+//!   [`crate::beyond::solve_parenthesis`],
+//!   [`crate::linsys::solve_linear_system`]).
+
+use bytes::Bytes;
+use cluster_model::{CostModel, KernelInvocation, KernelType};
+use gep_kernels::alignment::AlignScore;
+use gep_kernels::parenthesis::ParenWeight;
+use gep_kernels::{Matrix, Tropical};
+use sparklet::service::JobRunner;
+use sparklet::{JobError, SparkContext};
+
+use crate::beyond::{solve_alignment, solve_parenthesis};
+use crate::config::DpConfig;
+use crate::linsys::solve_linear_system;
+use crate::solver::solve;
+
+/// One DP query as submitted to the job service.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpJobRequest {
+    /// All-pairs shortest paths (Floyd–Warshall over the tropical
+    /// semiring) on an `n×n` distance matrix, optionally projecting
+    /// the response down to a set of source rows.
+    Apsp {
+        /// Dense distance matrix (`f64::INFINITY` = no edge).
+        dist: Matrix<f64>,
+        /// Block side for the distributed decomposition.
+        block: usize,
+        /// Rows to return (`None` → the full table). Not part of the
+        /// lineage key: the full table is computed and cached either
+        /// way, and each request projects its slice.
+        sources: Option<Vec<u32>>,
+    },
+    /// Sequence alignment (LCS / Needleman–Wunsch); returns the full
+    /// `(n+1)×(m+1)` score table.
+    Alignment {
+        /// First sequence.
+        a: Vec<u8>,
+        /// Second sequence.
+        b: Vec<u8>,
+        /// Scoring scheme (part of the lineage key — it changes the
+        /// result).
+        score: AlignScore,
+        /// Block side for the wavefront decomposition.
+        block: usize,
+    },
+    /// Optimal parenthesization; returns the full cost table.
+    Parenthesis {
+        /// Weight function.
+        weight: ParenWeight,
+        /// Block side.
+        block: usize,
+    },
+    /// Linear system `A·x = b` via distributed Gaussian elimination;
+    /// returns the solution vector.
+    LinearSystem {
+        /// Square coefficient matrix.
+        a: Matrix<f64>,
+        /// Right-hand side.
+        rhs: Vec<f64>,
+        /// Block side.
+        block: usize,
+    },
+}
+
+// --- body codec -------------------------------------------------------
+
+const TAG_APSP: u8 = 1;
+const TAG_ALIGN: u8 = 2;
+const TAG_PAREN: u8 = 3;
+const TAG_LINSYS: u8 = 4;
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_matrix_f64(out: &mut Vec<u8>, m: &Matrix<f64>) {
+    put_u64(out, m.rows() as u64);
+    put_u64(out, m.cols() as u64);
+    for &v in m.as_slice() {
+        put_f64(out, v);
+    }
+}
+
+struct Rd<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], JobError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or_else(|| JobError::Codec("truncated job body".into()))?;
+        let s = &self.buf[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, JobError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64, JobError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn len(&mut self) -> Result<usize, JobError> {
+        let v = self.u64()?;
+        // A length can never exceed what's left in the buffer; checking
+        // here keeps later allocations bounded by the body size.
+        if v as usize > self.buf.len() - self.at {
+            return Err(JobError::Codec(format!("implausible length {v}")));
+        }
+        Ok(v as usize)
+    }
+
+    /// An element count whose elements are 8 bytes each.
+    fn count8(&mut self) -> Result<usize, JobError> {
+        let v = self.u64()? as usize;
+        if v.checked_mul(8)
+            .is_none_or(|b| b > self.buf.len() - self.at)
+        {
+            return Err(JobError::Codec(format!("implausible count {v}")));
+        }
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64, JobError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn i64(&mut self) -> Result<i64, JobError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn matrix_f64(&mut self) -> Result<Matrix<f64>, JobError> {
+        let rows = self.u64()? as usize;
+        let cols = self.u64()? as usize;
+        let cells = rows
+            .checked_mul(cols)
+            .filter(|&c| c * 8 <= self.buf.len() - self.at)
+            .ok_or_else(|| JobError::Codec("matrix larger than body".into()))?;
+        let mut data = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            data.push(self.f64()?);
+        }
+        Ok(Matrix::from_vec(rows, cols, data))
+    }
+
+    fn done(self) -> Result<(), JobError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(JobError::Codec(format!(
+                "{} trailing bytes in job body",
+                self.buf.len() - self.at
+            )))
+        }
+    }
+}
+
+impl DpJobRequest {
+    /// Serialize to the service body encoding.
+    pub fn encode(&self) -> Bytes {
+        let mut out = Vec::new();
+        match self {
+            DpJobRequest::Apsp {
+                dist,
+                block,
+                sources,
+            } => {
+                out.push(TAG_APSP);
+                put_u64(&mut out, *block as u64);
+                match sources {
+                    None => out.push(0),
+                    Some(s) => {
+                        out.push(1);
+                        put_u64(&mut out, s.len() as u64);
+                        for &r in s {
+                            put_u64(&mut out, u64::from(r));
+                        }
+                    }
+                }
+                put_matrix_f64(&mut out, dist);
+            }
+            DpJobRequest::Alignment { a, b, score, block } => {
+                out.push(TAG_ALIGN);
+                put_u64(&mut out, *block as u64);
+                match score {
+                    AlignScore::Lcs => out.push(0),
+                    AlignScore::NeedlemanWunsch {
+                        matched,
+                        mismatch,
+                        gap,
+                    } => {
+                        out.push(1);
+                        put_u64(&mut out, *matched as u64);
+                        put_u64(&mut out, *mismatch as u64);
+                        put_u64(&mut out, *gap as u64);
+                    }
+                }
+                put_u64(&mut out, a.len() as u64);
+                out.extend_from_slice(a);
+                put_u64(&mut out, b.len() as u64);
+                out.extend_from_slice(b);
+            }
+            DpJobRequest::Parenthesis { weight, block } => {
+                out.push(TAG_PAREN);
+                put_u64(&mut out, *block as u64);
+                match weight {
+                    ParenWeight::MatrixChain(dims) => {
+                        out.push(0);
+                        put_u64(&mut out, dims.len() as u64);
+                        for &d in dims {
+                            put_u64(&mut out, d);
+                        }
+                    }
+                    ParenWeight::Polygon(vs) => {
+                        out.push(1);
+                        put_u64(&mut out, vs.len() as u64);
+                        for &v in vs {
+                            put_f64(&mut out, v);
+                        }
+                    }
+                    ParenWeight::Zero => out.push(2),
+                }
+            }
+            DpJobRequest::LinearSystem { a, rhs, block } => {
+                out.push(TAG_LINSYS);
+                put_u64(&mut out, *block as u64);
+                put_u64(&mut out, rhs.len() as u64);
+                for &v in rhs {
+                    put_f64(&mut out, v);
+                }
+                put_matrix_f64(&mut out, a);
+            }
+        }
+        Bytes::from(out)
+    }
+
+    /// Decode a service body; defensive against truncation and
+    /// implausible lengths (typed [`JobError::Codec`], never a panic).
+    pub fn decode(body: &Bytes) -> Result<Self, JobError> {
+        let mut rd = Rd::new(body);
+        let req = match rd.u8()? {
+            TAG_APSP => {
+                let block = rd.u64()? as usize;
+                let sources = match rd.u8()? {
+                    0 => None,
+                    1 => {
+                        let n = rd.count8()?;
+                        let mut s = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            s.push(rd.u64()? as u32);
+                        }
+                        Some(s)
+                    }
+                    other => {
+                        return Err(JobError::Codec(format!("bad sources marker {other}")));
+                    }
+                };
+                let dist = rd.matrix_f64()?;
+                DpJobRequest::Apsp {
+                    dist,
+                    block,
+                    sources,
+                }
+            }
+            TAG_ALIGN => {
+                let block = rd.u64()? as usize;
+                let score = match rd.u8()? {
+                    0 => AlignScore::Lcs,
+                    1 => AlignScore::NeedlemanWunsch {
+                        matched: rd.i64()?,
+                        mismatch: rd.i64()?,
+                        gap: rd.i64()?,
+                    },
+                    other => return Err(JobError::Codec(format!("bad score tag {other}"))),
+                };
+                let la = rd.len()?;
+                let a = rd.take(la)?.to_vec();
+                let lb = rd.len()?;
+                let b = rd.take(lb)?.to_vec();
+                DpJobRequest::Alignment { a, b, score, block }
+            }
+            TAG_PAREN => {
+                let block = rd.u64()? as usize;
+                let weight = match rd.u8()? {
+                    0 => {
+                        let n = rd.count8()?;
+                        let mut dims = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            dims.push(rd.u64()?);
+                        }
+                        ParenWeight::MatrixChain(dims)
+                    }
+                    1 => {
+                        let n = rd.count8()?;
+                        let mut vs = Vec::with_capacity(n);
+                        for _ in 0..n {
+                            vs.push(rd.f64()?);
+                        }
+                        ParenWeight::Polygon(vs)
+                    }
+                    2 => ParenWeight::Zero,
+                    other => return Err(JobError::Codec(format!("bad weight tag {other}"))),
+                };
+                DpJobRequest::Parenthesis { weight, block }
+            }
+            TAG_LINSYS => {
+                let block = rd.u64()? as usize;
+                let n = rd.count8()?;
+                let mut rhs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    rhs.push(rd.f64()?);
+                }
+                let a = rd.matrix_f64()?;
+                DpJobRequest::LinearSystem { a, rhs, block }
+            }
+            other => return Err(JobError::Codec(format!("unknown job tag {other}"))),
+        };
+        rd.done()?;
+        Ok(req)
+    }
+
+    /// Approximate GEP update volume, for admission pricing.
+    fn updates(&self) -> f64 {
+        match self {
+            DpJobRequest::Apsp { dist, .. } => (dist.rows() as f64).powi(3),
+            DpJobRequest::Alignment { a, b, .. } => (a.len() as f64 + 1.0) * (b.len() as f64 + 1.0),
+            DpJobRequest::Parenthesis { weight, .. } => {
+                let n = weight.n() as f64 + 1.0;
+                n * n * n / 6.0
+            }
+            DpJobRequest::LinearSystem { a, .. } => {
+                let n = a.rows() as f64 + 1.0;
+                n * n * n / 3.0
+            }
+        }
+    }
+
+    fn block(&self) -> usize {
+        match self {
+            DpJobRequest::Apsp { block, .. }
+            | DpJobRequest::Alignment { block, .. }
+            | DpJobRequest::Parenthesis { block, .. }
+            | DpJobRequest::LinearSystem { block, .. } => (*block).max(1),
+        }
+    }
+
+    /// The request's lineage digest: problem kind + canonical input
+    /// only. The block size is an execution knob (results are engine-
+    /// path invariant), and the APSP source set is a projection of the
+    /// cached full table — both are deliberately excluded so
+    /// equivalent computations share one cache entry.
+    pub fn lineage_key(&self) -> u128 {
+        let mut h = sparklet::LineageHasher::default();
+        match self {
+            DpJobRequest::Apsp { dist, .. } => {
+                h.update(b"apsp");
+                h.update(&(dist.rows() as u64).to_le_bytes());
+                for &v in dist.as_slice() {
+                    h.update(&v.to_bits().to_le_bytes());
+                }
+            }
+            DpJobRequest::Alignment { a, b, score, .. } => {
+                h.update(b"align");
+                match score {
+                    AlignScore::Lcs => {
+                        h.update(&[0]);
+                    }
+                    AlignScore::NeedlemanWunsch {
+                        matched,
+                        mismatch,
+                        gap,
+                    } => {
+                        h.update(&[1])
+                            .update(&matched.to_le_bytes())
+                            .update(&mismatch.to_le_bytes())
+                            .update(&gap.to_le_bytes());
+                    }
+                }
+                h.update(&(a.len() as u64).to_le_bytes()).update(a);
+                h.update(&(b.len() as u64).to_le_bytes()).update(b);
+            }
+            DpJobRequest::Parenthesis { weight, .. } => {
+                h.update(b"paren");
+                match weight {
+                    ParenWeight::MatrixChain(dims) => {
+                        h.update(&[0]);
+                        for &d in dims {
+                            h.update(&d.to_le_bytes());
+                        }
+                    }
+                    ParenWeight::Polygon(vs) => {
+                        h.update(&[1]);
+                        for &v in vs {
+                            h.update(&v.to_bits().to_le_bytes());
+                        }
+                    }
+                    ParenWeight::Zero => {
+                        h.update(&[2]);
+                    }
+                }
+            }
+            DpJobRequest::LinearSystem { a, rhs, .. } => {
+                h.update(b"linsys");
+                h.update(&(a.rows() as u64).to_le_bytes());
+                for &v in a.as_slice() {
+                    h.update(&v.to_bits().to_le_bytes());
+                }
+                for &v in rhs {
+                    h.update(&v.to_bits().to_le_bytes());
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+// --- result codec -----------------------------------------------------
+
+/// Encode an `f64` matrix result (APSP / parenthesization tables).
+pub fn encode_matrix_f64(m: &Matrix<f64>) -> Bytes {
+    let mut out = Vec::with_capacity(16 + m.as_slice().len() * 8);
+    put_matrix_f64(&mut out, m);
+    Bytes::from(out)
+}
+
+/// Decode an `f64` matrix result.
+pub fn decode_matrix_f64(bytes: &Bytes) -> Result<Matrix<f64>, JobError> {
+    let mut rd = Rd::new(bytes);
+    let m = rd.matrix_f64()?;
+    rd.done()?;
+    Ok(m)
+}
+
+/// Encode an `i64` matrix result (alignment score tables).
+pub fn encode_matrix_i64(m: &Matrix<i64>) -> Bytes {
+    let mut out = Vec::with_capacity(16 + m.as_slice().len() * 8);
+    put_u64(&mut out, m.rows() as u64);
+    put_u64(&mut out, m.cols() as u64);
+    for &v in m.as_slice() {
+        put_u64(&mut out, v as u64);
+    }
+    Bytes::from(out)
+}
+
+/// Decode an `i64` matrix result.
+pub fn decode_matrix_i64(bytes: &Bytes) -> Result<Matrix<i64>, JobError> {
+    let mut rd = Rd::new(bytes);
+    let rows = rd.u64()? as usize;
+    let cols = rd.u64()? as usize;
+    let cells = rows
+        .checked_mul(cols)
+        .filter(|&c| c * 8 <= bytes.len())
+        .ok_or_else(|| JobError::Codec("matrix larger than body".into()))?;
+    let mut data = Vec::with_capacity(cells);
+    for _ in 0..cells {
+        data.push(rd.i64()?);
+    }
+    rd.done()?;
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+/// Encode a solution vector (linear systems).
+pub fn encode_vec_f64(v: &[f64]) -> Bytes {
+    let mut out = Vec::with_capacity(8 + v.len() * 8);
+    put_u64(&mut out, v.len() as u64);
+    for &x in v {
+        put_f64(&mut out, x);
+    }
+    Bytes::from(out)
+}
+
+/// Decode a solution vector.
+pub fn decode_vec_f64(bytes: &Bytes) -> Result<Vec<f64>, JobError> {
+    let mut rd = Rd::new(bytes);
+    let n = rd.count8()?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(rd.f64()?);
+    }
+    rd.done()?;
+    Ok(v)
+}
+
+// --- the runner -------------------------------------------------------
+
+/// [`JobRunner`] implementation binding [`DpJobRequest`] bodies to the
+/// dp-core solvers, with cluster-model admission pricing.
+pub struct DpJobRunner {
+    cost: CostModel,
+    template: DpConfig,
+}
+
+impl DpJobRunner {
+    /// Runner pricing against `cost`, executing with `template`'s
+    /// strategy/kernel knobs (each request overrides `n` and `block`).
+    pub fn new(cost: CostModel, template: DpConfig) -> Self {
+        DpJobRunner { cost, template }
+    }
+
+    fn cfg_for(&self, n: usize, block: usize) -> DpConfig {
+        let mut cfg = self.template.clone();
+        cfg.n = n.max(1);
+        cfg.block = block.max(1).min(cfg.n);
+        cfg
+    }
+}
+
+impl JobRunner for DpJobRunner {
+    fn estimate(&self, body: &Bytes) -> Result<f64, JobError> {
+        let req = DpJobRequest::decode(body)?;
+        let inv = KernelInvocation {
+            updates: req.updates(),
+            block_side: req.block(),
+            elem_bytes: 8,
+            kernel: KernelType::Iterative,
+        };
+        Ok(self.cost.admission_seconds(&inv, body.len() as u64))
+    }
+
+    fn cache_key(&self, body: &Bytes) -> Result<Option<u128>, JobError> {
+        Ok(Some(DpJobRequest::decode(body)?.lineage_key()))
+    }
+
+    fn run(&self, sc: &SparkContext, body: &Bytes) -> Result<Bytes, JobError> {
+        match DpJobRequest::decode(body)? {
+            DpJobRequest::Apsp { dist, block, .. } => {
+                // Always the full table: the source set is a
+                // projection, applied in `project`.
+                let cfg = self.cfg_for(dist.rows(), block);
+                let out = solve::<Tropical>(sc, &cfg, &dist)?;
+                Ok(encode_matrix_f64(&out))
+            }
+            DpJobRequest::Alignment { a, b, score, block } => {
+                let out = solve_alignment(sc, &a, &b, &score, block.max(1))?;
+                Ok(encode_matrix_i64(&out))
+            }
+            DpJobRequest::Parenthesis { weight, block } => {
+                let out = solve_parenthesis(sc, &weight, block.max(1))?;
+                Ok(encode_matrix_f64(&out))
+            }
+            DpJobRequest::LinearSystem { a, rhs, block } => {
+                let cfg = self.cfg_for(rhs.len() + 1, block);
+                let x = solve_linear_system(sc, &cfg, &a, &rhs)?;
+                Ok(encode_vec_f64(&x))
+            }
+        }
+    }
+
+    fn project(&self, body: &Bytes, full: &Bytes) -> Result<Bytes, JobError> {
+        match DpJobRequest::decode(body)? {
+            DpJobRequest::Apsp {
+                sources: Some(srcs),
+                ..
+            } => {
+                let table = decode_matrix_f64(full)?;
+                let mut rows = Vec::with_capacity(srcs.len() * table.cols());
+                for &s in &srcs {
+                    let s = s as usize;
+                    if s >= table.rows() {
+                        return Err(JobError::Codec(format!(
+                            "source row {s} out of range for n={}",
+                            table.rows()
+                        )));
+                    }
+                    for j in 0..table.cols() {
+                        rows.push(table.get(s, j));
+                    }
+                }
+                Ok(encode_matrix_f64(&Matrix::from_vec(
+                    srcs.len(),
+                    table.cols(),
+                    rows,
+                )))
+            }
+            _ => Ok(full.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apsp_req(seed: u64, n: usize, sources: Option<Vec<u32>>) -> DpJobRequest {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let dist = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                0.0
+            } else if next() % 4 == 0 {
+                f64::INFINITY
+            } else {
+                (next() % 100) as f64 + 1.0
+            }
+        });
+        DpJobRequest::Apsp {
+            dist,
+            block: 4,
+            sources,
+        }
+    }
+
+    #[test]
+    fn request_bodies_roundtrip() {
+        let reqs = vec![
+            apsp_req(7, 6, Some(vec![0, 3])),
+            DpJobRequest::Alignment {
+                a: b"GATTACA".to_vec(),
+                b: b"GCATGCU".to_vec(),
+                score: AlignScore::NeedlemanWunsch {
+                    matched: 1,
+                    mismatch: -1,
+                    gap: -1,
+                },
+                block: 3,
+            },
+            DpJobRequest::Parenthesis {
+                weight: ParenWeight::MatrixChain(vec![30, 35, 15, 5, 10, 20, 25]),
+                block: 2,
+            },
+            DpJobRequest::LinearSystem {
+                a: Matrix::from_fn(3, 3, |i, j| if i == j { 4.0 } else { 1.0 }),
+                rhs: vec![1.0, 2.0, 3.0],
+                block: 2,
+            },
+        ];
+        for req in reqs {
+            let body = req.encode();
+            assert_eq!(DpJobRequest::decode(&body).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn truncated_bodies_error_never_panic() {
+        let body = apsp_req(3, 5, None).encode();
+        for cut in 0..body.len() {
+            let res = DpJobRequest::decode(&body.slice(0..cut));
+            assert!(res.is_err(), "cut at {cut} must fail");
+        }
+        assert!(DpJobRequest::decode(&Bytes::from_static(&[99])).is_err());
+    }
+
+    #[test]
+    fn lineage_key_ignores_knobs_and_sources() {
+        let a = apsp_req(11, 6, None);
+        let b = apsp_req(11, 6, Some(vec![1, 2]));
+        let DpJobRequest::Apsp { dist, .. } = apsp_req(11, 6, None) else {
+            unreachable!()
+        };
+        let c = DpJobRequest::Apsp {
+            dist,
+            block: 2, // different execution knob
+            sources: Some(vec![4]),
+        };
+        assert_eq!(a.lineage_key(), b.lineage_key());
+        assert_eq!(a.lineage_key(), c.lineage_key());
+        let d = apsp_req(12, 6, None);
+        assert_ne!(a.lineage_key(), d.lineage_key(), "different graph");
+        // Alignment scoring is part of the key (it changes results).
+        let lcs = DpJobRequest::Alignment {
+            a: b"AB".to_vec(),
+            b: b"AC".to_vec(),
+            score: AlignScore::Lcs,
+            block: 2,
+        };
+        let nw = DpJobRequest::Alignment {
+            a: b"AB".to_vec(),
+            b: b"AC".to_vec(),
+            score: AlignScore::NeedlemanWunsch {
+                matched: 1,
+                mismatch: -1,
+                gap: -1,
+            },
+            block: 2,
+        };
+        assert_ne!(lcs.lineage_key(), nw.lineage_key());
+    }
+
+    #[test]
+    fn result_codecs_roundtrip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 7 + j) as f64 / 3.0);
+        assert_eq!(decode_matrix_f64(&encode_matrix_f64(&m)).unwrap(), m);
+        let mi = Matrix::from_fn(2, 5, |i, j| i as i64 * 100 - j as i64);
+        assert_eq!(decode_matrix_i64(&encode_matrix_i64(&mi)).unwrap(), mi);
+        let v = vec![1.5, -2.5, f64::INFINITY];
+        assert_eq!(decode_vec_f64(&encode_vec_f64(&v)).unwrap(), v);
+    }
+}

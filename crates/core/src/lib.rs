@@ -46,6 +46,7 @@ pub mod cb;
 pub mod config;
 pub mod filters;
 pub mod im;
+pub mod jobs;
 pub mod kernels;
 pub mod linsys;
 pub mod problem;
@@ -63,6 +64,7 @@ pub use block::{Block, ElemCodec};
 #[allow(deprecated)]
 pub use config::KernelChoice;
 pub use config::{DpConfig, Strategy};
+pub use jobs::{decode_matrix_f64, decode_matrix_i64, decode_vec_f64, DpJobRequest, DpJobRunner};
 pub use linsys::solve_linear_system;
 pub use problem::DpProblem;
 pub use solver::{

@@ -21,8 +21,9 @@
 //! each job runs its own event loop on a driver thread, and the
 //! per-context latches keep overlapping jobs consistent.
 
+use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
@@ -30,6 +31,80 @@ use parking_lot::{Condvar, Mutex};
 use crate::context::SparkContext;
 use crate::error::JobError;
 use crate::scheduler::StageMeta;
+
+// ---------------------------------------------------------------------
+// Cooperative job cancellation
+// ---------------------------------------------------------------------
+
+/// Cooperative cancellation flag for a driver-side job. Cloning shares
+/// the flag. The DAG event loop polls the *installed* token (see
+/// [`with_cancel`]) at every stage boundary: once cancelled, no new
+/// stage launches and the job drains to [`JobError::Cancelled`].
+/// Stages already in flight settle their shuffle latches normally, so
+/// a cancelled job never wedges lineage shared with other jobs.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Idempotent; wakes nothing by itself — the
+    /// job observes the flag at its next stage boundary.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has cancellation been requested?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+
+    /// `Err(JobError::Cancelled)` once cancellation was requested.
+    pub fn check(&self) -> Result<(), JobError> {
+        if self.is_cancelled() {
+            Err(JobError::Cancelled("cancel token tripped".into()))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+thread_local! {
+    /// Token installed for the job running on this driver thread.
+    static CURRENT_CANCEL: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with `token` installed as the current thread's job
+/// cancellation token: every engine stage boundary reached under `f`
+/// (plan passes, the DAG event loop, action resubmission) polls it.
+/// The previous token is restored on exit, so nested jobs compose.
+pub fn with_cancel<R>(token: &CancelToken, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT_CANCEL.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    // Restore-on-drop so a panicking job never leaves its token
+    // installed on a long-lived worker thread.
+    let _restore = Restore(CURRENT_CANCEL.with(|c| c.replace(Some(token.clone()))));
+    f()
+}
+
+/// Poll the installed token; `Err(Cancelled)` stops the current job at
+/// this boundary. No token installed means not cancellable.
+pub(crate) fn check_cancelled() -> Result<(), JobError> {
+    CURRENT_CANCEL.with(|c| match &*c.borrow() {
+        Some(token) => token.check(),
+        None => Ok(()),
+    })
+}
 
 /// A shuffle boundary in a lineage: one stage node of the DAG. Wide
 /// RDD nodes implement this; narrow nodes forward to their parents.
@@ -217,6 +292,13 @@ impl ShuffleRegistry {
             l.reopen();
         }
     }
+
+    /// Live latch count (latches are dropped with their owning wide
+    /// RDD, so this is an observable for lineage leaks: a finished or
+    /// cancelled job must leave none of its own behind).
+    pub(crate) fn len(&self) -> usize {
+        self.latches.lock().len()
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -355,6 +437,13 @@ pub(crate) fn materialize_stage_graph(
     let mut done: VecDeque<u64> = VecDeque::new();
     let mut failure: Option<JobError> = None;
     loop {
+        // Stage-boundary cancellation poll: stop launching, drain
+        // what's in flight (those latches settle normally).
+        if failure.is_none() {
+            if let Err(e) = check_cancelled() {
+                failure = Some(e);
+            }
+        }
         // Cascade completions: unblock children, queue newly-ready.
         while let Some(id) = done.pop_front() {
             for child in &plan.nodes[&id].children {
@@ -466,6 +555,11 @@ fn materialize_sim(ctx: &SparkContext, plan: StagePlan) -> Result<(), JobError> 
     let mut done: VecDeque<u64> = VecDeque::new();
     let mut failure: Option<JobError> = None;
     loop {
+        if failure.is_none() {
+            if let Err(e) = check_cancelled() {
+                failure = Some(e);
+            }
+        }
         while let Some(id) = done.pop_front() {
             for child in &plan.nodes[&id].children {
                 let slot = pending.get_mut(child).expect("child in plan");
@@ -581,6 +675,7 @@ pub(crate) fn explain_graph_into(roots: &[Arc<dyn ShuffleDep>], out: &mut String
 /// keeps running to completion in the background.
 pub struct JobHandle<T> {
     rx: crossbeam::channel::Receiver<Result<T, JobError>>,
+    cancel: CancelToken,
 }
 
 impl<T: Send + 'static> JobHandle<T> {
@@ -589,15 +684,21 @@ impl<T: Send + 'static> JobHandle<T> {
     /// per-shuffle latches dedup any lineage shared with other jobs,
     /// so overlapping submissions are safe and never double-stage a
     /// shuffle.
+    ///
+    /// The job runs under a fresh [`CancelToken`]:
+    /// [`JobHandle::cancel`] aborts it at its next stage boundary with
+    /// [`JobError::Cancelled`].
     pub fn spawn(job: impl FnOnce() -> Result<T, JobError> + Send + 'static) -> Self {
         let (tx, rx) = crossbeam::channel::bounded(1);
+        let cancel = CancelToken::new();
+        let token = cancel.clone();
         std::thread::Builder::new()
             .name("sparklet-job".into())
             .spawn(move || {
-                let _ = tx.send(job());
+                let _ = tx.send(with_cancel(&token, job));
             })
             .expect("spawn job thread");
-        JobHandle { rx }
+        JobHandle { rx, cancel }
     }
 
     /// Wrap an already-computed result. Used in deterministic mode,
@@ -606,7 +707,26 @@ impl<T: Send + 'static> JobHandle<T> {
     pub(crate) fn ready(result: Result<T, JobError>) -> Self {
         let (tx, rx) = crossbeam::channel::bounded(1);
         let _ = tx.send(result);
-        JobHandle { rx }
+        JobHandle {
+            rx,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Request cancellation (client disconnect, tenant abort). The job
+    /// stops at its next stage boundary and [`JobHandle::wait`]
+    /// returns [`JobError::Cancelled`]; stages already in flight
+    /// settle their latches normally and any shuffle data the job
+    /// staged is released with its lineage. A job that completes
+    /// before noticing the flag still delivers its result.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// The job's cancellation token (shareable; e.g. handed to a
+    /// connection watchdog that cancels on disconnect).
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// Has the job finished (its result is ready to [`JobHandle::wait`] for)?

@@ -72,6 +72,12 @@ pub enum JobError {
     /// A driver-side job thread died without producing a result (e.g.
     /// the closure behind a [`crate::JobHandle`] panicked).
     Driver(String),
+    /// The job was cancelled (client disconnect, tenant abort, or an
+    /// explicit [`crate::CancelToken`]). Not retryable: the caller gave
+    /// up on the result. Cancellation takes effect at stage
+    /// boundaries, so latches already claimed by the job still settle
+    /// normally and stay usable by other jobs.
+    Cancelled(String),
 }
 
 impl fmt::Display for JobError {
@@ -111,6 +117,7 @@ impl fmt::Display for JobError {
             JobError::MissingBlock(what) => write!(f, "missing block: {what}"),
             JobError::TypeMismatch(what) => write!(f, "cached block type mismatch: {what}"),
             JobError::Driver(what) => write!(f, "driver job failed: {what}"),
+            JobError::Cancelled(why) => write!(f, "job cancelled: {why}"),
         }
     }
 }

@@ -68,6 +68,7 @@ pub mod partitioner;
 pub mod payload;
 pub mod rdd;
 pub mod scheduler;
+pub mod service;
 pub mod shuffle;
 pub mod sim;
 pub mod storage;
@@ -77,13 +78,17 @@ pub use broadcast::Broadcast;
 pub use codec::Storable;
 pub use config::SparkConf;
 pub use context::{Accumulator, ExecutorLoss, SparkContext, StorageTotals, TaskContext};
-pub use dag::JobHandle;
+pub use dag::{with_cancel, CancelToken, JobHandle};
 pub use error::JobError;
 pub use ext::{Either, RangePartitioner};
 pub use metrics::{AdaptiveDecision, EventLog};
 pub use partitioner::{GridPartitioner, HashPartitioner, Partitioner, SigLayout};
 pub use payload::{Compression, Payload, PayloadBuilder};
 pub use rdd::Rdd;
+pub use service::{
+    Arrival, JobRunner, JobService, JobState, JobStatusView, LineageHasher, Rejection, ServiceAddr,
+    ServiceClient, ServiceConfig, ServiceDecision, ServiceStats,
+};
 pub use sim::{ChaosEvent, ChaosPolicy};
 pub use storage::{BlockStore, PutOutcome, StorageLevel};
 pub use transport::TransportMode;

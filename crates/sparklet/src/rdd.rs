@@ -1238,8 +1238,10 @@ impl<K: Key, V: ShufVal> Rdd<K, V> {
         label: &str,
         work: TaskFn<R>,
     ) -> Result<(Vec<R>, u64), JobError> {
+        dag::check_cancelled()?;
         let roots = Arc::clone(&self.ops).shuffle_deps();
         dag::materialize_stage_graph(&self.ctx, &roots)?;
+        dag::check_cancelled()?;
         let mut parent_shuffles: Vec<u64> = Vec::new();
         for root in &roots {
             let id = root.shuffle_id();

@@ -131,6 +131,7 @@ fn retryable(err: &JobError) -> bool {
             | JobError::MemoryOverflow { .. }
             | JobError::DiskOverflow { .. }
             | JobError::FetchFailed { .. }
+            | JobError::Cancelled(_)
     )
 }
 

@@ -1,0 +1,1240 @@
+//! The multi-tenant job service: a long-running driver front end that
+//! multiplexes concurrent job submissions over one [`SparkContext`]
+//! (ROADMAP item 2 — serve heavy traffic instead of cold-starting per
+//! query).
+//!
+//! Three policies compose, each deterministic on its own:
+//!
+//! * **admission control** ([`admit`]) prices every submission with a
+//!   caller-supplied cost estimate and rejects over-budget work with
+//!   typed errors — a pure function of an explicit queue snapshot;
+//! * **fair scheduling** ([`sched`]) dispatches queued jobs across
+//!   tenants by weighted round-robin with per-tenant and global
+//!   in-flight caps, sitting *above* the DAG scheduler's
+//!   `max_concurrent_stages` window (the service bounds whole jobs,
+//!   the DAG scheduler bounds stages within them);
+//! * **lineage-keyed result caching** ([`cache`]) memoizes completed
+//!   results under a digest of the job's logical lineage, so
+//!   identical — or overlapping, via [`JobRunner::project`] — queries
+//!   skip the engine entirely.
+//!
+//! The engine binding is the [`JobRunner`] trait: the service is
+//! generic over what a "job" is (dp-core supplies the DP descriptors),
+//! which keeps sparklet free of problem-specific code.
+//!
+//! Every policy outcome is appended to a [`ServiceDecision`] log. In
+//! sim mode (driven by [`JobService::pump`] /
+//! [`JobService::run_script`] on a seeded context) the whole service
+//! is single-threaded and clock-free, so two runs of the same script
+//! produce byte-identical decision logs and results — the replay
+//! property the acceptance tests pin. Worker threads
+//! ([`JobService::start_workers`]) and the socket front end
+//! ([`JobService::serve`]) trade that determinism for real
+//! concurrency.
+
+pub mod cache;
+pub mod sched;
+pub mod wire;
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::context::SparkContext;
+use crate::dag::{with_cancel, CancelToken};
+use crate::error::JobError;
+use crate::payload::{Compression, Payload};
+
+pub use cache::LineageHasher;
+pub use sched::{admit, AdmissionState, JobId, Rejection, TenantId};
+pub use wire::SvcMsg;
+
+use cache::ResultCache;
+use sched::FairScheduler;
+
+// ---------------------------------------------------------------------
+// Engine binding
+// ---------------------------------------------------------------------
+
+/// What the service needs to know about a job, given only its opaque
+/// body bytes. Implementations must be deterministic: same body, same
+/// estimate / key / result — the service's replay guarantee is only as
+/// strong as the runner's.
+pub trait JobRunner: Send + Sync + 'static {
+    /// Price the job in cost units (modeled seconds) for admission
+    /// control. Must be cheap — it runs on the submission path.
+    fn estimate(&self, body: &Bytes) -> Result<f64, JobError>;
+
+    /// The job's lineage digest: jobs with equal keys must produce
+    /// bitwise-identical *cacheable* results ([`JobRunner::run`]'s
+    /// output). `None` opts the job out of caching. Overlapping
+    /// queries (same underlying computation, different slice) should
+    /// map to the same key and differ only in
+    /// [`JobRunner::project`].
+    fn cache_key(&self, body: &Bytes) -> Result<Option<u128>, JobError>;
+
+    /// Execute the job on the engine, returning the cacheable result
+    /// encoding (the *full* result for overlapping-query families).
+    fn run(&self, sc: &SparkContext, body: &Bytes) -> Result<Bytes, JobError>;
+
+    /// Derive this request's response from a cacheable result (its
+    /// own or a cached peer's). Identity by default.
+    fn project(&self, _body: &Bytes, full: &Bytes) -> Result<Bytes, JobError> {
+        Ok(full.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Service policy knobs (the engine's own knobs stay on
+/// [`crate::SparkConf`]).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Per-tenant WRR weights; tenants not listed get
+    /// [`ServiceConfig::default_weight`].
+    pub tenant_weights: Vec<(TenantId, u32)>,
+    /// Weight for tenants without an explicit entry.
+    pub default_weight: u32,
+    /// Max jobs one tenant may have in flight.
+    pub per_tenant_inflight: usize,
+    /// Max jobs in flight across all tenants (the service-level
+    /// concurrency window on top of `max_concurrent_stages`).
+    pub max_inflight: usize,
+    /// Cost units (queued + in-flight) admission may commit to.
+    pub admission_budget: f64,
+    /// Per-job cost ceiling.
+    pub max_job_cost: f64,
+    /// Max queued (undispatched) jobs per tenant.
+    pub max_queued_per_tenant: usize,
+    /// Result-cache capacity in bytes (0 disables caching).
+    pub cache_capacity: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            tenant_weights: Vec::new(),
+            default_weight: 1,
+            per_tenant_inflight: 2,
+            max_inflight: 4,
+            admission_budget: f64::INFINITY,
+            max_job_cost: f64::INFINITY,
+            max_queued_per_tenant: 64,
+            cache_capacity: 64 << 20,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Set one tenant's WRR weight (≥ 1).
+    pub fn with_tenant_weight(mut self, tenant: TenantId, weight: u32) -> Self {
+        self.tenant_weights.retain(|(t, _)| *t != tenant);
+        self.tenant_weights.push((tenant, weight.max(1)));
+        self
+    }
+
+    /// Set the global and per-tenant in-flight caps.
+    pub fn with_inflight(mut self, global: usize, per_tenant: usize) -> Self {
+        self.max_inflight = global.max(1);
+        self.per_tenant_inflight = per_tenant.max(1);
+        self
+    }
+
+    /// Set the admission budget in cost units.
+    pub fn with_admission_budget(mut self, budget: f64) -> Self {
+        self.admission_budget = budget;
+        self
+    }
+
+    /// Set the per-job cost ceiling.
+    pub fn with_max_job_cost(mut self, limit: f64) -> Self {
+        self.max_job_cost = limit;
+        self
+    }
+
+    /// Set the per-tenant queue cap.
+    pub fn with_max_queued_per_tenant(mut self, limit: usize) -> Self {
+        self.max_queued_per_tenant = limit.max(1);
+        self
+    }
+
+    /// Set the result-cache capacity in bytes (0 disables caching).
+    pub fn with_cache_capacity(mut self, bytes: u64) -> Self {
+        self.cache_capacity = bytes;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// Job lifecycle
+// ---------------------------------------------------------------------
+
+/// Client-visible job lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted, waiting for a dispatch slot.
+    Queued,
+    /// Dispatched and executing.
+    Running,
+    /// Finished successfully; the result is available.
+    Done,
+    /// Finished with an error.
+    Failed,
+    /// Aborted before completion.
+    Cancelled,
+}
+
+/// Wire code for a [`JobState`].
+pub fn state_code(s: JobState) -> u8 {
+    match s {
+        JobState::Queued => 0,
+        JobState::Running => 1,
+        JobState::Done => 2,
+        JobState::Failed => 3,
+        JobState::Cancelled => 4,
+    }
+}
+
+/// Decode a wire state code.
+pub fn state_from_code(c: u8) -> Option<JobState> {
+    Some(match c {
+        0 => JobState::Queued,
+        1 => JobState::Running,
+        2 => JobState::Done,
+        3 => JobState::Failed,
+        4 => JobState::Cancelled,
+        _ => return None,
+    })
+}
+
+/// Wire code for a [`Rejection`] (carried in
+/// [`SvcMsg::SubmitErr`]).
+pub fn rejection_code(r: &Rejection) -> u8 {
+    match r {
+        Rejection::OverBudget { .. } => 1,
+        Rejection::TooExpensive { .. } => 2,
+        Rejection::QueueFull { .. } => 3,
+        Rejection::Malformed(_) => 4,
+        Rejection::ShuttingDown => 5,
+    }
+}
+
+/// A job's status snapshot as returned by [`JobService::poll`] /
+/// [`JobService::wait`] and reconstructed by [`ServiceClient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatusView {
+    /// The job's id.
+    pub job: JobId,
+    /// Lifecycle state at snapshot time.
+    pub state: JobState,
+    /// Whether the result came from the lineage cache.
+    pub cache_hit: bool,
+    /// Engine stages this job ran (0 on a cache hit; meaningful when
+    /// jobs run sequentially, e.g. sim mode — concurrent jobs
+    /// interleave the shared stage counter).
+    pub stages_run: u64,
+    /// The response bytes, present iff `state == Done`.
+    pub result: Option<Bytes>,
+    /// The failure message, present iff `state == Failed`.
+    pub error: Option<String>,
+}
+
+enum EntryState {
+    Queued,
+    Running,
+    Done { resp: Bytes, hit: bool, stages: u64 },
+    Failed(JobError),
+    Cancelled,
+}
+
+struct JobEntry {
+    tenant: TenantId,
+    cost: f64,
+    key: Option<u128>,
+    body: Bytes,
+    cancel: CancelToken,
+    state: EntryState,
+}
+
+impl JobEntry {
+    fn view(&self, job: JobId) -> JobStatusView {
+        match &self.state {
+            EntryState::Queued => JobStatusView {
+                job,
+                state: JobState::Queued,
+                cache_hit: false,
+                stages_run: 0,
+                result: None,
+                error: None,
+            },
+            EntryState::Running => JobStatusView {
+                job,
+                state: JobState::Running,
+                cache_hit: false,
+                stages_run: 0,
+                result: None,
+                error: None,
+            },
+            EntryState::Done { resp, hit, stages } => JobStatusView {
+                job,
+                state: JobState::Done,
+                cache_hit: *hit,
+                stages_run: *stages,
+                result: Some(resp.clone()),
+                error: None,
+            },
+            EntryState::Failed(e) => JobStatusView {
+                job,
+                state: JobState::Failed,
+                cache_hit: false,
+                stages_run: 0,
+                result: None,
+                error: Some(e.to_string()),
+            },
+            EntryState::Cancelled => JobStatusView {
+                job,
+                state: JobState::Cancelled,
+                cache_hit: false,
+                stages_run: 0,
+                result: None,
+                error: None,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Decision log & counters
+// ---------------------------------------------------------------------
+
+/// One policy decision, appended in the order taken. Under sequential
+/// driving (sim mode) the log is a pure function of the submission
+/// script, so replay equality is byte equality of two logs. Costs are
+/// recorded in integer milli-units to keep the log `Eq`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceDecision {
+    /// Admission accepted the job.
+    Admitted {
+        /// Assigned job id.
+        job: JobId,
+        /// Submitting tenant.
+        tenant: TenantId,
+        /// Cost estimate in milli-units.
+        cost_milli: u64,
+    },
+    /// Admission rejected the submission (no job id was assigned).
+    Rejected {
+        /// Submitting tenant.
+        tenant: TenantId,
+        /// Rejection class ([`rejection_code`]).
+        code: u8,
+    },
+    /// The WRR scheduler dispatched the job.
+    Dispatched {
+        /// Dispatched job.
+        job: JobId,
+        /// Its tenant.
+        tenant: TenantId,
+        /// Global dispatch sequence number.
+        seq: u64,
+    },
+    /// The job was served from the lineage cache.
+    CacheHit {
+        /// The job.
+        job: JobId,
+        /// Its tenant.
+        tenant: TenantId,
+        /// The lineage key that hit.
+        key: u128,
+    },
+    /// The job's result was stored in the cache.
+    CacheStore {
+        /// The job.
+        job: JobId,
+        /// The lineage key stored.
+        key: u128,
+    },
+    /// The job settled (success or failure).
+    Completed {
+        /// The job.
+        job: JobId,
+        /// Its tenant.
+        tenant: TenantId,
+        /// Whether it succeeded.
+        ok: bool,
+        /// Engine stages it ran.
+        stages_run: u64,
+    },
+    /// The job was cancelled (queued drop or mid-run abort).
+    Cancelled {
+        /// The job.
+        job: JobId,
+        /// Its tenant.
+        tenant: TenantId,
+    },
+}
+
+/// Monotonic service counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Submissions seen (admitted + rejected).
+    pub submitted: u64,
+    /// Submissions admitted.
+    pub admitted: u64,
+    /// Submissions rejected.
+    pub rejected: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// Jobs cancelled.
+    pub cancelled: u64,
+    /// Completions served from the cache.
+    pub cache_hits: u64,
+    /// Results stored into the cache.
+    pub cache_stores: u64,
+}
+
+// ---------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------
+
+struct SvcState {
+    sched: FairScheduler,
+    jobs: HashMap<JobId, JobEntry>,
+    next_job: JobId,
+    committed: f64,
+    dispatch_seq: u64,
+    decisions: Vec<ServiceDecision>,
+    stats: ServiceStats,
+}
+
+struct SvcInner {
+    sc: SparkContext,
+    conf: ServiceConfig,
+    runner: Box<dyn JobRunner>,
+    state: Mutex<SvcState>,
+    /// Workers park here for dispatchable jobs.
+    work: Condvar,
+    /// Waiters park here for job completions.
+    done: Condvar,
+    cache: Mutex<ResultCache>,
+    stopping: AtomicBool,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running job service. Cheap to clone (all clones share state);
+/// drive it inline ([`JobService::pump`], deterministic), with worker
+/// threads ([`JobService::start_workers`]), or over a socket
+/// ([`JobService::serve`]).
+#[derive(Clone)]
+pub struct JobService {
+    inner: Arc<SvcInner>,
+}
+
+struct Dispatch {
+    job: JobId,
+    tenant: TenantId,
+    body: Bytes,
+    key: Option<u128>,
+    cancel: CancelToken,
+}
+
+impl JobService {
+    /// Build a service over `sc` with the given policy knobs and
+    /// engine binding.
+    pub fn new(sc: SparkContext, conf: ServiceConfig, runner: impl JobRunner) -> Self {
+        let sched = FairScheduler::new(&conf);
+        let cache = ResultCache::new(conf.cache_capacity);
+        JobService {
+            inner: Arc::new(SvcInner {
+                sc,
+                conf,
+                runner: Box::new(runner),
+                state: Mutex::new(SvcState {
+                    sched,
+                    jobs: HashMap::new(),
+                    next_job: 1,
+                    committed: 0.0,
+                    dispatch_seq: 0,
+                    decisions: Vec::new(),
+                    stats: ServiceStats::default(),
+                }),
+                work: Condvar::new(),
+                done: Condvar::new(),
+                cache: Mutex::new(cache),
+                stopping: AtomicBool::new(false),
+                workers: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// The context the service runs jobs on.
+    pub fn sc(&self) -> &SparkContext {
+        &self.inner.sc
+    }
+
+    /// Submit a job body for `tenant`: price it, take the admission
+    /// decision against the current queue snapshot, and enqueue it
+    /// under the WRR scheduler. Returns the job id, or the typed
+    /// rejection.
+    pub fn submit(&self, tenant: TenantId, body: Bytes) -> Result<JobId, Rejection> {
+        let inner = &self.inner;
+        let reject = |st: &mut SvcState, r: Rejection| {
+            st.stats.submitted += 1;
+            st.stats.rejected += 1;
+            st.decisions.push(ServiceDecision::Rejected {
+                tenant,
+                code: rejection_code(&r),
+            });
+            Err(r)
+        };
+        if inner.stopping.load(Ordering::Acquire) {
+            let mut st = inner.state.lock();
+            return reject(&mut st, Rejection::ShuttingDown);
+        }
+        // Price and key the body outside the lock — both are pure.
+        let priced = inner
+            .runner
+            .estimate(&body)
+            .and_then(|cost| inner.runner.cache_key(&body).map(|key| (cost, key)));
+        let mut st = inner.state.lock();
+        let (cost, key) = match priced {
+            Ok(ck) => ck,
+            Err(e) => return reject(&mut st, Rejection::Malformed(e.to_string())),
+        };
+        let snapshot = AdmissionState {
+            committed: st.committed,
+            tenant_queued: st.sched.queued(tenant),
+        };
+        if let Err(r) = admit(&snapshot, tenant, cost, &inner.conf) {
+            return reject(&mut st, r);
+        }
+        let job = st.next_job;
+        st.next_job += 1;
+        st.committed += cost;
+        st.stats.submitted += 1;
+        st.stats.admitted += 1;
+        st.decisions.push(ServiceDecision::Admitted {
+            job,
+            tenant,
+            cost_milli: (cost * 1000.0).round() as u64,
+        });
+        st.jobs.insert(
+            job,
+            JobEntry {
+                tenant,
+                cost,
+                key,
+                body,
+                cancel: CancelToken::new(),
+                state: EntryState::Queued,
+            },
+        );
+        st.sched.enqueue(tenant, job);
+        drop(st);
+        inner.work.notify_all();
+        Ok(job)
+    }
+
+    /// Take the next WRR dispatch, marking it running. `None` when
+    /// nothing is dispatchable (empty queues or caps reached).
+    fn dispatch_next(&self) -> Option<Dispatch> {
+        let mut st = self.inner.state.lock();
+        let (tenant, job) = st.sched.next()?;
+        let seq = st.dispatch_seq;
+        st.dispatch_seq += 1;
+        st.decisions
+            .push(ServiceDecision::Dispatched { job, tenant, seq });
+        let entry = st.jobs.get_mut(&job).expect("dispatched job exists");
+        entry.state = EntryState::Running;
+        Some(Dispatch {
+            job,
+            tenant,
+            body: entry.body.clone(),
+            key: entry.key,
+            cancel: entry.cancel.clone(),
+        })
+    }
+
+    fn settle(
+        &self,
+        d: &Dispatch,
+        outcome: Result<(Bytes, bool, u64), JobError>,
+        stored_key: Option<u128>,
+    ) {
+        let mut st = self.inner.state.lock();
+        st.sched.job_finished(d.tenant);
+        st.committed = (st.committed - st.jobs[&d.job].cost).max(0.0);
+        if let Some(key) = stored_key {
+            st.stats.cache_stores += 1;
+            st.decisions
+                .push(ServiceDecision::CacheStore { job: d.job, key });
+        }
+        let state = match outcome {
+            Ok((resp, hit, stages)) => {
+                if hit {
+                    st.stats.cache_hits += 1;
+                    st.decisions.push(ServiceDecision::CacheHit {
+                        job: d.job,
+                        tenant: d.tenant,
+                        key: d.key.expect("hit implies key"),
+                    });
+                }
+                st.stats.completed += 1;
+                st.decisions.push(ServiceDecision::Completed {
+                    job: d.job,
+                    tenant: d.tenant,
+                    ok: true,
+                    stages_run: stages,
+                });
+                EntryState::Done { resp, hit, stages }
+            }
+            Err(JobError::Cancelled(_)) => {
+                st.stats.cancelled += 1;
+                st.decisions.push(ServiceDecision::Cancelled {
+                    job: d.job,
+                    tenant: d.tenant,
+                });
+                EntryState::Cancelled
+            }
+            Err(e) => {
+                st.stats.failed += 1;
+                st.decisions.push(ServiceDecision::Completed {
+                    job: d.job,
+                    tenant: d.tenant,
+                    ok: false,
+                    stages_run: 0,
+                });
+                EntryState::Failed(e)
+            }
+        };
+        st.jobs.get_mut(&d.job).expect("job exists").state = state;
+        drop(st);
+        self.inner.done.notify_all();
+        self.inner.work.notify_all();
+    }
+
+    /// Execute one dispatched job to completion on the calling thread.
+    fn execute(&self, d: Dispatch) {
+        let inner = &self.inner;
+        // Cache probe first: a hit runs zero engine stages.
+        if let Some(key) = d.key {
+            let cached = inner.cache.lock().get(key);
+            if let Some(full) = cached {
+                let outcome = inner.runner.project(&d.body, &full).map(|r| (r, true, 0));
+                self.settle(&d, outcome, None);
+                return;
+            }
+        }
+        if d.cancel.is_cancelled() {
+            self.settle(
+                &d,
+                Err(JobError::Cancelled("cancelled before start".into())),
+                None,
+            );
+            return;
+        }
+        let before = inner.sc.with_event_log(|l| l.stage_count()) as u64;
+        let res = with_cancel(&d.cancel, || inner.runner.run(&inner.sc, &d.body));
+        let stages = (inner.sc.with_event_log(|l| l.stage_count()) as u64).saturating_sub(before);
+        match res {
+            Ok(full) => {
+                let stored = match d.key {
+                    Some(key) if inner.cache.lock().put(key, full.clone()) => Some(key),
+                    _ => None,
+                };
+                let outcome = inner
+                    .runner
+                    .project(&d.body, &full)
+                    .map(|r| (r, false, stages));
+                self.settle(&d, outcome, stored);
+            }
+            Err(e) => self.settle(&d, Err(e), None),
+        }
+    }
+
+    /// Run one queued job inline on the calling thread (the
+    /// deterministic sim driver). Returns `false` when nothing was
+    /// dispatchable.
+    pub fn pump(&self) -> bool {
+        match self.dispatch_next() {
+            Some(d) => {
+                self.execute(d);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drain every queued job inline; returns jobs run.
+    pub fn pump_all(&self) -> usize {
+        let mut n = 0;
+        while self.pump() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Spawn `n` worker threads that dispatch and execute jobs until
+    /// [`JobService::stop`].
+    pub fn start_workers(&self, n: usize) {
+        let mut workers = self.inner.workers.lock();
+        for i in 0..n.max(1) {
+            let svc = self.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("svc-worker-{i}"))
+                    .spawn(move || loop {
+                        if let Some(d) = svc.dispatch_next() {
+                            svc.execute(d);
+                            continue;
+                        }
+                        let mut st = svc.inner.state.lock();
+                        if svc.inner.stopping.load(Ordering::Acquire) {
+                            return;
+                        }
+                        // Re-check under the lock: a submit between our
+                        // failed dispatch and this wait would be lost.
+                        if st.sched.total_queued() == 0 || st.sched.inflight() > 0 {
+                            svc.inner.work.wait(&mut st);
+                        }
+                    })
+                    .expect("spawn service worker"),
+            );
+        }
+    }
+
+    /// Stop the service: reject new submissions, drop every queued job
+    /// as cancelled (releasing its admission budget), let running jobs
+    /// finish, and join the workers.
+    pub fn stop(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        {
+            let mut st = self.inner.state.lock();
+            let queued: Vec<(JobId, TenantId)> = st
+                .jobs
+                .iter()
+                .filter(|(_, e)| matches!(e.state, EntryState::Queued))
+                .map(|(&j, e)| (j, e.tenant))
+                .collect();
+            for (job, tenant) in queued {
+                st.sched.remove_queued(tenant, job);
+                let cost = st.jobs[&job].cost;
+                st.committed = (st.committed - cost).max(0.0);
+                st.jobs.get_mut(&job).expect("queued job").state = EntryState::Cancelled;
+                st.stats.cancelled += 1;
+                st.decisions
+                    .push(ServiceDecision::Cancelled { job, tenant });
+            }
+        }
+        self.inner.work.notify_all();
+        self.inner.done.notify_all();
+        let workers: Vec<JoinHandle<()>> = self.inner.workers.lock().drain(..).collect();
+        for w in workers {
+            let _ = w.join();
+        }
+    }
+
+    /// Non-blocking status probe.
+    pub fn poll(&self, job: JobId) -> Option<JobStatusView> {
+        self.inner.state.lock().jobs.get(&job).map(|e| e.view(job))
+    }
+
+    /// Block until `job` settles (done, failed, or cancelled).
+    pub fn wait(&self, job: JobId) -> Option<JobStatusView> {
+        let mut st = self.inner.state.lock();
+        loop {
+            match st.jobs.get(&job) {
+                None => return None,
+                Some(e) if !matches!(e.state, EntryState::Queued | EntryState::Running) => {
+                    return Some(e.view(job));
+                }
+                Some(_) => self.inner.done.wait(&mut st),
+            }
+        }
+    }
+
+    /// Abort a job: queued jobs are dropped immediately (admission
+    /// budget released), running jobs get their [`CancelToken`]
+    /// tripped and settle as cancelled at the next stage boundary.
+    /// Returns `false` for unknown job ids.
+    pub fn cancel(&self, job: JobId) -> bool {
+        let mut st = self.inner.state.lock();
+        let Some(entry) = st.jobs.get(&job) else {
+            return false;
+        };
+        let tenant = entry.tenant;
+        let cost = entry.cost;
+        match entry.state {
+            EntryState::Queued => {
+                st.sched.remove_queued(tenant, job);
+                st.committed = (st.committed - cost).max(0.0);
+                st.jobs.get_mut(&job).expect("present").state = EntryState::Cancelled;
+                st.stats.cancelled += 1;
+                st.decisions
+                    .push(ServiceDecision::Cancelled { job, tenant });
+                drop(st);
+                self.inner.done.notify_all();
+                self.inner.work.notify_all();
+            }
+            EntryState::Running => {
+                entry.cancel.cancel();
+            }
+            _ => {}
+        }
+        true
+    }
+
+    /// The decision log so far (replay-comparable under sequential
+    /// driving).
+    pub fn decisions(&self) -> Vec<ServiceDecision> {
+        self.inner.state.lock().decisions.clone()
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> ServiceStats {
+        self.inner.state.lock().stats.clone()
+    }
+
+    /// Cost units currently committed (queued + in-flight). Returns to
+    /// zero when the service quiesces — cancellation included.
+    pub fn committed_cost(&self) -> f64 {
+        self.inner.state.lock().committed
+    }
+
+    /// Result-cache (hits, misses, evictions).
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.inner.cache.lock().stats()
+    }
+
+    /// Result-cache (entries, used bytes).
+    pub fn cache_usage(&self) -> (usize, u64) {
+        let c = self.inner.cache.lock();
+        (c.len(), c.used_bytes())
+    }
+
+    /// Invalidate one cached lineage key (e.g. after recovery events
+    /// that make re-validation desirable). Returns whether an entry
+    /// was dropped.
+    pub fn invalidate_cached(&self, key: u128) -> bool {
+        self.inner.cache.lock().invalidate(key)
+    }
+
+    // -----------------------------------------------------------------
+    // Scripted (sim-harness) driving
+    // -----------------------------------------------------------------
+
+    /// Run a scripted tenant arrival process deterministically:
+    /// arrivals are processed in `(at_ms, script order)` order, the
+    /// sim virtual clock (when the context is deterministic) advancing
+    /// to each arrival time; after each time step's submissions,
+    /// `pump_per_step` queued jobs run inline. Whatever remains queued
+    /// is drained at the end. Returns each arrival's admission
+    /// outcome, in script order.
+    pub fn run_script(
+        &self,
+        script: &[Arrival],
+        pump_per_step: usize,
+    ) -> Vec<Result<JobId, Rejection>> {
+        let mut order: Vec<usize> = (0..script.len()).collect();
+        order.sort_by_key(|&i| script[i].at_ms); // stable: ties keep script order
+        let mut results: Vec<Option<Result<JobId, Rejection>>> = vec![None; script.len()];
+        let mut at = 0;
+        while at < order.len() {
+            let t = script[order[at]].at_ms;
+            if let Some(vc) = &self.inner.sc.inner.vclock {
+                vc.advance_to(t);
+            }
+            while at < order.len() && script[order[at]].at_ms == t {
+                let i = order[at];
+                results[i] = Some(self.submit(script[i].tenant, script[i].body.clone()));
+                at += 1;
+            }
+            for _ in 0..pump_per_step {
+                if !self.pump() {
+                    break;
+                }
+            }
+        }
+        self.pump_all();
+        results
+            .into_iter()
+            .map(|r| r.expect("all filled"))
+            .collect()
+    }
+}
+
+/// One scripted submission for [`JobService::run_script`].
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Virtual-clock arrival time in milliseconds.
+    pub at_ms: u64,
+    /// Submitting tenant.
+    pub tenant: TenantId,
+    /// Job body.
+    pub body: Bytes,
+}
+
+// ---------------------------------------------------------------------
+// Socket front end
+// ---------------------------------------------------------------------
+
+/// Where the service listens.
+#[derive(Debug, Clone)]
+pub enum ServiceAddr {
+    /// TCP `host:port` (use port 0 to bind ephemerally).
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(std::path::PathBuf),
+}
+
+trait Conn: Read + Write + Send {}
+impl Conn for std::net::TcpStream {}
+impl Conn for std::os::unix::net::UnixStream {}
+
+enum Listener {
+    Tcp(std::net::TcpListener),
+    Unix(std::os::unix::net::UnixListener, std::path::PathBuf),
+}
+
+impl Listener {
+    fn bind(addr: &ServiceAddr) -> std::io::Result<(Self, ServiceAddr)> {
+        match addr {
+            ServiceAddr::Tcp(a) => {
+                let l = std::net::TcpListener::bind(a.as_str())?;
+                let actual = ServiceAddr::Tcp(l.local_addr()?.to_string());
+                Ok((Listener::Tcp(l), actual))
+            }
+            ServiceAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let l = std::os::unix::net::UnixListener::bind(path)?;
+                Ok((Listener::Unix(l, path.clone()), addr.clone()))
+            }
+        }
+    }
+
+    fn set_nonblocking(&self, nb: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Tcp(l) => l.set_nonblocking(nb),
+            Listener::Unix(l, _) => l.set_nonblocking(nb),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Box<dyn Conn>> {
+        match self {
+            Listener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                s.set_nonblocking(false)?;
+                Ok(Box::new(s))
+            }
+            Listener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                s.set_nonblocking(false)?;
+                Ok(Box::new(s))
+            }
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Listener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Handle on a listening service front end.
+pub struct ServeHandle {
+    addr: ServiceAddr,
+    accept: Option<JoinHandle<()>>,
+    svc: JobService,
+}
+
+impl ServeHandle {
+    /// The actually-bound address (resolves an ephemeral port).
+    pub fn addr(&self) -> &ServiceAddr {
+        &self.addr
+    }
+
+    /// Stop accepting, stop the service, and join the accept loop.
+    pub fn stop(mut self) {
+        self.svc.inner.stopping.store(true, Ordering::Release);
+        self.svc.stop();
+        if let Some(j) = self.accept.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl JobService {
+    /// Serve the submission protocol on `addr`: an accept loop thread
+    /// plus one handler thread per connection. A client disconnect
+    /// cancels that connection's unfinished jobs (the tenant gave up).
+    pub fn serve(&self, addr: ServiceAddr) -> std::io::Result<ServeHandle> {
+        let (listener, actual) = Listener::bind(&addr)?;
+        listener.set_nonblocking(true)?;
+        let svc = self.clone();
+        let accept = std::thread::Builder::new()
+            .name("svc-accept".into())
+            .spawn(move || loop {
+                if svc.inner.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                match listener.accept() {
+                    Ok(conn) => {
+                        let svc = svc.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("svc-conn".into())
+                            .spawn(move || handle_conn(&svc, conn));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(_) => return,
+                }
+            })?;
+        Ok(ServeHandle {
+            addr: actual,
+            accept: Some(accept),
+            svc: self.clone(),
+        })
+    }
+}
+
+fn status_msg(view: &JobStatusView) -> SvcMsg {
+    SvcMsg::Status {
+        job: view.job,
+        state: state_code(view.state),
+        cache_hit: view.cache_hit,
+        stages_run: view.stages_run,
+        frame: view
+            .result
+            .as_ref()
+            .map(|r| Payload::seal(r.clone(), Compression::None).frame()),
+        error: view.error.clone(),
+    }
+}
+
+fn unknown_job_status(job: JobId) -> SvcMsg {
+    SvcMsg::Status {
+        job,
+        state: u8::MAX,
+        cache_hit: false,
+        stages_run: 0,
+        frame: None,
+        error: Some("unknown job".into()),
+    }
+}
+
+fn handle_conn(svc: &JobService, mut conn: Box<dyn Conn>) {
+    // Jobs this connection submitted and has not yet seen settle: a
+    // disconnect cancels them (client-gone tenant abort).
+    let mut open_jobs: Vec<JobId> = Vec::new();
+    // Until EOF or a protocol violation (either means disconnect):
+    while let Ok((msg, _)) = wire::read_msg(&mut conn) {
+        let reply = match msg {
+            SvcMsg::Submit { tenant, frame } => {
+                let body = Payload::from_frame(frame).and_then(|p| p.open());
+                match body {
+                    Ok(body) => match svc.submit(tenant, body) {
+                        Ok(job) => {
+                            open_jobs.push(job);
+                            SvcMsg::SubmitOk { job }
+                        }
+                        Err(r) => SvcMsg::SubmitErr {
+                            code: rejection_code(&r),
+                            message: r.to_string(),
+                        },
+                    },
+                    Err(e) => SvcMsg::SubmitErr {
+                        code: rejection_code(&Rejection::Malformed(String::new())),
+                        message: e.to_string(),
+                    },
+                }
+            }
+            SvcMsg::Poll { job } => match svc.poll(job) {
+                Some(view) => status_msg(&view),
+                None => unknown_job_status(job),
+            },
+            SvcMsg::Wait { job } => match svc.wait(job) {
+                Some(view) => {
+                    open_jobs.retain(|&j| j != job);
+                    status_msg(&view)
+                }
+                None => unknown_job_status(job),
+            },
+            SvcMsg::Cancel { job } => {
+                svc.cancel(job);
+                SvcMsg::CancelOk
+            }
+            SvcMsg::Stats => {
+                let s = svc.stats();
+                SvcMsg::StatsOk {
+                    submitted: s.submitted,
+                    admitted: s.admitted,
+                    rejected: s.rejected,
+                    completed: s.completed,
+                    cache_hits: s.cache_hits,
+                    cancelled: s.cancelled,
+                }
+            }
+            SvcMsg::Shutdown => {
+                let _ = wire::write_msg(&mut conn, &SvcMsg::ShutdownAck);
+                svc.inner.stopping.store(true, Ordering::Release);
+                svc.inner.work.notify_all();
+                break;
+            }
+            // Server-to-client messages arriving here are protocol
+            // violations; drop the connection.
+            _ => break,
+        };
+        if wire::write_msg(&mut conn, &reply).is_err() {
+            break;
+        }
+    }
+    for job in open_jobs {
+        if let Some(view) = svc.poll(job) {
+            if matches!(view.state, JobState::Queued | JobState::Running) {
+                svc.cancel(job);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// Blocking client for the submission protocol.
+pub struct ServiceClient {
+    conn: Box<dyn Conn>,
+}
+
+impl ServiceClient {
+    /// Connect to a serving [`JobService`].
+    pub fn connect(addr: &ServiceAddr) -> std::io::Result<Self> {
+        let conn: Box<dyn Conn> = match addr {
+            ServiceAddr::Tcp(a) => {
+                let s = std::net::TcpStream::connect(a.as_str())?;
+                s.set_nodelay(true)?;
+                Box::new(s)
+            }
+            ServiceAddr::Unix(path) => Box::new(std::os::unix::net::UnixStream::connect(path)?),
+        };
+        Ok(ServiceClient { conn })
+    }
+
+    fn rpc(&mut self, msg: &SvcMsg) -> std::io::Result<SvcMsg> {
+        wire::write_msg(&mut self.conn, msg)?;
+        Ok(wire::read_msg(&mut self.conn)?.0)
+    }
+
+    /// Submit a job body for `tenant`. `Err((code, message))` carries
+    /// the typed rejection ([`rejection_code`] classes).
+    pub fn submit(
+        &mut self,
+        tenant: TenantId,
+        body: Bytes,
+    ) -> std::io::Result<Result<JobId, (u8, String)>> {
+        let frame = Payload::seal(body, Compression::None).frame();
+        match self.rpc(&SvcMsg::Submit { tenant, frame })? {
+            SvcMsg::SubmitOk { job } => Ok(Ok(job)),
+            SvcMsg::SubmitErr { code, message } => Ok(Err((code, message))),
+            other => Err(protocol_err(&other)),
+        }
+    }
+
+    fn view_from_status(msg: SvcMsg) -> std::io::Result<JobStatusView> {
+        let SvcMsg::Status {
+            job,
+            state,
+            cache_hit,
+            stages_run,
+            frame,
+            error,
+        } = msg
+        else {
+            return Err(protocol_err(&msg));
+        };
+        let state = state_from_code(state)
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad job state"))?;
+        let result = match frame {
+            Some(f) => Some(Payload::from_frame(f).and_then(|p| p.open()).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            })?),
+            None => None,
+        };
+        Ok(JobStatusView {
+            job,
+            state,
+            cache_hit,
+            stages_run,
+            result,
+            error,
+        })
+    }
+
+    /// Non-blocking status probe.
+    pub fn poll(&mut self, job: JobId) -> std::io::Result<JobStatusView> {
+        let msg = self.rpc(&SvcMsg::Poll { job })?;
+        Self::view_from_status(msg)
+    }
+
+    /// Block until the job settles; returns the final status.
+    pub fn wait(&mut self, job: JobId) -> std::io::Result<JobStatusView> {
+        let msg = self.rpc(&SvcMsg::Wait { job })?;
+        Self::view_from_status(msg)
+    }
+
+    /// Abort a job.
+    pub fn cancel(&mut self, job: JobId) -> std::io::Result<()> {
+        match self.rpc(&SvcMsg::Cancel { job })? {
+            SvcMsg::CancelOk => Ok(()),
+            other => Err(protocol_err(&other)),
+        }
+    }
+
+    /// Service counters: (submitted, admitted, rejected, completed,
+    /// cache_hits, cancelled).
+    pub fn stats(&mut self) -> std::io::Result<(u64, u64, u64, u64, u64, u64)> {
+        match self.rpc(&SvcMsg::Stats)? {
+            SvcMsg::StatsOk {
+                submitted,
+                admitted,
+                rejected,
+                completed,
+                cache_hits,
+                cancelled,
+            } => Ok((
+                submitted, admitted, rejected, completed, cache_hits, cancelled,
+            )),
+            other => Err(protocol_err(&other)),
+        }
+    }
+
+    /// Request service shutdown (acknowledged before the connection
+    /// closes).
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        match self.rpc(&SvcMsg::Shutdown)? {
+            SvcMsg::ShutdownAck => Ok(()),
+            other => Err(protocol_err(&other)),
+        }
+    }
+}
+
+fn protocol_err(got: &SvcMsg) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("unexpected service reply: {got:?}"),
+    )
+}

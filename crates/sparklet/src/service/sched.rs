@@ -1,0 +1,371 @@
+//! Tenant-aware fair scheduling and admission control for the job
+//! service.
+//!
+//! **Fairness** is deficit-style weighted round-robin: each tenant
+//! holds a credit balance refilled to its weight once per round, and
+//! the dispatcher scans tenants in ascending id order, dispatching
+//! from any tenant that still has credits, queued jobs, and a free
+//! in-flight slot. Credits refill only when some tenant is blocked
+//! purely by an exhausted balance, so dispatch proportions track the
+//! configured weights while a lone tenant still gets the whole
+//! window. The scan order and credit arithmetic use no clocks or
+//! randomness, so the dispatch sequence is a pure function of the
+//! submission sequence — the property the sim-mode replay tests pin.
+//!
+//! **Admission** is a pure function of an explicit queue-state
+//! snapshot and the job's cost estimate ([`admit`]): same snapshot,
+//! same estimate, same decision, with typed rejections.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use super::ServiceConfig;
+
+/// Tenant identity as submitted on the wire.
+pub type TenantId = u64;
+/// Service-assigned job identity (monotonic per service).
+pub type JobId = u64;
+
+struct TenantQueue {
+    weight: u32,
+    credits: u32,
+    q: VecDeque<JobId>,
+    inflight: usize,
+}
+
+/// Weighted round-robin dispatcher over per-tenant FIFO queues with
+/// per-tenant and global in-flight caps.
+pub(crate) struct FairScheduler {
+    tenants: BTreeMap<TenantId, TenantQueue>,
+    default_weight: u32,
+    weights: Vec<(TenantId, u32)>,
+    per_tenant_inflight: usize,
+    max_inflight: usize,
+    inflight_total: usize,
+}
+
+impl FairScheduler {
+    pub(crate) fn new(conf: &ServiceConfig) -> Self {
+        FairScheduler {
+            tenants: BTreeMap::new(),
+            default_weight: conf.default_weight.max(1),
+            weights: conf.tenant_weights.clone(),
+            per_tenant_inflight: conf.per_tenant_inflight.max(1),
+            max_inflight: conf.max_inflight.max(1),
+            inflight_total: 0,
+        }
+    }
+
+    fn weight_of(&self, tenant: TenantId) -> u32 {
+        self.weights
+            .iter()
+            .find(|(t, _)| *t == tenant)
+            .map(|(_, w)| (*w).max(1))
+            .unwrap_or(self.default_weight)
+    }
+
+    pub(crate) fn enqueue(&mut self, tenant: TenantId, job: JobId) {
+        let weight = self.weight_of(tenant);
+        self.tenants
+            .entry(tenant)
+            .or_insert_with(|| TenantQueue {
+                weight,
+                credits: weight,
+                q: VecDeque::new(),
+                inflight: 0,
+            })
+            .q
+            .push_back(job);
+    }
+
+    /// Drop a still-queued job (tenant abort before dispatch).
+    pub(crate) fn remove_queued(&mut self, tenant: TenantId, job: JobId) -> bool {
+        match self.tenants.get_mut(&tenant) {
+            Some(t) => match t.q.iter().position(|&j| j == job) {
+                Some(at) => {
+                    t.q.remove(at);
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Queued (undispatched) jobs for one tenant.
+    pub(crate) fn queued(&self, tenant: TenantId) -> usize {
+        self.tenants.get(&tenant).map_or(0, |t| t.q.len())
+    }
+
+    /// Queued jobs across all tenants.
+    pub(crate) fn total_queued(&self) -> usize {
+        self.tenants.values().map(|t| t.q.len()).sum()
+    }
+
+    pub(crate) fn inflight(&self) -> usize {
+        self.inflight_total
+    }
+
+    /// Next job to dispatch under the WRR policy, or `None` when every
+    /// queued job is blocked by an in-flight cap (or nothing is
+    /// queued). Marks the job in flight.
+    pub(crate) fn next(&mut self) -> Option<(TenantId, JobId)> {
+        if self.inflight_total >= self.max_inflight {
+            return None;
+        }
+        // Two scans at most: the current credit round, then — if some
+        // tenant was blocked only by an empty balance — a refill round.
+        for pass in 0..2 {
+            let mut credit_starved = false;
+            let order: Vec<TenantId> = self.tenants.keys().copied().collect();
+            for t in order {
+                let entry = self.tenants.get_mut(&t).expect("tenant present");
+                if entry.q.is_empty() || entry.inflight >= self.per_tenant_inflight {
+                    continue;
+                }
+                if entry.credits == 0 {
+                    credit_starved = true;
+                    continue;
+                }
+                entry.credits -= 1;
+                let job = entry.q.pop_front().expect("nonempty queue");
+                entry.inflight += 1;
+                self.inflight_total += 1;
+                return Some((t, job));
+            }
+            if pass == 0 && credit_starved {
+                for e in self.tenants.values_mut() {
+                    e.credits = e.weight;
+                }
+            } else {
+                break;
+            }
+        }
+        None
+    }
+
+    /// A dispatched job finished (any outcome): free its slot.
+    pub(crate) fn job_finished(&mut self, tenant: TenantId) {
+        if let Some(t) = self.tenants.get_mut(&tenant) {
+            debug_assert!(t.inflight > 0, "finish without dispatch");
+            t.inflight = t.inflight.saturating_sub(1);
+        }
+        self.inflight_total = self.inflight_total.saturating_sub(1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Admission control
+// ---------------------------------------------------------------------
+
+/// The queue-state snapshot an admission decision is a function of.
+/// Everything the decision may read is in here — the decision logic
+/// itself holds no other state, which is what makes admission
+/// replayable: same snapshot + same estimate ⇒ same outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionState {
+    /// Cost units committed to queued + in-flight jobs.
+    pub committed: f64,
+    /// Jobs the submitting tenant already has queued (undispatched).
+    pub tenant_queued: usize,
+}
+
+/// Typed admission rejection, also carried over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rejection {
+    /// Admitting the job would push committed cost over the budget.
+    OverBudget {
+        /// The job's cost estimate.
+        estimate: f64,
+        /// Cost units already committed.
+        committed: f64,
+        /// The configured budget.
+        budget: f64,
+    },
+    /// The job alone exceeds the per-job cost ceiling.
+    TooExpensive {
+        /// The job's cost estimate.
+        estimate: f64,
+        /// The configured per-job ceiling.
+        limit: f64,
+    },
+    /// The tenant's queue is at capacity.
+    QueueFull {
+        /// The submitting tenant.
+        tenant: TenantId,
+        /// Jobs it has queued.
+        queued: usize,
+        /// The configured per-tenant queue cap.
+        limit: usize,
+    },
+    /// The job body failed to price or decode.
+    Malformed(String),
+    /// The service is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejection::OverBudget {
+                estimate,
+                committed,
+                budget,
+            } => write!(
+                f,
+                "over budget: estimate {estimate:.3} + committed {committed:.3} exceeds {budget:.3}"
+            ),
+            Rejection::TooExpensive { estimate, limit } => {
+                write!(
+                    f,
+                    "too expensive: estimate {estimate:.3} exceeds {limit:.3}"
+                )
+            }
+            Rejection::QueueFull {
+                tenant,
+                queued,
+                limit,
+            } => write!(f, "queue full for tenant {tenant}: {queued} of {limit}"),
+            Rejection::Malformed(why) => write!(f, "malformed job: {why}"),
+            Rejection::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+/// Decide admission for a job priced at `estimate` against a queue
+/// snapshot. Pure: no clocks, no randomness, no hidden state.
+/// Checks are ordered — per-job ceiling, per-tenant queue cap, then
+/// the global budget — so the rejection a client sees is stable too.
+pub fn admit(
+    state: &AdmissionState,
+    tenant: TenantId,
+    estimate: f64,
+    conf: &ServiceConfig,
+) -> Result<(), Rejection> {
+    if !estimate.is_finite() || estimate < 0.0 {
+        return Err(Rejection::Malformed(format!(
+            "cost estimate must be finite and non-negative, got {estimate}"
+        )));
+    }
+    if estimate > conf.max_job_cost {
+        return Err(Rejection::TooExpensive {
+            estimate,
+            limit: conf.max_job_cost,
+        });
+    }
+    if state.tenant_queued >= conf.max_queued_per_tenant {
+        return Err(Rejection::QueueFull {
+            tenant,
+            queued: state.tenant_queued,
+            limit: conf.max_queued_per_tenant,
+        });
+    }
+    if state.committed + estimate > conf.admission_budget {
+        return Err(Rejection::OverBudget {
+            estimate,
+            committed: state.committed,
+            budget: conf.admission_budget,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conf() -> ServiceConfig {
+        ServiceConfig::default()
+            .with_tenant_weight(1, 3)
+            .with_inflight(8, 2)
+    }
+
+    #[test]
+    fn wrr_dispatch_tracks_weights() {
+        let mut s = FairScheduler::new(&conf().with_inflight(100, 100));
+        for j in 0..12 {
+            s.enqueue(1, j); // weight 3
+            s.enqueue(2, 100 + j); // weight 1
+        }
+        let mut order = Vec::new();
+        while let Some((t, _)) = s.next() {
+            order.push(t);
+        }
+        // Bursty WRR: three of tenant 1, one of tenant 2, repeat.
+        assert_eq!(&order[..8], &[1, 1, 1, 2, 1, 1, 1, 2]);
+        let t1 = order.iter().filter(|&&t| t == 1).count();
+        let t2 = order.iter().filter(|&&t| t == 2).count();
+        assert_eq!((t1, t2), (12, 12));
+    }
+
+    #[test]
+    fn inflight_caps_gate_dispatch() {
+        let mut s = FairScheduler::new(&conf()); // per-tenant 2, global 8
+        for j in 0..4 {
+            s.enqueue(7, j);
+        }
+        assert!(s.next().is_some());
+        assert!(s.next().is_some());
+        assert!(s.next().is_none(), "per-tenant cap of 2");
+        s.job_finished(7);
+        assert!(s.next().is_some(), "freed slot re-dispatches");
+    }
+
+    #[test]
+    fn lone_tenant_is_not_throttled_by_credits() {
+        let mut s = FairScheduler::new(&conf().with_inflight(100, 100));
+        for j in 0..10 {
+            s.enqueue(2, j); // weight 1
+        }
+        let mut n = 0;
+        while s.next().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 10, "credits refill for a lone tenant");
+    }
+
+    #[test]
+    fn remove_queued_drops_only_that_job() {
+        let mut s = FairScheduler::new(&conf());
+        s.enqueue(1, 10);
+        s.enqueue(1, 11);
+        assert!(s.remove_queued(1, 10));
+        assert!(!s.remove_queued(1, 10));
+        assert_eq!(s.queued(1), 1);
+        assert_eq!(s.next().map(|(_, j)| j), Some(11));
+    }
+
+    #[test]
+    fn admission_is_pure_and_ordered() {
+        let c = ServiceConfig::default()
+            .with_admission_budget(10.0)
+            .with_max_job_cost(6.0)
+            .with_max_queued_per_tenant(2);
+        let st = AdmissionState {
+            committed: 7.0,
+            tenant_queued: 0,
+        };
+        // Same inputs, same decision.
+        assert_eq!(admit(&st, 1, 2.0, &c), admit(&st, 1, 2.0, &c));
+        assert!(admit(&st, 1, 2.0, &c).is_ok());
+        assert!(matches!(
+            admit(&st, 1, 4.0, &c),
+            Err(Rejection::OverBudget { .. })
+        ));
+        assert!(matches!(
+            admit(&st, 1, 7.0, &c),
+            Err(Rejection::TooExpensive { .. })
+        ));
+        let full = AdmissionState {
+            committed: 0.0,
+            tenant_queued: 2,
+        };
+        assert!(matches!(
+            admit(&full, 9, 1.0, &c),
+            Err(Rejection::QueueFull { tenant: 9, .. })
+        ));
+        assert!(matches!(
+            admit(&st, 1, f64::NAN, &c),
+            Err(Rejection::Malformed(_))
+        ));
+    }
+}
