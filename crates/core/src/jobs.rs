@@ -167,7 +167,10 @@ impl<'a> Rd<'a> {
         let cols = self.u64()? as usize;
         let cells = rows
             .checked_mul(cols)
-            .filter(|&c| c * 8 <= self.buf.len() - self.at)
+            .filter(|&c| {
+                c.checked_mul(8)
+                    .is_some_and(|b| b <= self.buf.len() - self.at)
+            })
             .ok_or_else(|| JobError::Codec("matrix larger than body".into()))?;
         let mut data = Vec::with_capacity(cells);
         for _ in 0..cells {
@@ -267,8 +270,70 @@ impl DpJobRequest {
         Bytes::from(out)
     }
 
-    /// Decode a service body; defensive against truncation and
-    /// implausible lengths (typed [`JobError::Codec`], never a panic).
+    /// Shape invariants the solver entry points assert: a decodable
+    /// body that violates them must be rejected here, as a typed codec
+    /// error on the admission path, not a panic on a worker thread.
+    fn validate(&self) -> Result<(), JobError> {
+        match self {
+            DpJobRequest::Apsp { dist, .. } => {
+                if dist.rows() != dist.cols() {
+                    return Err(JobError::Codec(format!(
+                        "APSP distance matrix must be square, got {}x{}",
+                        dist.rows(),
+                        dist.cols()
+                    )));
+                }
+                if dist.rows() == 0 {
+                    return Err(JobError::Codec("APSP distance matrix is empty".into()));
+                }
+            }
+            DpJobRequest::Alignment { .. } => {}
+            DpJobRequest::Parenthesis { weight, .. } => match weight {
+                ParenWeight::MatrixChain(dims) if dims.len() < 2 => {
+                    return Err(JobError::Codec(format!(
+                        "matrix chain needs at least 2 dimensions, got {}",
+                        dims.len()
+                    )));
+                }
+                ParenWeight::Polygon(vs) if vs.len() < 3 => {
+                    return Err(JobError::Codec(format!(
+                        "polygon needs at least 3 vertices, got {}",
+                        vs.len()
+                    )));
+                }
+                ParenWeight::Zero => {
+                    return Err(JobError::Codec(
+                        "Zero parenthesization weight carries no size".into(),
+                    ));
+                }
+                _ => {}
+            },
+            DpJobRequest::LinearSystem { a, rhs, .. } => {
+                if a.rows() != a.cols() {
+                    return Err(JobError::Codec(format!(
+                        "coefficient matrix must be square, got {}x{}",
+                        a.rows(),
+                        a.cols()
+                    )));
+                }
+                if a.rows() == 0 {
+                    return Err(JobError::Codec("coefficient matrix is empty".into()));
+                }
+                if rhs.len() != a.rows() {
+                    return Err(JobError::Codec(format!(
+                        "rhs length {} does not match matrix side {}",
+                        rhs.len(),
+                        a.rows()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Decode a service body; defensive against truncation,
+    /// implausible lengths, and shape-invariant violations (typed
+    /// [`JobError::Codec`], never a panic).
     pub fn decode(body: &Bytes) -> Result<Self, JobError> {
         let mut rd = Rd::new(body);
         let req = match rd.u8()? {
@@ -349,6 +414,7 @@ impl DpJobRequest {
             other => return Err(JobError::Codec(format!("unknown job tag {other}"))),
         };
         rd.done()?;
+        req.validate()?;
         Ok(req)
     }
 
@@ -482,7 +548,7 @@ pub fn decode_matrix_i64(bytes: &Bytes) -> Result<Matrix<i64>, JobError> {
     let cols = rd.u64()? as usize;
     let cells = rows
         .checked_mul(cols)
-        .filter(|&c| c * 8 <= bytes.len())
+        .filter(|&c| c.checked_mul(8).is_some_and(|b| b <= bytes.len()))
         .ok_or_else(|| JobError::Codec("matrix larger than body".into()))?;
     let mut data = Vec::with_capacity(cells);
     for _ in 0..cells {
@@ -712,6 +778,86 @@ mod tests {
             block: 2,
         };
         assert_ne!(lcs.lineage_key(), nw.lineage_key());
+    }
+
+    #[test]
+    fn decodable_bodies_violating_solver_invariants_are_rejected() {
+        let bad = vec![
+            DpJobRequest::Apsp {
+                dist: Matrix::from_fn(2, 3, |_, _| 0.0),
+                block: 2,
+                sources: None,
+            },
+            DpJobRequest::Apsp {
+                dist: Matrix::from_fn(0, 0, |_, _| 0.0),
+                block: 2,
+                sources: None,
+            },
+            DpJobRequest::Parenthesis {
+                weight: ParenWeight::MatrixChain(vec![]),
+                block: 2,
+            },
+            DpJobRequest::Parenthesis {
+                weight: ParenWeight::MatrixChain(vec![7]),
+                block: 2,
+            },
+            DpJobRequest::Parenthesis {
+                weight: ParenWeight::Polygon(vec![1.0, 2.0]),
+                block: 2,
+            },
+            DpJobRequest::Parenthesis {
+                weight: ParenWeight::Zero,
+                block: 2,
+            },
+            DpJobRequest::LinearSystem {
+                a: Matrix::from_fn(2, 3, |_, _| 1.0),
+                rhs: vec![1.0, 2.0],
+                block: 2,
+            },
+            DpJobRequest::LinearSystem {
+                a: Matrix::from_fn(3, 3, |_, _| 1.0),
+                rhs: vec![1.0, 2.0],
+                block: 2,
+            },
+            DpJobRequest::LinearSystem {
+                a: Matrix::from_fn(0, 0, |_, _| 1.0),
+                rhs: vec![],
+                block: 2,
+            },
+        ];
+        for req in bad {
+            let body = req.encode();
+            assert!(
+                matches!(DpJobRequest::decode(&body), Err(JobError::Codec(_))),
+                "{req:?} must be rejected at decode"
+            );
+        }
+    }
+
+    #[test]
+    fn huge_matrix_dims_error_instead_of_overflowing() {
+        // rows * cols passes checked_mul but cells * 8 wraps a u64:
+        // the bounds filter must still reject, not overflow or try to
+        // allocate 2^63 bytes.
+        let mut body = vec![TAG_APSP];
+        put_u64(&mut body, 4); // block
+        body.push(0); // no sources
+        put_u64(&mut body, 1 << 32); // rows
+        put_u64(&mut body, 1 << 31); // cols
+        let res = DpJobRequest::decode(&Bytes::from(body));
+        assert!(matches!(res, Err(JobError::Codec(_))));
+
+        let mut m = Vec::new();
+        put_u64(&mut m, 1 << 32);
+        put_u64(&mut m, 1 << 31);
+        assert!(matches!(
+            decode_matrix_i64(&Bytes::from(m.clone())),
+            Err(JobError::Codec(_))
+        ));
+        assert!(matches!(
+            decode_matrix_f64(&Bytes::from(m)),
+            Err(JobError::Codec(_))
+        ));
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod cache;
 pub mod sched;
 pub mod wire;
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -115,6 +115,12 @@ pub struct ServiceConfig {
     pub max_queued_per_tenant: usize,
     /// Result-cache capacity in bytes (0 disables caching).
     pub cache_capacity: u64,
+    /// How many settled (done/failed/cancelled) jobs to retain for
+    /// [`JobService::poll`] / [`JobService::wait`]. Oldest settled
+    /// entries beyond this are dropped — their bodies and results are
+    /// freed, and late status probes see "unknown job" — so a
+    /// long-running front end holds bounded memory.
+    pub settled_retention: usize,
 }
 
 impl Default for ServiceConfig {
@@ -128,6 +134,7 @@ impl Default for ServiceConfig {
             max_job_cost: f64::INFINITY,
             max_queued_per_tenant: 64,
             cache_capacity: 64 << 20,
+            settled_retention: 1024,
         }
     }
 }
@@ -168,6 +175,12 @@ impl ServiceConfig {
     /// Set the result-cache capacity in bytes (0 disables caching).
     pub fn with_cache_capacity(mut self, bytes: u64) -> Self {
         self.cache_capacity = bytes;
+        self
+    }
+
+    /// Set how many settled jobs stay pollable (≥ 1).
+    pub fn with_settled_retention(mut self, keep: usize) -> Self {
+        self.settled_retention = keep.max(1);
         self
     }
 }
@@ -409,11 +422,27 @@ pub struct ServiceStats {
 struct SvcState {
     sched: FairScheduler,
     jobs: HashMap<JobId, JobEntry>,
+    /// Settled job ids in settling order: the retention ring. Only
+    /// terminal entries are ever listed here, so eviction never drops
+    /// a queued or running job.
+    settled: VecDeque<JobId>,
     next_job: JobId,
     committed: f64,
     dispatch_seq: u64,
     decisions: Vec<ServiceDecision>,
     stats: ServiceStats,
+}
+
+impl SvcState {
+    /// Record `job` as settled and evict the oldest settled entries
+    /// beyond the retention cap, freeing their bodies and results.
+    fn retire(&mut self, job: JobId, keep: usize) {
+        self.settled.push_back(job);
+        while self.settled.len() > keep.max(1) {
+            let old = self.settled.pop_front().expect("nonempty ring");
+            self.jobs.remove(&old);
+        }
+    }
 }
 
 struct SvcInner {
@@ -447,6 +476,26 @@ struct Dispatch {
     cancel: CancelToken,
 }
 
+/// Run a [`JobRunner`] hook with a panic fence: `JobRunner` is a
+/// public trait, and a panicking implementation must settle the job
+/// as failed — not kill a worker thread that holds a dispatched
+/// scheduler slot and committed admission budget.
+fn catch_runner<T>(what: &str, f: impl FnOnce() -> Result<T, JobError>) -> Result<T, JobError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Err(JobError::Driver(format!(
+                "job runner panicked in {what}: {msg}"
+            )))
+        }
+    }
+}
+
 impl JobService {
     /// Build a service over `sc` with the given policy knobs and
     /// engine binding.
@@ -461,6 +510,7 @@ impl JobService {
                 state: Mutex::new(SvcState {
                     sched,
                     jobs: HashMap::new(),
+                    settled: VecDeque::new(),
                     next_job: 1,
                     committed: 0.0,
                     dispatch_seq: 0,
@@ -501,10 +551,13 @@ impl JobService {
             return reject(&mut st, Rejection::ShuttingDown);
         }
         // Price and key the body outside the lock — both are pure.
-        let priced = inner
-            .runner
-            .estimate(&body)
-            .and_then(|cost| inner.runner.cache_key(&body).map(|key| (cost, key)));
+        // Panic-fenced: this runs on the submitting client's thread.
+        let priced = catch_runner("estimate", || {
+            inner
+                .runner
+                .estimate(&body)
+                .and_then(|cost| inner.runner.cache_key(&body).map(|key| (cost, key)))
+        });
         let mut st = inner.state.lock();
         let (cost, key) = match priced {
             Ok(ck) => ck,
@@ -617,6 +670,7 @@ impl JobService {
             }
         };
         st.jobs.get_mut(&d.job).expect("job exists").state = state;
+        st.retire(d.job, self.inner.conf.settled_retention);
         drop(st);
         self.inner.done.notify_all();
         self.inner.work.notify_all();
@@ -629,7 +683,8 @@ impl JobService {
         if let Some(key) = d.key {
             let cached = inner.cache.lock().get(key);
             if let Some(full) = cached {
-                let outcome = inner.runner.project(&d.body, &full).map(|r| (r, true, 0));
+                let outcome = catch_runner("project", || inner.runner.project(&d.body, &full))
+                    .map(|r| (r, true, 0));
                 self.settle(&d, outcome, None);
                 return;
             }
@@ -643,7 +698,9 @@ impl JobService {
             return;
         }
         let before = inner.sc.with_event_log(|l| l.stage_count()) as u64;
-        let res = with_cancel(&d.cancel, || inner.runner.run(&inner.sc, &d.body));
+        let res = catch_runner("run", || {
+            with_cancel(&d.cancel, || inner.runner.run(&inner.sc, &d.body))
+        });
         let stages = (inner.sc.with_event_log(|l| l.stage_count()) as u64).saturating_sub(before);
         match res {
             Ok(full) => {
@@ -651,9 +708,7 @@ impl JobService {
                     Some(key) if inner.cache.lock().put(key, full.clone()) => Some(key),
                     _ => None,
                 };
-                let outcome = inner
-                    .runner
-                    .project(&d.body, &full)
+                let outcome = catch_runner("project", || inner.runner.project(&d.body, &full))
                     .map(|r| (r, false, stages));
                 self.settle(&d, outcome, stored);
             }
@@ -730,6 +785,7 @@ impl JobService {
                 let cost = st.jobs[&job].cost;
                 st.committed = (st.committed - cost).max(0.0);
                 st.jobs.get_mut(&job).expect("queued job").state = EntryState::Cancelled;
+                st.retire(job, self.inner.conf.settled_retention);
                 st.stats.cancelled += 1;
                 st.decisions
                     .push(ServiceDecision::Cancelled { job, tenant });
@@ -778,6 +834,7 @@ impl JobService {
                 st.sched.remove_queued(tenant, job);
                 st.committed = (st.committed - cost).max(0.0);
                 st.jobs.get_mut(&job).expect("present").state = EntryState::Cancelled;
+                st.retire(job, self.inner.conf.settled_retention);
                 st.stats.cancelled += 1;
                 st.decisions
                     .push(ServiceDecision::Cancelled { job, tenant });
@@ -1090,8 +1147,12 @@ fn handle_conn(svc: &JobService, mut conn: Box<dyn Conn>) {
             }
             SvcMsg::Shutdown => {
                 let _ = wire::write_msg(&mut conn, &SvcMsg::ShutdownAck);
-                svc.inner.stopping.store(true, Ordering::Release);
-                svc.inner.work.notify_all();
+                // Full stop, same as ServeHandle::stop's service half:
+                // fence submissions, cancel queued jobs (releasing
+                // their admission budget), let running jobs finish,
+                // and join the workers. Only the accept loop is left
+                // for ServeHandle::stop to reap.
+                svc.stop();
                 break;
             }
             // Server-to-client messages arriving here are protocol

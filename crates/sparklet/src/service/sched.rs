@@ -79,7 +79,7 @@ impl FairScheduler {
 
     /// Drop a still-queued job (tenant abort before dispatch).
     pub(crate) fn remove_queued(&mut self, tenant: TenantId, job: JobId) -> bool {
-        match self.tenants.get_mut(&tenant) {
+        let removed = match self.tenants.get_mut(&tenant) {
             Some(t) => match t.q.iter().position(|&j| j == job) {
                 Some(at) => {
                     t.q.remove(at);
@@ -88,7 +88,29 @@ impl FairScheduler {
                 None => false,
             },
             None => false,
+        };
+        self.prune_idle(tenant);
+        removed
+    }
+
+    /// Drop a tenant's bookkeeping entry once it has nothing queued
+    /// and nothing in flight — tenant ids are client-chosen u64s, so
+    /// retaining every id ever seen grows without bound. A returning
+    /// tenant is re-created by [`FairScheduler::enqueue`] with a fresh
+    /// credit balance, which keeps dispatch a pure function of the
+    /// submission sequence.
+    fn prune_idle(&mut self, tenant: TenantId) {
+        if let Some(t) = self.tenants.get(&tenant) {
+            if t.q.is_empty() && t.inflight == 0 {
+                self.tenants.remove(&tenant);
+            }
         }
+    }
+
+    /// Live tenant bookkeeping entries (tests observe pruning).
+    #[cfg(test)]
+    pub(crate) fn tenant_entries(&self) -> usize {
+        self.tenants.len()
     }
 
     /// Queued (undispatched) jobs for one tenant.
@@ -150,6 +172,7 @@ impl FairScheduler {
             t.inflight = t.inflight.saturating_sub(1);
         }
         self.inflight_total = self.inflight_total.saturating_sub(1);
+        self.prune_idle(tenant);
     }
 }
 
@@ -332,6 +355,25 @@ mod tests {
         assert!(!s.remove_queued(1, 10));
         assert_eq!(s.queued(1), 1);
         assert_eq!(s.next().map(|(_, j)| j), Some(11));
+    }
+
+    #[test]
+    fn idle_tenants_are_pruned() {
+        let mut s = FairScheduler::new(&conf());
+        for t in 0..100 {
+            s.enqueue(t, t);
+        }
+        assert_eq!(s.tenant_entries(), 100);
+        for t in 0..100 {
+            assert!(s.remove_queued(t, t));
+        }
+        assert_eq!(s.tenant_entries(), 0, "aborted tenants are dropped");
+        s.enqueue(7, 1);
+        let (t, j) = s.next().expect("dispatchable");
+        assert_eq!((t, j), (7, 1));
+        assert_eq!(s.tenant_entries(), 1, "in-flight tenant is retained");
+        s.job_finished(7);
+        assert_eq!(s.tenant_entries(), 0, "drained tenant is dropped");
     }
 
     #[test]

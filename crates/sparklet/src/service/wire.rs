@@ -101,7 +101,9 @@ pub enum SvcMsg {
         cancelled: u64,
     },
     /// Client → service: orderly service stop (answered by
-    /// [`SvcMsg::ShutdownAck`]).
+    /// [`SvcMsg::ShutdownAck`]): new submissions are rejected, queued
+    /// jobs are cancelled with their admission budget released,
+    /// running jobs finish, and the worker threads are joined.
     Shutdown,
     /// Last message before the service closes the connection.
     ShutdownAck,

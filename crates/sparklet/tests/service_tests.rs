@@ -451,6 +451,131 @@ fn cancelling_a_running_job_releases_budget_and_latches() {
     svc.stop();
 }
 
+// --- panic isolation -------------------------------------------------
+
+/// A hostile [`JobRunner`]: panics in `estimate` or `run` depending on
+/// the body's first byte, echoes the body otherwise.
+struct PanicRunner;
+
+impl JobRunner for PanicRunner {
+    fn estimate(&self, body: &Bytes) -> Result<f64, JobError> {
+        if body.first() == Some(&0xFE) {
+            panic!("estimate boom");
+        }
+        Ok(1.0)
+    }
+
+    fn cache_key(&self, _body: &Bytes) -> Result<Option<u128>, JobError> {
+        Ok(None)
+    }
+
+    fn run(&self, _sc: &SparkContext, body: &Bytes) -> Result<Bytes, JobError> {
+        if body.first() == Some(&0xFF) {
+            panic!("run boom");
+        }
+        Ok(body.clone())
+    }
+}
+
+#[test]
+fn panicking_runner_fails_the_job_without_wedging_the_service() {
+    let svc = JobService::new(
+        sim_ctx(1),
+        ServiceConfig::default().with_inflight(1, 1),
+        PanicRunner,
+    );
+    svc.start_workers(1);
+
+    // A panic in estimate is a Malformed rejection on the submit path,
+    // not a dead submitter thread.
+    assert!(matches!(
+        svc.submit(1, Bytes::from_static(&[0xFE])),
+        Err(Rejection::Malformed(_))
+    ));
+
+    // A panic in run settles the job as Failed, releasing its
+    // scheduler slot and admission budget instead of killing the
+    // worker with the job stuck Running.
+    let bad = svc
+        .submit(1, Bytes::from_static(&[0xFF]))
+        .expect("admitted");
+    let view = svc.wait(bad).expect("known");
+    assert_eq!(view.state, JobState::Failed);
+    assert!(view.error.as_deref().expect("error").contains("panicked"));
+    assert_eq!(svc.committed_cost(), 0.0, "budget released on panic");
+
+    // The sole worker survived the panic and serves the next job.
+    let good = svc.submit(1, Bytes::from_static(&[1])).expect("admitted");
+    let view = svc.wait(good).expect("known");
+    assert_eq!(view.state, JobState::Done, "{:?}", view.error);
+    assert_eq!(view.result.expect("result"), Bytes::from_static(&[1]));
+    svc.stop();
+}
+
+// --- settled-job retention -------------------------------------------
+
+#[test]
+fn settled_retention_bounds_job_memory() {
+    let svc = service(
+        sim_ctx(11),
+        ServiceConfig::default()
+            .with_inflight(1, 1)
+            .with_settled_retention(2),
+    );
+    let jobs: Vec<_> = (0..5u64)
+        .map(|i| svc.submit(1, body(1, 3000 + i, 50, 0)).expect("admit"))
+        .collect();
+    svc.pump_all();
+    // Jobs settle in submission order; only the newest two stay
+    // pollable, the rest are evicted with their bodies and results.
+    for &j in &jobs[..3] {
+        assert!(svc.poll(j).is_none(), "job {j} must be evicted");
+    }
+    for &j in &jobs[3..] {
+        let v = svc.poll(j).expect("retained");
+        assert_eq!(v.state, JobState::Done);
+    }
+}
+
+#[test]
+fn wire_shutdown_performs_a_full_stop() {
+    let svc = service(ctx(), ServiceConfig::default().with_inflight(1, 1));
+    svc.start_workers(1);
+    let handle = svc
+        .serve(ServiceAddr::Tcp("127.0.0.1:0".into()))
+        .expect("bind");
+    let addr = handle.addr().clone();
+
+    let mut c = ServiceClient::connect(&addr).expect("connect");
+    // A slow running job plus a queued one behind it.
+    let slow = c
+        .submit(1, body(3, 9, 400, 20))
+        .expect("io")
+        .expect("admitted");
+    let queued = c
+        .submit(1, body(1, 10, 100, 0))
+        .expect("io")
+        .expect("admitted");
+    while svc.poll(slow).expect("known").state == JobState::Queued {
+        std::thread::yield_now();
+    }
+    c.shutdown().expect("acked");
+
+    // Shutdown is a full service stop, not just a submission fence:
+    // queued work is cancelled with its budget released, the running
+    // job drains, and new submissions are rejected.
+    let qv = svc.wait(queued).expect("known");
+    assert_eq!(qv.state, JobState::Cancelled, "queued job cancelled");
+    let sv = svc.wait(slow).expect("known");
+    assert_eq!(sv.state, JobState::Done, "running job drains");
+    assert_eq!(svc.committed_cost(), 0.0, "all budget released");
+    assert!(matches!(
+        svc.submit(2, body(1, 11, 50, 0)),
+        Err(Rejection::ShuttingDown)
+    ));
+    handle.stop();
+}
+
 #[test]
 fn client_disconnect_cancels_its_unfinished_jobs() {
     let svc = service(ctx(), ServiceConfig::default().with_inflight(1, 1));
