@@ -1,0 +1,69 @@
+//! **Crossover study** — dense blocked Floyd–Warshall vs the sparse
+//! multi-source sweep path, priced by the cluster cost model at paper
+//! scale (32K vertices, all-pairs). The dense recurrence performs n³
+//! updates regardless of density; the sweep path performs
+//! `rounds · n · nnz` with `nnz = density · n²`, so below a density
+//! threshold the sparse representation wins and above it the dense
+//! path does. This binary sweeps edge density and reports the modelled
+//! seconds of both, flagging the crossover row.
+//!
+//! ```text
+//! cargo run --release -p dp-bench --bin sparse_crossover
+//! ```
+
+use cluster_model::{ClusterSpec, CostModel, KernelInvocation, KernelType};
+
+const N: f64 = 32768.0;
+const BLOCK: usize = 1024;
+const DENSITIES: [f64; 8] = [0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1, 0.3];
+
+fn main() {
+    let cluster = ClusterSpec::skylake();
+    let model = CostModel::new(cluster, 4);
+
+    // All-pairs from every source; round count follows the admission
+    // work model (the path-length frontier of a random digraph).
+    let rounds = N.log2() + 1.0;
+
+    let dense = KernelInvocation {
+        updates: N * N * N,
+        block_side: BLOCK,
+        elem_bytes: 8,
+        kernel: KernelType::Iterative,
+    };
+    let dense_s = model.core_seconds(&dense);
+
+    println!("Sparse crossover — FW (dense, n³) vs multi-source sweeps (rounds·n·nnz), n=32K");
+    println!(
+        "{:>9} {:>14} {:>14} {:>9}  note",
+        "density", "dense FW (s)", "sweeps (s)", "ratio"
+    );
+    let mut crossed = false;
+    for density in DENSITIES {
+        let nnz = density * N * N;
+        let sparse = KernelInvocation {
+            updates: rounds * N * nnz,
+            block_side: BLOCK,
+            elem_bytes: 8,
+            kernel: KernelType::SparseSweep,
+        };
+        let sparse_s = model.core_seconds(&sparse);
+        let ratio = sparse_s / dense_s;
+        let note = if ratio < 1.0 {
+            "sparse wins"
+        } else if !crossed {
+            crossed = true;
+            "← crossover"
+        } else {
+            "dense wins"
+        };
+        println!("{density:>9.3} {dense_s:>14.1} {sparse_s:>14.1} {ratio:>9.3}  {note}");
+    }
+    println!(
+        "\nmodel: dense prices n³ updates at the DRAM-resident rate (block {BLOCK} \
+         exceeds the cache cliff); sweeps price rounds·n·nnz ({rounds:.1} rounds) \
+         at the sweep_factor-discounted flat rate — work scales with stored \
+         edges, so the crossover density is where rounds·density ≈ the two \
+         paths' per-update rate ratio."
+    );
+}

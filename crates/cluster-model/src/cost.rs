@@ -25,6 +25,11 @@ pub enum KernelType {
         /// OpenMP-style thread-team size (`OMP_NUM_THREADS`).
         threads: usize,
     },
+    /// Relaxation sweep over a CSR tile (the partitioned multi-source
+    /// SSSP path for sparse APSP). Work is one update per stored edge
+    /// per source row, so `updates ≈ sources · nnz` — priced by nnz,
+    /// not block-side². Single-threaded per task.
+    SparseSweep,
 }
 
 /// One block-kernel execution inside a task.
@@ -243,6 +248,18 @@ pub struct ModelParams {
     /// enables LZ4 shuffle compression by default; DP tables of small
     /// integer-ish distances compress well).
     pub compression: f64,
+
+    /// Sparse-sweep kernels' per-update rate relative to L2-resident
+    /// iterative (below 1: CSR relaxation chases row indices and
+    /// scatters into the candidate matrix instead of streaming a dense
+    /// tile). Defaults when absent from serialized params, so
+    /// dense-era JSON keeps loading.
+    #[serde(default = "default_sweep_factor")]
+    pub sweep_factor: f64,
+}
+
+fn default_sweep_factor() -> f64 {
+    0.45
 }
 
 impl Default for ModelParams {
@@ -262,6 +279,7 @@ impl Default for ModelParams {
             stage_overhead: 0.20,
             serde_bw: 8.0e8,
             compression: 2.5,
+            sweep_factor: default_sweep_factor(),
         }
     }
 }
@@ -275,6 +293,7 @@ impl ModelParams {
         crate::spec::check_rate("params.recursive_factor", self.recursive_factor)?;
         crate::spec::check_rate("params.serde_bw", self.serde_bw)?;
         crate::spec::check_rate("params.compression", self.compression)?;
+        crate::spec::check_rate("params.sweep_factor", self.sweep_factor)?;
         if !self.task_overhead.is_finite() || self.task_overhead < 0.0 {
             return Err(SpecError {
                 field: "params.task_overhead",
@@ -390,6 +409,14 @@ impl CostModel {
                     .min(1.0);
                 p.base_update_rate * p.recursive_factor * base_factor
             }
+            KernelType::SparseSweep => {
+                // Index-chasing over CSR rows: there is no dense-tile
+                // temporal reuse to lose to cache cliffs, but also no
+                // contiguous streaming to vectorize — a flat,
+                // discounted per-update rate independent of block
+                // geometry. `updates` already carries the nnz term.
+                p.base_update_rate * p.sweep_factor
+            }
         };
         inv.updates / rate
     }
@@ -412,7 +439,7 @@ impl CostModel {
     /// itself (the straggler bound): its thread team, nothing more.
     fn task_max_speedup(&self, kernel: &KernelType) -> f64 {
         match kernel {
-            KernelType::Iterative => 1.0,
+            KernelType::Iterative | KernelType::SparseSweep => 1.0,
             KernelType::Recursive { threads, .. } => {
                 let t = (*threads).max(1).min(self.spec.node.cores) as f64;
                 t.powf(self.params.parallel_exponent).max(1.0)
@@ -519,7 +546,7 @@ impl CostModel {
                 task_work += w;
                 task_straggler += w / self.task_max_speedup(&inv.kernel);
                 let width = match inv.kernel {
-                    KernelType::Iterative => 1.0,
+                    KernelType::Iterative | KernelType::SparseSweep => 1.0,
                     KernelType::Recursive { threads, .. } => threads.max(1) as f64,
                 };
                 // A task runs its kernels sequentially: its thread
@@ -671,6 +698,44 @@ mod tests {
         // small residual comes from the base-case-size factor).
         let ratio = t1024 / t512;
         assert!((5.0..9.0).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn sparse_sweep_prices_by_nnz_not_geometry() {
+        let m = model();
+        let sweep = |updates: f64, side: usize| {
+            m.core_seconds(&KernelInvocation {
+                updates,
+                block_side: side,
+                elem_bytes: 8,
+                kernel: KernelType::SparseSweep,
+            })
+        };
+        // Linear in updates, flat across tile geometry (no cache cliff
+        // keyed on block_side² — the working set is nnz-sized).
+        assert_eq!(sweep(2.0e6, 4096), 2.0 * sweep(1.0e6, 4096));
+        assert_eq!(sweep(1.0e6, 64), sweep(1.0e6, 8192));
+        // A sparse sweep on a low-density graph beats the dense DRAM-
+        // resident FW on the same logical n: n=4096, density 1% →
+        // updates n·nnz·≈ vs n³.
+        let n = 4096f64;
+        let sparse_updates = n * (n * n * 0.01);
+        let dense = m.core_seconds(&inv(4096, KernelType::Iterative));
+        assert!(sweep(sparse_updates, 4096) < dense / 10.0);
+    }
+
+    #[test]
+    fn sweep_factor_default_is_valid_and_discounted() {
+        // The serde fallback (dense-era params carry no sweep term)
+        // and Default must agree, validate, and price sweeps below
+        // the L2-resident iterative rate.
+        let p = ModelParams::default();
+        assert_eq!(p.sweep_factor, default_sweep_factor());
+        assert!(p.sweep_factor > 0.0 && p.sweep_factor < 1.0);
+        assert!(p.validate().is_ok());
+        let mut bad = p;
+        bad.sweep_factor = 0.0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

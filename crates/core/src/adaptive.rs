@@ -97,7 +97,11 @@ pub fn adaptive_solve_registry<S: DpProblem>(
     let candidates: Vec<KernelSpec> = reg
         .backends()
         .iter()
-        .filter(|b| b.available() && b.name() != SIMULATE)
+        .filter(|b| {
+            b.available()
+                && b.name() != SIMULATE
+                && b.supports_repr(gep_kernels::sparse::TileRepr::Dense)
+        })
         .map(|b| KernelSpec::named(b.name()).with_params(cfg.kernel.params))
         .collect();
     adaptive_solve::<S>(sc, cfg, input, &candidates, probe_phases)
@@ -194,7 +198,14 @@ mod tests {
         .expect("adaptive solve");
         assert_eq!(out.result.first_difference(&reference), None);
         let reg = crate::backend::registry::<Tropical>();
-        let real: Vec<_> = reg.names().into_iter().filter(|n| *n != SIMULATE).collect();
+        let real: Vec<_> = reg
+            .backends()
+            .iter()
+            .filter(|b| {
+                b.name() != SIMULATE && b.supports_repr(gep_kernels::sparse::TileRepr::Dense)
+            })
+            .map(|b| b.name())
+            .collect();
         assert_eq!(out.probe_seconds.len(), real.len(), "one probe per backend");
         assert!(real.contains(&out.chosen.backend.as_str()));
     }

@@ -22,13 +22,20 @@
 //!   place.
 //! * [`KernelSpec`] — the config-surface selector: a backend name,
 //!   an ordered fallback chain, and the shared numeric parameters
-//!   ([`KernelParams`]). The old `KernelChoice` enum converts into
-//!   this via a deprecation shim (see `config`).
+//!   ([`KernelParams`]). (The pre-registry `KernelChoice` enum and its
+//!   deprecation shim are gone; specs are the only selector.)
+//!
+//! Backends are also **representation-aware**: each declares which
+//! [`TileRepr`]s it can execute (`supports_repr`, dense-only by
+//! default), and [`BackendRegistry::resolve_for`] walks the spec's
+//! chain *per representation*, so a sparse tile can never resolve to a
+//! dense-only kernel and vice versa. Dense resolution
+//! ([`BackendRegistry::resolve`]) is unchanged byte-for-byte.
 //!
 //! Built-in backends, registered in this fixed order: `iterative`,
-//! `recursive`, `blocked` (cache-blocked micro-tiled, new in this
-//! refactor), and `simulate` (the cost-accounting path virtual runs
-//! use).
+//! `recursive`, `blocked` (cache-blocked micro-tiled), `simulate`
+//! (the cost-accounting path virtual runs use), and `sweep` (the CSR
+//! relaxation sweep behind the sparse-APSP path).
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
@@ -38,7 +45,8 @@ use gep_kernels::blocked::blocked_kernel;
 use gep_kernels::gep::Kind;
 use gep_kernels::iterative::block_kernel;
 use gep_kernels::recursive::{rec_kernel, RecConfig};
-use gep_kernels::{TileMut, TileRef};
+use gep_kernels::sparse::{sweep_gep, Csr, TileRepr};
+use gep_kernels::{Matrix, TileMut, TileRef};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -230,6 +238,16 @@ pub trait KernelBackend<S: DpProblem>: Send + Sync {
         true
     }
 
+    /// Which tile representations this backend can execute. The
+    /// default — dense only — is exactly the pre-sparse contract, so
+    /// existing backends need no changes.
+    /// [`BackendRegistry::resolve_for`] skips backends that reject the
+    /// tile's representation; dense enumeration sites (the adaptive
+    /// prober, the tuner, the equivalence oracle) filter on it too.
+    fn supports_repr(&self, repr: TileRepr) -> bool {
+        repr == TileRepr::Dense
+    }
+
     /// Thread model inside one task.
     fn thread_model(&self) -> ThreadModel {
         ThreadModel::Serial
@@ -256,6 +274,29 @@ pub trait KernelBackend<S: DpProblem>: Send + Sync {
     /// The default is the universal no-op — the invocation record the
     /// caller wrote is the accounting.
     fn simulate(&self, _kind: Kind, _params: &KernelParams, _block_side: usize) {}
+
+    /// Execute one relaxation sweep over a CSR tile — the sparse
+    /// counterpart of [`KernelBackend::run`]: for every source row `s`
+    /// of `dist` and stored edge `(u → v, w)` of `edges`, fold
+    /// `cand[s][v] = f(cand[s][v], dist[s][u], w, w)` through the
+    /// problem's update function. `skip` marks source distances that
+    /// cannot relax anything (`+∞` for min-plus). The default panics:
+    /// only backends with `supports_repr(SparseCsr)` are ever resolved
+    /// for sparse tiles, and they must override this.
+    fn sweep(
+        &self,
+        edges: &Csr<S::Elem>,
+        dist: &Matrix<S::Elem>,
+        skip: S::Elem,
+        cand: &mut Matrix<S::Elem>,
+    ) {
+        let _ = (edges, dist, skip, cand);
+        panic!(
+            "backend `{}` does not implement sparse sweeps (supports_repr \
+             must gate it out of sparse resolution)",
+            self.name()
+        );
+    }
 }
 
 /// Registry name of the loop-based baseline backend.
@@ -266,6 +307,8 @@ pub const RECURSIVE: &str = "recursive";
 pub const BLOCKED: &str = "blocked";
 /// Registry name of the cost-accounting backend.
 pub const SIMULATE: &str = "simulate";
+/// Registry name of the CSR relaxation-sweep backend (sparse tiles).
+pub const SWEEP: &str = "sweep";
 
 /// The loop-based block kernels (the paper's Numba-baseline analogue).
 struct IterativeBackend;
@@ -401,6 +444,51 @@ impl<S: DpProblem> KernelBackend<S> for SimulateBackend {
     }
 }
 
+/// The CSR relaxation-sweep backend — the first sparse-representation
+/// citizen of the registry. It serves `TileRepr::SparseCsr` only:
+/// dense resolution never reaches it (`supports_repr` rejects dense),
+/// and its `run` hook panics loudly if somehow handed a dense tile.
+/// Priced as [`cluster_model::KernelType::SparseSweep`], whose work
+/// term is `sources · nnz` — the representation-aware cost the
+/// crossover study leans on.
+struct SweepBackend;
+
+impl<S: DpProblem> KernelBackend<S> for SweepBackend {
+    fn name(&self) -> &'static str {
+        SWEEP
+    }
+
+    fn supports_repr(&self, repr: TileRepr) -> bool {
+        repr == TileRepr::SparseCsr
+    }
+
+    fn kernel_type(&self, _params: &KernelParams) -> cluster_model::KernelType {
+        cluster_model::KernelType::SparseSweep
+    }
+
+    fn run(
+        &self,
+        _kind: Kind,
+        _params: &KernelParams,
+        _x: &mut TileMut<'_, S::Elem>,
+        _u: Option<TileRef<'_, S::Elem>>,
+        _v: Option<TileRef<'_, S::Elem>>,
+        _w: Option<TileRef<'_, S::Elem>>,
+    ) {
+        panic!("the `sweep` backend executes CSR relaxation sweeps, not dense block kernels");
+    }
+
+    fn sweep(
+        &self,
+        edges: &Csr<S::Elem>,
+        dist: &Matrix<S::Elem>,
+        skip: S::Elem,
+        cand: &mut Matrix<S::Elem>,
+    ) {
+        sweep_gep::<S>(edges, dist, skip, cand);
+    }
+}
+
 /// Named kernel backends in fixed registration order.
 ///
 /// Order is part of the determinism contract: `names()` reports it,
@@ -419,13 +507,14 @@ impl<S: DpProblem> BackendRegistry<S> {
     }
 
     /// The built-in backends: `iterative`, `recursive`, `blocked`,
-    /// `simulate` — in that fixed order.
+    /// `simulate`, `sweep` — in that fixed order.
     pub fn builtin() -> Self {
         let mut r = BackendRegistry::new();
         r.register(Arc::new(IterativeBackend));
         r.register(Arc::new(RecursiveBackend));
         r.register(Arc::new(BlockedBackend));
         r.register(Arc::new(SimulateBackend));
+        r.register(Arc::new(SweepBackend));
         r
     }
 
@@ -456,16 +545,28 @@ impl<S: DpProblem> BackendRegistry<S> {
         &self.entries
     }
 
-    /// Resolve a spec to a backend: walk `[spec.backend] + fallbacks`
-    /// in order, skip names that are unregistered or report
-    /// `available() == false`, return the first hit. Deterministic by
-    /// construction.
+    /// Resolve a spec to a backend for **dense** tiles — the
+    /// historical entry point, byte-identical to its pre-sparse
+    /// behavior (every pre-sparse backend supports dense).
     pub fn resolve(&self, spec: &KernelSpec) -> Result<Arc<dyn KernelBackend<S>>, ConfigError> {
+        self.resolve_for(spec, TileRepr::Dense)
+    }
+
+    /// Resolve a spec to a backend for tiles of the given
+    /// representation: walk `[spec.backend] + fallbacks` in order,
+    /// skip names that are unregistered, report `available() ==
+    /// false`, or reject `repr`, return the first hit. Deterministic
+    /// by construction.
+    pub fn resolve_for(
+        &self,
+        spec: &KernelSpec,
+        repr: TileRepr,
+    ) -> Result<Arc<dyn KernelBackend<S>>, ConfigError> {
         let chain =
             std::iter::once(spec.backend.as_str()).chain(spec.fallbacks.iter().map(String::as_str));
         for name in chain {
             if let Some(b) = self.get(name) {
-                if b.available() {
+                if b.available() && b.supports_repr(repr) {
                     return Ok(b);
                 }
             }
@@ -560,7 +661,7 @@ mod tests {
         let r = BackendRegistry::<Tropical>::builtin();
         assert_eq!(
             r.names(),
-            vec![ITERATIVE, RECURSIVE, BLOCKED, SIMULATE],
+            vec![ITERATIVE, RECURSIVE, BLOCKED, SIMULATE, SWEEP],
             "registration order is the determinism contract"
         );
     }
@@ -589,7 +690,10 @@ mod tests {
                 registered,
             }) => {
                 assert_eq!(requested, vec!["missing", "also-missing"]);
-                assert_eq!(registered, vec![ITERATIVE, RECURSIVE, BLOCKED, SIMULATE]);
+                assert_eq!(
+                    registered,
+                    vec![ITERATIVE, RECURSIVE, BLOCKED, SIMULATE, SWEEP]
+                );
             }
             Err(other) => panic!("expected NoUsableBackend, got {other:?}"),
             Ok(b) => panic!("expected NoUsableBackend, resolved {}", b.name()),
@@ -600,7 +704,58 @@ mod tests {
     fn reregistration_replaces_in_place() {
         let mut r = BackendRegistry::<Tropical>::builtin();
         r.register(Arc::new(IterativeBackend));
-        assert_eq!(r.names(), vec![ITERATIVE, RECURSIVE, BLOCKED, SIMULATE]);
+        assert_eq!(
+            r.names(),
+            vec![ITERATIVE, RECURSIVE, BLOCKED, SIMULATE, SWEEP]
+        );
+    }
+
+    #[test]
+    fn sparse_resolution_is_repr_gated_both_ways() {
+        let r = BackendRegistry::<Tropical>::builtin();
+        // A dense spec never resolves to the sweep backend, even named
+        // directly — it falls through to its dense fallback.
+        let spec = KernelSpec::named(SWEEP).with_fallback(ITERATIVE);
+        assert_eq!(r.resolve(&spec).unwrap().name(), ITERATIVE);
+        // Sparse resolution skips every dense backend and lands on
+        // sweep, whatever the chain order.
+        let chain = KernelSpec::iterative()
+            .with_fallback(BLOCKED)
+            .with_fallback(SWEEP);
+        assert_eq!(
+            r.resolve_for(&chain, TileRepr::SparseCsr).unwrap().name(),
+            SWEEP
+        );
+        // A sparse tile with a dense-only chain is a typed error, not
+        // a deep-in-kernel panic.
+        assert!(matches!(
+            r.resolve_for(&KernelSpec::iterative(), TileRepr::SparseCsr),
+            Err(ConfigError::NoUsableBackend { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_backend_relaxes_through_the_problem_update() {
+        let r = BackendRegistry::<Tropical>::builtin();
+        let b = r.get(SWEEP).unwrap();
+        assert!(b.supports_repr(TileRepr::SparseCsr));
+        assert!(!b.supports_repr(TileRepr::Dense));
+        assert_eq!(
+            b.kernel_type(&KernelParams::default()),
+            cluster_model::KernelType::SparseSweep
+        );
+        let inf = f64::INFINITY;
+        // 0 →(2) 1, 1 →(3) 2 over 3 vertices, single source at 0.
+        let edges = Csr::from_dense(
+            &Matrix::from_vec(3, 3, vec![inf, 2.0, inf, inf, inf, 3.0, inf, inf, inf]),
+            inf,
+        );
+        let dist = Matrix::from_vec(1, 3, vec![0.0, 2.0, inf]);
+        let mut cand = Matrix::filled(1, 3, inf);
+        b.sweep(&edges, &dist, inf, &mut cand);
+        assert_eq!(cand.get(0, 1), 2.0);
+        assert_eq!(cand.get(0, 2), 5.0);
+        assert_eq!(cand.get(0, 0), inf);
     }
 
     #[test]

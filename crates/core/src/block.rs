@@ -1,14 +1,24 @@
 //! Distribution blocks — the values of the DP-table RDD.
 //!
-//! A [`Block`] is either a real owned matrix tile or a *virtual* tile
-//! that carries only its geometry. Virtual blocks flow through the
-//! exact same dataflow (same keys, same shuffles, same stages) but skip
-//! the numeric kernel and *declare* their full-scale size to the byte
-//! accounting ([`sparklet::Storable::approx_bytes`]), which is how
-//! paper-scale (32K×32K) configurations are timed without terabytes of
-//! traffic.
+//! A [`Block`] is a real owned matrix tile (dense row-major), a
+//! *sparse* CSR tile, or a *virtual* tile that carries only its
+//! geometry. Virtual blocks flow through the exact same dataflow (same
+//! keys, same shuffles, same stages) but skip the numeric kernel and
+//! *declare* their full-scale size to the byte accounting
+//! ([`sparklet::Storable::approx_bytes`]), which is how paper-scale
+//! (32K×32K) configurations are timed without terabytes of traffic.
+//!
+//! Sparse tiles make the representation itself part of the data plane:
+//! their wire frame and byte accounting are **nnz-exact** (header +
+//! fill + `row_ptr` + `nnz · (index + element)`), so a low-density
+//! tile is cheap on the wire, in the tiered store, and in the cost
+//! model — the property the dense-FW vs sparse-sweeps crossover study
+//! measures. The dense (`TAG_REAL`/`TAG_VIRTUAL`) frames are
+//! byte-identical to every prior release; `TAG_SPARSE` is purely
+//! additive.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gep_kernels::sparse::{Csr, TileRepr};
 use gep_kernels::Matrix;
 use sparklet::codec::{decode_le_slice, encode_le_slice};
 use sparklet::{JobError, Storable};
@@ -93,8 +103,10 @@ impl ElemCodec for bool {
 /// One `b×b` tile of the distributed DP table.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Block<E> {
-    /// Owned data.
+    /// Owned dense data.
     Real(Matrix<E>),
+    /// Owned sparse (CSR) data — only non-fill entries on the wire.
+    Sparse(Csr<E>),
     /// Geometry only; kernels become cost-accounting no-ops.
     Virtual {
         /// Declared row count.
@@ -109,6 +121,7 @@ impl<E: ElemCodec> Block<E> {
     pub fn rows(&self) -> usize {
         match self {
             Block::Real(m) => m.rows(),
+            Block::Sparse(c) => c.rows(),
             Block::Virtual { rows, .. } => *rows,
         }
     }
@@ -117,6 +130,7 @@ impl<E: ElemCodec> Block<E> {
     pub fn cols(&self) -> usize {
         match self {
             Block::Real(m) => m.cols(),
+            Block::Sparse(c) => c.cols(),
             Block::Virtual { cols, .. } => *cols,
         }
     }
@@ -126,25 +140,62 @@ impl<E: ElemCodec> Block<E> {
         matches!(self, Block::Virtual { .. })
     }
 
-    /// Logical payload size — what this block weighs on the wire at
-    /// full scale.
-    pub fn logical_bytes(&self) -> usize {
-        17 + self.rows() * self.cols() * E::BYTES
+    /// Which tile representation this block carries. Virtual blocks
+    /// declare dense geometry — they stand in for full-scale dense
+    /// tiles in the accounting.
+    pub fn repr(&self) -> TileRepr {
+        match self {
+            Block::Real(_) | Block::Virtual { .. } => TileRepr::Dense,
+            Block::Sparse(_) => TileRepr::SparseCsr,
+        }
     }
 
-    /// The real matrix, or a panic for virtual blocks (callers branch
-    /// on [`Block::is_virtual`] first).
+    /// Stored entries: `rows·cols` for dense (every cell is
+    /// materialized), the CSR nnz for sparse. This is the volume the
+    /// cost model prices sparse work by.
+    pub fn nnz(&self) -> usize {
+        match self {
+            Block::Real(m) => m.rows() * m.cols(),
+            Block::Sparse(c) => c.nnz(),
+            Block::Virtual { rows, cols } => rows * cols,
+        }
+    }
+
+    /// Logical payload size — what this block weighs on the wire at
+    /// full scale. Dense geometry for dense and virtual tiles;
+    /// nnz-exact for sparse tiles (their whole point is that logical
+    /// volume tracks stored entries, not the n² bounding box).
+    pub fn logical_bytes(&self) -> usize {
+        match self {
+            Block::Sparse(_) => self.encoded_len(),
+            _ => 17 + self.rows() * self.cols() * E::BYTES,
+        }
+    }
+
+    /// The real matrix, or a panic for virtual/sparse blocks (callers
+    /// branch on [`Block::is_virtual`]/[`Block::repr`] first).
     pub fn expect_real(&self) -> &Matrix<E> {
         match self {
             Block::Real(m) => m,
+            Block::Sparse(_) => panic!("sparse block is not dense (use expect_sparse)"),
             Block::Virtual { .. } => panic!("virtual block has no data"),
         }
     }
 
-    /// Mutable access to the real matrix (panics for virtual blocks).
+    /// Mutable access to the real matrix (panics for virtual/sparse).
     pub fn expect_real_mut(&mut self) -> &mut Matrix<E> {
         match self {
             Block::Real(m) => m,
+            Block::Sparse(_) => panic!("sparse block is not dense (use expect_sparse)"),
+            Block::Virtual { .. } => panic!("virtual block has no data"),
+        }
+    }
+
+    /// The CSR tile, or a panic for dense/virtual blocks.
+    pub fn expect_sparse(&self) -> &Csr<E> {
+        match self {
+            Block::Sparse(c) => c,
+            Block::Real(_) => panic!("dense block is not sparse (use expect_real)"),
             Block::Virtual { .. } => panic!("virtual block has no data"),
         }
     }
@@ -198,11 +249,14 @@ f64_newtype_codec!(
 
 const TAG_REAL: u8 = 0;
 const TAG_VIRTUAL: u8 = 1;
+const TAG_SPARSE: u8 = 2;
 
 impl<E: ElemCodec> Storable for Block<E> {
     fn encoded_len(&self) -> usize {
         match self {
             Block::Real(m) => 17 + m.rows() * m.cols() * E::BYTES,
+            // nnz-exact: header + nnz word + fill + row_ptr + entries.
+            Block::Sparse(c) => 17 + 8 + E::BYTES + (c.rows() + 1) * 4 + c.nnz() * (4 + E::BYTES),
             Block::Virtual { .. } => 17,
         }
     }
@@ -214,6 +268,16 @@ impl<E: ElemCodec> Storable for Block<E> {
                 buf.put_u64_le(m.rows() as u64);
                 buf.put_u64_le(m.cols() as u64);
                 E::put_slice(m.as_slice(), buf);
+            }
+            Block::Sparse(c) => {
+                buf.put_u8(TAG_SPARSE);
+                buf.put_u64_le(c.rows() as u64);
+                buf.put_u64_le(c.cols() as u64);
+                buf.put_u64_le(c.nnz() as u64);
+                c.fill().put(buf);
+                encode_le_slice(c.row_ptr(), buf);
+                encode_le_slice(c.col_idx(), buf);
+                E::put_slice(c.vals(), buf);
             }
             Block::Virtual { rows, cols } => {
                 buf.put_u8(TAG_VIRTUAL);
@@ -237,6 +301,25 @@ impl<E: ElemCodec> Storable for Block<E> {
                     .ok_or_else(|| JobError::Codec("block dims overflow".into()))?;
                 let data = E::take_slice(buf, n)?;
                 Ok(Block::Real(Matrix::from_vec(rows, cols, data)))
+            }
+            TAG_SPARSE => {
+                if buf.remaining() < 8 {
+                    return Err(JobError::Codec("sparse block nnz underrun".into()));
+                }
+                let nnz = buf.get_u64_le() as usize;
+                let fill = E::take(buf)?;
+                let ptr_len = rows
+                    .checked_add(1)
+                    .ok_or_else(|| JobError::Codec("sparse block rows overflow".into()))?;
+                // The slice decoders bounds-check length × width against
+                // the remaining buffer before allocating, so an
+                // implausible declared nnz fails here instead of OOMing.
+                let row_ptr = decode_le_slice::<u32>(buf, ptr_len)?;
+                let col_idx = decode_le_slice::<u32>(buf, nnz)?;
+                let vals = E::take_slice(buf, nnz)?;
+                let csr = Csr::try_new(rows, cols, fill, row_ptr, col_idx, vals)
+                    .map_err(|e| JobError::Codec(format!("sparse block: {e}")))?;
+                Ok(Block::Sparse(csr))
             }
             TAG_VIRTUAL => Ok(Block::Virtual { rows, cols }),
             t => Err(JobError::Codec(format!("bad block tag {t}"))),
@@ -327,6 +410,92 @@ mod tests {
             let err = decode_one::<Block<f64>>(wire.slice(..cut));
             assert!(err.is_err(), "cut at {cut} must fail");
         }
+    }
+
+    #[test]
+    fn sparse_block_roundtrips_nnz_exact() {
+        let dense = Matrix::from_fn(5, 7, |i, j| {
+            if (i * 7 + j) % 4 == 0 {
+                (i + j) as f64
+            } else {
+                f64::INFINITY
+            }
+        });
+        let csr = Csr::from_dense(&dense, f64::INFINITY);
+        let nnz = csr.nnz();
+        let b = Block::Sparse(csr);
+        assert_eq!(b.repr(), TileRepr::SparseCsr);
+        assert_eq!(b.nnz(), nnz);
+        let wire = encode_one(&b);
+        assert_eq!(wire.len(), b.encoded_len());
+        assert_eq!(wire.len(), 17 + 8 + 8 + 6 * 4 + nnz * 12);
+        // approx_bytes (accounting) tracks nnz, not the bounding box.
+        assert_eq!(b.approx_bytes(), wire.len());
+        assert!(b.approx_bytes() < 17 + 5 * 7 * 8);
+        let dec: Block<f64> = decode_one(wire).unwrap();
+        assert_eq!(dec, b);
+        assert_eq!(
+            dec.expect_sparse().to_dense().first_difference(&dense),
+            None
+        );
+    }
+
+    #[test]
+    fn sparse_block_truncation_errors_never_panic() {
+        let csr = Csr::from_dense(&Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64), 0.0);
+        let b = Block::Sparse(csr);
+        let wire = encode_one(&b);
+        for cut in 0..wire.len() {
+            assert!(
+                decode_one::<Block<f64>>(wire.slice(..cut)).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+        assert!(decode_one::<Block<f64>>(wire).is_ok());
+    }
+
+    #[test]
+    fn sparse_block_rejects_malformed_structure() {
+        let csr = Csr::try_new(
+            2,
+            3,
+            f64::INFINITY,
+            vec![0, 1, 2],
+            vec![2, 0],
+            vec![1.0, 2.0],
+        )
+        .unwrap();
+        let wire = encode_one(&Block::Sparse(csr));
+        // Corrupt a stored column index to exceed the declared width:
+        // decode must reject structurally, not just on length.
+        let mut bad = wire.to_vec();
+        let col_off = 17 + 8 + 8 + 3 * 4;
+        bad[col_off..col_off + 4].copy_from_slice(&7u32.to_le_bytes());
+        let err = decode_one::<Block<f64>>(Bytes::from(bad)).unwrap_err();
+        assert!(matches!(err, JobError::Codec(_)), "got {err:?}");
+        // Corrupt the nnz word to an implausible length: bounds check
+        // must fire before any allocation.
+        let mut huge = wire.to_vec();
+        huge[17..25].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_one::<Block<f64>>(Bytes::from(huge)).is_err());
+    }
+
+    #[test]
+    fn dense_wire_format_is_unchanged_by_the_sparse_variant() {
+        // Pin the exact dense frame bytes: adding TAG_SPARSE must not
+        // perturb TAG_REAL/TAG_VIRTUAL frames in any way.
+        let b = Block::Real(Matrix::from_vec(1, 2, vec![1.0f64, 2.0]));
+        let wire = encode_one(&b);
+        let mut want = vec![0u8]; // TAG_REAL
+        want.extend_from_slice(&1u64.to_le_bytes());
+        want.extend_from_slice(&2u64.to_le_bytes());
+        want.extend_from_slice(&1.0f64.to_le_bytes());
+        want.extend_from_slice(&2.0f64.to_le_bytes());
+        assert_eq!(wire.as_ref(), &want[..]);
+        let v: Block<f64> = Block::Virtual { rows: 3, cols: 4 };
+        let vwire = encode_one(&v);
+        assert_eq!(vwire[0], 1); // TAG_VIRTUAL
+        assert_eq!(vwire.len(), 17);
     }
 
     #[test]

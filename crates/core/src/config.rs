@@ -6,59 +6,6 @@ use sparklet::StorageLevel;
 
 use crate::backend::{ConfigError, KernelParams, KernelSpec, RECURSIVE};
 
-/// Which kernel runs inside executor tasks.
-///
-/// **Deprecation shim.** Kernel selection is now a [`KernelSpec`]
-/// (backend name + fallback chain + [`KernelParams`]) resolved through
-/// the [`crate::backend::BackendRegistry`]; this enum survives only so
-/// pre-registry call sites keep compiling. Each variant converts into
-/// the equivalent spec via `From`.
-#[deprecated(
-    note = "use KernelSpec (DpConfig::with_kernel accepts both) or DpConfig::with_backend"
-)]
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KernelChoice {
-    /// Loop-based block kernel (the Numba-baseline analogue).
-    Iterative,
-    /// Parallel `r_shared`-way recursive divide-&-conquer on an
-    /// OpenMP-style pool of `threads` workers (`OMP_NUM_THREADS`).
-    Recursive {
-        /// Recursive fan-out inside the executor kernel.
-        r_shared: usize,
-        /// Base-case tile side.
-        base: usize,
-        /// OpenMP-style thread-team size (`OMP_NUM_THREADS`).
-        threads: usize,
-    },
-}
-
-#[allow(deprecated)]
-impl KernelChoice {
-    /// The cost-model descriptor of this kernel choice.
-    pub fn kernel_type(&self) -> cluster_model::KernelType {
-        match *self {
-            KernelChoice::Iterative => cluster_model::KernelType::Iterative,
-            KernelChoice::Recursive {
-                r_shared, threads, ..
-            } => cluster_model::KernelType::Recursive { r_shared, threads },
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl From<KernelChoice> for KernelSpec {
-    fn from(k: KernelChoice) -> KernelSpec {
-        match k {
-            KernelChoice::Iterative => KernelSpec::iterative(),
-            KernelChoice::Recursive {
-                r_shared,
-                base,
-                threads,
-            } => KernelSpec::recursive(r_shared, base, threads),
-        }
-    }
-}
-
 /// Distribution strategy (Section IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Strategy {
@@ -133,10 +80,9 @@ impl DpConfig {
         self.grid() * self.block
     }
 
-    /// Set the executor kernel; accepts a [`KernelSpec`] or (via the
-    /// deprecation shim) a `KernelChoice`. Panics on invalid
-    /// parameters — use [`DpConfig::try_with_kernel`] for the typed
-    /// error.
+    /// Set the executor kernel from a [`KernelSpec`] (or anything that
+    /// converts into one). Panics on invalid parameters — use
+    /// [`DpConfig::try_with_kernel`] for the typed error.
     pub fn with_kernel(self, k: impl Into<KernelSpec>) -> Self {
         self.try_with_kernel(k).unwrap_or_else(|e| panic!("{e}"))
     }
@@ -339,43 +285,12 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn kernel_choice_shim_converts() {
-        // The deprecated enum still compiles and converts into the
-        // equivalent spec (including through with_kernel).
-        assert_eq!(
-            KernelSpec::from(KernelChoice::Iterative),
-            KernelSpec::iterative()
-        );
-        assert_eq!(
-            KernelSpec::from(KernelChoice::Recursive {
-                r_shared: 4,
-                base: 32,
-                threads: 8
-            }),
-            KernelSpec::recursive(4, 32, 8)
-        );
-        let c = DpConfig::new(32, 8).with_kernel(KernelChoice::Recursive {
-            r_shared: 4,
-            base: 4,
-            threads: 2,
-        });
+    fn with_kernel_takes_specs_directly() {
+        // Post-shim: with_kernel's impl Into<KernelSpec> surface takes
+        // the spec constructors that replaced KernelChoice.
+        let c = DpConfig::new(32, 8).with_kernel(KernelSpec::recursive(4, 4, 2));
         assert_eq!(c.kernel, KernelSpec::recursive(4, 4, 2));
-        assert_eq!(
-            KernelChoice::Iterative.kernel_type(),
-            cluster_model::KernelType::Iterative
-        );
-        assert_eq!(
-            KernelChoice::Recursive {
-                r_shared: 4,
-                base: 32,
-                threads: 8
-            }
-            .kernel_type(),
-            cluster_model::KernelType::Recursive {
-                r_shared: 4,
-                threads: 8
-            }
-        );
+        let c = DpConfig::new(32, 8).with_kernel(KernelSpec::iterative());
+        assert_eq!(c.kernel, KernelSpec::iterative());
     }
 }

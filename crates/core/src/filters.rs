@@ -1,6 +1,9 @@
 //! The `FilterA/B/C/D` block predicates of Listings 1–2, derived from
 //! the problem's Σ_G so the same code serves FW-APSP (all blocks) and
-//! GE (trailing submatrix only).
+//! GE (trailing submatrix only) — plus the active-set predicates of
+//! the sparse representation path, where "which work happens this
+//! round" is a *frontier* question (did any distance improve?) rather
+//! than a phase-geometry question.
 
 use gep_kernels::gep::{block_active, Kind};
 
@@ -35,6 +38,41 @@ pub fn touched<S: DpProblem>(key: (usize, usize), k: usize, b: usize) -> bool {
         || filter_b::<S>(key, k, b)
         || filter_c::<S>(key, k, b)
         || filter_d::<S>(key, k, b)
+}
+
+/// Contiguous vertex range `[lo, hi)` owned by partition `q` of
+/// `parts` over `n` vertices. The remainder spreads one vertex each
+/// over the first `n % parts` partitions, so sizes differ by at most
+/// one and the mapping is a pure function of `(n, parts, q)` — the
+/// sparse path's analogue of the dense grid decomposition.
+pub fn part_bounds(n: usize, parts: usize, q: usize) -> (usize, usize) {
+    assert!(parts >= 1 && q < parts, "partition index out of range");
+    let base = n / parts;
+    let extra = n % parts;
+    let lo = q * base + q.min(extra);
+    let hi = lo + base + usize::from(q < extra);
+    (lo, hi)
+}
+
+/// Which partition owns vertex `v` (inverse of [`part_bounds`]).
+pub fn part_of(v: usize, n: usize, parts: usize) -> usize {
+    assert!(v < n, "vertex out of range");
+    let base = n / parts;
+    let extra = n % parts;
+    let cut = extra * (base + 1);
+    if v < cut {
+        v / (base + 1)
+    } else {
+        extra + (v - cut) / base.max(1)
+    }
+}
+
+/// Frontier predicate of the sparse sweep path: a partition emits
+/// update tiles this round only while its distance table changed last
+/// round (`FilterSweep` — the SSSP analogue of the dense `FilterB/C`
+/// panel activity, except data-dependent instead of phase-geometric).
+pub fn sweep_active(changed: u64) -> bool {
+    changed > 0
 }
 
 /// Which kernel processes block `key` during phase `k`, if any.
@@ -109,6 +147,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn part_bounds_cover_exactly_and_invert() {
+        for n in [1usize, 7, 12, 64, 65] {
+            for parts in [1usize, 2, 3, 5, 8] {
+                if parts > n {
+                    continue;
+                }
+                let mut covered = 0;
+                for q in 0..parts {
+                    let (lo, hi) = part_bounds(n, parts, q);
+                    assert_eq!(lo, covered, "gap before part {q} (n={n} parts={parts})");
+                    assert!(hi > lo, "empty part {q}");
+                    for v in lo..hi {
+                        assert_eq!(part_of(v, n, parts), q, "v={v} n={n} parts={parts}");
+                    }
+                    covered = hi;
+                }
+                assert_eq!(covered, n, "parts must tile [0,n)");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_frontier_gates_on_change() {
+        assert!(!sweep_active(0));
+        assert!(sweep_active(1));
+        assert!(sweep_active(u64::MAX));
     }
 
     #[test]

@@ -10,11 +10,13 @@
 //!   [`CostModel::admission_seconds`] (update volume over all task
 //!   slots + one NIC pass of the input bytes);
 //! * **lineage keying** that digests only the *logical* computation —
-//!   problem kind + canonical input. Execution knobs (block size) are
-//!   excluded because every engine path is validated bitwise-identical,
-//!   and the APSP source set is excluded because the cacheable result
-//!   is the full table: "same graph, different sources" is one cache
-//!   entry with per-request row projection;
+//!   problem kind + canonical input. Execution knobs (block size, the
+//!   sparse path's partition count) are excluded because every engine
+//!   path is validated bitwise-identical, and the *dense* APSP source
+//!   set is excluded because its cacheable result is the full table:
+//!   "same graph, different sources" is one cache entry with
+//!   per-request row projection. The *sparse* APSP source set is
+//!   included — the sweep path computes only the requested rows;
 //! * **execution** through the ordinary dp-core entry points
 //!   ([`crate::solver::solve`], [`crate::beyond::solve_alignment`],
 //!   [`crate::beyond::solve_parenthesis`],
@@ -24,6 +26,7 @@ use bytes::Bytes;
 use cluster_model::{CostModel, KernelInvocation, KernelType};
 use gep_kernels::alignment::AlignScore;
 use gep_kernels::parenthesis::ParenWeight;
+use gep_kernels::sparse::Csr;
 use gep_kernels::{Matrix, Tropical};
 use sparklet::service::JobRunner;
 use sparklet::{JobError, SparkContext};
@@ -32,6 +35,7 @@ use crate::beyond::{solve_alignment, solve_parenthesis};
 use crate::config::DpConfig;
 use crate::linsys::solve_linear_system;
 use crate::solver::solve;
+use crate::sssp::solve_sparse_apsp;
 
 /// One DP query as submitted to the job service.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +83,21 @@ pub enum DpJobRequest {
         /// Block side.
         block: usize,
     },
+    /// Shortest paths on a *sparse* graph via the partitioned
+    /// multi-source sweep path ([`crate::sssp::solve_sparse_apsp`]);
+    /// returns the `sources.len() × n` distance matrix. Unlike dense
+    /// [`DpJobRequest::Apsp`], only the requested rows are computed, so
+    /// the source set is part of the result (and of the lineage key).
+    SparseApsp {
+        /// Sparse adjacency, canonical CSR (`fill` = no edge,
+        /// conventionally `+∞`).
+        edges: Csr<f64>,
+        /// Source vertices, in result-row order.
+        sources: Vec<u32>,
+        /// Vertex-range partition count (execution knob: results are
+        /// partition-invariant, so it is *not* in the lineage key).
+        parts: usize,
+    },
 }
 
 // --- body codec -------------------------------------------------------
@@ -87,8 +106,13 @@ const TAG_APSP: u8 = 1;
 const TAG_ALIGN: u8 = 2;
 const TAG_PAREN: u8 = 3;
 const TAG_LINSYS: u8 = 4;
+const TAG_SPARSE_APSP: u8 = 5;
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -143,15 +167,26 @@ impl<'a> Rd<'a> {
         Ok(v as usize)
     }
 
-    /// An element count whose elements are 8 bytes each.
-    fn count8(&mut self) -> Result<usize, JobError> {
+    /// An element count whose elements are `elem_bytes` each: the
+    /// remaining buffer must be able to hold them all, which bounds
+    /// every later allocation by the body size.
+    fn counted(&mut self, elem_bytes: usize) -> Result<usize, JobError> {
         let v = self.u64()? as usize;
-        if v.checked_mul(8)
+        if v.checked_mul(elem_bytes)
             .is_none_or(|b| b > self.buf.len() - self.at)
         {
             return Err(JobError::Codec(format!("implausible count {v}")));
         }
         Ok(v)
+    }
+
+    /// An element count whose elements are 8 bytes each.
+    fn count8(&mut self) -> Result<usize, JobError> {
+        self.counted(8)
+    }
+
+    fn u32(&mut self) -> Result<u32, JobError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
     }
 
     fn f64(&mut self) -> Result<f64, JobError> {
@@ -266,6 +301,31 @@ impl DpJobRequest {
                 }
                 put_matrix_f64(&mut out, a);
             }
+            DpJobRequest::SparseApsp {
+                edges,
+                sources,
+                parts,
+            } => {
+                // nnz-exact: the body scales with stored edges, not n².
+                out.push(TAG_SPARSE_APSP);
+                put_u64(&mut out, *parts as u64);
+                put_u64(&mut out, sources.len() as u64);
+                for &s in sources {
+                    put_u64(&mut out, u64::from(s));
+                }
+                put_u64(&mut out, edges.rows() as u64);
+                put_u64(&mut out, edges.nnz() as u64);
+                put_f64(&mut out, edges.fill());
+                for &p in edges.row_ptr() {
+                    put_u32(&mut out, p);
+                }
+                for &c in edges.col_idx() {
+                    put_u32(&mut out, c);
+                }
+                for &v in edges.vals() {
+                    put_f64(&mut out, v);
+                }
+            }
         }
         Bytes::from(out)
     }
@@ -308,6 +368,20 @@ impl DpJobRequest {
                 }
                 _ => {}
             },
+            DpJobRequest::SparseApsp { edges, sources, .. } => {
+                // Squareness and CSR canonical form are enforced by the
+                // decoder's `Csr::try_new`; what's left are the solver's
+                // own preconditions.
+                if edges.rows() == 0 {
+                    return Err(JobError::Codec("sparse APSP graph is empty".into()));
+                }
+                if let Some(&s) = sources.iter().find(|&&s| s as usize >= edges.rows()) {
+                    return Err(JobError::Codec(format!(
+                        "source {s} out of range for n={}",
+                        edges.rows()
+                    )));
+                }
+            }
             DpJobRequest::LinearSystem { a, rhs, .. } => {
                 if a.rows() != a.cols() {
                     return Err(JobError::Codec(format!(
@@ -411,6 +485,43 @@ impl DpJobRequest {
                 let a = rd.matrix_f64()?;
                 DpJobRequest::LinearSystem { a, rhs, block }
             }
+            TAG_SPARSE_APSP => {
+                let parts = rd.u64()? as usize;
+                let ns = rd.count8()?;
+                let mut sources = Vec::with_capacity(ns);
+                for _ in 0..ns {
+                    sources.push(rd.u64()? as u32);
+                }
+                let n = rd.u64()? as usize;
+                let nnz = rd.counted(4 + 8)?; // col_idx + vals per entry
+                let ptr_len = n
+                    .checked_add(1)
+                    .filter(|&l| l.checked_mul(4).is_some_and(|b| b <= rd.buf.len() - rd.at))
+                    .ok_or_else(|| JobError::Codec("implausible vertex count".into()))?;
+                let fill = rd.f64()?;
+                let mut row_ptr = Vec::with_capacity(ptr_len);
+                for _ in 0..ptr_len {
+                    row_ptr.push(rd.u32()?);
+                }
+                let mut col_idx = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    col_idx.push(rd.u32()?);
+                }
+                let mut vals = Vec::with_capacity(nnz);
+                for _ in 0..nnz {
+                    vals.push(rd.f64()?);
+                }
+                // Canonical-form validation rejects malformed sparse
+                // bodies (ragged pointers, out-of-range or unsorted
+                // columns) right here on the admission path.
+                let edges = Csr::try_new(n, n, fill, row_ptr, col_idx, vals)
+                    .map_err(|e| JobError::Codec(format!("sparse APSP body: {e}")))?;
+                DpJobRequest::SparseApsp {
+                    edges,
+                    sources,
+                    parts,
+                }
+            }
             other => return Err(JobError::Codec(format!("unknown job tag {other}"))),
         };
         rd.done()?;
@@ -431,6 +542,14 @@ impl DpJobRequest {
                 let n = a.rows() as f64 + 1.0;
                 n * n * n / 3.0
             }
+            // Every sweep round relaxes each source's view of every
+            // stored edge, and rounds track the path-length frontier —
+            // logarithmic on random graphs, so admission prices
+            // sources · nnz · (log₂ n + 1) rather than the dense n³.
+            DpJobRequest::SparseApsp { edges, sources, .. } => {
+                let rounds = (edges.rows() as f64).log2() + 1.0;
+                sources.len() as f64 * edges.nnz() as f64 * rounds
+            }
         }
     }
 
@@ -440,14 +559,28 @@ impl DpJobRequest {
             | DpJobRequest::Alignment { block, .. }
             | DpJobRequest::Parenthesis { block, .. }
             | DpJobRequest::LinearSystem { block, .. } => (*block).max(1),
+            // The sweep path's work grain is a partition's row slab.
+            DpJobRequest::SparseApsp { edges, parts, .. } => {
+                edges.rows().div_ceil((*parts).max(1)).max(1)
+            }
+        }
+    }
+
+    /// Cost-model kernel class the admission estimate prices with.
+    fn kernel(&self) -> KernelType {
+        match self {
+            DpJobRequest::SparseApsp { .. } => KernelType::SparseSweep,
+            _ => KernelType::Iterative,
         }
     }
 
     /// The request's lineage digest: problem kind + canonical input
-    /// only. The block size is an execution knob (results are engine-
-    /// path invariant), and the APSP source set is a projection of the
-    /// cached full table — both are deliberately excluded so
-    /// equivalent computations share one cache entry.
+    /// only. The block size and sparse partition count are execution
+    /// knobs (results are engine-path invariant), and the dense APSP
+    /// source set is a projection of the cached full table — all
+    /// deliberately excluded so equivalent computations share one
+    /// cache entry. The sparse APSP source set *is* digested: it
+    /// selects which rows get computed at all.
     pub fn lineage_key(&self) -> u128 {
         let mut h = sparklet::LineageHasher::default();
         match self {
@@ -506,6 +639,28 @@ impl DpJobRequest {
                 }
                 for &v in rhs {
                     h.update(&v.to_bits().to_le_bytes());
+                }
+            }
+            DpJobRequest::SparseApsp { edges, sources, .. } => {
+                // Unlike dense APSP, the computed result *is* the
+                // projected rows, so the source set (and its order)
+                // keys the cache entry; `parts` stays out — results
+                // are partition-invariant.
+                h.update(b"sparse-apsp");
+                h.update(&(edges.rows() as u64).to_le_bytes());
+                h.update(&edges.fill().to_bits().to_le_bytes());
+                for &p in edges.row_ptr() {
+                    h.update(&p.to_le_bytes());
+                }
+                for &c in edges.col_idx() {
+                    h.update(&c.to_le_bytes());
+                }
+                for &v in edges.vals() {
+                    h.update(&v.to_bits().to_le_bytes());
+                }
+                h.update(&(sources.len() as u64).to_le_bytes());
+                for &s in sources {
+                    h.update(&s.to_le_bytes());
                 }
             }
         }
@@ -611,7 +766,7 @@ impl JobRunner for DpJobRunner {
             updates: req.updates(),
             block_side: req.block(),
             elem_bytes: 8,
-            kernel: KernelType::Iterative,
+            kernel: req.kernel(),
         };
         Ok(self.cost.admission_seconds(&inv, body.len() as u64))
     }
@@ -641,6 +796,16 @@ impl JobRunner for DpJobRunner {
                 let cfg = self.cfg_for(rhs.len() + 1, block);
                 let x = solve_linear_system(sc, &cfg, &a, &rhs)?;
                 Ok(encode_vec_f64(&x))
+            }
+            DpJobRequest::SparseApsp {
+                edges,
+                sources,
+                parts,
+            } => {
+                // No projection step: the sweep path computes exactly
+                // the requested rows.
+                let out = solve_sparse_apsp(sc, &edges, &sources, parts.max(1))?;
+                Ok(encode_matrix_f64(&out))
             }
         }
     }
@@ -679,6 +844,15 @@ impl JobRunner for DpJobRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gep_kernels::graph::sparse_erdos_renyi;
+
+    fn sparse_req(seed: u64, n: usize, sources: Vec<u32>, parts: usize) -> DpJobRequest {
+        DpJobRequest::SparseApsp {
+            edges: sparse_erdos_renyi(n, 0.25, 1.0, 9.0, seed),
+            sources,
+            parts,
+        }
+    }
 
     fn apsp_req(seed: u64, n: usize, sources: Option<Vec<u32>>) -> DpJobRequest {
         let mut state = seed | 1;
@@ -727,6 +901,7 @@ mod tests {
                 rhs: vec![1.0, 2.0, 3.0],
                 block: 2,
             },
+            sparse_req(5, 9, vec![0, 4, 8], 3),
         ];
         for req in reqs {
             let body = req.encode();
@@ -736,12 +911,99 @@ mod tests {
 
     #[test]
     fn truncated_bodies_error_never_panic() {
-        let body = apsp_req(3, 5, None).encode();
-        for cut in 0..body.len() {
-            let res = DpJobRequest::decode(&body.slice(0..cut));
-            assert!(res.is_err(), "cut at {cut} must fail");
+        for body in [
+            apsp_req(3, 5, None).encode(),
+            sparse_req(3, 7, vec![1], 2).encode(),
+        ] {
+            for cut in 0..body.len() {
+                let res = DpJobRequest::decode(&body.slice(0..cut));
+                assert!(res.is_err(), "cut at {cut} must fail");
+            }
         }
         assert!(DpJobRequest::decode(&Bytes::from_static(&[99])).is_err());
+    }
+
+    #[test]
+    fn malformed_sparse_bodies_are_codec_errors_at_admission() {
+        // Hand-build bodies whose CSR parts violate canonical form:
+        // each must come back as a typed Codec error (which the service
+        // front end maps to a Malformed rejection), never a panic.
+        let build = |row_ptr: &[u32], col_idx: &[u32], vals: &[f64], n: u64| {
+            let mut out = vec![TAG_SPARSE_APSP];
+            put_u64(&mut out, 2); // parts
+            put_u64(&mut out, 1); // one source
+            put_u64(&mut out, 0);
+            put_u64(&mut out, n);
+            put_u64(&mut out, col_idx.len() as u64);
+            put_f64(&mut out, f64::INFINITY);
+            for &p in row_ptr {
+                put_u32(&mut out, p);
+            }
+            for &c in col_idx {
+                put_u32(&mut out, c);
+            }
+            for &v in vals {
+                put_f64(&mut out, v);
+            }
+            Bytes::from(out)
+        };
+        let cases = [
+            // Decreasing row pointers.
+            build(&[0, 1, 0], &[0], &[1.0], 2),
+            // Column index out of range.
+            build(&[0, 1, 1], &[7], &[1.0], 2),
+            // Duplicate columns within a row.
+            build(&[0, 2, 2], &[1, 1], &[1.0, 2.0], 2),
+            // Terminal pointer disagrees with nnz.
+            build(&[0, 0, 0], &[0], &[1.0], 2),
+            // Empty graph.
+            build(&[0], &[], &[], 0),
+        ];
+        for (i, body) in cases.iter().enumerate() {
+            assert!(
+                matches!(DpJobRequest::decode(body), Err(JobError::Codec(_))),
+                "case {i} must be rejected"
+            );
+        }
+        // A source pointing past the vertex range is caught by
+        // validate() even when the CSR itself is canonical.
+        let mut ok = sparse_req(1, 4, vec![9], 2).encode();
+        assert!(matches!(DpJobRequest::decode(&ok), Err(JobError::Codec(_))));
+        ok = sparse_req(1, 4, vec![3], 2).encode();
+        assert!(DpJobRequest::decode(&ok).is_ok());
+    }
+
+    #[test]
+    fn sparse_lineage_key_tracks_sources_not_parts() {
+        let a = sparse_req(8, 10, vec![0, 2], 2);
+        let b = sparse_req(8, 10, vec![0, 2], 5); // same query, more parts
+        let c = sparse_req(8, 10, vec![0, 3], 2); // different sources
+        let d = sparse_req(9, 10, vec![0, 2], 2); // different graph
+        assert_eq!(a.lineage_key(), b.lineage_key());
+        assert_ne!(a.lineage_key(), c.lineage_key());
+        assert_ne!(a.lineage_key(), d.lineage_key());
+        // And the sparse family never collides with dense APSP keys.
+        let dense = apsp_req(8, 10, None);
+        assert_ne!(a.lineage_key(), dense.lineage_key());
+    }
+
+    #[test]
+    fn sparse_admission_prices_by_nnz_through_the_sweep_kernel() {
+        let req = sparse_req(4, 12, vec![0, 1, 2], 3);
+        let DpJobRequest::SparseApsp { ref edges, .. } = req else {
+            unreachable!()
+        };
+        assert_eq!(req.kernel(), KernelType::SparseSweep);
+        let rounds = (12f64).log2() + 1.0;
+        assert_eq!(req.updates(), 3.0 * edges.nnz() as f64 * rounds);
+        // Densifying the same graph as a dense APSP body prices at n³,
+        // which dominates for any sub-full density.
+        let dense = DpJobRequest::Apsp {
+            dist: edges.to_dense(),
+            block: 4,
+            sources: None,
+        };
+        assert!(req.updates() < dense.updates());
     }
 
     #[test]

@@ -125,6 +125,44 @@ pub fn apply_kernel<S: DpProblem>(
     backend.run(kind, &kernel.params, &mut xv, uv, vv, wv);
 }
 
+/// Run one relaxation sweep over a CSR edge tile through the backend
+/// registry — the sparse counterpart of [`apply_kernel`].
+///
+/// * `edges` — the partition's outgoing-edge tile
+///   (`owned_vertices × n_target`, CSR);
+/// * `dist` — current best distances (`sources × owned_vertices`,
+///   dense);
+/// * `skip` — the "unreachable" element (`+∞` for min-plus): rows of
+///   `dist` holding it generate no candidates;
+/// * `cand` — the candidate matrix the sweep folds into
+///   (`sources × n_target`).
+///
+/// Resolution walks the spec chain with
+/// [`TileRepr::SparseCsr`](gep_kernels::sparse::TileRepr), so a
+/// dense-only chain is a loud configuration error. The recorded
+/// invocation prices by **nnz**: `updates = sources · nnz`, the
+/// representation-aware term `KernelType::SparseSweep` expects.
+pub fn apply_sweep<S: DpProblem>(
+    edges: &Block<S::Elem>,
+    dist: &gep_kernels::Matrix<S::Elem>,
+    skip: S::Elem,
+    cand: &mut gep_kernels::Matrix<S::Elem>,
+    kernel: &KernelSpec,
+    tc: &TaskContext,
+) {
+    let csr = edges.expect_sparse();
+    let backend = registry::<S>()
+        .resolve_for(kernel, gep_kernels::sparse::TileRepr::SparseCsr)
+        .unwrap_or_else(|e| panic!("{e}"));
+    tc.record_kernel(KernelInvocation {
+        updates: (dist.rows() * csr.nnz()) as f64,
+        block_side: csr.rows(),
+        elem_bytes: std::mem::size_of::<S::Elem>(),
+        kernel: backend.kernel_type(&kernel.params),
+    });
+    backend.sweep(csr, dist, skip, cand);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +369,39 @@ mod tests {
         assert_eq!(rec.kernels.len(), 1);
         assert_eq!(rec.kernels[0].updates, 512.0);
         assert_eq!(rec.kernels[0].block_side, 8);
+    }
+
+    #[test]
+    fn apply_sweep_records_nnz_priced_invocation() {
+        use gep_kernels::sparse::Csr;
+        let inf = f64::INFINITY;
+        let tc = TaskContext::new(0);
+        // 4 local vertices, 6 stored edges, 3 sources.
+        let dense = Matrix::from_fn(4, 4, |i, j| {
+            if (i + j) % 3 == 1 && i != j {
+                (i + j) as f64
+            } else {
+                inf
+            }
+        });
+        let edges = Block::Sparse(Csr::from_dense(&dense, inf));
+        let nnz = edges.nnz();
+        let dist = Matrix::from_fn(3, 4, |s, u| if s == u { 0.0 } else { inf });
+        let mut cand = Matrix::filled(3, 4, inf);
+        // A dense-named chain with a sweep fallback resolves to sweep
+        // for sparse tiles.
+        let spec = KernelSpec::iterative().with_fallback(crate::backend::SWEEP);
+        apply_sweep::<Tropical>(&edges, &dist, inf, &mut cand, &spec, &tc);
+        let rec = tc.snapshot();
+        assert_eq!(rec.kernels.len(), 1);
+        assert_eq!(rec.kernels[0].updates, (3 * nnz) as f64);
+        assert_eq!(
+            rec.kernels[0].kernel,
+            cluster_model::KernelType::SparseSweep
+        );
+        // And the sweep really relaxed: source 0 sits at vertex 0,
+        // which has an edge to 1 (0+1 % 3 == 1) of weight 1.
+        assert_eq!(cand.get(0, 1), 1.0);
     }
 
     #[test]

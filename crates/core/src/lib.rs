@@ -51,6 +51,7 @@ pub mod kernels;
 pub mod linsys;
 pub mod problem;
 pub mod solver;
+pub mod sssp;
 pub mod tuner;
 
 pub use adaptive::{adaptive_solve, adaptive_solve_registry, AdaptiveOutcome};
@@ -61,13 +62,14 @@ pub use backend::{
 };
 pub use beyond::{solve_alignment, solve_parenthesis};
 pub use block::{Block, ElemCodec};
-#[allow(deprecated)]
-pub use config::KernelChoice;
 pub use config::{DpConfig, Strategy};
 pub use jobs::{decode_matrix_f64, decode_matrix_i64, decode_vec_f64, DpJobRequest, DpJobRunner};
 pub use linsys::solve_linear_system;
 pub use problem::DpProblem;
 pub use solver::{
     simulate_seconds, solve, solve_chaos, solve_virtual, solve_with_report, SolveReport,
+};
+pub use sssp::{
+    solve_sparse_apsp, solve_sparse_apsp_chaos, solve_sparse_apsp_with_report, SweepVal,
 };
 pub use tuner::{tune, TuneResult};

@@ -64,7 +64,7 @@ pub struct SolveReport {
 }
 
 /// Build the run summary from a context's event log.
-fn report_from(sc: &SparkContext) -> SolveReport {
+pub(crate) fn report_from(sc: &SparkContext) -> SolveReport {
     sc.with_event_log(|log| SolveReport {
         stages: log.stage_count(),
         tasks: log.task_count(),

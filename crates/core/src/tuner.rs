@@ -80,7 +80,10 @@ pub fn tune<S: DpProblem>(
         }
         for &strategy in &space.strategies {
             for backend in reg.backends() {
-                if !backend.available() || backend.name() == SIMULATE {
+                if !backend.available()
+                    || backend.name() == SIMULATE
+                    || !backend.supports_repr(gep_kernels::sparse::TileRepr::Dense)
+                {
                     continue;
                 }
                 if backend.name() == ITERATIVE && !space.include_iterative {

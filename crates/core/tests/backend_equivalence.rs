@@ -77,7 +77,11 @@ fn real_backends<S: dp_core::DpProblem>() -> Vec<&'static str> {
     registry::<S>()
         .backends()
         .iter()
-        .filter(|b| b.available() && b.name() != SIMULATE)
+        .filter(|b| {
+            b.available()
+                && b.name() != SIMULATE
+                && b.supports_repr(gep_kernels::sparse::TileRepr::Dense)
+        })
         .map(|b| b.name())
         .collect()
 }

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::matrix::Matrix;
+use crate::sparse::Csr;
 
 /// Adjacency matrix of an Erdős–Rényi `G(n, p)` digraph with edge
 /// weights uniform in `[w_min, w_max)`; absent edges are `+∞`, the
@@ -31,6 +32,41 @@ pub fn erdos_renyi(n: usize, p: f64, w_min: f64, w_max: f64, seed: u64) -> Matri
             f64::INFINITY
         }
     })
+}
+
+/// A sparse Erdős–Rényi `G(n, density)` digraph built directly in CSR
+/// form: each ordered pair `(u, v)`, `u ≠ v`, carries an edge with
+/// probability `density`, weight uniform in `[w_min, w_max)`, absent
+/// entries (including the diagonal) are `+∞`. Deterministic from the
+/// seed: the same `(n, density, w_min, w_max, seed)` always yields the
+/// same tile, byte-for-byte, which the lineage-keyed result cache and
+/// the replay tests rely on. Row-major generation yields canonical
+/// (strictly increasing) column order for free.
+pub fn sparse_erdos_renyi(n: usize, density: f64, w_min: f64, w_max: f64, seed: u64) -> Csr<f64> {
+    assert!((0.0..=1.0).contains(&density));
+    assert!(
+        w_min >= 0.0 && w_max > w_min,
+        "weights must be non-negative"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0u32);
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            if rng.gen::<f64>() < density {
+                col_idx.push(v as u32);
+                vals.push(rng.gen_range(w_min..w_max));
+            }
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    Csr::try_new(n, n, f64::INFINITY, row_ptr, col_idx, vals)
+        .expect("generator emits canonical CSR")
 }
 
 /// A `rows × cols` grid "road network": vertices are intersections,
@@ -175,6 +211,41 @@ pub fn check_apsp(adj: &Matrix<f64>, apsp: &Matrix<f64>, tol: f64) -> Option<(us
 mod tests {
     use super::*;
     use crate::gep::{gep_reference, Tropical};
+
+    #[test]
+    fn sparse_erdos_renyi_is_deterministic_and_canonical() {
+        let a = sparse_erdos_renyi(24, 0.1, 1.0, 5.0, 7);
+        let b = sparse_erdos_renyi(24, 0.1, 1.0, 5.0, 7);
+        assert_eq!(a, b);
+        let c = sparse_erdos_renyi(24, 0.1, 1.0, 5.0, 8);
+        assert_ne!(a, c);
+        // No self-loops, weights in range.
+        for u in 0..24 {
+            for (v, w) in a.row(u) {
+                assert_ne!(u, v);
+                assert!((1.0..5.0).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_generator_density_tracks_parameter() {
+        let n = 60;
+        let g = sparse_erdos_renyi(n, 0.05, 1.0, 2.0, 3);
+        let expected = (n * (n - 1)) as f64 * 0.05;
+        let got = g.nnz() as f64;
+        assert!(
+            (got - expected).abs() < expected,
+            "nnz {got} wildly off expectation {expected}"
+        );
+        // Dense view agrees with the CSR accessors.
+        let d = g.to_dense();
+        for u in 0..n {
+            for v in 0..n {
+                assert_eq!(d.get(u, v), g.get(u, v));
+            }
+        }
+    }
 
     #[test]
     fn erdos_renyi_shape_and_diagonal() {

@@ -33,8 +33,11 @@
 //! * [`tilegrid`] — safe disjoint splitting of a mutable matrix into a
 //!   grid of tile views, plus the per-phase partition (diagonal / row
 //!   panel / column panel / trailing) every GEP algorithm needs;
-//! * [`graph`] — synthetic directed graph generators and a Dijkstra
-//!   oracle for validating APSP results.
+//! * [`graph`] — synthetic directed graph generators (dense and CSR)
+//!   and Dijkstra/Bellman–Ford oracles for validating APSP results;
+//! * [`sparse`] — the CSR tile representation and the relaxation-sweep
+//!   kernel behind the partitioned multi-source SSSP path for sparse
+//!   APSP (Schoeneman & Zola).
 //!
 //! A note on exactness. For **GE** each `(i,j,k)` update reads operands
 //! whose values are independent of the execution order (they are fixed
@@ -62,9 +65,11 @@ pub mod parenthesis;
 pub mod recursive;
 pub mod rkleene;
 pub mod semiring;
+pub mod sparse;
 pub mod staging;
 pub mod tilegrid;
 
 pub use gep::{GaussianElim, GepSpec, Kind, TransitiveClosure, Tropical};
 pub use matrix::{Matrix, TileMut, TileRef};
 pub use recursive::RecConfig;
+pub use sparse::{Csr, CsrError, TileRepr};

@@ -242,6 +242,155 @@ fn corrupted_payload_frames_error_and_never_panic() {
     }
 }
 
+// ---- Sparse CSR tiles ---------------------------------------------------
+//
+// `Block::Sparse` frames ride the same Storable/Payload plane as dense
+// tiles; the representation refactor holds only if they meet the same
+// hostile-input bar: exact sizing, exact roundtrips, and typed errors
+// (never panics, never unbounded allocations) on truncation, bit flips,
+// and structurally invalid CSR (bad nnz accounting, out-of-range or
+// unsorted column indices).
+
+/// A random canonical CSR tile: per-row sorted unique columns.
+fn random_csr(rng: &mut Rng, max_side: u64) -> gep_kernels::Csr<f64> {
+    let rows = rng.below(max_side) as usize + 1;
+    let cols = rng.below(max_side) as usize + 1;
+    let mut row_ptr = vec![0u32];
+    let mut col_idx = Vec::new();
+    let mut vals = Vec::new();
+    for _ in 0..rows {
+        for c in 0..cols {
+            if rng.below(3) == 0 {
+                col_idx.push(c as u32);
+                vals.push(rng.next() as f64 * 0.125 - 3.0);
+            }
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    gep_kernels::Csr::try_new(rows, cols, f64::INFINITY, row_ptr, col_idx, vals)
+        .expect("constructed canonical")
+}
+
+#[test]
+fn sparse_tiles_roundtrip_with_nnz_exact_sizing() {
+    let mut rng = Rng::new(0x0c52);
+    for _ in 0..60 {
+        let csr = random_csr(&mut rng, 9);
+        let (rows, nnz) = (csr.rows(), csr.nnz());
+        let blk = dp_core::Block::Sparse(csr);
+        let enc = encode_one(&blk);
+        assert_eq!(enc.len(), blk.encoded_len(), "encoded_len must be exact");
+        // nnz-exact framing: header + nnz + fill + row_ptr + entries.
+        assert_eq!(enc.len(), 17 + 8 + 8 + (rows + 1) * 4 + nnz * 12);
+        let dec: dp_core::Block<f64> = decode_one(enc).unwrap();
+        assert_eq!(dec, blk);
+    }
+}
+
+#[test]
+fn truncated_sparse_tiles_error_and_never_panic() {
+    let mut rng = Rng::new(0x0c53);
+    for _ in 0..8 {
+        let enc = encode_one(&dp_core::Block::Sparse(random_csr(&mut rng, 7)));
+        for cut in 0..enc.len() {
+            let err = decode_one::<dp_core::Block<f64>>(enc.slice(..cut));
+            assert!(
+                matches!(err, Err(JobError::Codec(_))),
+                "cut at {cut}/{} must yield JobError::Codec",
+                enc.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn corrupted_sparse_tiles_error_or_misparse_but_never_panic() {
+    let mut rng = Rng::new(0x0c54);
+    let enc = encode_one(&dp_core::Block::Sparse(random_csr(&mut rng, 12)));
+    for _ in 0..500 {
+        let mut bad = enc.to_vec();
+        for _ in 0..=rng.below(4) {
+            let at = rng.below(bad.len() as u64) as usize;
+            bad[at] ^= rng.next() as u8;
+        }
+        // A flipped length, pointer, or column index must be caught by
+        // the bounds checks and canonical-form validation; a flip that
+        // only touches values decodes to a different-but-valid tile.
+        let _ = decode_one::<dp_core::Block<f64>>(Bytes::from(bad));
+    }
+    // Directed: an nnz prefix claiming more entries than the buffer
+    // holds must be refused before any allocation.
+    let mut huge = BytesMut::new();
+    huge.put_u8(2); // TAG_SPARSE
+    huge.put_u64_le(4); // rows
+    huge.put_u64_le(4); // cols
+    huge.put_u64_le(u64::MAX); // nnz
+    huge.put_f64_le(f64::INFINITY);
+    assert!(matches!(
+        decode_one::<dp_core::Block<f64>>(huge.freeze()),
+        Err(JobError::Codec(_))
+    ));
+}
+
+#[test]
+fn structurally_invalid_csr_frames_are_codec_errors() {
+    // Hand-frame bodies that parse but violate CSR canonical form: the
+    // decoder's `Csr::try_new` validation must refuse each one.
+    let frame = |rows: u64, cols: u64, row_ptr: &[u32], col_idx: &[u32], vals: &[f64]| {
+        let mut b = BytesMut::new();
+        b.put_u8(2); // TAG_SPARSE
+        b.put_u64_le(rows);
+        b.put_u64_le(cols);
+        b.put_u64_le(col_idx.len() as u64);
+        b.put_f64_le(f64::INFINITY);
+        for &p in row_ptr {
+            b.put_u32_le(p);
+        }
+        for &c in col_idx {
+            b.put_u32_le(c);
+        }
+        for &v in vals {
+            b.put_f64_le(v);
+        }
+        b.freeze()
+    };
+    let cases = [
+        // Decreasing row pointers.
+        frame(2, 2, &[0, 1, 0], &[0], &[1.0]),
+        // Terminal pointer disagrees with nnz.
+        frame(2, 2, &[0, 0, 0], &[0], &[1.0]),
+        // Column index out of bounds.
+        frame(2, 2, &[0, 1, 1], &[9], &[1.0]),
+        // Duplicate column within a row.
+        frame(1, 3, &[0, 2], &[1, 1], &[1.0, 2.0]),
+        // Unsorted columns within a row.
+        frame(1, 3, &[0, 2], &[2, 0], &[1.0, 2.0]),
+    ];
+    for (i, bytes) in cases.iter().enumerate() {
+        assert!(
+            matches!(
+                decode_one::<dp_core::Block<f64>>(bytes.clone()),
+                Err(JobError::Codec(_))
+            ),
+            "case {i} must be a typed codec error"
+        );
+    }
+}
+
+#[test]
+fn sparse_frames_ride_payload_frames_like_any_other_bytes() {
+    let mut rng = Rng::new(0x0c55);
+    let blk = dp_core::Block::Sparse(random_csr(&mut rng, 16));
+    let enc = encode_one(&blk);
+    for compression in [Compression::None, Compression::Lz4] {
+        let payload = Payload::seal(enc.clone(), compression);
+        let opened = payload.open().unwrap();
+        assert_eq!(opened, enc, "payload preserves the frame bytes");
+        let dec: dp_core::Block<f64> = decode_one(opened).unwrap();
+        assert_eq!(dec, blk);
+    }
+}
+
 // ---- Transport wire boundary ------------------------------------------
 //
 // The same hostile-input discipline, pushed one layer down to the
